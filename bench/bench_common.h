@@ -1,0 +1,108 @@
+// Shared plumbing for the per-table/figure bench binaries.
+//
+// Each binary regenerates one piece of the paper's evaluation (Sec. V) and
+// prints measured values next to the paper's reported ones where the paper
+// gives concrete numbers. Absolute values differ (synthetic analog pattern
+// sets, C++ vs OCaml, different CPU); the shapes are the reproduction
+// target — see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "eval/harness.h"
+#include "util/table.h"
+
+namespace mfa::bench {
+
+/// Command-line knobs shared by the bench binaries.
+struct Args {
+  std::size_t trace_bytes = 2 << 20;  ///< per-trace payload size
+  /// DFA baseline state cap: 250k states is a ~256 MB dense table, the
+  /// boundary of "practical" the paper's B217p result illustrates.
+  std::uint32_t dfa_cap = 250000;
+  int reps = 2;                       ///< throughput repetitions (first warms)
+  bool csv = false;                   ///< also print CSV blocks
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      const auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", a.c_str());
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (a == "--bytes") args.trace_bytes = std::strtoull(next(), nullptr, 10);
+      else if (a == "--dfa-cap") args.dfa_cap = static_cast<std::uint32_t>(
+          std::strtoull(next(), nullptr, 10));
+      else if (a == "--reps") args.reps = std::atoi(next());
+      else if (a == "--csv") args.csv = true;
+      else if (a == "--help") {
+        std::printf("options: --bytes N  --dfa-cap N  --reps N  --csv\n");
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown option %s\n", a.c_str());
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+inline eval::SuiteOptions suite_options(const Args& args) {
+  eval::SuiteOptions opts;
+  opts.dfa_max_states = args.dfa_cap;
+  opts.mfa_max_states = args.dfa_cap;
+  return opts;
+}
+
+/// "-" when a build failed (the paper's B217p DFA cell).
+inline std::string cell_or_dash(bool ok, const std::string& value) {
+  return ok ? value : "-";
+}
+
+/// The three real-life trace families of Sec. V-A, scaled to `bytes`.
+struct NamedTrace {
+  std::string name;
+  trace::Trace trace;
+};
+
+inline std::vector<NamedTrace> real_life_traces(std::size_t bytes,
+                                                const std::vector<std::string>& exemplars) {
+  std::vector<NamedTrace> out;
+  // DARPA week-5 Monday/Wednesday/Thursday analogs.
+  out.push_back({"LL1", trace::make_real_life(trace::RealLifeProfile::kDarpa, bytes, 101,
+                                              exemplars)});
+  out.push_back({"LL2", trace::make_real_life(trace::RealLifeProfile::kDarpa, bytes, 102,
+                                              exemplars)});
+  out.push_back({"LL3", trace::make_real_life(trace::RealLifeProfile::kDarpa, bytes, 103,
+                                              exemplars)});
+  // CDX competition traces.
+  out.push_back({"C110", trace::make_real_life(trace::RealLifeProfile::kCyberDefense,
+                                               bytes, 110, exemplars)});
+  // C112 is the paper's outlier: a trace whose content floods the filter
+  // with match events (MFA alone degrades there, Sec. V-D).
+  out.push_back({"C112", trace::make_real_life(trace::RealLifeProfile::kCyberDefenseNoisy,
+                                               bytes, 112, exemplars)});
+  // Nitroba.
+  out.push_back({"N", trace::make_real_life(trace::RealLifeProfile::kNitroba, bytes, 120,
+                                            exemplars)});
+  return out;
+}
+
+inline void print_table(const util::TextTable& table, bool csv) {
+  std::fputs(table.to_string().c_str(), stdout);
+  if (csv) {
+    std::fputs("\nCSV:\n", stdout);
+    std::fputs(table.to_csv().c_str(), stdout);
+  }
+  std::fputs("\n", stdout);
+}
+
+}  // namespace mfa::bench

@@ -1,0 +1,60 @@
+// Fig. 2: memory image sizes (MB) for NFA / DFA / HFA / MFA per rule set.
+// Paper shapes: NFA smallest; MFA near-NFA scale (~30x below HFA on
+// average); DFA dominated by the dense 256-wide table (C7p ~ 250 MB).
+#include "bench_common.h"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  const char* nfa;
+  const char* dfa;
+  const char* hfa;
+  const char* mfa;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"B217p", "0.5", "-", "108", "2.6"}, {"C7p", "0.1", "250", "4", "0.05"},
+    {"C8", "0.1", "4", "0.8", "0.16"},   {"C10", "0.1", "20", "2", "0.04"},
+    {"S24", "0.2", "10", "6", "0.37"},   {"S31p", "0.4", "41", "16", "0.77"},
+    {"S34", "0.3", "13", "9", "0.73"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mfa;
+  const bench::Args args = bench::Args::parse(argc, argv);
+
+  std::printf("Fig. 2: memory image sizes in MB (measured | paper)\n\n");
+  util::TextTable table({"Set", "NFA", "DFA", "HFA", "MFA", "paper:NFA", "paper:DFA",
+                         "paper:HFA", "paper:MFA"});
+
+  double hfa_over_mfa_sum = 0;
+  int hfa_over_mfa_n = 0;
+  const auto sets = patterns::builtin_sets();
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const auto& set = sets[i];
+    std::fprintf(stderr, "[fig2] building %s ...\n", set.name.c_str());
+    const eval::Suite suite = eval::build_suite(set, bench::suite_options(args));
+    table.add_row(
+        {set.name, util::format_bytes_mb(suite.nfa_build.image_bytes, 3),
+         bench::cell_or_dash(suite.dfa_build.ok,
+                             util::format_bytes_mb(suite.dfa_build.image_bytes, 2)),
+         bench::cell_or_dash(suite.hfa_build.ok,
+                             util::format_bytes_mb(suite.hfa_build.image_bytes, 2)),
+         bench::cell_or_dash(suite.mfa_build.ok,
+                             util::format_bytes_mb(suite.mfa_build.image_bytes, 3)),
+         kPaper[i].nfa, kPaper[i].dfa, kPaper[i].hfa, kPaper[i].mfa});
+    if (suite.hfa_build.ok && suite.mfa_build.ok && suite.mfa_build.image_bytes > 0) {
+      hfa_over_mfa_sum += static_cast<double>(suite.hfa_build.image_bytes) /
+                          static_cast<double>(suite.mfa_build.image_bytes);
+      ++hfa_over_mfa_n;
+    }
+  }
+  bench::print_table(table, args.csv);
+  if (hfa_over_mfa_n > 0)
+    std::printf("Average HFA/MFA image ratio: %.1fx (paper reports ~30x)\n",
+                hfa_over_mfa_sum / hfa_over_mfa_n);
+  return 0;
+}

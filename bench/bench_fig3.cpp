@@ -1,0 +1,30 @@
+// Fig. 3: automaton construction times (seconds) for DFA / HFA / NFA / MFA.
+// Paper shapes: NFA fastest; MFA orders of magnitude faster than plain DFA
+// (seconds, not minutes); DFA fails outright on B217p.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mfa;
+  const bench::Args args = bench::Args::parse(argc, argv);
+
+  std::printf("Fig. 3: construction times in seconds (DFA '-' = cap %u exceeded;\n"
+              "        time shown for failures is time-to-failure)\n\n",
+              args.dfa_cap);
+  util::TextTable table({"Set", "NFA", "DFA", "HFA", "MFA", "DFA/MFA speedup"});
+
+  const auto sets = patterns::builtin_sets();
+  for (const auto& set : sets) {
+    std::fprintf(stderr, "[fig3] building %s ...\n", set.name.c_str());
+    const eval::Suite suite = eval::build_suite(set, bench::suite_options(args));
+    std::string speedup = "-";
+    if (suite.dfa_build.ok && suite.mfa_build.ok && suite.mfa_build.seconds > 0)
+      speedup = util::format_double(suite.dfa_build.seconds / suite.mfa_build.seconds, 1) + "x";
+    table.add_row({set.name, util::format_double(suite.nfa_build.seconds, 4),
+                   (suite.dfa_build.ok ? "" : "fail@") +
+                       util::format_double(suite.dfa_build.seconds, 3),
+                   util::format_double(suite.hfa_build.seconds, 3),
+                   util::format_double(suite.mfa_build.seconds, 3), speedup});
+  }
+  bench::print_table(table, args.csv);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table V: RegEx set properties — pattern count, NFA states, DFA states,
+// MFA (character-DFA) states for each rule set. The paper's values are
+// printed alongside for shape comparison; our sets are structural analogs,
+// so ratios (DFA >> MFA for C sets, DFA unconstructable for B217p) are the
+// reproduction target, not the absolute counts.
+#include "bench_common.h"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  const char* regexes;
+  const char* nfa;
+  const char* dfa;
+  const char* mfa;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"B217p", "224", "2553", "-", "5332"},   {"C7p", "11", "295", "244366", "104"},
+    {"C8", "8", "99", "3786", "341"},        {"C10", "10", "123", "19508", "81"},
+    {"S24", "24", "702", "10257", "766"},    {"S31p", "40", "1436", "39977", "1584"},
+    {"S34", "34", "1003", "12486", "1499"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mfa;
+  const bench::Args args = bench::Args::parse(argc, argv);
+
+  std::printf("Table V: RegEx set properties (measured vs paper)\n\n");
+  util::TextTable table({"Set", "RegExes", "NFA Qs", "DFA Qs", "MFA Qs", "paper:NFA",
+                         "paper:DFA", "paper:MFA"});
+
+  const auto sets = patterns::builtin_sets();
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const auto& set = sets[i];
+    std::fprintf(stderr, "[table5] building %s ...\n", set.name.c_str());
+    const eval::Suite suite = eval::build_suite(set, bench::suite_options(args));
+    table.add_row({set.name, std::to_string(set.patterns.size()),
+                   std::to_string(suite.nfa_build.states),
+                   bench::cell_or_dash(suite.dfa_build.ok,
+                                       std::to_string(suite.dfa_build.states)),
+                   bench::cell_or_dash(suite.mfa_build.ok,
+                                       std::to_string(suite.mfa_build.states)),
+                   kPaper[i].nfa, kPaper[i].dfa, kPaper[i].mfa});
+  }
+  bench::print_table(table, args.csv);
+  std::printf("Shape checks: C-set DFA/MFA ratios should span orders of magnitude;\n"
+              "B217p DFA should be '-' (state cap %u exceeded).\n", args.dfa_cap);
+  return 0;
+}

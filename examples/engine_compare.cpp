@@ -1,0 +1,74 @@
+// Engine comparison: build NFA/DFA/HFA/XFA/MFA for one rule set and print a
+// side-by-side of construction time, state count, memory image, per-flow
+// context size, and throughput on a generated trace — a one-set miniature
+// of the paper's whole evaluation.
+//
+//   $ ./engine_compare [set-name] [trace-bytes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/harness.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mfa;
+
+  const std::string set_name = argc > 1 ? argv[1] : "C8";
+  const std::size_t bytes = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2 << 20;
+
+  const patterns::PatternSet set = patterns::set_by_name(set_name);
+  std::printf("=== %s: %zu patterns ===\n", set.name.c_str(), set.patterns.size());
+  for (std::size_t i = 0; i < set.sources.size() && i < 5; ++i)
+    std::printf("  %s\n", set.sources[i].c_str());
+  if (set.sources.size() > 5) std::printf("  ... (%zu more)\n", set.sources.size() - 5);
+
+  const eval::Suite suite = eval::build_suite(set);
+  const auto exemplars = eval::attack_exemplars(set, 2, 31337);
+  const trace::Trace t =
+      trace::make_real_life(trace::RealLifeProfile::kCyberDefense, bytes, 31337, exemplars);
+
+  util::TextTable table(
+      {"Engine", "build s", "states", "image MB", "ctx bytes", "CpB", "matches"});
+  const auto row = [&](const char* name, const eval::EngineBuild& build,
+                       std::size_t ctx_bytes, const eval::Throughput& tp) {
+    table.add_row({name, util::format_double(build.seconds, 3),
+                   build.ok ? std::to_string(build.states) : "-",
+                   build.ok ? util::format_bytes_mb(build.image_bytes, 3) : "-",
+                   build.ok ? std::to_string(ctx_bytes) : "-",
+                   build.ok ? util::format_double(tp.cycles_per_byte, 1) : "-",
+                   build.ok ? std::to_string(tp.matches) : "-"});
+  };
+
+  {
+    nfa::NfaScanner proto(suite.nfa);
+    row("NFA", suite.nfa_build, proto.context_bytes(),
+        eval::measure_throughput(proto, t));
+  }
+  if (suite.dfa) {
+    row("DFA", suite.dfa_build, dfa::DfaScanner::context_bytes(),
+        eval::measure_throughput(dfa::DfaScanner(*suite.dfa), t));
+  } else {
+    row("DFA", suite.dfa_build, 0, {});
+  }
+  if (suite.hfa)
+    row("HFA", suite.hfa_build, suite.hfa->context_bytes(),
+        eval::measure_throughput(hfa::HfaScanner(*suite.hfa), t));
+  if (suite.xfa)
+    row("XFA", suite.xfa_build, suite.xfa->context_bytes(),
+        eval::measure_throughput(xfa::XfaScanner(*suite.xfa), t));
+  if (suite.mfa)
+    row("MFA", suite.mfa_build, suite.mfa->context_bytes(),
+        eval::measure_throughput(core::MfaScanner(*suite.mfa), t));
+
+  std::printf("\ntrace: %.2f MB, %zu packets\n\n",
+              static_cast<double>(t.payload_bytes()) / (1024 * 1024), t.packet_count());
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf("\nsplit stats: %u/%u patterns decomposed, %u dot-star + %u "
+              "almost-dot-star splits, %u boundaries kept whole\n",
+              suite.mfa_stats.split.patterns_decomposed, suite.mfa_stats.split.patterns_in,
+              suite.mfa_stats.split.dot_star_splits,
+              suite.mfa_stats.split.almost_dot_star_splits,
+              suite.mfa_stats.split.boundaries_rejected);
+  return 0;
+}

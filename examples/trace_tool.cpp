@@ -1,0 +1,115 @@
+// Trace tooling: generate, save, and inspect the repo's .mftr packet traces
+// (both real-life profiles and Becchi-style synthetic walks).
+//
+//   $ ./trace_tool gen-real  nitroba 1048576 out.mftr
+//   $ ./trace_tool gen-synth S24 0.75 1048576 out.mftr
+//   $ ./trace_tool info out.mftr
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_set>
+
+#include "eval/harness.h"
+#include "trace/pcap.h"
+
+namespace {
+
+int usage() {
+  std::printf(
+      "usage:\n"
+      "  trace_tool gen-real  <darpa|cdx|nitroba> <bytes> <out.mftr>\n"
+      "  trace_tool gen-synth <pattern-set> <p_M> <bytes> <out.mftr>\n"
+      "  trace_tool from-pcap <in.pcap> <out.mftr>\n"
+      "  trace_tool info <file.mftr>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mfa;
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "info") {
+    trace::Trace t;
+    if (!trace::Trace::load(argv[2], t)) {
+      std::fprintf(stderr, "cannot load %s\n", argv[2]);
+      return 1;
+    }
+    std::unordered_set<std::size_t> flows;
+    std::size_t max_packet = 0;
+    t.for_each_packet([&](const flow::Packet& p) {
+      flows.insert(flow::FlowKeyHash{}(p.key));
+      max_packet = std::max<std::size_t>(max_packet, p.length);
+    });
+    std::printf("trace \"%s\": %zu packets, %zu flows, %.2f MB payload, "
+                "largest packet %zu B\n",
+                t.name().c_str(), t.packet_count(), flows.size(),
+                static_cast<double>(t.payload_bytes()) / (1024 * 1024), max_packet);
+    return 0;
+  }
+
+  if (cmd == "from-pcap" && argc == 4) {
+    const trace::PcapResult r = trace::read_pcap(argv[2]);
+    if (!r.ok) {
+      std::fprintf(stderr, "pcap error: %s\n", r.error.c_str());
+      return 1;
+    }
+    std::printf("read %llu frames: %llu payload packets, skipped %llu non-IP, "
+                "%llu non-TCP/UDP, %llu empty, %llu truncated\n",
+                (unsigned long long)r.stats.frames,
+                (unsigned long long)r.stats.payload_packets,
+                (unsigned long long)r.stats.skipped_non_ip,
+                (unsigned long long)r.stats.skipped_non_l4,
+                (unsigned long long)r.stats.skipped_empty,
+                (unsigned long long)r.stats.skipped_truncated);
+    if (!r.trace.save(argv[3])) {
+      std::fprintf(stderr, "cannot save %s\n", argv[3]);
+      return 1;
+    }
+    std::printf("wrote %s: %.2f MB payload\n", argv[3],
+                static_cast<double>(r.trace.payload_bytes()) / (1024 * 1024));
+    return 0;
+  }
+
+  if (cmd == "gen-real" && argc == 5) {
+    const std::string profile_name = argv[2];
+    trace::RealLifeProfile profile;
+    if (profile_name == "darpa") profile = trace::RealLifeProfile::kDarpa;
+    else if (profile_name == "cdx") profile = trace::RealLifeProfile::kCyberDefense;
+    else if (profile_name == "nitroba") profile = trace::RealLifeProfile::kNitroba;
+    else return usage();
+    const std::size_t bytes = std::strtoull(argv[3], nullptr, 10);
+    const trace::Trace t = trace::make_real_life(profile, bytes, 1, {});
+    if (!t.save(argv[4])) {
+      std::fprintf(stderr, "cannot save %s\n", argv[4]);
+      return 1;
+    }
+    std::printf("wrote %s: %zu packets, %.2f MB\n", argv[4], t.packet_count(),
+                static_cast<double>(t.payload_bytes()) / (1024 * 1024));
+    return 0;
+  }
+
+  if (cmd == "gen-synth" && argc == 6) {
+    const patterns::PatternSet set = patterns::set_by_name(argv[2]);
+    const double pm = std::atof(argv[3]);
+    const std::size_t bytes = std::strtoull(argv[4], nullptr, 10);
+    const auto dfa = dfa::build_dfa(nfa::build_nfa(set.patterns));
+    if (!dfa) {
+      std::fprintf(stderr, "pattern set %s has no constructable DFA; pick another\n",
+                   argv[2]);
+      return 1;
+    }
+    const trace::Trace t = trace::make_synthetic(*dfa, pm, bytes, 1);
+    if (!t.save(argv[5])) {
+      std::fprintf(stderr, "cannot save %s\n", argv[5]);
+      return 1;
+    }
+    std::printf("wrote %s: p_M=%.2f, %zu packets, %.2f MB\n", argv[5], pm,
+                t.packet_count(), static_cast<double>(t.payload_bytes()) / (1024 * 1024));
+    return 0;
+  }
+
+  return usage();
+}

@@ -1,0 +1,55 @@
+#include "dfa/compact.h"
+
+#include <unordered_map>
+
+namespace mfa::dfa {
+
+CompactDfa::CompactDfa(const Dfa& dfa) {
+  state_count_ = dfa.state_count();
+  start_ = dfa.start();
+  accept_states_ = dfa.accepting_state_count();
+
+  // Copy the byte->column map.
+  for (unsigned b = 0; b < 256; ++b) byte_to_col_[b] = dfa.byte_columns()[b];
+  const std::uint16_t ncols = dfa.column_count();
+  // Representative byte per column for probing the source DFA.
+  std::vector<unsigned char> rep(ncols);
+  for (int b = 255; b >= 0; --b) rep[byte_to_col_[static_cast<unsigned>(b)]] =
+      static_cast<unsigned char>(b);
+
+  default_target_.resize(state_count_);
+  row_offsets_.assign(state_count_ + 1, 0);
+  std::vector<std::uint32_t> row(ncols);
+  std::unordered_map<std::uint32_t, std::uint16_t> frequency;
+  for (std::uint32_t s = 0; s < state_count_; ++s) {
+    row_offsets_[s] = static_cast<std::uint32_t>(entries_.size());
+    frequency.clear();
+    std::uint32_t modal = 0;
+    std::uint16_t modal_count = 0;
+    for (std::uint16_t c = 0; c < ncols; ++c) {
+      row[c] = dfa.next(s, rep[c]);
+      const std::uint16_t count = ++frequency[row[c]];
+      if (count > modal_count) {
+        modal_count = count;
+        modal = row[c];
+      }
+    }
+    default_target_[s] = modal;
+    for (std::uint16_t c = 0; c < ncols; ++c) {
+      if (row[c] != modal)
+        entries_.push_back(Entry{static_cast<std::uint8_t>(c), row[c]});
+    }
+  }
+  row_offsets_[state_count_] = static_cast<std::uint32_t>(entries_.size());
+
+  // Accept tables: identical geometry to the source DFA.
+  accept_offsets_.assign(accept_states_ + 1, 0);
+  for (std::uint32_t s = 0; s < accept_states_; ++s) {
+    const auto [first, last] = dfa.accepts(s);
+    accept_offsets_[s + 1] =
+        accept_offsets_[s] + static_cast<std::uint32_t>(last - first);
+    accept_ids_.insert(accept_ids_.end(), first, last);
+  }
+}
+
+}  // namespace mfa::dfa

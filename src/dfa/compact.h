@@ -1,0 +1,123 @@
+// Modal-default compressed DFA ("D2FA-lite").
+//
+// Related-work context (paper Sec. II): D2FA/CompactDFA-style approaches
+// [12][18] shrink DFA tables by storing, per state, only the transitions
+// that differ from a default. IDS automata are ideal for this: from any
+// state, most bytes lead to the same "restart-ish" successor — for plain
+// string sets that is near the root, and for dot-star-bit product states
+// it is the bit-preserving restart state. Each row therefore stores its
+// *modal* target (the most frequent successor) as the default plus sparse
+// exceptions. Default resolution is depth-0 (no chains), so scanning costs
+// one short exception scan per byte — trading the paper's
+// throughput-vs-memory knob in the opposite direction from MFA (MFA keeps
+// the dense table small by removing *states*; this keeps all states but
+// stores fewer *transitions*).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dfa/dfa.h"
+
+namespace mfa::dfa {
+
+class CompactDfa {
+ public:
+  /// Compress an existing DFA. Match behaviour is identical by
+  /// construction; only the storage layout changes.
+  explicit CompactDfa(const Dfa& dfa);
+
+  [[nodiscard]] std::uint32_t state_count() const { return state_count_; }
+  [[nodiscard]] std::uint32_t start() const { return start_; }
+  [[nodiscard]] std::uint32_t accepting_state_count() const { return accept_states_; }
+
+  [[nodiscard]] std::uint32_t next(std::uint32_t state, unsigned char byte) const {
+    const std::uint8_t col = byte_to_col_[byte];
+    const std::uint32_t lo = row_offsets_[state];
+    const std::uint32_t hi = row_offsets_[state + 1];
+    // Rows are short and sorted by column; linear scan beats binary search
+    // at these lengths and is branch-predictable.
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      if (entries_[i].col == col) return entries_[i].target;
+      if (entries_[i].col > col) break;
+    }
+    return default_target_[state];
+  }
+
+  [[nodiscard]] std::pair<const std::uint32_t*, const std::uint32_t*> accepts(
+      std::uint32_t state) const {
+    return {accept_ids_.data() + accept_offsets_[state],
+            accept_ids_.data() + accept_offsets_[state + 1]};
+  }
+
+  /// Stored exception transitions (those differing from their row default).
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+
+  /// Image: sparse entries (5 B each: col + target) + row index + one
+  /// default target per state + accept CSR + byte->column map.
+  [[nodiscard]] std::size_t memory_image_bytes() const {
+    return entries_.size() * 5 + row_offsets_.size() * sizeof(std::uint32_t) +
+           default_target_.size() * sizeof(std::uint32_t) + 256 +
+           accept_offsets_.size() * sizeof(std::uint32_t) +
+           accept_ids_.size() * sizeof(std::uint32_t);
+  }
+
+  /// Compression ratio vs. the dense compressed-alphabet layout.
+  [[nodiscard]] double compression_vs_dense(const Dfa& dfa) const {
+    return static_cast<double>(memory_image_bytes()) /
+           static_cast<double>(dfa.memory_image_bytes(false));
+  }
+
+ private:
+  struct Entry {
+    std::uint8_t col;
+    std::uint32_t target;
+  };
+  std::uint32_t state_count_ = 0;
+  std::uint32_t start_ = 0;
+  std::uint32_t accept_states_ = 0;
+  std::array<std::uint8_t, 256> byte_to_col_{};
+  std::vector<std::uint32_t> default_target_;  // per state: the row's modal target
+  std::vector<std::uint32_t> row_offsets_;     // state_count + 1
+  std::vector<Entry> entries_;              // sorted by (state, col)
+  std::vector<std::uint32_t> accept_offsets_;
+  std::vector<std::uint32_t> accept_ids_;
+};
+
+/// Scanner over the compressed layout; same Match contract as DfaScanner.
+class CompactDfaScanner {
+ public:
+  explicit CompactDfaScanner(const CompactDfa& dfa) : dfa_(&dfa), state_(dfa.start()) {}
+
+  void reset() { state_ = dfa_->start(); }
+
+  template <typename Sink>
+  void feed(const std::uint8_t* data, std::size_t size, std::uint64_t base, Sink&& sink) {
+    std::uint32_t s = state_;
+    const std::uint32_t naccept = dfa_->accepting_state_count();
+    for (std::size_t i = 0; i < size; ++i) {
+      s = dfa_->next(s, data[i]);
+      if (s < naccept) {
+        const auto [first, last] = dfa_->accepts(s);
+        for (const auto* it = first; it != last; ++it) sink(*it, base + i);
+      }
+    }
+    state_ = s;
+  }
+
+  MatchVec scan(const std::uint8_t* data, std::size_t size) {
+    reset();
+    CollectingSink sink;
+    feed(data, size, 0, sink);
+    return std::move(sink.matches);
+  }
+  MatchVec scan(const std::string& data) {
+    return scan(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
+
+ private:
+  const CompactDfa* dfa_;
+  std::uint32_t state_;
+};
+
+}  // namespace mfa::dfa

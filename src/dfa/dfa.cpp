@@ -1,0 +1,335 @@
+#include "dfa/dfa.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "util/timing.h"
+
+namespace mfa::dfa {
+
+std::pair<std::array<std::uint8_t, 256>, std::uint16_t> compute_byte_classes(
+    const nfa::Nfa& nfa) {
+  // Partition refinement: start with one class holding all bytes and split
+  // by every distinct transition label. Exact (no hashing).
+  std::array<std::uint16_t, 256> cls{};
+  std::uint16_t class_count = 1;
+  // Temporary ids during one split round can reach 2 * class_count <= 512.
+  std::array<std::uint16_t, 512> split_map{};  // old class -> in-label class
+  std::array<std::uint16_t, 512> renumber{};
+  for (const auto& label : nfa.distinct_labels()) {
+    std::fill(split_map.begin(), split_map.end(), std::uint16_t{0xffff});
+    std::uint16_t next_id = class_count;
+    for (unsigned b = 0; b < 256; ++b) {
+      if (!label.test(static_cast<unsigned char>(b))) continue;
+      const std::uint16_t old = cls[b];
+      if (split_map[old] == 0xffff) split_map[old] = next_id++;
+      cls[b] = split_map[old];
+    }
+    // Renumber densely in first-byte order. When an entire class was inside
+    // the label the old id simply disappears, which keeps the partition
+    // correct and the count minimal.
+    std::fill(renumber.begin(), renumber.end(), std::uint16_t{0xffff});
+    std::uint16_t dense = 0;
+    for (unsigned b = 0; b < 256; ++b) {
+      if (renumber[cls[b]] == 0xffff) renumber[cls[b]] = dense++;
+      cls[b] = renumber[cls[b]];
+    }
+    class_count = dense;
+  }
+  std::array<std::uint8_t, 256> out{};
+  for (unsigned b = 0; b < 256; ++b) out[b] = static_cast<std::uint8_t>(cls[b]);
+  return {out, class_count};
+}
+
+namespace {
+
+struct VecHash {
+  std::size_t operator()(const std::vector<std::uint32_t>& v) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const std::uint32_t x : v) {
+      h ^= x;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Per-NFA-state transition rows pre-resolved to byte classes:
+/// CSR of (class, target) pairs sorted by class.
+struct ClassifiedNfa {
+  std::vector<std::uint32_t> row_offsets;  // per state
+  std::vector<std::pair<std::uint16_t, std::uint32_t>> entries;
+};
+
+ClassifiedNfa classify(const nfa::Nfa& nfa, const std::array<std::uint8_t, 256>& cls,
+                       std::uint16_t ncls) {
+  // Representative byte per class.
+  std::vector<unsigned char> rep(ncls);
+  for (int b = 255; b >= 0; --b) rep[cls[static_cast<unsigned>(b)]] = static_cast<unsigned char>(b);
+
+  ClassifiedNfa out;
+  out.row_offsets.assign(nfa.state_count() + 1, 0);
+  for (std::uint32_t s = 0; s < nfa.state_count(); ++s) {
+    out.row_offsets[s] = static_cast<std::uint32_t>(out.entries.size());
+    for (const auto& t : nfa.transitions_from(s)) {
+      for (std::uint16_t c = 0; c < ncls; ++c) {
+        if (t.cc.test(rep[c])) out.entries.emplace_back(c, t.target);
+      }
+    }
+    std::sort(out.entries.begin() + out.row_offsets[s], out.entries.end());
+  }
+  out.row_offsets[nfa.state_count()] = static_cast<std::uint32_t>(out.entries.size());
+  return out;
+}
+
+/// Moore partition refinement; returns the new state id of every old state
+/// and the new state count.
+std::pair<std::vector<std::uint32_t>, std::uint32_t> minimize_partition(
+    const std::vector<std::uint32_t>& table, std::uint16_t ncols,
+    const std::vector<std::vector<std::uint32_t>>& accept_sets) {
+  const std::size_t n = accept_sets.size();
+  std::vector<std::uint32_t> block(n);
+  // Initial partition: by accept id set.
+  {
+    std::unordered_map<std::vector<std::uint32_t>, std::uint32_t, VecHash> sig_to_block;
+    for (std::size_t s = 0; s < n; ++s) {
+      const auto [it, inserted] = sig_to_block.try_emplace(
+          accept_sets[s], static_cast<std::uint32_t>(sig_to_block.size()));
+      block[s] = it->second;
+    }
+  }
+  std::uint32_t block_count = 0;
+  for (const auto b : block) block_count = std::max(block_count, b + 1);
+
+  std::vector<std::uint32_t> key(ncols + 1);
+  while (true) {
+    std::unordered_map<std::vector<std::uint32_t>, std::uint32_t, VecHash> sig_to_block;
+    std::vector<std::uint32_t> next_block(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      key[0] = block[s];
+      for (std::uint16_t c = 0; c < ncols; ++c) key[c + 1] = block[table[s * ncols + c]];
+      const auto [it, inserted] =
+          sig_to_block.try_emplace(key, static_cast<std::uint32_t>(sig_to_block.size()));
+      next_block[s] = it->second;
+    }
+    const auto new_count = static_cast<std::uint32_t>(sig_to_block.size());
+    block.swap(next_block);
+    if (new_count == block_count) break;
+    block_count = new_count;
+  }
+  return {std::move(block), block_count};
+}
+
+}  // namespace
+
+std::optional<Dfa> build_dfa(const nfa::Nfa& nfa, const BuildOptions& options,
+                             BuildStats* stats) {
+  util::WallTimer timer;
+  BuildStats local_stats;
+  BuildStats& st = stats != nullptr ? *stats : local_stats;
+
+  const auto [byte_to_col, ncls] = compute_byte_classes(nfa);
+  const ClassifiedNfa cn = classify(nfa, byte_to_col, ncls);
+
+  // Subset construction over sorted NFA-state vectors.
+  std::unordered_map<std::vector<std::uint32_t>, std::uint32_t, VecHash> subset_to_id;
+  std::vector<std::vector<std::uint32_t>> subsets;
+  std::vector<std::uint32_t> table;  // growing state_count * ncls
+
+  const auto intern = [&](std::vector<std::uint32_t> subset) -> std::uint32_t {
+    const auto [it, inserted] =
+        subset_to_id.try_emplace(std::move(subset), static_cast<std::uint32_t>(subsets.size()));
+    if (inserted) subsets.push_back(it->first);
+    return it->second;
+  };
+
+  intern({nfa.start()});
+
+  // Per-class target buckets, reused across states; dirty list for cheap reset.
+  std::vector<std::vector<std::uint32_t>> buckets(ncls);
+  std::vector<std::uint16_t> dirty;
+
+  for (std::uint32_t ds = 0; ds < subsets.size(); ++ds) {
+    if (subsets.size() > options.max_states) {
+      st.failed = true;
+      st.seconds = timer.seconds();
+      st.states = static_cast<std::uint32_t>(subsets.size());
+      return std::nullopt;
+    }
+    // Work on a copy: `subsets` may reallocate when interning successors.
+    const std::vector<std::uint32_t> members = subsets[ds];
+    for (const std::uint16_t c : dirty) buckets[c].clear();
+    dirty.clear();
+    for (const std::uint32_t m : members) {
+      for (std::uint32_t e = cn.row_offsets[m]; e < cn.row_offsets[m + 1]; ++e) {
+        const auto [c, target] = cn.entries[e];
+        if (buckets[c].empty()) dirty.push_back(c);
+        buckets[c].push_back(target);
+      }
+    }
+    table.resize(static_cast<std::size_t>(ds + 1) * ncls, UINT32_MAX);
+    // Classes with no outgoing transition go to the dead subset {}; an NFA
+    // with unanchored dot-star prefixes keeps its start self-loop, so the
+    // empty subset only appears for fully-anchored pattern sets, where it
+    // acts as a plain sink state.
+    for (std::uint16_t c = 0; c < ncls; ++c) {
+      auto& b = buckets[c];
+      std::sort(b.begin(), b.end());
+      b.erase(std::unique(b.begin(), b.end()), b.end());
+      const std::uint32_t id = intern(b);
+      table[static_cast<std::size_t>(ds) * ncls + c] = id;
+    }
+  }
+
+  const auto n = static_cast<std::uint32_t>(subsets.size());
+
+  // Accept sets per DFA state.
+  std::vector<std::vector<std::uint32_t>> accept_sets(n);
+  for (std::uint32_t ds = 0; ds < n; ++ds) {
+    std::vector<std::uint32_t>& out = accept_sets[ds];
+    for (const std::uint32_t m : subsets[ds]) {
+      const auto& ids = nfa.accepts(m);
+      out.insert(out.end(), ids.begin(), ids.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+
+  st.states = n;
+  st.minimized = n;
+
+  // Optional minimization.
+  std::vector<std::uint32_t> state_map(n);
+  std::uint32_t final_n = n;
+  std::vector<std::uint32_t> min_table;
+  std::vector<std::vector<std::uint32_t>> min_accepts;
+  if (options.minimize) {
+    auto [block, block_count] = minimize_partition(table, ncls, accept_sets);
+    final_n = block_count;
+    min_table.assign(static_cast<std::size_t>(final_n) * ncls, 0);
+    min_accepts.resize(final_n);
+    std::vector<bool> done(final_n, false);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const std::uint32_t b = block[s];
+      if (!done[b]) {
+        done[b] = true;
+        for (std::uint16_t c = 0; c < ncls; ++c)
+          min_table[static_cast<std::size_t>(b) * ncls + c] = block[table[s * ncls + c]];
+        min_accepts[b] = accept_sets[s];
+      }
+    }
+    state_map = std::move(block);
+    st.minimized = final_n;
+  } else {
+    for (std::uint32_t s = 0; s < n; ++s) state_map[s] = s;
+    min_table = std::move(table);
+    min_accepts = std::move(accept_sets);
+  }
+
+  // Remap so accepting states occupy [0, accept_count): the scanner's
+  // accept test becomes a single compare.
+  std::vector<std::uint32_t> remap(final_n);
+  std::uint32_t next_accepting = 0;
+  std::uint32_t accept_count = 0;
+  for (std::uint32_t s = 0; s < final_n; ++s)
+    if (!min_accepts[s].empty()) ++accept_count;
+  std::uint32_t next_plain = accept_count;
+  for (std::uint32_t s = 0; s < final_n; ++s)
+    remap[s] = min_accepts[s].empty() ? next_plain++ : next_accepting++;
+
+  Dfa dfa;
+  dfa.state_count_ = final_n;
+  dfa.accept_states_ = accept_count;
+  dfa.max_match_id_ = nfa.max_match_id();
+  dfa.ncols_ = ncls;
+  dfa.byte_to_col_ = byte_to_col;
+  dfa.start_ = remap[state_map[0]];
+  dfa.table_.assign(static_cast<std::size_t>(final_n) * ncls, 0);
+  for (std::uint32_t s = 0; s < final_n; ++s) {
+    for (std::uint16_t c = 0; c < ncls; ++c)
+      dfa.table_[static_cast<std::size_t>(remap[s]) * ncls + c] =
+          remap[min_table[static_cast<std::size_t>(s) * ncls + c]];
+  }
+  dfa.accept_offsets_.assign(accept_count + 1, 0);
+  for (std::uint32_t s = 0; s < final_n; ++s) {
+    if (!min_accepts[s].empty())
+      dfa.accept_offsets_[remap[s] + 1] = static_cast<std::uint32_t>(min_accepts[s].size());
+  }
+  for (std::uint32_t i = 1; i <= accept_count; ++i)
+    dfa.accept_offsets_[i] += dfa.accept_offsets_[i - 1];
+  dfa.accept_ids_.resize(dfa.accept_offsets_[accept_count]);
+  for (std::uint32_t s = 0; s < final_n; ++s) {
+    if (min_accepts[s].empty()) continue;
+    std::copy(min_accepts[s].begin(), min_accepts[s].end(),
+              dfa.accept_ids_.begin() + dfa.accept_offsets_[remap[s]]);
+  }
+
+  st.seconds = timer.seconds();
+  return dfa;
+}
+
+std::size_t Dfa::memory_image_bytes(bool full_alphabet) const {
+  const std::size_t cols = full_alphabet ? 256 : ncols_;
+  std::size_t bytes = static_cast<std::size_t>(state_count_) * cols * sizeof(std::uint32_t);
+  if (!full_alphabet) bytes += 256;  // byte -> column map
+  bytes += accept_offsets_.size() * sizeof(std::uint32_t);
+  bytes += accept_ids_.size() * sizeof(std::uint32_t);
+  return bytes;
+}
+
+}  // namespace mfa::dfa
+
+namespace mfa::dfa {
+
+void Dfa::serialize(util::BinWriter& w) const {
+  w.u32(state_count_);
+  w.u32(start_);
+  w.u32(accept_states_);
+  w.u32(max_match_id_);
+  w.u16(ncols_);
+  w.bytes(byte_to_col_.data(), byte_to_col_.size());
+  w.pod_vec(table_);
+  w.pod_vec(accept_offsets_);
+  w.pod_vec(accept_ids_);
+}
+
+bool Dfa::deserialize(util::BinReader& r, Dfa& out) {
+  out.state_count_ = r.u32();
+  out.start_ = r.u32();
+  out.accept_states_ = r.u32();
+  out.max_match_id_ = r.u32();
+  out.ncols_ = r.u16();
+  r.bytes(out.byte_to_col_.data(), out.byte_to_col_.size());
+  out.table_ = r.pod_vec<std::uint32_t>();
+  out.accept_offsets_ = r.pod_vec<std::uint32_t>();
+  out.accept_ids_ = r.pod_vec<std::uint32_t>();
+  if (!r.ok()) return false;
+
+  // Structural validation: a corrupt file must fail here, not crash later
+  // in the scanning hot loop.
+  if (out.ncols_ == 0 || out.ncols_ > 256) return false;
+  if (out.state_count_ == 0 || out.start_ >= out.state_count_) return false;
+  if (out.accept_states_ > out.state_count_) return false;
+  if (out.table_.size() !=
+      static_cast<std::size_t>(out.state_count_) * out.ncols_)
+    return false;
+  for (const std::uint8_t col : out.byte_to_col_)
+    if (col >= out.ncols_) return false;
+  for (const std::uint32_t target : out.table_)
+    if (target >= out.state_count_) return false;
+  if (out.accept_offsets_.size() != out.accept_states_ + 1u) return false;
+  if (!out.accept_offsets_.empty() && out.accept_offsets_.front() != 0) return false;
+  for (std::size_t i = 1; i < out.accept_offsets_.size(); ++i) {
+    if (out.accept_offsets_[i] < out.accept_offsets_[i - 1]) return false;
+  }
+  if (!out.accept_offsets_.empty() && out.accept_offsets_.back() != out.accept_ids_.size())
+    return false;
+  for (const std::uint32_t id : out.accept_ids_)
+    if (id > out.max_match_id_) return false;
+  for (std::uint32_t s = 0; s < out.accept_states_; ++s)
+    if (out.accept_offsets_[s] == out.accept_offsets_[s + 1]) return false;
+  return true;
+}
+
+}  // namespace mfa::dfa

@@ -1,0 +1,147 @@
+// DFA: subset construction, byte-class compression, minimization, scanning.
+//
+// This is both the paper's DFA baseline (dense 256-wide transition table,
+// fastest matching, exponential worst-case size — Sec. I-A) and the
+// character-DFA inside the MFA/HFA/XFA engines (Fig. 1 "Character DFA").
+// Construction takes the epsilon-free NFA and explores reachable state
+// subsets; a state cap makes "DFA fails to construct B217p" (Fig. 3) an
+// observable outcome instead of an OOM.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nfa/nfa.h"
+#include "util/binio.h"
+#include "util/match.h"
+
+namespace mfa::dfa {
+
+struct BuildOptions {
+  /// Abort construction when more than this many DFA states are discovered.
+  std::uint32_t max_states = 1u << 20;
+  /// Merge equivalent states (Moore partition refinement) after subset
+  /// construction. Off by default to mirror standard DFA construction.
+  bool minimize = false;
+};
+
+struct BuildStats {
+  double seconds = 0.0;           ///< wall time spent in construction
+  std::uint32_t states = 0;       ///< states discovered (pre-minimization)
+  std::uint32_t minimized = 0;    ///< states after minimization (== states if off)
+  bool failed = false;            ///< true if max_states was exceeded
+};
+
+class Dfa {
+ public:
+  [[nodiscard]] std::uint32_t state_count() const { return state_count_; }
+  [[nodiscard]] std::uint32_t start() const { return start_; }
+  [[nodiscard]] std::uint16_t column_count() const { return ncols_; }
+  [[nodiscard]] std::uint32_t accepting_state_count() const { return accept_states_; }
+  [[nodiscard]] std::uint32_t max_match_id() const { return max_match_id_; }
+
+  [[nodiscard]] std::uint32_t next(std::uint32_t state, unsigned char byte) const {
+    return table_[static_cast<std::size_t>(state) * ncols_ + byte_to_col_[byte]];
+  }
+
+  /// Accepting states are remapped to ids [0, accepting_state_count()).
+  [[nodiscard]] bool is_accepting(std::uint32_t state) const {
+    return state < accept_states_;
+  }
+
+  /// Match ids of an accepting state (sorted, unique).
+  [[nodiscard]] std::pair<const std::uint32_t*, const std::uint32_t*> accepts(
+      std::uint32_t state) const {
+    return {accept_ids_.data() + accept_offsets_[state],
+            accept_ids_.data() + accept_offsets_[state + 1]};
+  }
+
+  /// Memory image size. `full_alphabet` accounts a raw 256-wide table (the
+  /// paper's DFA baseline accounting: C7p = 244k states ~= 250 MB); with
+  /// false, the byte-class-compressed layout actually used for scanning is
+  /// accounted (what MFA images use, Fig. 2).
+  [[nodiscard]] std::size_t memory_image_bytes(bool full_alphabet) const;
+
+  // Raw access for the scanning hot loop and for the HFA/XFA engines that
+  // extend this table.
+  [[nodiscard]] const std::uint32_t* table_data() const { return table_.data(); }
+  [[nodiscard]] const std::uint8_t* byte_columns() const { return byte_to_col_.data(); }
+
+  /// Binary (de)serialization for compiled-automaton files. deserialize
+  /// validates structural invariants (transition targets in range, CSR
+  /// monotone) and fails the reader on any violation.
+  void serialize(util::BinWriter& w) const;
+  static bool deserialize(util::BinReader& r, Dfa& out);
+
+ private:
+  friend std::optional<Dfa> build_dfa(const nfa::Nfa&, const BuildOptions&, BuildStats*);
+  std::uint32_t state_count_ = 0;
+  std::uint32_t start_ = 0;
+  std::uint32_t accept_states_ = 0;
+  std::uint32_t max_match_id_ = 0;
+  std::uint16_t ncols_ = 0;
+  std::array<std::uint8_t, 256> byte_to_col_{};
+  std::vector<std::uint32_t> table_;           // state_count * ncols
+  std::vector<std::uint32_t> accept_offsets_;  // accept_states + 1
+  std::vector<std::uint32_t> accept_ids_;
+};
+
+/// Subset-construct a DFA from an epsilon-free NFA. Returns nullopt (and
+/// stats->failed) if the state cap is exceeded — the B217p outcome.
+std::optional<Dfa> build_dfa(const nfa::Nfa& nfa, const BuildOptions& options = {},
+                             BuildStats* stats = nullptr);
+
+/// Byte equivalence classes of an NFA: bytes that every transition label
+/// treats identically share a column. Returns the byte->class map and the
+/// class count. Exposed for tests and for the trace generator.
+std::pair<std::array<std::uint8_t, 256>, std::uint16_t> compute_byte_classes(
+    const nfa::Nfa& nfa);
+
+/// Single-active-state scanning engine over the dense table (paper Sec. V:
+/// ~19 CpB in the authors' OCaml build; the fastest baseline).
+class DfaScanner {
+ public:
+  explicit DfaScanner(const Dfa& dfa) : dfa_(&dfa), state_(dfa.start()) {}
+
+  void reset() { state_ = dfa_->start(); }
+  [[nodiscard]] std::uint32_t state() const { return state_; }
+  void set_state(std::uint32_t s) { state_ = s; }
+
+  template <typename Sink>
+  void feed(const std::uint8_t* data, std::size_t size, std::uint64_t base, Sink&& sink) {
+    const std::uint32_t* table = dfa_->table_data();
+    const std::uint8_t* cols = dfa_->byte_columns();
+    const std::uint32_t ncols = dfa_->column_count();
+    const std::uint32_t naccept = dfa_->accepting_state_count();
+    std::uint32_t s = state_;
+    for (std::size_t i = 0; i < size; ++i) {
+      s = table[static_cast<std::size_t>(s) * ncols + cols[data[i]]];
+      if (s < naccept) {
+        const auto [first, last] = dfa_->accepts(s);
+        for (const auto* it = first; it != last; ++it) sink(*it, base + i);
+      }
+    }
+    state_ = s;
+  }
+
+  MatchVec scan(const std::uint8_t* data, std::size_t size) {
+    reset();
+    CollectingSink sink;
+    feed(data, size, 0, sink);
+    return std::move(sink.matches);
+  }
+  MatchVec scan(const std::string& data) {
+    return scan(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
+
+  /// Per-flow context is a single DFA state.
+  [[nodiscard]] static std::size_t context_bytes() { return sizeof(std::uint32_t); }
+
+ private:
+  const Dfa* dfa_;
+  std::uint32_t state_;
+};
+
+}  // namespace mfa::dfa

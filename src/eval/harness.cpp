@@ -1,0 +1,95 @@
+#include "eval/harness.h"
+
+#include "regex/sample.h"
+
+namespace mfa::eval {
+
+Suite build_suite(const patterns::PatternSet& set, const SuiteOptions& options) {
+  Suite suite;
+  suite.set_name = set.name;
+  suite.patterns = set.patterns;
+
+  {
+    util::WallTimer t;
+    suite.nfa = nfa::build_nfa(set.patterns);
+    suite.nfa_build.seconds = t.seconds();
+    suite.nfa_build.ok = true;
+    suite.nfa_build.states = suite.nfa.state_count();
+    suite.nfa_build.image_bytes = suite.nfa.memory_image_bytes();
+  }
+
+  if (options.build_dfa) {
+    dfa::BuildOptions d;
+    d.max_states = options.dfa_max_states;
+    dfa::BuildStats stats;
+    suite.dfa = dfa::build_dfa(suite.nfa, d, &stats);
+    suite.dfa_build.seconds = stats.seconds;
+    suite.dfa_build.ok = suite.dfa.has_value();
+    if (suite.dfa) {
+      suite.dfa_build.states = suite.dfa->state_count();
+      // The DFA baseline is accounted as a raw 256-wide table (Sec. V-B).
+      suite.dfa_build.image_bytes = suite.dfa->memory_image_bytes(true);
+    }
+  }
+
+  {
+    core::BuildOptions m;
+    m.split = options.split;
+    m.dfa.max_states = options.mfa_max_states;
+    suite.mfa = core::build_mfa(set.patterns, m, &suite.mfa_stats);
+    suite.mfa_build.seconds = suite.mfa_stats.seconds;
+    suite.mfa_build.ok = suite.mfa.has_value();
+    if (suite.mfa) {
+      suite.mfa_build.states = suite.mfa->character_dfa().state_count();
+      suite.mfa_build.image_bytes = suite.mfa->memory_image_bytes();
+    }
+  }
+
+  if (options.build_hfa) {
+    hfa::BuildOptions h;
+    h.split = options.split;
+    h.dfa.max_states = options.mfa_max_states;
+    hfa::BuildStats stats;
+    suite.hfa = hfa::build_hfa(set.patterns, h, &stats);
+    suite.hfa_build.seconds = stats.seconds;
+    suite.hfa_build.ok = suite.hfa.has_value();
+    if (suite.hfa) {
+      suite.hfa_build.states = suite.hfa->state_count();
+      suite.hfa_build.image_bytes = suite.hfa->memory_image_bytes();
+    }
+  }
+
+  if (options.build_xfa) {
+    xfa::BuildOptions x;
+    x.split = options.split;
+    x.dfa.max_states = options.mfa_max_states;
+    xfa::BuildStats stats;
+    suite.xfa = xfa::build_xfa(set.patterns, x, &stats);
+    suite.xfa_build.seconds = stats.seconds;
+    suite.xfa_build.ok = suite.xfa.has_value();
+    if (suite.xfa) {
+      suite.xfa_build.states = suite.xfa->character_dfa().state_count();
+      suite.xfa_build.image_bytes = suite.xfa->memory_image_bytes();
+    }
+  }
+
+  return suite;
+}
+
+std::vector<std::string> attack_exemplars(const patterns::PatternSet& set,
+                                          std::size_t per_pattern, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::string> out;
+  for (const auto& p : set.patterns) {
+    // Anchored patterns only match at flow start; an exemplar spliced into
+    // the middle of a flow can never fire, so sample unanchored rules only.
+    if (p.regex.anchored) continue;
+    for (std::size_t i = 0; i < per_pattern; ++i) {
+      std::string s = regex::sample_match(p.regex, rng);
+      if (!s.empty() && s.size() < 4096) out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace mfa::eval

@@ -1,0 +1,107 @@
+// Evaluation harness shared by the bench binaries (paper Sec. V).
+//
+// Builds all five engines for a pattern set with uniform stats (build time,
+// state count, memory image) and measures matching throughput in cycles per
+// byte over multiplexed traces, via the same rdtsc methodology the paper
+// describes in Sec. V-B.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dfa/dfa.h"
+#include "flow/flow.h"
+#include "hfa/hfa.h"
+#include "mfa/mfa.h"
+#include "nfa/nfa.h"
+#include "patterns/builtin.h"
+#include "trace/trace.h"
+#include "util/timing.h"
+#include "xfa/xfa.h"
+
+namespace mfa::eval {
+
+struct EngineBuild {
+  bool ok = false;
+  double seconds = 0.0;
+  std::size_t image_bytes = 0;
+  std::uint32_t states = 0;
+};
+
+struct SuiteOptions {
+  /// Subset-construction cap for the plain-DFA baseline; exceeding it is
+  /// reported as "failed to construct" (the paper's B217p outcome).
+  std::uint32_t dfa_max_states = 500000;
+  /// Cap for the decomposed-piece DFA inside MFA/HFA/XFA.
+  std::uint32_t mfa_max_states = 500000;
+  bool build_dfa = true;
+  bool build_hfa = true;
+  bool build_xfa = true;
+  split::Options split;
+};
+
+/// Every engine built for one pattern set, with uniform build stats.
+struct Suite {
+  std::string set_name;
+  std::vector<nfa::PatternInput> patterns;
+
+  nfa::Nfa nfa;
+  EngineBuild nfa_build;
+  std::optional<dfa::Dfa> dfa;
+  EngineBuild dfa_build;
+  std::optional<core::Mfa> mfa;
+  EngineBuild mfa_build;
+  core::BuildStats mfa_stats;
+  std::optional<hfa::Hfa> hfa;
+  EngineBuild hfa_build;
+  std::optional<xfa::Xfa> xfa;
+  EngineBuild xfa_build;
+};
+
+Suite build_suite(const patterns::PatternSet& set, const SuiteOptions& options = {});
+
+/// Strings sampled from the set's pattern languages, for injecting
+/// attack-like content into synthetic real-life traces.
+std::vector<std::string> attack_exemplars(const patterns::PatternSet& set,
+                                          std::size_t per_pattern, std::uint64_t seed);
+
+struct Throughput {
+  double cycles_per_byte = 0.0;
+  std::uint64_t matches = 0;     ///< confirmed matches in the final repetition
+  std::size_t flows = 0;         ///< flows tracked by the inspector
+};
+
+/// Scan a trace through the flow inspector and report cycles per payload
+/// byte. `reps` repetitions amortize timer noise; the first rep warms the
+/// caches and is excluded when reps > 1.
+template <typename ScannerT>
+Throughput measure_throughput(const ScannerT& prototype, const trace::Trace& trace,
+                              int reps = 2) {
+  Throughput result;
+  std::uint64_t cycles = 0;
+  int timed_reps = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    flow::FlowInspector<ScannerT> inspector(prototype);
+    CountingSink sink;
+    const std::uint64_t start = util::rdtsc_now();
+    trace.for_each_packet([&](const flow::Packet& p) { inspector.packet(p, sink); });
+    const std::uint64_t elapsed = util::rdtsc_now() - start;
+    const bool warmup = reps > 1 && rep == 0;
+    if (!warmup) {
+      cycles += elapsed;
+      ++timed_reps;
+    }
+    result.matches = sink.count;
+    result.flows = inspector.flow_count();
+  }
+  if (trace.payload_bytes() > 0 && timed_reps > 0) {
+    result.cycles_per_byte = static_cast<double>(cycles) /
+                             (static_cast<double>(timed_reps) *
+                              static_cast<double>(trace.payload_bytes()));
+  }
+  return result;
+}
+
+}  // namespace mfa::eval

@@ -1,0 +1,32 @@
+#include "filter/action.h"
+
+#include <sstream>
+
+namespace mfa::filter {
+
+std::string Action::to_pseudocode() const {
+  std::ostringstream out;
+  bool have_guard = false;
+  if (test != kNone) {
+    out << "Test " << test;
+    have_guard = true;
+  }
+  if (ctr_test != kNone) {
+    out << (have_guard ? " and " : "") << "Counter " << ctr_test << " >= " << ctr_threshold;
+    have_guard = true;
+  }
+  std::vector<std::string> effects;
+  if (clear != kNone) effects.push_back("Clear " + std::to_string(clear));
+  if (set != kNone) effects.push_back("Set " + std::to_string(set));
+  if (ctr_incr != kNone) effects.push_back("Increment " + std::to_string(ctr_incr));
+  if (report != kNone) effects.push_back("Match " + std::to_string(report));
+  if (effects.empty()) effects.push_back("Nop");
+  if (have_guard) out << " to ";
+  for (std::size_t i = 0; i < effects.size(); ++i) {
+    if (i > 0) out << (i + 1 == effects.size() ? " and " : ", ");
+    out << effects[i];
+  }
+  return out.str();
+}
+
+}  // namespace mfa::filter

@@ -1,0 +1,100 @@
+// Filter engine: executes filter actions against per-flow bit memory.
+//
+// The Filter Engine of Fig. 1. It receives (engine match id, position)
+// events from the character DFA, looks up the single action for that id,
+// updates the w-bit memory and decides Confirm/Drop (paper Sec. III-A's
+// f : M x Di -> M x {Confirm, Drop}).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "filter/action.h"
+
+namespace mfa::filter {
+
+/// Per-flow filter memory: up to 256 bit flags plus optional counters.
+/// Initialized to all zeros by convention (paper Sec. III-A).
+class Memory {
+ public:
+  Memory() = default;
+  explicit Memory(std::uint32_t counters, std::uint32_t position_slots = 0)
+      : counters_(counters, 0), positions_(position_slots, 0) {}
+
+  void reset() {
+    bits_.fill(0);
+    std::fill(counters_.begin(), counters_.end(), 0);
+    std::fill(positions_.begin(), positions_.end(), 0);
+  }
+
+  void set_bit(std::int32_t i) { bits_[i >> 6] |= 1ULL << (i & 63); }
+  void clear_bit(std::int32_t i) { bits_[i >> 6] &= ~(1ULL << (i & 63)); }
+  [[nodiscard]] bool test_bit(std::int32_t i) const {
+    return (bits_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void increment(std::int32_t c) { ++counters_[c]; }
+  [[nodiscard]] std::uint32_t counter(std::int32_t c) const { return counters_[c]; }
+
+  /// Record the earliest position a gap-tracked bit fired at.
+  void record_position(std::int32_t slot, std::uint64_t pos) { positions_[slot] = pos; }
+  [[nodiscard]] std::uint64_t position(std::int32_t slot) const { return positions_[slot]; }
+
+  /// Bytes of per-flow state this memory contributes (w bits rounded to
+  /// words + counters + position slots); Sec. III-A prefers small contexts
+  /// for many-flow environments.
+  [[nodiscard]] static std::size_t context_bytes(std::uint32_t bits, std::uint32_t counters,
+                                                 std::uint32_t position_slots = 0) {
+    return ((bits + 63) / 64) * 8 + counters * sizeof(std::uint32_t) +
+           position_slots * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::array<std::uint64_t, 4> bits_{};
+  std::vector<std::uint32_t> counters_;
+  std::vector<std::uint64_t> positions_;
+};
+
+/// Stateless executor over a Program; all mutable state lives in Memory so
+/// one Engine serves any number of multiplexed flows.
+class Engine {
+ public:
+  explicit Engine(const Program& program) : program_(&program) {}
+
+  /// Process one match event. Calls sink(report_id, pos) if the action
+  /// confirms the match.
+  template <typename Sink>
+  void on_match(std::uint32_t engine_id, std::uint64_t pos, Memory& memory,
+                Sink&& sink) const {
+    const Action& a = program_->actions[engine_id];
+    if (a.test != kNone) {
+      if (!memory.test_bit(a.test)) return;
+      // Gap extension: the tested bit must also have fired far enough back.
+      if (a.min_gap > 0 &&
+          pos - memory.position(a.test_slot) < static_cast<std::uint64_t>(a.min_gap))
+        return;
+    }
+    if (a.ctr_test != kNone &&
+        memory.counter(a.ctr_test) < static_cast<std::uint32_t>(a.ctr_threshold))
+      return;
+    if (a.clear != kNone) memory.clear_bit(a.clear);
+    if (a.set != kNone) {
+      // Earliest-position semantics: only the first Set of a still-clear
+      // bit records its offset (any later A-match can only shrink the gap).
+      if (a.set_slot != kNone && !memory.test_bit(a.set))
+        memory.record_position(a.set_slot, pos);
+      memory.set_bit(a.set);
+    }
+    if (a.ctr_incr != kNone) memory.increment(a.ctr_incr);
+    if (a.report != kNone) sink(static_cast<std::uint32_t>(a.report), pos);
+  }
+
+  [[nodiscard]] const Program& program() const { return *program_; }
+
+ private:
+  const Program* program_;
+};
+
+}  // namespace mfa::filter

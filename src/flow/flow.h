@@ -1,0 +1,147 @@
+// Flow substrate: packets, 5-tuple flow keys, and a multiplexing inspector.
+//
+// Paper Sec. III-B: "To handle many flows arriving in multiplexed fashion,
+// all that is necessary is to keep a (q, m) pair for each flow". The
+// FlowInspector below is that mechanism, generic over any scanner engine:
+// it keeps one scanner context per flow, restores it when a packet of that
+// flow arrives, and performs in-order reassembly (buffering out-of-order
+// segments) so engines always see a contiguous byte stream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace mfa::flow {
+
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 6;  // TCP by default
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    mix(k.src_ip);
+    mix(k.dst_ip);
+    mix((std::uint64_t{k.src_port} << 32) | (std::uint64_t{k.dst_port} << 16) | k.proto);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// One packet's payload, referencing bytes owned by a Trace.
+struct Packet {
+  FlowKey key;
+  std::uint64_t seq = 0;  ///< byte offset of payload[0] within the flow
+  const std::uint8_t* payload = nullptr;
+  std::uint32_t length = 0;
+};
+
+/// Multiplexing inspector: per-flow scanner contexts + in-order reassembly.
+/// ScannerT must be copy-constructible (the per-flow context) and provide
+/// feed(data, size, base_offset, sink).
+///
+/// `max_flows` bounds the flow table (0 = unbounded): when a new flow would
+/// exceed it, the least-recently-active flow's context is evicted — the
+/// standard DPI memory-bound strategy, and the reason small per-flow
+/// contexts matter (paper Sec. III-A).
+template <typename ScannerT>
+class FlowInspector {
+ public:
+  explicit FlowInspector(ScannerT prototype, std::size_t max_flows = 0)
+      : prototype_(std::move(prototype)), max_flows_(max_flows) {}
+
+  /// Deliver one packet. sink(match_id, flow_offset) fires for confirmed
+  /// matches; positions are byte offsets within the flow's stream.
+  template <typename Sink>
+  void packet(const Packet& p, Sink&& sink) {
+    FlowState& fs = flow(p.key);
+    if (p.seq > fs.next_offset) {
+      // Out of order: hold the segment until the gap fills.
+      fs.pending.emplace(p.seq, std::vector<std::uint8_t>(p.payload, p.payload + p.length));
+      return;
+    }
+    // Possibly-overlapping retransmission: skip already-delivered bytes.
+    std::uint64_t skip = fs.next_offset - p.seq;
+    if (skip < p.length) {
+      fs.scanner.feed(p.payload + skip, p.length - skip, fs.next_offset, sink);
+      fs.next_offset += p.length - skip;
+    }
+    drain(fs, sink);
+  }
+
+  /// Number of flows currently tracked.
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+
+  /// Flows evicted to honour max_flows.
+  [[nodiscard]] std::uint64_t evicted_count() const { return evicted_; }
+
+  /// Drop a finished flow's context.
+  void evict(const FlowKey& key) { flows_.erase(key); }
+
+  void clear() { flows_.clear(); }
+
+ private:
+  struct FlowState {
+    explicit FlowState(const ScannerT& prototype) : scanner(prototype) {}
+    ScannerT scanner;
+    std::uint64_t next_offset = 0;
+    std::map<std::uint64_t, std::vector<std::uint8_t>> pending;
+    std::uint64_t last_touch = 0;
+  };
+
+  FlowState& flow(const FlowKey& key) {
+    auto it = flows_.find(key);
+    if (it == flows_.end()) {
+      if (max_flows_ != 0 && flows_.size() >= max_flows_) evict_oldest();
+      it = flows_.emplace(key, FlowState(prototype_)).first;
+    }
+    it->second.last_touch = ++tick_;
+    return it->second;
+  }
+
+  void evict_oldest() {
+    auto oldest = flows_.begin();
+    for (auto it = flows_.begin(); it != flows_.end(); ++it) {
+      if (it->second.last_touch < oldest->second.last_touch) oldest = it;
+    }
+    if (oldest != flows_.end()) {
+      flows_.erase(oldest);
+      ++evicted_;
+    }
+  }
+
+  template <typename Sink>
+  void drain(FlowState& fs, Sink&& sink) {
+    while (!fs.pending.empty()) {
+      auto it = fs.pending.begin();
+      if (it->first > fs.next_offset) break;
+      const std::uint64_t skip = fs.next_offset - it->first;
+      const auto& bytes = it->second;
+      if (skip < bytes.size()) {
+        fs.scanner.feed(bytes.data() + skip, bytes.size() - skip, fs.next_offset, sink);
+        fs.next_offset += bytes.size() - skip;
+      }
+      fs.pending.erase(it);
+    }
+  }
+
+  ScannerT prototype_;
+  std::size_t max_flows_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::unordered_map<FlowKey, FlowState, FlowKeyHash> flows_;
+};
+
+}  // namespace mfa::flow

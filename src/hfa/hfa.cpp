@@ -1,0 +1,84 @@
+#include "hfa/hfa.h"
+
+#include <algorithm>
+
+#include "util/timing.h"
+
+namespace mfa::hfa {
+
+std::optional<Hfa> build_hfa(const std::vector<nfa::PatternInput>& patterns,
+                             const BuildOptions& options, BuildStats* stats) {
+  util::WallTimer timer;
+  BuildStats local;
+  BuildStats& st = stats != nullptr ? *stats : local;
+
+  split::SplitResult sr = split::split_patterns(patterns, options.split);
+  std::vector<nfa::PatternInput> piece_inputs;
+  piece_inputs.reserve(sr.pieces.size());
+  for (const auto& piece : sr.pieces)
+    piece_inputs.push_back(nfa::PatternInput{piece.regex, piece.engine_id});
+  const nfa::Nfa piece_nfa = nfa::build_nfa(piece_inputs);
+  std::optional<dfa::Dfa> d = dfa::build_dfa(piece_nfa, options.dfa, &st.dfa);
+  if (!d.has_value()) {
+    st.seconds = timer.seconds();
+    return std::nullopt;
+  }
+
+  Hfa hfa;
+  hfa.program_ = std::move(sr.program);
+  hfa.state_count_ = d->state_count();
+  hfa.start_ = d->start();
+
+  // One annotation per accepting state, ordered by filter phase.
+  const std::uint32_t naccept = d->accepting_state_count();
+  hfa.annotation_offsets_.assign(naccept + 1, 0);
+  for (std::uint32_t s = 0; s < naccept; ++s) {
+    const auto [first, last] = d->accepts(s);
+    hfa.annotation_offsets_[s + 1] =
+        hfa.annotation_offsets_[s] + static_cast<std::uint32_t>(last - first);
+  }
+  hfa.annotation_ids_.resize(hfa.annotation_offsets_[naccept]);
+  for (std::uint32_t s = 0; s < naccept; ++s) {
+    const auto [first, last] = d->accepts(s);
+    auto* out = hfa.annotation_ids_.data() + hfa.annotation_offsets_[s];
+    std::copy(first, last, out);
+    std::sort(out, out + (last - first),
+              filter::ActionOrderLess{&hfa.program_.actions});
+  }
+
+  // Expand to the wide full-alphabet conditional table of the HFA model:
+  // each entry carries two successors selected by a history-bit test plus
+  // the annotation reference. Our decomposition-derived construction never
+  // needs the branch to diverge (guards are resolved inside annotations),
+  // so both successors coincide — but the engine still performs the test
+  // per byte, which is what makes HFA transitions expensive.
+  hfa.table_.assign(static_cast<std::size_t>(hfa.state_count_) * 256, HfaEntry{});
+  for (std::uint32_t s = 0; s < hfa.state_count_; ++s) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const std::uint32_t nxt = d->next(s, static_cast<unsigned char>(b));
+      HfaEntry e;
+      e.next_clear = nxt;
+      e.next_set = nxt;
+      // Wire the test to the first guard bit the target's actions consult
+      // so the per-byte test touches live history words.
+      e.test_bit = 0;
+      if (nxt < naccept) {
+        e.ann = nxt + 1;
+        const auto [first, last] = hfa.annotation(nxt);
+        for (const auto* it = first; it != last; ++it) {
+          const auto& action = hfa.program_.actions[*it];
+          if (action.test != filter::kNone) {
+            e.test_bit = action.test;
+            break;
+          }
+        }
+      }
+      hfa.table_[(static_cast<std::size_t>(s) << 8) | b] = e;
+    }
+  }
+
+  st.seconds = timer.seconds();
+  return hfa;
+}
+
+}  // namespace mfa::hfa

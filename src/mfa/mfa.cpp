@@ -1,0 +1,60 @@
+#include "mfa/mfa.h"
+
+#include <algorithm>
+
+#include "util/timing.h"
+
+namespace mfa::core {
+
+std::optional<Mfa> build_mfa(const std::vector<nfa::PatternInput>& patterns,
+                             const BuildOptions& options, BuildStats* stats) {
+  util::WallTimer timer;
+  BuildStats local;
+  BuildStats& st = stats != nullptr ? *stats : local;
+
+  // 1. Regex splitting (Algorithm 1).
+  split::SplitResult sr = split_patterns(patterns, options.split);
+  st.split = sr.stats;
+
+  // 2. Standard NFA + DFA construction over the decomposed pieces, with
+  //    piece engine-ids as the DFA's match ids.
+  std::vector<nfa::PatternInput> piece_inputs;
+  piece_inputs.reserve(sr.pieces.size());
+  for (const auto& piece : sr.pieces)
+    piece_inputs.push_back(nfa::PatternInput{piece.regex, piece.engine_id});
+  const nfa::Nfa piece_nfa = nfa::build_nfa(piece_inputs);
+  std::optional<dfa::Dfa> d = dfa::build_dfa(piece_nfa, options.dfa, &st.dfa);
+  if (!d.has_value()) {
+    st.seconds = timer.seconds();
+    return std::nullopt;
+  }
+
+  Mfa mfa;
+  mfa.dfa_ = *std::move(d);
+  mfa.program_ = std::move(sr.program);
+  mfa.pieces_ = std::move(sr.pieces);
+
+  // 3. Pre-resolve per-accept-state action order: stable-sort each accept
+  //    set by filter phase so one pass over ordered_actions() executes the
+  //    same-position semantics (clears, tests/reports, sets).
+  const std::uint32_t naccept = mfa.dfa_.accepting_state_count();
+  mfa.ordered_offsets_.assign(naccept + 1, 0);
+  for (std::uint32_t s = 0; s < naccept; ++s) {
+    const auto [first, last] = mfa.dfa_.accepts(s);
+    mfa.ordered_offsets_[s + 1] =
+        mfa.ordered_offsets_[s] + static_cast<std::uint32_t>(last - first);
+  }
+  mfa.ordered_ids_.resize(mfa.ordered_offsets_[naccept]);
+  for (std::uint32_t s = 0; s < naccept; ++s) {
+    const auto [first, last] = mfa.dfa_.accepts(s);
+    auto* out = mfa.ordered_ids_.data() + mfa.ordered_offsets_[s];
+    std::copy(first, last, out);
+    std::sort(out, out + (last - first),
+              filter::ActionOrderLess{&mfa.program_.actions});
+  }
+
+  st.seconds = timer.seconds();
+  return mfa;
+}
+
+}  // namespace mfa::core

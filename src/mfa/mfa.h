@@ -1,0 +1,140 @@
+// Match Filtering Automaton (paper Sec. III): the composite of a character
+// DFA over decomposed pattern pieces and a stateful match filter.
+//
+// Construction (Fig. 1, grey path): regex splitter -> piece regexes + filter
+// actions -> standard NFA/DFA construction over the pieces -> per-accept-
+// state action sequences ordered by the canonical same-position phase order.
+// Matching (Fig. 1, black path): the DFA consumes payload bytes; every time
+// it enters an accepting state the filter engine runs the pre-resolved
+// actions against the flow's w-bit memory and confirms or drops matches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dfa/dfa.h"
+#include "filter/engine.h"
+#include "split/splitter.h"
+
+namespace mfa::core {
+
+struct BuildOptions {
+  split::Options split;
+  dfa::BuildOptions dfa;
+};
+
+struct BuildStats {
+  split::Stats split;
+  dfa::BuildStats dfa;
+  double seconds = 0.0;  ///< total construction wall time
+};
+
+class Mfa {
+ public:
+  [[nodiscard]] const dfa::Dfa& character_dfa() const { return dfa_; }
+  [[nodiscard]] const filter::Program& program() const { return program_; }
+  [[nodiscard]] const std::vector<split::Piece>& pieces() const { return pieces_; }
+
+  /// Engine match ids of accepting state `s`, pre-sorted into filter
+  /// execution order (clears, then tests/reports, then sets).
+  [[nodiscard]] std::pair<const std::uint32_t*, const std::uint32_t*> ordered_actions(
+      std::uint32_t state) const {
+    return {ordered_ids_.data() + ordered_offsets_[state],
+            ordered_ids_.data() + ordered_offsets_[state + 1]};
+  }
+
+  /// Total memory image: compressed character-DFA table + filter program.
+  /// (Sec. V-C: "almost all the memory image bytes used in MFA are for the
+  /// DFA automaton, with filters taking ... less than 0.2%".)
+  [[nodiscard]] std::size_t memory_image_bytes() const {
+    return dfa_.memory_image_bytes(/*full_alphabet=*/false) +
+           program_.memory_image_bytes() +
+           ordered_offsets_.size() * sizeof(std::uint32_t) +
+           ordered_ids_.size() * sizeof(std::uint32_t);
+  }
+
+  /// Per-flow scan context footprint: DFA state + filter memory.
+  [[nodiscard]] std::size_t context_bytes() const {
+    return sizeof(std::uint32_t) +
+           filter::Memory::context_bytes(program_.memory_bits, program_.counters,
+                                         program_.position_slots);
+  }
+
+  /// Persist the compiled automaton (character DFA + filter program +
+  /// per-accept-state action order + piece sources) to a ".mfac" file so a
+  /// deployment can compile once and load on every sensor.
+  bool save(const std::string& path) const;
+  static std::optional<Mfa> load(const std::string& path);
+
+ private:
+  friend std::optional<Mfa> build_mfa(const std::vector<nfa::PatternInput>&,
+                                      const BuildOptions&, BuildStats*);
+  dfa::Dfa dfa_;
+  filter::Program program_;
+  std::vector<split::Piece> pieces_;
+  std::vector<std::uint32_t> ordered_offsets_;  // accept_states + 1
+  std::vector<std::uint32_t> ordered_ids_;
+};
+
+/// Compile a pattern set into an MFA. Returns nullopt if the piece DFA
+/// exceeds the state cap (which decomposition makes rare — that is the
+/// point of the paper).
+std::optional<Mfa> build_mfa(const std::vector<nfa::PatternInput>& patterns,
+                             const BuildOptions& options = {}, BuildStats* stats = nullptr);
+
+/// Scanning engine: DFA inner loop plus filter-engine post-processing on
+/// match events only (unlike HFA/XFA which pay per byte or per state entry).
+class MfaScanner {
+ public:
+  explicit MfaScanner(const Mfa& mfa)
+      : mfa_(&mfa),
+        engine_(mfa.program()),
+        memory_(mfa.program().counters, mfa.program().position_slots),
+        state_(mfa.character_dfa().start()) {}
+
+  void reset() {
+    state_ = mfa_->character_dfa().start();
+    memory_.reset();
+  }
+
+  template <typename Sink>
+  void feed(const std::uint8_t* data, std::size_t size, std::uint64_t base, Sink&& sink) {
+    const dfa::Dfa& d = mfa_->character_dfa();
+    const std::uint32_t* table = d.table_data();
+    const std::uint8_t* cols = d.byte_columns();
+    const std::uint32_t ncols = d.column_count();
+    const std::uint32_t naccept = d.accepting_state_count();
+    std::uint32_t s = state_;
+    for (std::size_t i = 0; i < size; ++i) {
+      s = table[static_cast<std::size_t>(s) * ncols + cols[data[i]]];
+      if (s < naccept) {
+        const auto [first, last] = mfa_->ordered_actions(s);
+        for (const auto* it = first; it != last; ++it)
+          engine_.on_match(*it, base + i, memory_, sink);
+      }
+    }
+    state_ = s;
+  }
+
+  MatchVec scan(const std::uint8_t* data, std::size_t size) {
+    reset();
+    CollectingSink sink;
+    feed(data, size, 0, sink);
+    return std::move(sink.matches);
+  }
+  MatchVec scan(const std::string& data) {
+    return scan(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
+
+  [[nodiscard]] std::size_t context_bytes() const { return mfa_->context_bytes(); }
+
+ private:
+  const Mfa* mfa_;
+  filter::Engine engine_;
+  filter::Memory memory_;
+  std::uint32_t state_;
+};
+
+}  // namespace mfa::core

@@ -1,0 +1,109 @@
+// Compiled-automaton persistence ("MFAC" format).
+//
+// A compiled MFA is exactly the artifact a deployment wants to ship to
+// sensors: construction (Sec. IV) happens once on a build host; sensors
+// mmap/load the table+program and start scanning. The format stores the
+// character DFA, the filter program, the pre-ordered per-accept-state
+// action lists, and the decomposed piece sources (for operator display).
+#include <cstring>
+
+#include "mfa/mfa.h"
+#include "regex/parser.h"
+#include "util/binio.h"
+
+namespace mfa::core {
+
+namespace {
+constexpr char kMagic[4] = {'M', 'F', 'A', 'C'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+bool Mfa::save(const std::string& path) const {
+  util::FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  util::BinWriter w(f.get());
+  w.bytes(kMagic, 4);
+  w.u32(kVersion);
+  dfa_.serialize(w);
+  // Filter program: actions are a trivially-copyable struct of int32s.
+  w.pod_vec(program_.actions);
+  w.u32(program_.memory_bits);
+  w.u32(program_.counters);
+  w.u32(program_.position_slots);
+  w.pod_vec(ordered_offsets_);
+  w.pod_vec(ordered_ids_);
+  // Piece regex sources; engine ids are their indices.
+  w.u64(pieces_.size());
+  for (const auto& piece : pieces_) w.str(piece.regex.source);
+  return w.ok();
+}
+
+std::optional<Mfa> Mfa::load(const std::string& path) {
+  util::FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return std::nullopt;
+  util::BinReader r(f.get());
+  char magic[4];
+  r.bytes(magic, 4);
+  if (!r.ok() || std::memcmp(magic, kMagic, 4) != 0) return std::nullopt;
+  if (r.u32() != kVersion) return std::nullopt;
+
+  Mfa mfa;
+  if (!dfa::Dfa::deserialize(r, mfa.dfa_)) return std::nullopt;
+  mfa.program_.actions = r.pod_vec<filter::Action>();
+  mfa.program_.memory_bits = r.u32();
+  mfa.program_.counters = r.u32();
+  mfa.program_.position_slots = r.u32();
+  mfa.ordered_offsets_ = r.pod_vec<std::uint32_t>();
+  mfa.ordered_ids_ = r.pod_vec<std::uint32_t>();
+  const std::uint64_t piece_count = r.u64();
+  if (!r.ok() || piece_count > (1u << 24)) return std::nullopt;
+  for (std::uint64_t i = 0; i < piece_count; ++i) {
+    const std::string source = r.str();
+    if (!r.ok()) return std::nullopt;
+    regex::ParseResult parsed = regex::parse(source);
+    if (!parsed.ok()) return std::nullopt;
+    mfa.pieces_.push_back(
+        split::Piece{*std::move(parsed.regex), static_cast<std::uint32_t>(i)});
+  }
+  if (!r.ok()) return std::nullopt;
+
+  // Cross-structure validation: every id the DFA can report must have an
+  // action; ordered lists must mirror the DFA's accept geometry; bit and
+  // counter indices must stay inside the declared memory.
+  if (piece_count != mfa.program_.actions.size()) return std::nullopt;
+  if (mfa.dfa_.max_match_id() >= mfa.program_.actions.size()) return std::nullopt;
+  if (mfa.program_.memory_bits > 256) return std::nullopt;
+  if (mfa.ordered_offsets_.size() != mfa.dfa_.accepting_state_count() + 1u)
+    return std::nullopt;
+  if (!mfa.ordered_offsets_.empty() &&
+      (mfa.ordered_offsets_.front() != 0 ||
+       mfa.ordered_offsets_.back() != mfa.ordered_ids_.size()))
+    return std::nullopt;
+  for (std::size_t i = 1; i < mfa.ordered_offsets_.size(); ++i)
+    if (mfa.ordered_offsets_[i] < mfa.ordered_offsets_[i - 1]) return std::nullopt;
+  for (const std::uint32_t id : mfa.ordered_ids_)
+    if (id >= mfa.program_.actions.size()) return std::nullopt;
+  const auto bit_ok = [&](std::int32_t bit) {
+    return bit == filter::kNone ||
+           (bit >= 0 && static_cast<std::uint32_t>(bit) < std::max(1u, mfa.program_.memory_bits));
+  };
+  const auto ctr_ok = [&](std::int32_t c) {
+    return c == filter::kNone ||
+           (c >= 0 && static_cast<std::uint32_t>(c) < std::max(1u, mfa.program_.counters));
+  };
+  const auto slot_ok = [&](std::int32_t s) {
+    return s == filter::kNone ||
+           (s >= 0 && static_cast<std::uint32_t>(s) < mfa.program_.position_slots);
+  };
+  for (const auto& action : mfa.program_.actions) {
+    if (!bit_ok(action.test) || !bit_ok(action.set) || !bit_ok(action.clear))
+      return std::nullopt;
+    if (!ctr_ok(action.ctr_test) || !ctr_ok(action.ctr_incr)) return std::nullopt;
+    if (!slot_ok(action.set_slot) || !slot_ok(action.test_slot)) return std::nullopt;
+    if (action.min_gap > 0 && (action.test == filter::kNone || action.test_slot == filter::kNone))
+      return std::nullopt;
+  }
+  return mfa;
+}
+
+}  // namespace mfa::core

@@ -1,0 +1,50 @@
+// Built-in pattern sets: analogs of the paper's seven rule sets (Table V).
+//
+// The paper's C-sets are proprietary and the exact Snort/Bro snapshots are
+// not shipped here, so each set is synthesized to the structural recipe the
+// paper gives (Sec. V-A):
+//  - C sets  "use dot star and almost dot star patterns heavily, often
+//             having multiple per pattern"
+//  - S sets  "a mix of many almost dot star and long string matches with a
+//             few dot star patterns", often anchored
+//  - B set   "many unanchored string matches, with a small number of dot
+//             stars mixed in"
+// Literal content mixes security-flavoured tokens with seeded random words;
+// sizes are tuned so NFA/DFA/MFA state counts land in the paper's regime
+// (C7p: DFA orders of magnitude above MFA; B217p: DFA unconstructable).
+// Generation is fully deterministic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nfa/nfa.h"
+
+namespace mfa::patterns {
+
+struct PatternSet {
+  std::string name;
+  std::string description;
+  std::vector<std::string> sources;            ///< pattern texts
+  std::vector<nfa::PatternInput> patterns;     ///< parsed, ids 1..n
+};
+
+PatternSet make_b217p();
+PatternSet make_c7p();
+PatternSet make_c8();
+PatternSet make_c10();
+PatternSet make_s24();
+PatternSet make_s31p();
+PatternSet make_s34();
+
+/// All seven sets in the paper's Table V order.
+std::vector<PatternSet> builtin_sets();
+
+/// Look up one set by name ("C7p", "S24", ...); aborts on unknown name.
+PatternSet set_by_name(const std::string& name);
+
+/// Parse raw pattern texts into a set with ids 1..n (helper for examples
+/// and tests; aborts on parse errors).
+PatternSet make_custom(std::string name, std::vector<std::string> sources);
+
+}  // namespace mfa::patterns

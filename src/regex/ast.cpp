@@ -1,0 +1,398 @@
+#include "regex/ast.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mfa::regex {
+
+NodePtr make_empty() {
+  static const NodePtr empty = std::make_shared<Node>();
+  return empty;
+}
+
+NodePtr make_charset(CharClass cc) {
+  auto n = std::make_shared<Node>();
+  n->kind = NodeKind::CharSet;
+  n->cc = cc;
+  return n;
+}
+
+NodePtr make_literal(std::string_view text, bool icase) {
+  std::vector<NodePtr> parts;
+  parts.reserve(text.size());
+  for (const char c : text) {
+    CharClass cc = CharClass::single(static_cast<unsigned char>(c));
+    if (icase) cc = cc.case_folded();
+    parts.push_back(make_charset(cc));
+  }
+  return make_concat(std::move(parts));
+}
+
+NodePtr make_concat(std::vector<NodePtr> children) {
+  std::vector<NodePtr> flat;
+  for (auto& c : children) {
+    if (!c || c->kind == NodeKind::Empty) continue;
+    if (c->kind == NodeKind::Concat) {
+      flat.insert(flat.end(), c->children.begin(), c->children.end());
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return make_empty();
+  if (flat.size() == 1) return flat.front();
+  auto n = std::make_shared<Node>();
+  n->kind = NodeKind::Concat;
+  n->children = std::move(flat);
+  return n;
+}
+
+NodePtr make_alternate(std::vector<NodePtr> children) {
+  std::vector<NodePtr> flat;
+  for (auto& c : children) {
+    if (!c) continue;
+    if (c->kind == NodeKind::Alternate) {
+      flat.insert(flat.end(), c->children.begin(), c->children.end());
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return make_empty();
+  if (flat.size() == 1) return flat.front();
+  auto n = std::make_shared<Node>();
+  n->kind = NodeKind::Alternate;
+  n->children = std::move(flat);
+  return n;
+}
+
+namespace {
+NodePtr make_unary(NodeKind kind, NodePtr child) {
+  auto n = std::make_shared<Node>();
+  n->kind = kind;
+  n->children.push_back(std::move(child));
+  return n;
+}
+}  // namespace
+
+NodePtr make_star(NodePtr child) {
+  if (!child || child->kind == NodeKind::Empty) return make_empty();
+  // X** == X*, (X+)* == X*, (X?)* == X*
+  if (child->kind == NodeKind::Star) return child;
+  if (child->kind == NodeKind::Plus || child->kind == NodeKind::Optional)
+    return make_star(child->children.front());
+  return make_unary(NodeKind::Star, std::move(child));
+}
+
+NodePtr make_plus(NodePtr child) {
+  if (!child || child->kind == NodeKind::Empty) return make_empty();
+  if (child->kind == NodeKind::Star) return child;
+  return make_unary(NodeKind::Plus, std::move(child));
+}
+
+NodePtr make_optional(NodePtr child) {
+  if (!child || child->kind == NodeKind::Empty) return make_empty();
+  if (child->kind == NodeKind::Star || child->kind == NodeKind::Optional) return child;
+  if (child->kind == NodeKind::Plus) return make_star(child->children.front());
+  return make_unary(NodeKind::Optional, std::move(child));
+}
+
+NodePtr make_repeat(NodePtr child, int min, int max) {
+  if (!child || child->kind == NodeKind::Empty) return make_empty();
+  if (min == 0 && max < 0) return make_star(std::move(child));
+  if (min == 1 && max < 0) return make_plus(std::move(child));
+  if (min == 0 && max == 1) return make_optional(std::move(child));
+  if (min == 1 && max == 1) return child;
+  auto n = make_unary(NodeKind::Repeat, std::move(child));
+  // make_unary returns shared_ptr<const Node>; cast locally before publishing.
+  auto* mut = const_cast<Node*>(n.get());
+  mut->rep_min = min;
+  mut->rep_max = max;
+  return n;
+}
+
+bool nullable(const Node& n) {
+  switch (n.kind) {
+    case NodeKind::Empty:
+      return true;
+    case NodeKind::CharSet:
+      return false;
+    case NodeKind::Concat:
+      return std::all_of(n.children.begin(), n.children.end(),
+                         [](const NodePtr& c) { return nullable(*c); });
+    case NodeKind::Alternate:
+      return std::any_of(n.children.begin(), n.children.end(),
+                         [](const NodePtr& c) { return nullable(*c); });
+    case NodeKind::Star:
+    case NodeKind::Optional:
+      return true;
+    case NodeKind::Plus:
+      return nullable(*n.children.front());
+    case NodeKind::Repeat:
+      return n.rep_min == 0 || nullable(*n.children.front());
+  }
+  return false;
+}
+
+CharClass first_chars(const Node& n) {
+  switch (n.kind) {
+    case NodeKind::Empty:
+      return {};
+    case NodeKind::CharSet:
+      return n.cc;
+    case NodeKind::Concat: {
+      CharClass cc;
+      for (const auto& c : n.children) {
+        cc |= first_chars(*c);
+        if (!nullable(*c)) break;
+      }
+      return cc;
+    }
+    case NodeKind::Alternate: {
+      CharClass cc;
+      for (const auto& c : n.children) cc |= first_chars(*c);
+      return cc;
+    }
+    case NodeKind::Star:
+    case NodeKind::Plus:
+    case NodeKind::Optional:
+    case NodeKind::Repeat:
+      return first_chars(*n.children.front());
+  }
+  return {};
+}
+
+CharClass last_chars(const Node& n) {
+  switch (n.kind) {
+    case NodeKind::Empty:
+      return {};
+    case NodeKind::CharSet:
+      return n.cc;
+    case NodeKind::Concat: {
+      CharClass cc;
+      for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+        cc |= last_chars(**it);
+        if (!nullable(**it)) break;
+      }
+      return cc;
+    }
+    case NodeKind::Alternate: {
+      CharClass cc;
+      for (const auto& c : n.children) cc |= last_chars(*c);
+      return cc;
+    }
+    case NodeKind::Star:
+    case NodeKind::Plus:
+    case NodeKind::Optional:
+    case NodeKind::Repeat:
+      return last_chars(*n.children.front());
+  }
+  return {};
+}
+
+CharClass all_chars(const Node& n) {
+  switch (n.kind) {
+    case NodeKind::Empty:
+      return {};
+    case NodeKind::CharSet:
+      return n.cc;
+    default: {
+      CharClass cc;
+      for (const auto& c : n.children) cc |= all_chars(*c);
+      return cc;
+    }
+  }
+}
+
+int max_match_length(const Node& n) {
+  switch (n.kind) {
+    case NodeKind::Empty:
+      return 0;
+    case NodeKind::CharSet:
+      return 1;
+    case NodeKind::Concat: {
+      int total = 0;
+      for (const auto& c : n.children) {
+        const int len = max_match_length(*c);
+        if (len < 0) return -1;
+        total += len;
+      }
+      return total;
+    }
+    case NodeKind::Alternate: {
+      int best = 0;
+      for (const auto& c : n.children) {
+        const int len = max_match_length(*c);
+        if (len < 0) return -1;
+        best = std::max(best, len);
+      }
+      return best;
+    }
+    case NodeKind::Star:
+    case NodeKind::Plus:
+      return max_match_length(*n.children.front()) == 0 ? 0 : -1;
+    case NodeKind::Optional:
+      return max_match_length(*n.children.front());
+    case NodeKind::Repeat: {
+      if (n.rep_max < 0) return max_match_length(*n.children.front()) == 0 ? 0 : -1;
+      const int len = max_match_length(*n.children.front());
+      return len < 0 ? -1 : len * n.rep_max;
+    }
+  }
+  return -1;
+}
+
+int min_match_length(const Node& n) {
+  switch (n.kind) {
+    case NodeKind::Empty:
+      return 0;
+    case NodeKind::CharSet:
+      return 1;
+    case NodeKind::Concat: {
+      int total = 0;
+      for (const auto& c : n.children) total += min_match_length(*c);
+      return total;
+    }
+    case NodeKind::Alternate: {
+      int best = -1;
+      for (const auto& c : n.children) {
+        const int len = min_match_length(*c);
+        if (best < 0 || len < best) best = len;
+      }
+      return best < 0 ? 0 : best;
+    }
+    case NodeKind::Star:
+    case NodeKind::Optional:
+      return 0;
+    case NodeKind::Plus:
+      return min_match_length(*n.children.front());
+    case NodeKind::Repeat:
+      return min_match_length(*n.children.front()) * n.rep_min;
+  }
+  return 0;
+}
+
+namespace {
+
+void append_escaped_byte(std::string& out, unsigned char c, bool in_class) {
+  switch (c) {
+    case '\n': out += "\\n"; return;
+    case '\r': out += "\\r"; return;
+    case '\t': out += "\\t"; return;
+    case '\\': out += "\\\\"; return;
+  }
+  const std::string meta = in_class ? "]^-" : ".|()[]*+?{}^$";
+  if (c >= 0x20 && c < 0x7f) {
+    if (meta.find(static_cast<char>(c)) != std::string::npos) out += '\\';
+    out += static_cast<char>(c);
+    return;
+  }
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "\\x%02x", c);
+  out += buf;
+}
+
+// Precedence levels for printing: Alternate < Concat < quantified atom.
+void print_node(const Node& n, std::string& out, int parent_prec);
+
+void print_quantified(const Node& child, std::string& out, const char* suffix) {
+  print_node(child, out, 2);
+  out += suffix;
+}
+
+void print_node(const Node& n, std::string& out, int parent_prec) {
+  const auto wrap = [&](int prec, auto&& body) {
+    const bool need = prec < parent_prec;
+    if (need) out += "(?:";
+    body();
+    if (need) out += ')';
+  };
+  switch (n.kind) {
+    case NodeKind::Empty:
+      return;
+    case NodeKind::CharSet:
+      out += n.cc.to_source();
+      return;
+    case NodeKind::Concat:
+      wrap(1, [&] {
+        for (const auto& c : n.children) print_node(*c, out, 1);
+      });
+      return;
+    case NodeKind::Alternate:
+      wrap(0, [&] {
+        for (std::size_t i = 0; i < n.children.size(); ++i) {
+          if (i > 0) out += '|';
+          print_node(*n.children[i], out, 1);
+        }
+      });
+      return;
+    case NodeKind::Star:
+      print_quantified(*n.children.front(), out, "*");
+      return;
+    case NodeKind::Plus:
+      print_quantified(*n.children.front(), out, "+");
+      return;
+    case NodeKind::Optional:
+      print_quantified(*n.children.front(), out, "?");
+      return;
+    case NodeKind::Repeat: {
+      char buf[32];
+      if (n.rep_max < 0)
+        std::snprintf(buf, sizeof buf, "{%d,}", n.rep_min);
+      else if (n.rep_min == n.rep_max)
+        std::snprintf(buf, sizeof buf, "{%d}", n.rep_min);
+      else
+        std::snprintf(buf, sizeof buf, "{%d,%d}", n.rep_min, n.rep_max);
+      print_quantified(*n.children.front(), out, buf);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string CharClass::to_source() const {
+  if (is_all()) return ".";  // reparses identically under the dotall default
+  if (count() == 1) {
+    std::string out;
+    append_escaped_byte(out, first(), /*in_class=*/false);
+    return out;
+  }
+  // Render whichever of the class or its complement has fewer ranges.
+  const auto render = [](const CharClass& cc, bool negate) {
+    std::string out = negate ? "[^" : "[";
+    int run_start = -1;
+    int prev = -2;
+    const auto flush = [&](int last) {
+      if (run_start < 0) return;
+      append_escaped_byte(out, static_cast<unsigned char>(run_start), true);
+      if (last > run_start) {
+        if (last > run_start + 1) out += '-';
+        append_escaped_byte(out, static_cast<unsigned char>(last), true);
+      }
+    };
+    cc.for_each([&](unsigned char c) {
+      if (static_cast<int>(c) != prev + 1) {
+        flush(prev);
+        run_start = c;
+      }
+      prev = c;
+    });
+    flush(prev);
+    out += ']';
+    return out;
+  };
+  const std::string pos = render(*this, false);
+  const std::string neg = render(this->negated(), true);
+  return neg.size() < pos.size() ? neg : pos;
+}
+
+std::string to_source(const Node& n) {
+  std::string out;
+  print_node(n, out, 0);
+  return out;
+}
+
+std::string to_source(const Regex& re) {
+  return (re.anchored ? "^" : "") + to_source(*re.root);
+}
+
+}  // namespace mfa::regex

@@ -1,0 +1,84 @@
+// Regex abstract syntax tree.
+//
+// Nodes are immutable and shared (shared_ptr<const Node>) so the regex
+// splitter (Sec. IV, Algorithm 1) can slice a parsed pattern into segment
+// sub-regexes without copying subtrees. The tree is deliberately small:
+// security patterns only need concatenation, alternation, character sets
+// and the counted/uncounted repetition operators.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "regex/charclass.h"
+
+namespace mfa::regex {
+
+enum class NodeKind {
+  Empty,      ///< matches the empty string (epsilon)
+  CharSet,    ///< matches one byte from `cc`
+  Concat,     ///< children in sequence
+  Alternate,  ///< any one child
+  Star,       ///< child repeated >= 0 times
+  Plus,       ///< child repeated >= 1 times
+  Optional,   ///< child 0 or 1 times
+  Repeat,     ///< child repeated [rep_min, rep_max] times (rep_max < 0: unbounded)
+};
+
+struct Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+struct Node {
+  NodeKind kind = NodeKind::Empty;
+  CharClass cc;                   // CharSet only
+  std::vector<NodePtr> children;  // Concat/Alternate: n-ary; quantifiers: 1
+  int rep_min = 0;                // Repeat only
+  int rep_max = -1;               // Repeat only; -1 = unbounded
+};
+
+NodePtr make_empty();
+NodePtr make_charset(CharClass cc);
+NodePtr make_literal(std::string_view text, bool icase = false);
+/// Flattens nested Concats and drops Empty children; returns Empty for none.
+NodePtr make_concat(std::vector<NodePtr> children);
+NodePtr make_alternate(std::vector<NodePtr> children);
+NodePtr make_star(NodePtr child);
+NodePtr make_plus(NodePtr child);
+NodePtr make_optional(NodePtr child);
+NodePtr make_repeat(NodePtr child, int min, int max);
+
+/// A parsed pattern. `anchored` corresponds to a leading '^' (Sec. V-A:
+/// "S patterns often have an anchored component"); unanchored patterns are
+/// matched at any start position by every engine.
+struct Regex {
+  NodePtr root;
+  bool anchored = false;
+  std::string source;  ///< original pattern text (diagnostics only)
+};
+
+// --- Structural analysis (used by the splitter's safety checks) ---
+
+/// True if the node can match the empty string.
+bool nullable(const Node& n);
+
+/// Set of bytes that can begin a non-empty match.
+CharClass first_chars(const Node& n);
+
+/// Set of bytes that can end a non-empty match.
+CharClass last_chars(const Node& n);
+
+/// Set of all bytes that can appear anywhere in some match.
+CharClass all_chars(const Node& n);
+
+/// Upper bound on match length, or -1 if unbounded.
+int max_match_length(const Node& n);
+
+/// Exact minimum match length.
+int min_match_length(const Node& n);
+
+/// Render back to regex source syntax (reparseable; used in tests/diagnostics).
+std::string to_source(const Node& n);
+std::string to_source(const Regex& re);
+
+}  // namespace mfa::regex

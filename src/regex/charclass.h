@@ -1,0 +1,161 @@
+// 256-bit character classes over the byte alphabet.
+//
+// DPI regexes (paper Sec. IV) operate on raw packet bytes, so the alphabet
+// is exactly the 256 byte values; a character class is a 256-bit set. The
+// almost-dot-star decomposition (Sec. IV-B) needs cheap negation, counting
+// (the |X| < 128 size threshold) and intersection tests, all provided here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace mfa::regex {
+
+class CharClass {
+ public:
+  constexpr CharClass() : words_{} {}
+
+  /// Class containing a single byte.
+  static CharClass single(unsigned char c) {
+    CharClass cc;
+    cc.add(c);
+    return cc;
+  }
+
+  /// Class containing every byte value.
+  static CharClass all() {
+    CharClass cc;
+    for (auto& w : cc.words_) w = ~0ULL;
+    return cc;
+  }
+
+  /// Class for the inclusive byte range [lo, hi].
+  static CharClass range(unsigned char lo, unsigned char hi) {
+    CharClass cc;
+    cc.add_range(lo, hi);
+    return cc;
+  }
+
+  /// PCRE '.' — any byte except '\n' unless dotall ('s' flag) is set.
+  static CharClass dot(bool dotall) {
+    CharClass cc = all();
+    if (!dotall) cc.remove('\n');
+    return cc;
+  }
+
+  static CharClass digits() { return range('0', '9'); }
+  static CharClass word_chars() {
+    CharClass cc = range('a', 'z');
+    cc |= range('A', 'Z');
+    cc |= range('0', '9');
+    cc.add('_');
+    return cc;
+  }
+  static CharClass whitespace() {
+    CharClass cc;
+    for (const char c : {' ', '\t', '\n', '\r', '\f', '\v'})
+      cc.add(static_cast<unsigned char>(c));
+    return cc;
+  }
+
+  void add(unsigned char c) { words_[c >> 6] |= 1ULL << (c & 63); }
+  void remove(unsigned char c) { words_[c >> 6] &= ~(1ULL << (c & 63)); }
+  void add_range(unsigned char lo, unsigned char hi) {
+    for (unsigned v = lo; v <= hi; ++v) add(static_cast<unsigned char>(v));
+  }
+
+  [[nodiscard]] bool test(unsigned char c) const {
+    return (words_[c >> 6] >> (c & 63)) & 1ULL;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (const auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  [[nodiscard]] bool empty() const {
+    for (const auto w : words_)
+      if (w) return false;
+    return true;
+  }
+
+  [[nodiscard]] bool is_all() const { return count() == 256; }
+
+  /// Complement within the byte alphabet ([^X] in Sec. IV-B).
+  [[nodiscard]] CharClass negated() const {
+    CharClass cc;
+    for (std::size_t i = 0; i < words_.size(); ++i) cc.words_[i] = ~words_[i];
+    return cc;
+  }
+
+  CharClass& operator|=(const CharClass& o) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+  CharClass& operator&=(const CharClass& o) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+
+  friend CharClass operator|(CharClass a, const CharClass& b) { return a |= b; }
+  friend CharClass operator&(CharClass a, const CharClass& b) { return a &= b; }
+
+  [[nodiscard]] bool intersects(const CharClass& o) const {
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & o.words_[i]) return true;
+    return false;
+  }
+
+  bool operator==(const CharClass& o) const = default;
+
+  /// Close the class under ASCII case folding (for the /i flag).
+  [[nodiscard]] CharClass case_folded() const {
+    CharClass cc = *this;
+    for (unsigned c = 'a'; c <= 'z'; ++c) {
+      if (test(static_cast<unsigned char>(c))) cc.add(static_cast<unsigned char>(c - 32));
+      if (test(static_cast<unsigned char>(c - 32))) cc.add(static_cast<unsigned char>(c));
+    }
+    return cc;
+  }
+
+  /// Invoke fn(byte) for every member, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn(static_cast<unsigned char>(wi * 64 + static_cast<std::size_t>(bit)));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Lowest member; class must be non-empty.
+  [[nodiscard]] unsigned char first() const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi)
+      if (words_[wi]) return static_cast<unsigned char>(wi * 64 + __builtin_ctzll(words_[wi]));
+    return 0;
+  }
+
+  /// Regex-source rendering, e.g. "[a-c\n]"; used by the AST printer.
+  [[nodiscard]] std::string to_source() const;
+
+  [[nodiscard]] std::uint64_t hash() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto w : words_) {
+      h ^= w;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+  [[nodiscard]] const std::array<std::uint64_t, 4>& words() const { return words_; }
+
+ private:
+  std::array<std::uint64_t, 4> words_;
+};
+
+}  // namespace mfa::regex

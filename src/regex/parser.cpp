@@ -1,0 +1,381 @@
+#include "regex/parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mfa::regex {
+
+namespace {
+
+/// Recursive-descent parser over the pattern bytes. Grammar:
+///   alternation := concat ('|' concat)*
+///   concat      := quantified*
+///   quantified  := atom ('*' | '+' | '?' | '{n,m}')* ('?' ignored-lazy)
+///   atom        := literal | '.' | class | '(' alternation ')' | escape
+class Parser {
+ public:
+  Parser(std::string_view text, const ParseOptions& options)
+      : text_(text), options_(options) {}
+
+  ParseResult run() {
+    ParseResult result;
+    bool anchored = false;
+    if (peek() == '^') {
+      ++pos_;
+      anchored = true;
+    }
+    NodePtr root = parse_alternation();
+    if (failed_) {
+      result.error = ParseError{err_pos_, err_msg_};
+      return result;
+    }
+    if (pos_ != text_.size()) {
+      result.error = ParseError{pos_, "unexpected character"};
+      return result;
+    }
+    result.regex = Regex{std::move(root), anchored, std::string(text_)};
+    return result;
+  }
+
+ private:
+  [[nodiscard]] int peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < text_.size()
+               ? static_cast<unsigned char>(text_[pos_ + ahead])
+               : -1;
+  }
+  int take() { return pos_ < text_.size() ? static_cast<unsigned char>(text_[pos_++]) : -1; }
+
+  NodePtr fail(std::string message) {
+    if (!failed_) {
+      failed_ = true;
+      err_pos_ = pos_;
+      err_msg_ = std::move(message);
+    }
+    return make_empty();
+  }
+
+  NodePtr parse_alternation() {
+    std::vector<NodePtr> branches;
+    branches.push_back(parse_concat());
+    while (!failed_ && peek() == '|') {
+      ++pos_;
+      branches.push_back(parse_concat());
+    }
+    return make_alternate(std::move(branches));
+  }
+
+  NodePtr parse_concat() {
+    std::vector<NodePtr> parts;
+    while (!failed_) {
+      const int c = peek();
+      if (c == -1 || c == '|' || c == ')') break;
+      parts.push_back(parse_quantified());
+    }
+    return make_concat(std::move(parts));
+  }
+
+  NodePtr parse_quantified() {
+    NodePtr atom = parse_atom();
+    while (!failed_) {
+      const int c = peek();
+      if (c == '*') {
+        ++pos_;
+        atom = make_star(std::move(atom));
+      } else if (c == '+') {
+        ++pos_;
+        atom = make_plus(std::move(atom));
+      } else if (c == '?') {
+        ++pos_;
+        atom = make_optional(std::move(atom));
+      } else if (c == '{' && looks_like_counted_repeat()) {
+        atom = parse_counted_repeat(std::move(atom));
+      } else {
+        break;
+      }
+      // A '?' directly after a quantifier is PCRE's lazy marker. Laziness
+      // only affects capture/backtracking order, not the matched language,
+      // so for automaton all-match semantics we accept and ignore it.
+      if (peek() == '?') {
+        ++pos_;
+        break;
+      }
+    }
+    return atom;
+  }
+
+  [[nodiscard]] bool looks_like_counted_repeat() const {
+    // '{' only starts a quantifier if it is '{digits[,[digits]]}'.
+    std::size_t i = pos_ + 1;
+    if (i >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[i]))) return false;
+    while (i < text_.size() && std::isdigit(static_cast<unsigned char>(text_[i]))) ++i;
+    if (i < text_.size() && text_[i] == ',') {
+      ++i;
+      while (i < text_.size() && std::isdigit(static_cast<unsigned char>(text_[i]))) ++i;
+    }
+    return i < text_.size() && text_[i] == '}';
+  }
+
+  NodePtr parse_counted_repeat(NodePtr atom) {
+    ++pos_;  // '{'
+    int lo = parse_int();
+    int hi = lo;
+    if (peek() == ',') {
+      ++pos_;
+      hi = std::isdigit(static_cast<unsigned char>(peek())) ? parse_int() : -1;
+    }
+    if (take() != '}') return fail("expected '}' in counted repeat");
+    if (hi >= 0 && hi < lo) return fail("counted repeat with max < min");
+    const int cap = options_.max_counted_repeat;
+    if (lo > cap || hi > cap)
+      return fail("counted repeat exceeds expansion cap");
+    return make_repeat(std::move(atom), lo, hi);
+  }
+
+  int parse_int() {
+    int v = 0;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) v = v * 10 + (take() - '0');
+    return v;
+  }
+
+  NodePtr parse_atom() {
+    const int c = take();
+    switch (c) {
+      case -1:
+        return fail("pattern ended where an atom was expected");
+      case '.':
+        return make_charset(CharClass::dot(options_.dotall));
+      case '(': {
+        // Support plain and non-capturing groups; captures are irrelevant
+        // for match-at-position semantics.
+        if (peek() == '?') {
+          if (peek(1) == ':') {
+            pos_ += 2;
+          } else {
+            return fail("unsupported (?...) construct");
+          }
+        }
+        NodePtr inner = parse_alternation();
+        if (take() != ')') return fail("missing ')'");
+        return inner;
+      }
+      case '[':
+        return parse_class();
+      case '*':
+      case '+':
+      case '?':
+        return fail("quantifier with nothing to repeat");
+      case '^':
+        return fail("'^' is only supported at the start of the pattern");
+      case '$':
+        return fail("'$' end anchors are not supported in streaming DPI matching");
+      case '\\':
+        return parse_escape(/*in_class=*/false);
+      default:
+        return make_charset(fold(CharClass::single(static_cast<unsigned char>(c))));
+    }
+  }
+
+  CharClass fold(CharClass cc) const { return options_.icase ? cc.case_folded() : cc; }
+
+  /// Shared escape handling; returns a CharSet node outside classes, and
+  /// stores single-char/class results for use inside classes via out params.
+  NodePtr parse_escape(bool in_class) {
+    CharClass cc;
+    if (!parse_escape_class(cc)) return fail(err_msg_.empty() ? "bad escape" : err_msg_);
+    return make_charset(fold(cc));
+  }
+
+  bool parse_escape_class(CharClass& out) {
+    const int c = take();
+    switch (c) {
+      case -1:
+        err_msg_ = "pattern ends with a bare backslash";
+        return false;
+      case 'n': out = CharClass::single('\n'); return true;
+      case 'r': out = CharClass::single('\r'); return true;
+      case 't': out = CharClass::single('\t'); return true;
+      case 'f': out = CharClass::single('\f'); return true;
+      case 'v': out = CharClass::single('\v'); return true;
+      case 'a': out = CharClass::single('\a'); return true;
+      case '0': out = CharClass::single('\0'); return true;
+      case 'e': out = CharClass::single(0x1b); return true;
+      case 'd': out = CharClass::digits(); return true;
+      case 'D': out = CharClass::digits().negated(); return true;
+      case 'w': out = CharClass::word_chars(); return true;
+      case 'W': out = CharClass::word_chars().negated(); return true;
+      case 's': out = CharClass::whitespace(); return true;
+      case 'S': out = CharClass::whitespace().negated(); return true;
+      case 'x': {
+        int value = 0;
+        for (int i = 0; i < 2; ++i) {
+          const int h = take();
+          if (h >= '0' && h <= '9') value = value * 16 + (h - '0');
+          else if (h >= 'a' && h <= 'f') value = value * 16 + (h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') value = value * 16 + (h - 'A' + 10);
+          else {
+            err_msg_ = "\\x requires two hex digits";
+            return false;
+          }
+        }
+        out = CharClass::single(static_cast<unsigned char>(value));
+        return true;
+      }
+      default:
+        if (std::isalnum(c)) {
+          err_msg_ = "unknown escape";
+          return false;
+        }
+        out = CharClass::single(static_cast<unsigned char>(c));
+        return true;
+    }
+  }
+
+  /// "[:name:]" POSIX class bodies; `pos_` sits after the "[:".
+  bool parse_posix_class(CharClass& out) {
+    std::string name;
+    while (peek() != -1 && peek() != ':') name += static_cast<char>(take());
+    if (take() != ':' || take() != ']') {
+      err_msg_ = "malformed [:posix:] class";
+      return false;
+    }
+    if (name == "alpha") out = CharClass::range('a', 'z') | CharClass::range('A', 'Z');
+    else if (name == "digit") out = CharClass::digits();
+    else if (name == "alnum")
+      out = CharClass::range('a', 'z') | CharClass::range('A', 'Z') | CharClass::digits();
+    else if (name == "upper") out = CharClass::range('A', 'Z');
+    else if (name == "lower") out = CharClass::range('a', 'z');
+    else if (name == "space") out = CharClass::whitespace();
+    else if (name == "xdigit")
+      out = CharClass::digits() | CharClass::range('a', 'f') | CharClass::range('A', 'F');
+    else if (name == "print") out = CharClass::range(0x20, 0x7e);
+    else if (name == "graph") out = CharClass::range(0x21, 0x7e);
+    else if (name == "cntrl") {
+      out = CharClass::range(0x00, 0x1f);
+      out.add(0x7f);
+    } else if (name == "blank") {
+      out = CharClass::single(' ');
+      out.add('\t');
+    } else if (name == "punct") {
+      out = CharClass::range(0x21, 0x2f) | CharClass::range(0x3a, 0x40) |
+            CharClass::range(0x5b, 0x60) | CharClass::range(0x7b, 0x7e);
+    } else {
+      err_msg_ = "unknown [:posix:] class '" + name + "'";
+      return false;
+    }
+    return true;
+  }
+
+  NodePtr parse_class() {
+    CharClass cc;
+    bool negate = false;
+    if (peek() == '^') {
+      ++pos_;
+      negate = true;
+    }
+    bool first = true;
+    while (true) {
+      int c = take();
+      if (c == -1) return fail("unterminated character class");
+      if (c == ']' && !first) break;
+      first = false;
+
+      CharClass item;
+      bool single_byte = true;
+      unsigned char lo = 0;
+      if (c == '[' && peek() == ':') {
+        ++pos_;  // ':'
+        if (!parse_posix_class(item)) return fail(err_msg_);
+        cc |= item;
+        continue;
+      }
+      if (c == '\\') {
+        if (!parse_escape_class(item)) return fail(err_msg_);
+        single_byte = item.count() == 1;
+        if (single_byte) lo = item.first();
+      } else {
+        lo = static_cast<unsigned char>(c);
+        item = CharClass::single(lo);
+      }
+
+      // Range 'a-z'; '-' before ']' or after a multi-char escape is literal.
+      if (single_byte && peek() == '-' && peek(1) != ']' && peek(1) != -1) {
+        ++pos_;  // '-'
+        int hc = take();
+        unsigned char hi;
+        if (hc == '\\') {
+          CharClass hi_cc;
+          if (!parse_escape_class(hi_cc)) return fail(err_msg_);
+          if (hi_cc.count() != 1) return fail("range endpoint must be a single character");
+          hi = hi_cc.first();
+        } else {
+          hi = static_cast<unsigned char>(hc);
+        }
+        if (hi < lo) return fail("character range out of order");
+        item = CharClass::range(lo, hi);
+      }
+      cc |= item;
+    }
+    if (negate) cc = cc.negated();
+    if (cc.empty()) return fail("empty character class");
+    return make_charset(fold(cc));
+  }
+
+  std::string_view text_;
+  ParseOptions options_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::size_t err_pos_ = 0;
+  std::string err_msg_;
+};
+
+/// Strip /pattern/flags wrapping, updating options from the flags.
+std::string_view unwrap_slashes(std::string_view pattern, ParseOptions& options,
+                                bool& bad_flags, char& bad_flag_char) {
+  bad_flags = false;
+  if (pattern.size() < 2 || pattern.front() != '/') return pattern;
+  const std::size_t close = pattern.rfind('/');
+  if (close == 0) return pattern;
+  const std::string_view flags = pattern.substr(close + 1);
+  for (const char f : flags) {
+    switch (f) {
+      case 'i': options.icase = true; break;
+      case 's': options.dotall = true; break;
+      case 'm':  // multiline: no-op without '$' support
+        break;
+      default:
+        bad_flags = true;
+        bad_flag_char = f;
+        return pattern;
+    }
+  }
+  return pattern.substr(1, close - 1);
+}
+
+}  // namespace
+
+ParseResult parse(std::string_view pattern, const ParseOptions& options) {
+  ParseOptions effective = options;
+  bool bad_flags = false;
+  char bad_flag = '\0';
+  const std::string_view body = unwrap_slashes(pattern, effective, bad_flags, bad_flag);
+  if (bad_flags) {
+    ParseResult r;
+    r.error = ParseError{pattern.size(), std::string("unsupported flag '") + bad_flag + "'"};
+    return r;
+  }
+  return Parser(body, effective).run();
+}
+
+Regex parse_or_die(std::string_view pattern, const ParseOptions& options) {
+  ParseResult r = parse(pattern, options);
+  if (!r.ok()) {
+    std::fprintf(stderr, "regex parse error in \"%.*s\" at offset %zu: %s\n",
+                 static_cast<int>(pattern.size()), pattern.data(), r.error->offset,
+                 r.error->message.c_str());
+    std::abort();
+  }
+  return *std::move(r.regex);
+}
+
+}  // namespace mfa::regex

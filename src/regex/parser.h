@@ -1,0 +1,48 @@
+// PCRE-subset regex parser.
+//
+// Accepts the pattern language used by Snort/Bro-style security rules
+// (paper Sec. V-A): literals, escapes, character classes, '.', alternation,
+// grouping, the * + ? {n,m} quantifiers and a leading '^' anchor. Patterns
+// may be wrapped PCRE-style as /pattern/flags with flags 'i' (case
+// insensitive) and 's' (dot matches newline). Errors are reported with byte
+// offsets rather than thrown mid-construction so callers can reject a rule
+// and continue compiling the rest of a rule set.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "regex/ast.h"
+
+namespace mfa::regex {
+
+struct ParseError {
+  std::size_t offset = 0;  ///< byte offset into the pattern text
+  std::string message;
+};
+
+struct ParseResult {
+  std::optional<Regex> regex;      ///< set on success
+  std::optional<ParseError> error;  ///< set on failure
+  [[nodiscard]] bool ok() const { return regex.has_value(); }
+};
+
+struct ParseOptions {
+  bool icase = false;  ///< default for patterns without /.../i wrapping
+  /// DPI convention (and the paper's): '.' matches any payload byte, so
+  /// `.*` is a true dot-star separator and `[^\n]*` is the distinct
+  /// almost-dot-star form (Sec. IV-A/B). Set false for PCRE-style dot.
+  bool dotall = true;
+  /// Counted repeats expand by duplication in the NFA; cap the expansion so
+  /// a hostile {1000000} cannot exhaust memory.
+  int max_counted_repeat = 256;
+};
+
+/// Parse one pattern. Never throws; syntax problems come back in `error`.
+ParseResult parse(std::string_view pattern, const ParseOptions& options = {});
+
+/// Convenience for tests and examples: parse or abort with a message.
+Regex parse_or_die(std::string_view pattern, const ParseOptions& options = {});
+
+}  // namespace mfa::regex

@@ -1,0 +1,77 @@
+#include "regex/sample.h"
+
+namespace mfa::regex {
+
+namespace {
+
+char sample_char(const CharClass& cc, util::Rng& rng, const SampleOptions& options) {
+  if (options.prefer_printable) {
+    CharClass printable = cc & CharClass::range(0x20, 0x7e);
+    if (!printable.empty()) {
+      const std::size_t n = printable.count();
+      std::size_t pick = rng.below(n);
+      char out = 0;
+      printable.for_each([&](unsigned char c) {
+        if (pick-- == 0) out = static_cast<char>(c);
+      });
+      return out;
+    }
+  }
+  const std::size_t n = cc.count();
+  std::size_t pick = rng.below(n);
+  char out = 0;
+  cc.for_each([&](unsigned char c) {
+    if (pick-- == 0) out = static_cast<char>(c);
+  });
+  return out;
+}
+
+void sample_into(const Node& node, util::Rng& rng, const SampleOptions& options,
+                 std::string& out) {
+  switch (node.kind) {
+    case NodeKind::Empty:
+      return;
+    case NodeKind::CharSet:
+      out += sample_char(node.cc, rng, options);
+      return;
+    case NodeKind::Concat:
+      for (const auto& c : node.children) sample_into(*c, rng, options, out);
+      return;
+    case NodeKind::Alternate:
+      sample_into(*node.children[rng.below(node.children.size())], rng, options, out);
+      return;
+    case NodeKind::Star: {
+      const auto reps = rng.below(static_cast<std::uint64_t>(options.star_max) + 1);
+      for (std::uint64_t i = 0; i < reps; ++i)
+        sample_into(*node.children.front(), rng, options, out);
+      return;
+    }
+    case NodeKind::Plus: {
+      const auto reps = 1 + rng.below(static_cast<std::uint64_t>(options.star_max));
+      for (std::uint64_t i = 0; i < reps; ++i)
+        sample_into(*node.children.front(), rng, options, out);
+      return;
+    }
+    case NodeKind::Optional:
+      if (rng.chance(0.5)) sample_into(*node.children.front(), rng, options, out);
+      return;
+    case NodeKind::Repeat: {
+      const int hi = node.rep_max < 0 ? node.rep_min + options.star_max : node.rep_max;
+      const auto reps =
+          node.rep_min + static_cast<int>(rng.below(
+                             static_cast<std::uint64_t>(hi - node.rep_min) + 1));
+      for (int i = 0; i < reps; ++i) sample_into(*node.children.front(), rng, options, out);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string sample_match(const Node& node, util::Rng& rng, const SampleOptions& options) {
+  std::string out;
+  sample_into(node, rng, options, out);
+  return out;
+}
+
+}  // namespace mfa::regex

@@ -1,0 +1,28 @@
+// Random sampling of strings from a regex's language.
+//
+// Used by the trace generators (to inject attack-like content that real IDS
+// traces contain) and by property tests (a sampled string must be accepted
+// by every engine built from the same pattern).
+#pragma once
+
+#include <string>
+
+#include "regex/ast.h"
+#include "util/rng.h"
+
+namespace mfa::regex {
+
+struct SampleOptions {
+  int star_max = 3;    ///< Kleene star draws 0..star_max repetitions
+  bool prefer_printable = true;  ///< bias char-class draws to printable bytes
+};
+
+/// Draw one string from L(node). Deterministic given the Rng state.
+std::string sample_match(const Node& node, util::Rng& rng, const SampleOptions& options = {});
+
+inline std::string sample_match(const Regex& re, util::Rng& rng,
+                                const SampleOptions& options = {}) {
+  return sample_match(*re.root, rng, options);
+}
+
+}  // namespace mfa::regex

@@ -1,0 +1,273 @@
+#include "rules/rules.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "regex/parser.h"
+
+namespace mfa::rules {
+
+namespace {
+
+bool is_hex(char c) {
+  return std::isxdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return c - 'A' + 10;
+}
+
+/// Escape one byte for inclusion in a regex literal.
+void escape_into(std::string& out, unsigned char c) {
+  static const std::string_view meta = ".|()[]*+?{}^$\\/";
+  if (c >= 0x20 && c < 0x7f) {
+    if (meta.find(static_cast<char>(c)) != std::string_view::npos) out += '\\';
+    out += static_cast<char>(c);
+    return;
+  }
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "\\x%02x", c);
+  out += buf;
+}
+
+/// One `key:value;` or bare `key;` option from a rule body.
+struct BodyOption {
+  std::string key;
+  std::string value;  // unquoted
+};
+
+/// Split a rule body "k:v; k2; k3:v3;" into options, honoring quotes.
+std::optional<std::vector<BodyOption>> split_body(std::string_view body) {
+  std::vector<BodyOption> out;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < body.size() && std::isspace(static_cast<unsigned char>(body[i]))) ++i;
+  };
+  while (true) {
+    skip_ws();
+    if (i >= body.size()) break;
+    BodyOption opt;
+    while (i < body.size() && body[i] != ':' && body[i] != ';') opt.key += body[i++];
+    while (!opt.key.empty() && std::isspace(static_cast<unsigned char>(opt.key.back())))
+      opt.key.pop_back();
+    if (i < body.size() && body[i] == ':') {
+      ++i;
+      skip_ws();
+      bool quoted = false;
+      if (i < body.size() && body[i] == '"') {
+        quoted = true;
+        ++i;
+        while (i < body.size()) {
+          if (body[i] == '\\' && i + 1 < body.size()) {
+            // Snort escapes '"' and ';' inside quoted values.
+            if (body[i + 1] == '"' || body[i + 1] == ';' || body[i + 1] == '\\') {
+              opt.value += body[i + 1];
+              i += 2;
+              continue;
+            }
+            opt.value += body[i++];
+            continue;
+          }
+          if (body[i] == '"') break;
+          opt.value += body[i++];
+        }
+        if (i >= body.size()) return std::nullopt;  // unterminated quote
+        ++i;                                        // closing quote
+      }
+      if (!quoted) {
+        while (i < body.size() && body[i] != ';') opt.value += body[i++];
+        while (!opt.value.empty() &&
+               std::isspace(static_cast<unsigned char>(opt.value.back())))
+          opt.value.pop_back();
+      }
+    }
+    skip_ws();
+    if (i < body.size()) {
+      if (body[i] != ';') return std::nullopt;
+      ++i;
+    }
+    if (!opt.key.empty()) out.push_back(std::move(opt));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> content_to_regex(std::string_view content, bool nocase) {
+  std::string out;
+  const auto append = [&](unsigned char c) {
+    // nocase contents fold per character ("[aA]") so the result composes
+    // with other regex fragments without whole-pattern flags.
+    if (nocase && std::isalpha(c)) {
+      out += '[';
+      out += static_cast<char>(std::tolower(c));
+      out += static_cast<char>(std::toupper(c));
+      out += ']';
+      return;
+    }
+    escape_into(out, c);
+  };
+  std::size_t i = 0;
+  while (i < content.size()) {
+    if (content[i] == '|') {
+      // Hex section: pairs of hex digits separated by spaces.
+      ++i;
+      while (i < content.size() && content[i] != '|') {
+        if (std::isspace(static_cast<unsigned char>(content[i]))) {
+          ++i;
+          continue;
+        }
+        if (i + 1 >= content.size() || !is_hex(content[i]) || !is_hex(content[i + 1]))
+          return std::nullopt;
+        append(static_cast<unsigned char>(hex_val(content[i]) * 16 +
+                                          hex_val(content[i + 1])));
+        i += 2;
+      }
+      if (i >= content.size()) return std::nullopt;  // missing closing '|'
+      ++i;
+    } else {
+      append(static_cast<unsigned char>(content[i]));
+      ++i;
+    }
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+LoadResult parse_rules(std::string_view text) {
+  LoadResult result;
+
+  // Assemble logical lines (honoring trailing-backslash continuations).
+  std::vector<std::pair<std::size_t, std::string>> lines;  // (line no, text)
+  {
+    std::size_t line_no = 0;
+    std::size_t start_line = 0;
+    std::string pending;
+    std::istringstream in{std::string(text)};
+    std::string raw;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+      if (pending.empty()) start_line = line_no;
+      const bool continues = !raw.empty() && raw.back() == '\\';
+      if (continues) raw.pop_back();
+      pending += raw;
+      if (continues) continue;
+      lines.emplace_back(start_line, pending);
+      pending.clear();
+    }
+    if (!pending.empty()) lines.emplace_back(start_line, pending);
+  }
+
+  for (const auto& [line_no, line] : lines) {
+    std::size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i >= line.size() || line[i] == '#') continue;
+
+    const auto fail = [&](std::string message) {
+      result.errors.push_back(LoadError{line_no, std::move(message)});
+    };
+
+    const std::size_t open = line.find('(', i);
+    if (open == std::string::npos || line.back() != ')') {
+      fail("rule has no (...) body");
+      continue;
+    }
+    // Header: action proto src sport -> dst dport
+    std::istringstream header{line.substr(i, open - i)};
+    Rule rule;
+    std::string src, sport, arrow, dst, dport;
+    header >> rule.action >> rule.proto >> src >> sport >> arrow >> dst >> dport;
+    if (rule.action.empty() || rule.proto.empty()) {
+      fail("bad rule header");
+      continue;
+    }
+
+    const auto body = split_body(
+        std::string_view(line).substr(open + 1, line.size() - open - 2));
+    if (!body) {
+      fail("malformed rule body");
+      continue;
+    }
+
+    std::string pcre;
+    std::vector<std::pair<std::string, bool>> contents;  // (raw text, nocase)
+    for (const auto& opt : *body) {
+      if (opt.key == "msg") rule.msg = opt.value;
+      else if (opt.key == "sid") rule.sid = static_cast<std::uint32_t>(
+          std::strtoul(opt.value.c_str(), nullptr, 10));
+      else if (opt.key == "pcre") pcre = opt.value;
+      else if (opt.key == "content") contents.emplace_back(opt.value, false);
+      else if (opt.key == "nocase" && !contents.empty())
+        contents.back().second = true;  // nocase modifies the preceding content
+      // everything else (rev, classtype, flow, depth, offset...) ignored
+    }
+
+    if (rule.sid == 0) {
+      fail("rule has no sid");
+      continue;
+    }
+
+    if (!pcre.empty()) {
+      rule.pattern = pcre;
+    } else if (!contents.empty()) {
+      // Multiple contents match in order with arbitrary gaps: join with
+      // dot-star (which the splitter then decomposes). Per-content nocase
+      // folds inside content_to_regex, so joining stays uniform.
+      std::string joined = ".*";
+      bool bad = false;
+      for (std::size_t c = 0; c < contents.size(); ++c) {
+        auto converted = content_to_regex(contents[c].first, contents[c].second);
+        if (!converted) {
+          bad = true;
+          break;
+        }
+        if (c > 0) joined += ".*";
+        joined += *converted;
+      }
+      if (bad) joined.clear();
+      if (joined.empty()) {
+        fail("bad content string");
+        continue;
+      }
+      rule.pattern = joined;
+    } else {
+      fail("rule has neither pcre nor content");
+      continue;
+    }
+
+    regex::ParseResult parsed = regex::parse(rule.pattern);
+    if (!parsed.ok()) {
+      fail("pattern does not parse: " + parsed.error->message);
+      continue;
+    }
+    rule.regex = *std::move(parsed.regex);
+    result.rules.push_back(std::move(rule));
+  }
+  return result;
+}
+
+LoadResult load_rules_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    LoadResult r;
+    r.errors.push_back(LoadError{0, "cannot open rule file: " + path});
+    return r;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_rules(buffer.str());
+}
+
+std::vector<nfa::PatternInput> to_pattern_inputs(const std::vector<Rule>& rules) {
+  std::vector<nfa::PatternInput> out;
+  out.reserve(rules.size());
+  for (const auto& rule : rules) out.push_back(nfa::PatternInput{rule.regex, rule.sid});
+  return out;
+}
+
+}  // namespace mfa::rules

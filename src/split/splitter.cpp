@@ -1,0 +1,538 @@
+#include "split/splitter.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mfa::split {
+
+using filter::Action;
+using filter::kNone;
+using regex::CharClass;
+using regex::Node;
+using regex::NodeKind;
+using regex::NodePtr;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Overlap check (safety condition 1).
+//
+// The paper states the condition as "no suffix of A can be a prefix of B".
+// Taken literally that is insufficient: for A=ab, B=cabd the condition holds
+// (suffixes {b, ab} vs prefixes {c, ca, cab}) yet input "cabd" falsely
+// matches the decomposition of .*ab.*cabd — the A-word occurs as an internal
+// factor of the B-word, so the Set fires mid-B and the Test confirms.
+// We therefore check the complete condition: a false match is constructible
+// iff there is a string y that is a viable proper prefix of some B-word
+// (i.e. B can still consume at least one more byte and accept) such that
+//   (i)  y itself is a suffix of some A-word       [A overlaps B's start], or
+//   (ii) some suffix of y is a full A-word          [A inside B].
+// Both cases are recognized by one product walk: simulate B's NFA from its
+// start alongside an A-side NFA state set seeded with *all* A states
+// (case i) and re-seeded with A's start state at every step (case ii).
+// ---------------------------------------------------------------------------
+
+struct MiniNfa {
+  std::vector<std::vector<nfa::Transition>> trans;
+  std::vector<bool> accept;
+  std::uint32_t start = 0;
+  std::vector<bool> viable;  // can reach an accept by consuming >= 1 byte
+};
+
+MiniNfa build_mini(const NodePtr& root) {
+  std::vector<nfa::PatternInput> one;
+  one.push_back({regex::Regex{root, /*anchored=*/true, ""}, 1});
+  const nfa::Nfa n = nfa::build_nfa(one);
+  MiniNfa m;
+  m.start = n.start();
+  m.trans.resize(n.state_count());
+  m.accept.resize(n.state_count());
+  for (std::uint32_t s = 0; s < n.state_count(); ++s) {
+    m.trans[s] = n.transitions_from(s);
+    m.accept[s] = !n.accepts(s).empty();
+  }
+  // viable = has a path of length >= 1 to an accepting state: backward BFS
+  // over one-step predecessors of accepting states, then of viable states.
+  m.viable.assign(n.state_count(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint32_t s = 0; s < n.state_count(); ++s) {
+      if (m.viable[s]) continue;
+      for (const auto& t : m.trans[s]) {
+        if (m.accept[t.target] || m.viable[t.target]) {
+          m.viable[s] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return m;
+}
+
+struct PairKey {
+  std::vector<std::uint32_t> a;
+  std::vector<std::uint32_t> b;
+  bool operator==(const PairKey&) const = default;
+};
+
+struct PairKeyHash {
+  std::size_t operator()(const PairKey& k) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto x : k.a) {
+      h ^= x;
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xabcdef;
+    for (const auto x : k.b) {
+      h ^= x;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+bool segments_overlap(const NodePtr& a, const NodePtr& b, std::size_t limit) {
+  const MiniNfa na = build_mini(a);
+  const MiniNfa nb = build_mini(b);
+
+  PairKey initial;
+  initial.a.resize(na.trans.size());
+  for (std::uint32_t s = 0; s < na.trans.size(); ++s) initial.a[s] = s;  // all A states
+  initial.b.push_back(nb.start);
+
+  std::unordered_set<PairKey, PairKeyHash> seen;
+  std::vector<PairKey> worklist{initial};
+  seen.insert(initial);
+
+  std::vector<bool> a_mark(na.trans.size());
+  std::vector<bool> b_mark(nb.trans.size());
+
+  while (!worklist.empty()) {
+    if (seen.size() > limit) return true;  // budget blown: assume overlap
+    const PairKey cur = std::move(worklist.back());
+    worklist.pop_back();
+
+    for (unsigned byte = 0; byte < 256; ++byte) {
+      const auto c = static_cast<unsigned char>(byte);
+      // B side first: if no B state advances, this byte is a dead end.
+      std::fill(b_mark.begin(), b_mark.end(), false);
+      bool b_any = false;
+      for (const std::uint32_t s : cur.b) {
+        for (const auto& t : nb.trans[s]) {
+          if (t.cc.test(c) && !b_mark[t.target]) {
+            b_mark[t.target] = true;
+            b_any = true;
+          }
+        }
+      }
+      if (!b_any) continue;
+      std::fill(a_mark.begin(), a_mark.end(), false);
+      for (const std::uint32_t s : cur.a) {
+        for (const auto& t : na.trans[s]) {
+          if (t.cc.test(c)) a_mark[t.target] = true;
+        }
+      }
+      a_mark[na.start] = true;  // case (ii): an A-word may begin at any offset
+
+      PairKey next;
+      bool a_accepts = false;
+      for (std::uint32_t s = 0; s < a_mark.size(); ++s) {
+        if (a_mark[s]) {
+          next.a.push_back(s);
+          a_accepts |= na.accept[s];
+        }
+      }
+      bool b_viable = false;
+      for (std::uint32_t s = 0; s < b_mark.size(); ++s) {
+        if (b_mark[s]) {
+          next.b.push_back(s);
+          b_viable |= nb.viable[s];
+        }
+      }
+      if (a_accepts && b_viable) return true;
+      if (!b_viable) continue;  // nothing left to extend
+      if (seen.insert(next).second) worklist.push_back(std::move(next));
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Top-level tokenization: segments and separators.
+// ---------------------------------------------------------------------------
+
+struct Separator {
+  enum class Kind { kDotStar, kAlmostDotStar, kGap };
+  Kind kind = Kind::kDotStar;
+  CharClass x;       // the negated class X for almost-dot-star
+  int min_gap = 0;   // minimum byte gap for kGap (`.{n,}`)
+  NodePtr original;  // the separator node, for folding back on rejection
+
+  [[nodiscard]] bool almost() const { return kind == Kind::kAlmostDotStar; }
+};
+
+struct Token {
+  bool is_separator = false;
+  NodePtr segment;  // when !is_separator
+  Separator sep;    // when is_separator
+};
+
+/// Classify a top-level child as a separator: (cc)* where cc covers
+/// everything (dot-star) or everything but a small X (almost-dot-star),
+/// plus the gap-extension forms `.{n,}` and `.+` over the full alphabet.
+std::optional<Separator> classify_separator(const NodePtr& child, const Options& options) {
+  const auto gap_sep = [&](int n) -> std::optional<Separator> {
+    if (!options.enable_gap) return std::nullopt;
+    Separator sep;
+    sep.kind = Separator::Kind::kGap;
+    sep.min_gap = n;
+    sep.original = child;
+    return sep;
+  };
+  if (child->kind == NodeKind::Plus) {
+    const NodePtr& body = child->children.front();
+    if (body->kind == NodeKind::CharSet && body->cc.is_all()) return gap_sep(1);
+    return std::nullopt;
+  }
+  if (child->kind == NodeKind::Repeat && child->rep_max < 0) {
+    const NodePtr& body = child->children.front();
+    if (body->kind == NodeKind::CharSet && body->cc.is_all())
+      return gap_sep(child->rep_min);
+    return std::nullopt;
+  }
+  if (child->kind != NodeKind::Star) return std::nullopt;
+  const NodePtr& body = child->children.front();
+  if (body->kind != NodeKind::CharSet) return std::nullopt;
+  const CharClass& cc = body->cc;
+  if (cc.is_all()) {
+    if (!options.enable_dot_star) return std::nullopt;
+    Separator sep;
+    sep.original = child;
+    return sep;
+  }
+  const CharClass x = cc.negated();
+  if (x.count() < options.max_class_size) {
+    // Note: a PCRE-style `.*` (dot excluding newline) lands here with
+    // X = {'\n'}.
+    if (!options.enable_almost_dot_star) return std::nullopt;
+    Separator sep;
+    sep.kind = Separator::Kind::kAlmostDotStar;
+    sep.x = x;
+    sep.original = child;
+    return sep;
+  }
+  return std::nullopt;
+}
+
+/// Tokenize the top-level concat sequence, collapsing separator runs:
+/// any run containing a dot-star is a dot-star; a run of almost-dot-stars
+/// with identical X collapses to one; mixed almost-dot-star runs are not a
+/// single-class separator, so they fold back into segment material.
+std::vector<Token> tokenize(const regex::Regex& re, const Options& options) {
+  std::vector<NodePtr> children;
+  if (re.root->kind == NodeKind::Concat) children = re.root->children;
+  else children.push_back(re.root);
+
+  std::vector<Token> tokens;
+  std::vector<NodePtr> pending_segment;
+  std::vector<Separator> pending_seps;
+
+  const auto flush_segment = [&] {
+    if (pending_segment.empty()) return;
+    Token t;
+    t.segment = regex::make_concat(std::move(pending_segment));
+    pending_segment.clear();
+    tokens.push_back(std::move(t));
+  };
+  const auto flush_seps = [&] {
+    if (pending_seps.empty()) return;
+    bool any_almost = false;
+    bool any_gap = false;
+    bool uniform_almost = true;
+    int gap_total = 0;
+    for (const auto& s : pending_seps) {
+      if (s.kind == Separator::Kind::kAlmostDotStar) any_almost = true;
+      if (s.kind == Separator::Kind::kGap) any_gap = true;
+      if (s.almost() && !(s.x == pending_seps.front().x)) uniform_almost = false;
+      gap_total += s.min_gap;
+    }
+    const auto emit = [&](Separator sep) {
+      Token t;
+      t.is_separator = true;
+      t.sep = std::move(sep);
+      tokens.push_back(std::move(t));
+    };
+    if (!any_almost) {
+      // A run of dot-stars/gaps is one gap of the summed minimum
+      // (`.*.{2,}.+` == `.{3,}`), or a plain dot-star when the sum is 0.
+      Separator sep;
+      if (gap_total > 0) {
+        sep.kind = Separator::Kind::kGap;
+        sep.min_gap = gap_total;
+        sep.original = regex::make_repeat(regex::make_charset(CharClass::all()),
+                                          gap_total, -1);
+      } else {
+        sep.original = regex::make_star(regex::make_charset(CharClass::all()));
+      }
+      emit(std::move(sep));
+    } else if (!any_gap && pending_seps.size() > 1 &&
+               std::any_of(pending_seps.begin(), pending_seps.end(),
+                           [](const Separator& s) { return !s.almost(); })) {
+      // Dot-stars absorb almost-dot-stars: `.*[^X]*` == `.*`.
+      Separator sep;
+      sep.original = regex::make_star(regex::make_charset(CharClass::all()));
+      emit(std::move(sep));
+    } else if (pending_seps.size() == 1 || (!any_gap && uniform_almost)) {
+      // `[^X]*[^X]*` == `[^X]*`.
+      emit(pending_seps.front());
+    } else {
+      // Not expressible as one separator (mixed-X ADS runs, gap+ADS):
+      // keep the nodes as segment bytes.
+      for (const auto& s : pending_seps) pending_segment.push_back(s.original);
+    }
+    pending_seps.clear();
+  };
+
+  for (const auto& child : children) {
+    if (auto sep = classify_separator(child, options)) {
+      flush_segment();
+      pending_seps.push_back(*std::move(sep));
+    } else {
+      flush_seps();
+      pending_segment.push_back(child);
+    }
+  }
+  flush_seps();
+  flush_segment();
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// The splitter proper.
+// ---------------------------------------------------------------------------
+
+class Splitter {
+ public:
+  Splitter(const Options& options) : options_(options) {}
+
+  SplitResult take_result() && { return std::move(result_); }
+
+  void add_pattern(const nfa::PatternInput& p) {
+    ++result_.stats.patterns_in;
+    std::vector<Token> tokens = tokenize(p.regex, options_);
+    bool anchored = p.regex.anchored;
+
+    // Leading separators: an unanchored pattern already searches from every
+    // offset, so `.*A...` and `[^X]*A...` reduce to `A...` ([^X]* may match
+    // empty). An anchored `^.*A` is equivalent to unanchored `A`. A leading
+    // gap (`.{n,}A`) constrains the distance from stream start and must be
+    // kept (it folds into the first segment below).
+    while (!tokens.empty() && tokens.front().is_separator) {
+      const Separator& sep = tokens.front().sep;
+      if (sep.kind == Separator::Kind::kGap) break;
+      if (anchored && sep.almost()) break;  // ^[^X]*A: keep
+      if (anchored) anchored = false;       // ^.*A == unanchored A
+      tokens.erase(tokens.begin());
+    }
+    // An anchored `^[^X]*A...` keeps its leading separator; demote it to
+    // segment material so the anchor stays on the first piece.
+    std::vector<Token> norm;
+    for (auto& t : tokens) {
+      if (t.is_separator && norm.empty()) {
+        Token seg;
+        seg.segment = t.sep.original;
+        norm.push_back(std::move(seg));
+      } else {
+        norm.push_back(std::move(t));
+      }
+    }
+    // Merge any adjacent segment tokens introduced by folding.
+    tokens.clear();
+    for (auto& t : norm) {
+      if (!t.is_separator && !tokens.empty() && !tokens.back().is_separator) {
+        tokens.back().segment =
+            regex::make_concat({tokens.back().segment, t.segment});
+      } else {
+        tokens.push_back(std::move(t));
+      }
+    }
+    // Trailing separators fold into the final segment (A.* is a fine DFA
+    // piece: it keeps reporting at every later position, matching the
+    // original `.*A.*` ending-offset semantics).
+    while (!tokens.empty() && tokens.back().is_separator) {
+      const Separator sep = tokens.back().sep;
+      tokens.pop_back();
+      if (tokens.empty() || tokens.back().is_separator) continue;  // degenerate
+      tokens.back().segment = regex::make_concat({tokens.back().segment, sep.original});
+    }
+
+    if (tokens.empty()) {
+      // Pattern was pure separators (e.g. ".*"): keep it whole.
+      emit_piece(p.regex.root, anchored, Action{kNone, kNone, kNone,
+                                                static_cast<std::int32_t>(p.id)});
+      return;
+    }
+
+    // After normalization tokens strictly alternate segment, separator,
+    // segment, ... beginning and ending with a segment.
+    std::vector<NodePtr> segs;
+    std::vector<Separator> seps;  // seps[i] sits between segs[i] and segs[i+1]
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].is_separator) seps.push_back(tokens[i].sep);
+      else segs.push_back(tokens[i].segment);
+    }
+
+    // Decide which boundaries split, to a FIXPOINT. A boundary's safety
+    // check depends on the *effective* segments around it, and those grow
+    // when a neighbouring boundary folds — e.g. splitting `.*cc.*a.*aa` at
+    // cc|a is safe while B is just `a`, but once a|aa folds (overlap), the
+    // effective B becomes `a.*aa`, whose words can contain `cc`, and input
+    // "accaa" would falsely match. So after every fold we re-validate the
+    // remaining split boundaries against the regrown segments.
+    std::vector<bool> split_ok(seps.size(), true);
+    const auto effective = [&](std::size_t lo, std::size_t hi) {
+      std::vector<NodePtr> parts;
+      for (std::size_t s = lo; s <= hi; ++s) {
+        if (s > lo) parts.push_back(seps[s - 1].original);
+        parts.push_back(segs[s]);
+      }
+      return regex::make_concat(std::move(parts));
+    };
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::size_t lo = 0;  // first raw segment of the current effective A
+      for (std::size_t b = 0; b < seps.size(); ++b) {
+        if (!split_ok[b]) continue;
+        std::size_t hi = b + 1;  // effective B spans raw segs [b+1, hi]
+        while (hi < seps.size() && !split_ok[hi]) ++hi;
+        if (!boundary_splittable(effective(lo, b), seps[b], effective(b + 1, hi))) {
+          split_ok[b] = false;
+          changed = true;
+          ++result_.stats.boundaries_rejected;
+          break;  // effective segments changed; restart validation
+        }
+        lo = b + 1;
+      }
+    }
+
+    // Emit the effective segments in order. Same-position action ranks run
+    // in REVERSE segment order (see filter::Action::order): with k
+    // segments, segment j's action gets rank 2*(k-j) and the clear piece of
+    // the bit set by segment j gets rank 2*(k-j)-1 (just below its setter).
+    std::vector<std::size_t> boundaries;  // indices of ok separators
+    for (std::size_t b = 0; b < seps.size(); ++b)
+      if (split_ok[b]) boundaries.push_back(b);
+    const std::size_t k = boundaries.size();  // segment count - 1
+
+    std::int32_t guard = kNone;
+    std::int32_t guard_slot = kNone;
+    std::int32_t pending_gap = 0;
+    std::size_t lo = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t b = boundaries[j];
+      const Separator& sep = seps[b];
+      const NodePtr piece = effective(lo, b);
+      const std::int32_t bit = alloc_bit();
+      Action set_action;
+      set_action.test = guard;
+      set_action.test_slot = guard_slot;
+      set_action.min_gap = pending_gap;
+      set_action.set = bit;
+      set_action.order = 2 * static_cast<std::int32_t>(k - j);
+      if (sep.kind == Separator::Kind::kGap) {
+        set_action.set_slot = alloc_slot();
+        // The fixed length of the next effective segment converts "gap >= n
+        // between A's end and B's start" into "B's end - A's end >= n+|B|".
+        const std::size_t next_hi = j + 1 < k ? boundaries[j + 1] : seps.size();
+        pending_gap = sep.min_gap +
+                      regex::min_match_length(*effective(b + 1, next_hi));
+        ++result_.stats.gap_splits;
+      } else {
+        pending_gap = 0;
+      }
+      emit_piece(piece, j == 0 && anchored, set_action);
+      if (sep.almost()) {
+        Action clear_action;
+        clear_action.clear = bit;
+        clear_action.order = set_action.order - 1;
+        emit_piece(regex::make_charset(sep.x), /*anchored=*/false, clear_action);
+        ++result_.stats.almost_dot_star_splits;
+      } else if (sep.kind != Separator::Kind::kGap) {
+        ++result_.stats.dot_star_splits;
+      }
+      guard = bit;
+      guard_slot = set_action.set_slot;
+      lo = b + 1;
+    }
+
+    Action final_action;
+    final_action.test = guard;
+    final_action.test_slot = guard_slot;
+    final_action.min_gap = pending_gap;
+    final_action.report = static_cast<std::int32_t>(p.id);
+    final_action.order = 0;
+    emit_piece(effective(lo, segs.size() - 1), k == 0 && anchored, final_action);
+    if (k > 0) ++result_.stats.patterns_decomposed;
+  }
+
+ private:
+  std::int32_t alloc_bit() {
+    return static_cast<std::int32_t>(result_.program.memory_bits++);
+  }
+
+  std::int32_t alloc_slot() {
+    return static_cast<std::int32_t>(result_.program.position_slots++);
+  }
+
+  void emit_piece(NodePtr root, bool anchored, const Action& action) {
+    const auto engine_id = static_cast<std::uint32_t>(result_.pieces.size());
+    std::string source = (anchored ? "^" : "") + regex::to_source(*root);
+    result_.pieces.push_back(
+        Piece{regex::Regex{std::move(root), anchored, std::move(source)}, engine_id});
+    result_.program.actions.push_back(action);
+  }
+
+  bool boundary_splittable(const NodePtr& a, const Separator& sep, const NodePtr& b) {
+    // Condition 3: segments must be non-nullable — a nullable piece would
+    // report at every input position.
+    if (regex::nullable(*a) || regex::nullable(*b)) return false;
+    if (sep.kind == Separator::Kind::kGap) {
+      // Gap decomposition needs a fixed-length B to translate end-to-end
+      // distance into start-to-end distance. No overlap check: the offset
+      // requirement itself forces B to start after A ends (Sec. VI).
+      const int min_len = regex::min_match_length(*b);
+      return min_len > 0 && regex::max_match_length(*b) == min_len;
+    }
+    if (sep.almost()) {
+      // Sec. IV-B: X must not occur in B at all, and must not occur at a
+      // final position of A (its Clear would race A's Set).
+      if (sep.x.intersects(regex::all_chars(*b))) return false;
+      if (sep.x.intersects(regex::last_chars(*a))) return false;
+    }
+    // Condition 1: exact overlap check on the segment automata.
+    if (segments_overlap(a, b, options_.overlap_check_limit)) return false;
+    return true;
+  }
+
+  Options options_;
+  SplitResult result_;
+};
+
+}  // namespace
+
+SplitResult split_patterns(const std::vector<nfa::PatternInput>& patterns,
+                           const Options& options) {
+  Splitter splitter(options);
+  for (const auto& p : patterns) splitter.add_pattern(p);
+  return std::move(splitter).take_result();
+}
+
+}  // namespace mfa::split

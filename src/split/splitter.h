@@ -1,0 +1,84 @@
+// Regex Splitter (paper Sec. IV, Algorithm 1).
+//
+// Decomposes each input regex at its top-level dot-star (`.*A.*B`) and
+// almost-dot-star (`.*A[^X]*B`) boundaries into simple segment regexes plus
+// a filter program that reconstructs the original match semantics:
+//
+//   .*A.*B{{n}}      ->  .*A{{n'}} | .*B{{n}}
+//                        n': Set i            n: Test i to Match
+//   .*A[^X]*B{{n}}   ->  .*A{{n'}} | .*[X]{{n''}} | .*B{{n}}
+//                        n': Set i  n'': Clear i  n: Test i to Match
+//
+// A boundary is split only when the safety conditions hold (Sec. IV-A/B):
+//   1. no suffix of A is a prefix of B (checked exactly on the segment
+//      automata via a product-NFA emptiness test);
+//   2. for almost-dot-star: X does not appear in B, X does not appear in a
+//      final position of A, and |X| < 128 (the paper's size threshold);
+//   3. segments are non-nullable (a nullable segment would match at every
+//      position and is never worth splitting out).
+// When a boundary fails its checks the separator is folded into the growing
+// compound segment and splitting continues at the next boundary, so one bad
+// boundary does not forfeit the rest of the pattern (correctness over
+// compression, Sec. I-D).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "filter/action.h"
+#include "nfa/nfa.h"
+#include "regex/ast.h"
+
+namespace mfa::split {
+
+struct Options {
+  /// |X| threshold for almost-dot-star (paper Sec. IV-B: 128).
+  std::size_t max_class_size = 128;
+  /// Ablation switches: disable one decomposition family entirely.
+  bool enable_dot_star = true;
+  bool enable_almost_dot_star = true;
+  /// Gap decomposition (`.*A.{n,}B`, paper Sec. VI future work): the filter
+  /// records match offsets and enforces the minimum distance.
+  bool enable_gap = true;
+  /// Cap on product-NFA pairs explored by the overlap check; boundaries
+  /// whose check would exceed it are conservatively not split.
+  std::size_t overlap_check_limit = 200000;
+};
+
+/// One decomposed piece: the regex compiled into the character DFA under a
+/// dense engine match id (the id the DFA reports; the filter program maps
+/// it back to original pattern ids).
+struct Piece {
+  regex::Regex regex;
+  std::uint32_t engine_id = 0;
+};
+
+struct Stats {
+  std::uint32_t patterns_in = 0;
+  std::uint32_t patterns_decomposed = 0;  ///< patterns split at >= 1 boundary
+  std::uint32_t dot_star_splits = 0;
+  std::uint32_t almost_dot_star_splits = 0;
+  std::uint32_t gap_splits = 0;           ///< `.{n,}` boundaries (Sec. VI ext.)
+  std::uint32_t boundaries_rejected = 0;  ///< failed a safety check
+};
+
+struct SplitResult {
+  std::vector<Piece> pieces;
+  filter::Program program;  ///< actions indexed by engine_id
+  Stats stats;
+};
+
+/// Run Algorithm 1 over a pattern set. Patterns that match no decomposition
+/// pattern pass through as single pieces with a plain-report action.
+SplitResult split_patterns(const std::vector<nfa::PatternInput>& patterns,
+                           const Options& options = {});
+
+/// Exact overlap test used by condition 1: is there a non-empty string that
+/// is a suffix of some word of L(a) and a prefix of some word of L(b)?
+/// Exposed for unit tests. `limit` caps explored product states; on budget
+/// exhaustion the function answers true (conservative: blocks the split).
+bool segments_overlap(const regex::NodePtr& a, const regex::NodePtr& b,
+                      std::size_t limit = 200000);
+
+}  // namespace mfa::split

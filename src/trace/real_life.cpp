@@ -1,0 +1,229 @@
+// Protocol-flavoured trace synthesis standing in for the paper's real
+// captures (DARPA/CDX/Nitroba). The shape that matters for throughput is
+// the byte-class mix (text-heavy protocol data vs. binary), packet size
+// distribution, flow interleaving, and a small density of content that
+// actually advances the pattern automata — all of which these profiles
+// control. See DESIGN.md Sec. 4.
+#include "trace/trace.h"
+
+#include <array>
+#include <string>
+#include <string_view>
+
+namespace mfa::trace {
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kHosts = {
+    "www.example.edu",  "mail.campus.edu",   "files.campus.edu", "intranet.corp.net",
+    "updates.vendor.com", "cdn.provider.org", "portal.campus.edu", "db.backend.lan",
+    "printer.floor2.lan", "auth.campus.edu",  "wiki.campus.edu",  "news.remote.org"};
+
+constexpr std::array<std::string_view, 14> kPaths = {
+    "/index.html",      "/images/logo.gif",    "/cgi-bin/search",   "/login",
+    "/downloads/tool.zip", "/api/v1/status",   "/news/today.html",  "/docs/manual.pdf",
+    "/favicon.ico",     "/style/main.css",     "/scripts/app.js",   "/research/data.csv",
+    "/forum/thread/42", "/calendar/week"};
+
+constexpr std::array<std::string_view, 8> kUserAgents = {
+    "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)",
+    "Mozilla/5.0 (X11; Linux i686) Gecko/20040113",
+    "Wget/1.9.1",
+    "curl/7.12.0",
+    "Mozilla/5.0 (Macintosh; PPC Mac OS X)",
+    "Opera/7.54 (Windows NT 5.1; U)",
+    "Lynx/2.8.5rel.1",
+    "Python-urllib/2.4"};
+
+constexpr std::array<std::string_view, 10> kWords = {
+    "schedule", "report",  "grades", "project", "meeting",
+    "homework", "library", "budget", "roster",  "survey"};
+
+std::string http_request(util::Rng& rng) {
+  std::string out;
+  out += rng.chance(0.8) ? "GET " : "POST ";
+  out += kPaths[rng.below(kPaths.size())];
+  if (rng.chance(0.3)) {
+    out += "?q=";
+    out += kWords[rng.below(kWords.size())];
+  }
+  out += " HTTP/1.1\r\nHost: ";
+  out += kHosts[rng.below(kHosts.size())];
+  out += "\r\nUser-Agent: ";
+  out += kUserAgents[rng.below(kUserAgents.size())];
+  out += "\r\nAccept: */*\r\nConnection: keep-alive\r\n\r\n";
+  return out;
+}
+
+std::string http_response(util::Rng& rng, std::size_t body_len, bool binary) {
+  std::string out = "HTTP/1.1 200 OK\r\nServer: Apache/1.3.27\r\nContent-Type: ";
+  out += binary ? "application/octet-stream" : "text/html";
+  out += "\r\nContent-Length: " + std::to_string(body_len) + "\r\n\r\n";
+  if (binary) {
+    for (std::size_t i = 0; i < body_len; ++i) out += static_cast<char>(rng.byte());
+  } else {
+    out += "<html><head><title>";
+    out += kWords[rng.below(kWords.size())];
+    out += "</title></head><body>\n";
+    while (out.size() < body_len) {
+      out += "<p>The ";
+      out += kWords[rng.below(kWords.size())];
+      out += " for the ";
+      out += kWords[rng.below(kWords.size())];
+      out += " is available.</p>\n";
+    }
+    out += "</body></html>\n";
+  }
+  return out;
+}
+
+std::string smtp_session(util::Rng& rng) {
+  std::string out = "220 mail.campus.edu ESMTP\r\nHELO client.campus.edu\r\n";
+  out += "MAIL FROM:<user" + std::to_string(rng.below(500)) + "@campus.edu>\r\n";
+  out += "RCPT TO:<user" + std::to_string(rng.below(500)) + "@campus.edu>\r\n";
+  out += "DATA\r\nSubject: ";
+  out += kWords[rng.below(kWords.size())];
+  out += "\r\n\r\n";
+  const std::size_t lines = 3 + rng.below(12);
+  for (std::size_t i = 0; i < lines; ++i) {
+    out += "Please review the ";
+    out += kWords[rng.below(kWords.size())];
+    out += " before the ";
+    out += kWords[rng.below(kWords.size())];
+    out += ".\r\n";
+  }
+  out += ".\r\nQUIT\r\n";
+  return out;
+}
+
+std::string binary_blob(util::Rng& rng, std::size_t len, double newline_density) {
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    out += rng.chance(newline_density) ? '\n' : static_cast<char>(rng.byte());
+  return out;
+}
+
+struct Profile {
+  double http = 0.6;
+  double smtp = 0.2;     // remainder is binary
+  double attack = 0.02;  // probability a flow carries one attack exemplar
+  std::size_t mean_flow = 4000;
+  /// Extra newline density in binary flows; high values flood the filter
+  /// engines with almost-dot-star clear events (the C112 anomaly).
+  double newline_density = 0.0;
+};
+
+Profile profile_for(RealLifeProfile p) {
+  switch (p) {
+    case RealLifeProfile::kDarpa:
+      return Profile{0.5, 0.3, 0.01, 5000, 0.0};
+    case RealLifeProfile::kCyberDefense:
+      return Profile{0.4, 0.15, 0.08, 3000, 0.0};
+    case RealLifeProfile::kNitroba:
+      return Profile{0.85, 0.05, 0.02, 6000, 0.0};
+    case RealLifeProfile::kCyberDefenseNoisy:
+      return Profile{0.15, 0.05, 0.15, 3000, 0.35};
+  }
+  return Profile{};
+}
+
+const char* profile_name(RealLifeProfile p) {
+  switch (p) {
+    case RealLifeProfile::kDarpa:
+      return "darpa";
+    case RealLifeProfile::kCyberDefense:
+      return "cdx";
+    case RealLifeProfile::kNitroba:
+      return "nitroba";
+    case RealLifeProfile::kCyberDefenseNoisy:
+      return "cdx-noisy";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Trace make_real_life(RealLifeProfile profile, std::size_t bytes, std::uint64_t seed,
+                     const std::vector<std::string>& attack_exemplars) {
+  const Profile cfg = profile_for(profile);
+  util::Rng rng(seed);
+  Trace trace(profile_name(profile));
+
+  // Build whole flow payloads first, then packetize with interleaving so
+  // the inspector's flow table is genuinely exercised.
+  struct PendingFlow {
+    flow::FlowKey key;
+    std::string payload;
+    std::size_t sent = 0;
+  };
+  std::vector<PendingFlow> active;
+  std::size_t produced = 0;
+  std::size_t next_exemplar = 0;
+  std::uint32_t next_ip = 0x0a010101;
+
+  const auto spawn_flow = [&] {
+    PendingFlow f;
+    f.key = flow::FlowKey{next_ip++, 0xc0a80001u + static_cast<std::uint32_t>(rng.below(64)),
+                          static_cast<std::uint16_t>(1024 + rng.below(60000)),
+                          static_cast<std::uint16_t>(rng.chance(cfg.http) ? 80 : 25), 6};
+    const double kind = rng.uniform01();
+    if (kind < cfg.http) {
+      f.payload = http_request(rng);
+      const std::size_t body = cfg.mean_flow / 2 + rng.below(cfg.mean_flow);
+      f.payload += http_response(rng, body, rng.chance(0.25));
+    } else if (kind < cfg.http + cfg.smtp) {
+      f.payload = smtp_session(rng);
+    } else {
+      f.payload = binary_blob(rng, cfg.mean_flow / 2 + rng.below(cfg.mean_flow * 2),
+                              cfg.newline_density);
+    }
+    if (!attack_exemplars.empty() && rng.chance(cfg.attack)) {
+      // Splice one exemplar into the flow at a random offset, as attack
+      // content appears inside otherwise ordinary flows. Exemplars cycle
+      // round-robin so every rule's content eventually appears.
+      const std::string& ex = attack_exemplars[next_exemplar++ % attack_exemplars.size()];
+      const std::size_t at = rng.below(f.payload.size() + 1);
+      f.payload.insert(at, ex);
+    }
+    active.push_back(std::move(f));
+  };
+
+  constexpr std::size_t kConcurrentFlows = 24;
+  while (produced < bytes || !active.empty()) {
+    while (active.size() < kConcurrentFlows && produced < bytes) spawn_flow();
+    if (active.empty()) break;
+    // Pick a random active flow and emit its next segment.
+    const std::size_t idx = rng.below(active.size());
+    PendingFlow& f = active[idx];
+    const std::size_t mtu = 200 + rng.below(1261);  // 200..1460 byte payloads
+    const std::size_t len = std::min(mtu, f.payload.size() - f.sent);
+    trace.add_packet(f.key, f.sent,
+                     reinterpret_cast<const std::uint8_t*>(f.payload.data()) + f.sent, len);
+    f.sent += len;
+    produced += len;
+    if (f.sent == f.payload.size()) {
+      active[idx] = std::move(active.back());
+      active.pop_back();
+    }
+    if (produced >= bytes) {
+      // Flush remaining flows without spawning new ones, still packetized
+      // at realistic sizes.
+      for (PendingFlow& g : active) {
+        while (g.sent < g.payload.size()) {
+          const std::size_t flush_mtu = 200 + rng.below(1261);
+          const std::size_t flush_len =
+              std::min(flush_mtu, g.payload.size() - g.sent);
+          trace.add_packet(g.key, g.sent,
+                           reinterpret_cast<const std::uint8_t*>(g.payload.data()) + g.sent,
+                           flush_len);
+          g.sent += flush_len;
+        }
+      }
+      active.clear();
+    }
+  }
+  return trace;
+}
+
+}  // namespace mfa::trace

@@ -1,0 +1,142 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/table.h"
+
+namespace mfa::trace {
+
+void Trace::add_packet(const flow::FlowKey& key, std::uint64_t seq,
+                       const std::uint8_t* data, std::size_t size) {
+  Rec r;
+  r.key = key;
+  r.seq = seq;
+  r.offset = payload_.size();
+  r.length = static_cast<std::uint32_t>(size);
+  payload_.insert(payload_.end(), data, data + size);
+  packets_.push_back(r);
+}
+
+namespace {
+constexpr char kMagic[4] = {'M', 'F', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool write_all(std::FILE* f, const void* data, std::size_t size) {
+  return std::fwrite(data, 1, size, f) == size;
+}
+bool read_all(std::FILE* f, void* data, std::size_t size) {
+  return std::fread(data, 1, size, f) == size;
+}
+}  // namespace
+
+bool Trace::save(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  const std::uint64_t npackets = packets_.size();
+  const std::uint64_t nbytes = payload_.size();
+  const std::uint32_t name_len = static_cast<std::uint32_t>(name_.size());
+  if (!write_all(f.get(), kMagic, 4) || !write_all(f.get(), &kVersion, 4) ||
+      !write_all(f.get(), &name_len, 4) || !write_all(f.get(), name_.data(), name_len) ||
+      !write_all(f.get(), &npackets, 8) || !write_all(f.get(), &nbytes, 8))
+    return false;
+  if (npackets > 0 && !write_all(f.get(), packets_.data(), npackets * sizeof(Rec)))
+    return false;
+  if (nbytes > 0 && !write_all(f.get(), payload_.data(), nbytes)) return false;
+  return true;
+}
+
+bool Trace::load(const std::string& path, Trace& out) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  char magic[4];
+  std::uint32_t version = 0;
+  std::uint32_t name_len = 0;
+  if (!read_all(f.get(), magic, 4) || std::memcmp(magic, kMagic, 4) != 0) return false;
+  if (!read_all(f.get(), &version, 4) || version != kVersion) return false;
+  if (!read_all(f.get(), &name_len, 4) || name_len > (1u << 20)) return false;
+  out.name_.resize(name_len);
+  if (name_len > 0 && !read_all(f.get(), out.name_.data(), name_len)) return false;
+  std::uint64_t npackets = 0;
+  std::uint64_t nbytes = 0;
+  if (!read_all(f.get(), &npackets, 8) || !read_all(f.get(), &nbytes, 8)) return false;
+  out.packets_.resize(npackets);
+  if (npackets > 0 && !read_all(f.get(), out.packets_.data(), npackets * sizeof(Rec)))
+    return false;
+  out.payload_.resize(nbytes);
+  if (nbytes > 0 && !read_all(f.get(), out.payload_.data(), nbytes)) return false;
+  // Sanity: packet extents must stay inside the payload arena.
+  for (const Rec& r : out.packets_) {
+    if (r.offset + r.length > nbytes) return false;
+  }
+  return true;
+}
+
+Trace make_synthetic(const dfa::Dfa& dfa, double p_m, std::size_t bytes,
+                     std::uint64_t seed, std::size_t mtu) {
+  // BFS depth of every DFA state from the start; "deeper" approximates
+  // "closer to completing a pattern", per the Becchi generator's forward
+  // transitions.
+  const std::uint32_t n = dfa.state_count();
+  std::vector<std::uint32_t> depth(n, UINT32_MAX);
+  std::vector<std::uint32_t> queue;
+  depth[dfa.start()] = 0;
+  queue.push_back(dfa.start());
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const std::uint32_t s = queue[i];
+    for (unsigned b = 0; b < 256; ++b) {
+      const std::uint32_t t = dfa.next(s, static_cast<unsigned char>(b));
+      if (depth[t] == UINT32_MAX) {
+        depth[t] = depth[s] + 1;
+        queue.push_back(t);
+      }
+    }
+  }
+  // Per state: list of bytes leading strictly deeper.
+  std::vector<std::vector<std::uint8_t>> deepening(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const std::uint32_t t = dfa.next(s, static_cast<unsigned char>(b));
+      if (depth[t] != UINT32_MAX && depth[t] > depth[s])
+        deepening[s].push_back(static_cast<std::uint8_t>(b));
+    }
+  }
+
+  util::Rng rng(seed);
+  std::string name = "synthetic_pM_" + util::format_double(p_m, 2);
+  Trace trace(name);
+  flow::FlowKey key{0x0a000001, 0x0a000002, 40000, 80, 6};
+
+  std::vector<std::uint8_t> buffer;
+  buffer.reserve(mtu);
+  std::uint64_t seq = 0;
+  std::uint32_t state = dfa.start();
+  for (std::size_t i = 0; i < bytes; ++i) {
+    std::uint8_t byte;
+    if (!deepening[state].empty() && rng.chance(p_m)) {
+      byte = deepening[state][rng.below(deepening[state].size())];
+    } else {
+      byte = rng.byte();
+    }
+    state = dfa.next(state, byte);
+    buffer.push_back(byte);
+    if (buffer.size() >= mtu) {
+      trace.add_packet(key, seq, buffer.data(), buffer.size());
+      seq += buffer.size();
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) trace.add_packet(key, seq, buffer.data(), buffer.size());
+  return trace;
+}
+
+}  // namespace mfa::trace

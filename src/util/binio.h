@@ -1,0 +1,105 @@
+// Minimal binary (de)serialization helpers for the compiled-automaton and
+// trace file formats. Little-endian, explicit-width integers, length-
+// prefixed containers; readers validate sizes before allocating so a
+// corrupt file fails cleanly instead of OOM-ing.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mfa::util {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+class BinWriter {
+ public:
+  explicit BinWriter(std::FILE* f) : f_(f) {}
+
+  bool ok() const { return ok_; }
+
+  void bytes(const void* data, std::size_t size) {
+    if (ok_ && std::fwrite(data, 1, size, f_) != size) ok_ = false;
+  }
+  void u8(std::uint8_t v) { bytes(&v, 1); }
+  void u16(std::uint16_t v) { bytes(&v, 2); }
+  void u32(std::uint32_t v) { bytes(&v, 4); }
+  void u64(std::uint64_t v) { bytes(&v, 8); }
+  void i32(std::int32_t v) { bytes(&v, 4); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+  template <typename T>
+  void pod_vec(const std::vector<T>& v) {
+    u64(v.size());
+    if (!v.empty()) bytes(v.data(), v.size() * sizeof(T));
+  }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+class BinReader {
+ public:
+  /// `max_bytes` caps any single container allocation (default 1 GiB).
+  explicit BinReader(std::FILE* f, std::size_t max_bytes = 1ull << 30)
+      : f_(f), max_bytes_(max_bytes) {}
+
+  bool ok() const { return ok_; }
+  void fail() { ok_ = false; }
+
+  void bytes(void* data, std::size_t size) {
+    if (ok_ && std::fread(data, 1, size, f_) != size) ok_ = false;
+  }
+  std::uint8_t u8() { return scalar<std::uint8_t>(); }
+  std::uint16_t u16() { return scalar<std::uint16_t>(); }
+  std::uint32_t u32() { return scalar<std::uint32_t>(); }
+  std::uint64_t u64() { return scalar<std::uint64_t>(); }
+  std::int32_t i32() { return scalar<std::int32_t>(); }
+
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (!ok_ || len > max_bytes_) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(len, '\0');
+    bytes(s.data(), len);
+    return ok_ ? s : std::string{};
+  }
+
+  template <typename T>
+  std::vector<T> pod_vec() {
+    const std::uint64_t count = u64();
+    if (!ok_ || count * sizeof(T) > max_bytes_) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<T> v(count);
+    if (count > 0) bytes(v.data(), count * sizeof(T));
+    if (!ok_) v.clear();
+    return v;
+  }
+
+ private:
+  template <typename T>
+  T scalar() {
+    T v{};
+    bytes(&v, sizeof v);
+    return ok_ ? v : T{};
+  }
+  std::FILE* f_;
+  std::size_t max_bytes_;
+  bool ok_ = true;
+};
+
+}  // namespace mfa::util

@@ -1,0 +1,100 @@
+// A compact dynamically-sized bitset used for NFA state sets.
+//
+// std::vector<bool> cannot be OR-ed wordwise and std::bitset is fixed-size;
+// NFA simulation (paper Sec. V, NFA baseline) needs fast whole-set union,
+// iteration over set bits, and hashing for subset construction, so we keep
+// our own minimal implementation over uint64 words.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mfa::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bit_count)
+      : bits_(bit_count), words_((bit_count + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
+
+  void set(std::size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+  void reset(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  [[nodiscard]] bool any() const {
+    for (const auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (const auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  DynamicBitset& operator|=(const DynamicBitset& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  DynamicBitset& operator&=(const DynamicBitset& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  [[nodiscard]] bool intersects(const DynamicBitset& other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & other.words_[i]) return true;
+    return false;
+  }
+
+  bool operator==(const DynamicBitset& other) const { return words_ == other.words_; }
+
+  /// Invoke fn(index) for every set bit, ascending.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<std::size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Collect set-bit indices into a sorted vector.
+  [[nodiscard]] std::vector<std::uint32_t> to_indices() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(count());
+    for_each_set([&](std::size_t i) { out.push_back(static_cast<std::uint32_t>(i)); });
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t hash() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto w : words_) {
+      h ^= w;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mfa::util

@@ -1,0 +1,42 @@
+// Match event types shared by every engine.
+//
+// The contract (DESIGN.md Sec. 3): an engine emits one Match{id, end} per
+// pattern id and end offset at which some substring ending there matches.
+// All five engines (NFA, DFA, MFA, HFA, XFA) produce identical Match sets;
+// the equivalence property tests compare these vectors directly.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+namespace mfa {
+
+struct Match {
+  std::uint32_t id = 0;   ///< pattern (match) id
+  std::uint64_t end = 0;  ///< offset of the last byte of the match, 0-based
+
+  friend bool operator==(const Match&, const Match&) = default;
+  friend bool operator<(const Match& a, const Match& b) {
+    return std::tie(a.end, a.id) < std::tie(b.end, b.id);
+  }
+};
+
+using MatchVec = std::vector<Match>;
+
+/// Sink that only counts matches; used on the benchmark hot path so that
+/// match storage does not distort cycles-per-byte measurements.
+struct CountingSink {
+  std::uint64_t count = 0;
+  void operator()(std::uint32_t /*id*/, std::uint64_t /*end*/) { ++count; }
+};
+
+/// Sink that records every match; used by tests and examples.
+struct CollectingSink {
+  MatchVec matches;
+  void operator()(std::uint32_t id, std::uint64_t end) {
+    matches.push_back(Match{id, end});
+  }
+};
+
+}  // namespace mfa

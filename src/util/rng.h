@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation.
+//
+// All workload generation in this repo (pattern sets, traces, property
+// tests) is seeded explicitly so every experiment is reproducible run to
+// run. SplitMix64 seeds a xoshiro256** core; both are public-domain
+// reference algorithms reimplemented here to avoid libstdc++ distribution
+// differences across platforms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mfa::util {
+
+/// SplitMix64 step; used for seeding and cheap hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with deterministic seeding. Satisfies
+/// UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    // Rejection-free Lemire reduction; bias is negligible for our bounds.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Random byte.
+  unsigned char byte() { return static_cast<unsigned char>(below(256)); }
+
+  /// Random printable ASCII character (0x20..0x7e).
+  char printable() { return static_cast<char>(between(0x20, 0x7e)); }
+
+  /// Random lowercase letter.
+  char lower() { return static_cast<char>(between('a', 'z')); }
+
+  /// Random string of lowercase letters of the given length.
+  std::string lower_string(std::size_t len) {
+    std::string out(len, '\0');
+    for (auto& c : out) c = lower();
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Stable 64-bit hash of a byte string (FNV-1a); used for dedup keys.
+constexpr std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace mfa::util

@@ -1,0 +1,36 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary prints the same rows/series the paper reports
+// (Table V, Figs. 2-5); TextTable keeps that output aligned and greppable,
+// and can also emit CSV for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mfa::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; it is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with aligned columns (left-aligned first column, right-aligned
+  /// numeric-looking columns).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (no quoting needed for our cell contents).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by bench binaries.
+std::string format_double(double v, int precision = 2);
+std::string format_bytes_mb(std::size_t bytes, int precision = 2);
+
+}  // namespace mfa::util

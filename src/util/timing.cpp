@@ -1,0 +1,35 @@
+#include "util/timing.h"
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace mfa::util {
+
+std::uint64_t rdtsc_now() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+double tsc_ticks_per_second() {
+  static const double rate = [] {
+    const auto wall_start = std::chrono::steady_clock::now();
+    const std::uint64_t tsc_start = rdtsc_now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const std::uint64_t tsc_end = rdtsc_now();
+    const auto wall_end = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(wall_end - wall_start).count();
+    return static_cast<double>(tsc_end - tsc_start) / secs;
+  }();
+  return rate;
+}
+
+}  // namespace mfa::util

@@ -1,0 +1,132 @@
+#include "regex/charclass.h"
+
+#include <gtest/gtest.h>
+
+namespace mfa::regex {
+namespace {
+
+TEST(CharClass, EmptyByDefault) {
+  CharClass cc;
+  EXPECT_TRUE(cc.empty());
+  EXPECT_EQ(cc.count(), 0u);
+  EXPECT_FALSE(cc.test('a'));
+}
+
+TEST(CharClass, SingleMembership) {
+  const CharClass cc = CharClass::single('x');
+  EXPECT_TRUE(cc.test('x'));
+  EXPECT_FALSE(cc.test('y'));
+  EXPECT_EQ(cc.count(), 1u);
+  EXPECT_EQ(cc.first(), 'x');
+}
+
+TEST(CharClass, AllCoversEveryByte) {
+  const CharClass cc = CharClass::all();
+  EXPECT_TRUE(cc.is_all());
+  EXPECT_EQ(cc.count(), 256u);
+  for (unsigned b = 0; b < 256; ++b) EXPECT_TRUE(cc.test(static_cast<unsigned char>(b)));
+}
+
+TEST(CharClass, RangeIsInclusive) {
+  const CharClass cc = CharClass::range('a', 'c');
+  EXPECT_EQ(cc.count(), 3u);
+  EXPECT_TRUE(cc.test('a'));
+  EXPECT_TRUE(cc.test('b'));
+  EXPECT_TRUE(cc.test('c'));
+  EXPECT_FALSE(cc.test('d'));
+}
+
+TEST(CharClass, DotExcludesNewlineUnlessDotall) {
+  EXPECT_FALSE(CharClass::dot(false).test('\n'));
+  EXPECT_EQ(CharClass::dot(false).count(), 255u);
+  EXPECT_TRUE(CharClass::dot(true).test('\n'));
+  EXPECT_TRUE(CharClass::dot(true).is_all());
+}
+
+TEST(CharClass, NegationIsExactComplement) {
+  const CharClass cc = CharClass::range('0', '9');
+  const CharClass neg = cc.negated();
+  EXPECT_EQ(neg.count(), 256u - 10u);
+  for (unsigned b = 0; b < 256; ++b) {
+    const auto c = static_cast<unsigned char>(b);
+    EXPECT_NE(cc.test(c), neg.test(c)) << b;
+  }
+  EXPECT_EQ(neg.negated(), cc);
+}
+
+TEST(CharClass, UnionIntersection) {
+  const CharClass digits = CharClass::digits();
+  const CharClass lower = CharClass::range('a', 'z');
+  const CharClass both = digits | lower;
+  EXPECT_EQ(both.count(), 36u);
+  EXPECT_TRUE((digits & lower).empty());
+  EXPECT_FALSE(digits.intersects(lower));
+  EXPECT_TRUE(both.intersects(digits));
+}
+
+TEST(CharClass, CaseFoldingClosesBothDirections) {
+  CharClass cc = CharClass::single('a');
+  cc.add('Z');
+  const CharClass folded = cc.case_folded();
+  EXPECT_TRUE(folded.test('a'));
+  EXPECT_TRUE(folded.test('A'));
+  EXPECT_TRUE(folded.test('z'));
+  EXPECT_TRUE(folded.test('Z'));
+  EXPECT_EQ(folded.count(), 4u);
+}
+
+TEST(CharClass, WordCharsContents) {
+  const CharClass w = CharClass::word_chars();
+  EXPECT_TRUE(w.test('_'));
+  EXPECT_TRUE(w.test('A'));
+  EXPECT_TRUE(w.test('z'));
+  EXPECT_TRUE(w.test('5'));
+  EXPECT_FALSE(w.test('-'));
+  EXPECT_EQ(w.count(), 26u + 26u + 10u + 1u);
+}
+
+TEST(CharClass, WhitespaceContents) {
+  const CharClass s = CharClass::whitespace();
+  EXPECT_TRUE(s.test(' '));
+  EXPECT_TRUE(s.test('\t'));
+  EXPECT_TRUE(s.test('\n'));
+  EXPECT_TRUE(s.test('\r'));
+  EXPECT_FALSE(s.test('x'));
+}
+
+TEST(CharClass, ForEachVisitsAscending) {
+  CharClass cc;
+  cc.add(200);
+  cc.add(3);
+  cc.add(64);
+  std::vector<int> seen;
+  cc.for_each([&](unsigned char c) { seen.push_back(c); });
+  EXPECT_EQ(seen, (std::vector<int>{3, 64, 200}));
+}
+
+TEST(CharClass, HashDiffersForDifferentSets) {
+  EXPECT_NE(CharClass::single('a').hash(), CharClass::single('b').hash());
+  EXPECT_EQ(CharClass::digits().hash(), CharClass::range('0', '9').hash());
+}
+
+TEST(CharClass, ToSourceSingleChar) {
+  EXPECT_EQ(CharClass::single('a').to_source(), "a");
+  EXPECT_EQ(CharClass::single('\n').to_source(), "\\n");
+  EXPECT_EQ(CharClass::single('.').to_source(), "\\.");
+}
+
+TEST(CharClass, ToSourceDotAndAll) {
+  EXPECT_EQ(CharClass::all().to_source(), ".");
+  EXPECT_EQ(CharClass::dot(false).to_source(), "[^\\n]");
+}
+
+TEST(CharClass, RemoveByte) {
+  CharClass cc = CharClass::range('a', 'c');
+  cc.remove('b');
+  EXPECT_TRUE(cc.test('a'));
+  EXPECT_FALSE(cc.test('b'));
+  EXPECT_EQ(cc.count(), 2u);
+}
+
+}  // namespace
+}  // namespace mfa::regex

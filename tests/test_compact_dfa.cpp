@@ -1,0 +1,92 @@
+#include "dfa/compact.h"
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.h"
+#include "patterns/builtin.h"
+#include "regex/sample.h"
+#include "util/rng.h"
+
+namespace mfa::dfa {
+namespace {
+
+using mfa::testing::compile_patterns;
+using mfa::testing::sorted;
+
+Dfa build(const std::vector<std::string>& sources) {
+  auto d = build_dfa(nfa::build_nfa(compile_patterns(sources)));
+  EXPECT_TRUE(d.has_value());
+  return *std::move(d);
+}
+
+TEST(CompactDfa, TransitionFunctionIdentical) {
+  const Dfa dense = build({".*abc.*xyz", ".*q[0-9]+w", "^head[^\\n]*tail"});
+  const CompactDfa compact(dense);
+  ASSERT_EQ(compact.state_count(), dense.state_count());
+  for (std::uint32_t s = 0; s < dense.state_count(); ++s) {
+    for (unsigned b = 0; b < 256; ++b) {
+      ASSERT_EQ(compact.next(s, static_cast<unsigned char>(b)),
+                dense.next(s, static_cast<unsigned char>(b)))
+          << "state " << s << " byte " << b;
+    }
+  }
+}
+
+TEST(CompactDfa, ScanEquivalence) {
+  const std::vector<std::string> pats = {".*abc.*xyz", ".*lonely", "^anch.*ored"};
+  const Dfa dense = build(pats);
+  const CompactDfa compact(dense);
+  util::Rng rng(12);
+  const auto inputs = compile_patterns(pats);
+  for (int i = 0; i < 100; ++i) {
+    std::string input = rng.lower_string(rng.below(30));
+    if (rng.chance(0.7))
+      input += regex::sample_match(inputs[rng.below(inputs.size())].regex, rng);
+    input += rng.lower_string(rng.below(10));
+    DfaScanner a(dense);
+    CompactDfaScanner b(compact);
+    EXPECT_EQ(sorted(a.scan(input)), sorted(b.scan(input))) << input;
+  }
+}
+
+TEST(CompactDfa, CompressesIdsStyleAutomata) {
+  // `.*`-prefixed pattern sets transition like the root on most bytes, so
+  // the sparse layout must be much smaller than the dense one.
+  const auto set = patterns::set_by_name("S24");
+  auto d = build_dfa(nfa::build_nfa(set.patterns));
+  ASSERT_TRUE(d.has_value());
+  const CompactDfa compact(*d);
+  EXPECT_LT(compact.compression_vs_dense(*d), 0.5);
+  EXPECT_LT(compact.entry_count(),
+            static_cast<std::size_t>(d->state_count()) * d->column_count() / 2);
+}
+
+TEST(CompactDfa, AcceptsPreserved) {
+  const Dfa dense = build({"aa", "bb", "aa|bb"});
+  const CompactDfa compact(dense);
+  ASSERT_EQ(compact.accepting_state_count(), dense.accepting_state_count());
+  for (std::uint32_t s = 0; s < dense.accepting_state_count(); ++s) {
+    const auto [df, dl] = dense.accepts(s);
+    const auto [cf, cl] = compact.accepts(s);
+    EXPECT_TRUE(std::equal(df, dl, cf, cl)) << s;
+  }
+}
+
+TEST(CompactDfa, ChunkedFeedKeepsState) {
+  const Dfa dense = build({".*begin.*end"});
+  const CompactDfa compact(dense);
+  CompactDfaScanner s(compact);
+  CollectingSink sink;
+  const std::string a = "..begi";
+  const std::string b = "n..en";
+  const std::string c = "d";
+  s.feed(reinterpret_cast<const std::uint8_t*>(a.data()), a.size(), 0, sink);
+  s.feed(reinterpret_cast<const std::uint8_t*>(b.data()), b.size(), a.size(), sink);
+  s.feed(reinterpret_cast<const std::uint8_t*>(c.data()), c.size(), a.size() + b.size(),
+         sink);
+  ASSERT_EQ(sink.matches.size(), 1u);
+  EXPECT_EQ(sink.matches[0].end, 11u);
+}
+
+}  // namespace
+}  // namespace mfa::dfa

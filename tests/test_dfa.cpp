@@ -1,0 +1,167 @@
+#include "dfa/dfa.h"
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.h"
+#include "regex/sample.h"
+#include "util/rng.h"
+
+namespace mfa::dfa {
+namespace {
+
+using mfa::testing::compile_patterns;
+using mfa::testing::sorted;
+
+Dfa build(const std::vector<std::string>& sources, BuildOptions opts = {}) {
+  const nfa::Nfa n = nfa::build_nfa(compile_patterns(sources));
+  auto d = build_dfa(n, opts);
+  EXPECT_TRUE(d.has_value());
+  return *std::move(d);
+}
+
+MatchVec scan(const std::vector<std::string>& sources, const std::string& input) {
+  const Dfa d = build(sources);
+  DfaScanner s(d);
+  return sorted(s.scan(input));
+}
+
+TEST(Dfa, MatchesEqualNfaOnBasics) {
+  const std::vector<std::string> pats = {"abc", ".*ab.*cd", "x[0-9]+y", "^head"};
+  for (const std::string input :
+       {"abc", "ab cd abc cd", "x123y x9y", "headless", "no match here", ""}) {
+    EXPECT_EQ(scan(pats, input), sorted(mfa::testing::reference_matches(pats, input)))
+        << input;
+  }
+}
+
+TEST(Dfa, AcceptingStatesRemappedFirst) {
+  const Dfa d = build({"ab", "cd"});
+  EXPECT_GT(d.accepting_state_count(), 0u);
+  for (std::uint32_t s = 0; s < d.state_count(); ++s) {
+    const auto [first, last] = s < d.accepting_state_count()
+                                   ? d.accepts(s)
+                                   : std::pair<const std::uint32_t*, const std::uint32_t*>{
+                                         nullptr, nullptr};
+    if (s < d.accepting_state_count()) EXPECT_NE(first, last);
+  }
+}
+
+TEST(Dfa, ByteClassesPartitionAlphabet) {
+  const nfa::Nfa n = nfa::build_nfa(compile_patterns({"[a-f]x|[0-9]y"}));
+  const auto [cls, count] = compute_byte_classes(n);
+  EXPECT_GT(count, 1u);
+  EXPECT_LE(count, 256u);
+  for (unsigned b = 0; b < 256; ++b) EXPECT_LT(cls[b], count);
+  // All of a-f must share a class; digits share another; they differ.
+  for (char c = 'b'; c <= 'f'; ++c) EXPECT_EQ(cls[static_cast<unsigned char>(c)], cls['a']);
+  for (char c = '1'; c <= '9'; ++c) EXPECT_EQ(cls[static_cast<unsigned char>(c)], cls['0']);
+  EXPECT_NE(cls['a'], cls['0']);
+  EXPECT_NE(cls['x'], cls['y']);
+}
+
+TEST(Dfa, StateCapFailsConstruction) {
+  // Multiple dot-star patterns explode; a tiny cap must trip.
+  const std::vector<std::string> pats = {".*aaa.*bbb.*ccc", ".*ddd.*eee.*fff",
+                                         ".*ggg.*hhh.*iii"};
+  const nfa::Nfa n = nfa::build_nfa(compile_patterns(pats));
+  BuildOptions opts;
+  opts.max_states = 50;
+  BuildStats stats;
+  EXPECT_FALSE(build_dfa(n, opts, &stats).has_value());
+  EXPECT_TRUE(stats.failed);
+  EXPECT_GT(stats.states, 50u);
+}
+
+TEST(Dfa, MinimizationPreservesMatchesAndShrinks) {
+  const std::vector<std::string> pats = {"ab(c|d)", "abe?f"};
+  const nfa::Nfa n = nfa::build_nfa(compile_patterns(pats));
+  BuildStats plain_stats;
+  const auto plain = build_dfa(n, {}, &plain_stats);
+  BuildOptions min_opts;
+  min_opts.minimize = true;
+  BuildStats min_stats;
+  const auto minimized = build_dfa(n, min_opts, &min_stats);
+  ASSERT_TRUE(plain && minimized);
+  EXPECT_LE(minimized->state_count(), plain->state_count());
+  EXPECT_EQ(min_stats.minimized, minimized->state_count());
+
+  util::Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    std::string input;
+    for (int j = 0; j < 40; ++j)
+      input += static_cast<char>("abcdef"[rng.below(6)]);
+    DfaScanner a(*plain);
+    DfaScanner b(*minimized);
+    EXPECT_EQ(sorted(a.scan(input)), sorted(b.scan(input)));
+  }
+}
+
+TEST(Dfa, MemoryImageAccounting) {
+  const Dfa d = build({"abc"});
+  const std::size_t full = d.memory_image_bytes(true);
+  const std::size_t compressed = d.memory_image_bytes(false);
+  EXPECT_GE(full, static_cast<std::size_t>(d.state_count()) * 256 * 4);
+  EXPECT_LT(compressed, full);
+  EXPECT_GE(compressed, static_cast<std::size_t>(d.state_count()) * d.column_count() * 4);
+}
+
+TEST(Dfa, StatefulFeedAcrossChunks) {
+  const Dfa d = build({".*begin.*end"});
+  DfaScanner s(d);
+  CollectingSink sink;
+  const std::string part1 = "xxbeg";
+  const std::string part2 = "inxxe";
+  const std::string part3 = "nd";
+  s.feed(reinterpret_cast<const std::uint8_t*>(part1.data()), part1.size(), 0, sink);
+  s.feed(reinterpret_cast<const std::uint8_t*>(part2.data()), part2.size(), part1.size(),
+         sink);
+  s.feed(reinterpret_cast<const std::uint8_t*>(part3.data()), part3.size(),
+         part1.size() + part2.size(), sink);
+  ASSERT_EQ(sink.matches.size(), 1u);
+  EXPECT_EQ(sink.matches[0].end, 11u);
+}
+
+TEST(Dfa, ContextIsFourBytes) {
+  EXPECT_EQ(DfaScanner::context_bytes(), 4u);
+}
+
+TEST(Dfa, DotStarStateExplosionIsMultiplicative) {
+  // Adding a second dot-star pattern should grow states far more than the
+  // sum of pattern sizes (paper Sec. IV-A).
+  const nfa::Nfa one = nfa::build_nfa(compile_patterns({".*abcd.*efgh"}));
+  const nfa::Nfa two =
+      nfa::build_nfa(compile_patterns({".*abcd.*efgh", ".*ijkl.*mnop"}));
+  const auto d1 = build_dfa(one);
+  const auto d2 = build_dfa(two);
+  ASSERT_TRUE(d1 && d2);
+  EXPECT_GT(d2->state_count(), d1->state_count() * 3 / 2);
+}
+
+TEST(Dfa, AnchoredPatternsDie) {
+  const Dfa d = build({"^abc"});
+  DfaScanner s(d);
+  EXPECT_TRUE(s.scan(std::string("xxabc")).empty());
+  EXPECT_EQ(s.scan(std::string("abc")).size(), 1u);
+}
+
+TEST(Dfa, RandomRegexDfaEqualsNfaProperty) {
+  // Randomized cross-check: sample strings from each pattern's language and
+  // embed them in noise; NFA and DFA must agree exactly.
+  util::Rng rng(123);
+  const std::vector<std::string> pats = {"a(b|c)+d", ".*foo[0-9]{1,3}bar", "x.?y"};
+  const nfa::Nfa n = nfa::build_nfa(compile_patterns(pats));
+  const auto d = build_dfa(n);
+  ASSERT_TRUE(d.has_value());
+  for (int i = 0; i < 100; ++i) {
+    std::string input = rng.lower_string(rng.below(20));
+    const auto& pick = pats[rng.below(pats.size())];
+    input += regex::sample_match(regex::parse_or_die(pick), rng);
+    input += rng.lower_string(rng.below(20));
+    nfa::NfaScanner ns(n);
+    DfaScanner ds(*d);
+    EXPECT_EQ(sorted(ns.scan(input)), sorted(ds.scan(input))) << input;
+  }
+}
+
+}  // namespace
+}  // namespace mfa::dfa

@@ -1,0 +1,76 @@
+#include "eval/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace mfa::eval {
+namespace {
+
+TEST(Harness, BuildSuiteSmallSet) {
+  const patterns::PatternSet set =
+      patterns::make_custom("mini", {".*ab12.*cd34", ".*plainword", "^GET [^\\r\\n]*etc"});
+  const Suite suite = build_suite(set);
+  EXPECT_TRUE(suite.nfa_build.ok);
+  EXPECT_TRUE(suite.dfa_build.ok);
+  EXPECT_TRUE(suite.mfa_build.ok);
+  EXPECT_TRUE(suite.hfa_build.ok);
+  EXPECT_TRUE(suite.xfa_build.ok);
+  EXPECT_GT(suite.nfa_build.states, 0u);
+  EXPECT_GT(suite.dfa_build.image_bytes, suite.mfa_build.image_bytes);
+  EXPECT_GT(suite.hfa_build.image_bytes, suite.mfa_build.image_bytes);
+}
+
+TEST(Harness, DfaCapReportsFailure) {
+  patterns::PatternSet set = patterns::make_custom(
+      "explode", {".*aaaa.*bbbb.*cccc", ".*dddd.*eeee.*ffff", ".*gggg.*hhhh.*iiii",
+                  ".*jjjj.*kkkk.*llll"});
+  SuiteOptions opts;
+  opts.dfa_max_states = 200;
+  const Suite suite = build_suite(set, opts);
+  EXPECT_FALSE(suite.dfa_build.ok);
+  EXPECT_FALSE(suite.dfa.has_value());
+  EXPECT_TRUE(suite.mfa_build.ok);  // decomposition keeps MFA constructable
+}
+
+TEST(Harness, ThroughputMeasurement) {
+  const patterns::PatternSet set = patterns::make_custom("mini", {".*abcq.*wxyz"});
+  const Suite suite = build_suite(set);
+  ASSERT_TRUE(suite.mfa.has_value());
+  const trace::Trace t =
+      trace::make_real_life(trace::RealLifeProfile::kNitroba, 100000, 1, {"abcq wxyz"});
+  const Throughput tp = measure_throughput(core::MfaScanner(*suite.mfa), t);
+  EXPECT_GT(tp.cycles_per_byte, 0.0);
+  EXPECT_LT(tp.cycles_per_byte, 10000.0);
+  EXPECT_GT(tp.flows, 1u);
+}
+
+TEST(Harness, AttackExemplarsSampleFromPatterns) {
+  const patterns::PatternSet set = patterns::make_custom("mini", {".*abc.*xyz", ".*foo"});
+  const auto ex = attack_exemplars(set, 3, 5);
+  EXPECT_EQ(ex.size(), 6u);
+  for (const auto& s : ex) EXPECT_FALSE(s.empty());
+}
+
+TEST(Harness, EnginesAgreeOnTraceMatchCounts) {
+  // End-to-end integration: all engines must report identical confirmed
+  // match counts over a multiplexed trace.
+  const patterns::PatternSet set = patterns::make_custom(
+      "mini", {".*atk7.*vec9", ".*hd2r[^\\n]*va4l", ".*sig77sig88"});
+  const Suite suite = build_suite(set);
+  ASSERT_TRUE(suite.dfa && suite.mfa && suite.hfa && suite.xfa);
+  const auto exemplars = attack_exemplars(set, 4, 9);
+  const trace::Trace t =
+      trace::make_real_life(trace::RealLifeProfile::kCyberDefense, 150000, 2, exemplars);
+  const auto nfa_tp = measure_throughput(nfa::NfaScanner(suite.nfa), t, 1);
+  const auto dfa_tp = measure_throughput(dfa::DfaScanner(*suite.dfa), t, 1);
+  const auto mfa_tp = measure_throughput(core::MfaScanner(*suite.mfa), t, 1);
+  const auto hfa_tp = measure_throughput(hfa::HfaScanner(*suite.hfa), t, 1);
+  const auto xfa_tp = measure_throughput(xfa::XfaScanner(*suite.xfa), t, 1);
+  EXPECT_GT(dfa_tp.matches, 0u);
+  EXPECT_EQ(nfa_tp.matches, dfa_tp.matches);
+  EXPECT_EQ(mfa_tp.matches, dfa_tp.matches);
+  EXPECT_EQ(hfa_tp.matches, dfa_tp.matches);
+  EXPECT_EQ(xfa_tp.matches, dfa_tp.matches);
+}
+
+}  // namespace
+}  // namespace mfa::eval

@@ -1,0 +1,162 @@
+#include "filter/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "filter/action.h"
+#include "util/match.h"
+
+namespace mfa::filter {
+namespace {
+
+/// Run a sequence of (engine_id, pos) events through a program.
+MatchVec run(const Program& program, const std::vector<std::pair<std::uint32_t, std::uint64_t>>& events) {
+  Engine engine(program);
+  Memory memory(program.counters);
+  CollectingSink sink;
+  for (const auto& [id, pos] : events) engine.on_match(id, pos, memory, sink);
+  return sink.matches;
+}
+
+TEST(Filter, PlainReportPassesThrough) {
+  Program p;
+  p.actions.push_back(Action{kNone, kNone, kNone, 7});
+  const MatchVec m = run(p, {{0, 3}, {0, 9}});
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], (Match{7, 3}));
+  EXPECT_EQ(m[1], (Match{7, 9}));
+}
+
+TEST(Filter, SetThenTestConfirms) {
+  // Paper Sec. IV-A: 1a: Set 0, 1: Test 0 to Match.
+  Program p;
+  p.memory_bits = 1;
+  p.actions.push_back(Action{kNone, 0, kNone, kNone});  // id 0 = "1a"
+  p.actions.push_back(Action{0, kNone, kNone, 1});      // id 1 = "1"
+  EXPECT_TRUE(run(p, {{1, 5}}).empty());                 // B before A: dropped
+  const MatchVec m = run(p, {{0, 2}, {1, 5}});
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], (Match{1, 5}));
+}
+
+TEST(Filter, ClearBreaksTheLink) {
+  // Paper Sec. IV-B: 1a: Set 0, 1b: Clear 0, 1: Test 0 to Match.
+  Program p;
+  p.memory_bits = 1;
+  p.actions.push_back(Action{kNone, 0, kNone, kNone});   // set
+  p.actions.push_back(Action{kNone, kNone, 0, kNone});   // clear
+  p.actions.push_back(Action{0, kNone, kNone, 1});       // test->match
+  EXPECT_TRUE(run(p, {{0, 1}, {1, 2}, {2, 3}}).empty());
+  EXPECT_EQ(run(p, {{0, 1}, {2, 3}}).size(), 1u);
+  EXPECT_EQ(run(p, {{1, 0}, {0, 1}, {2, 3}}).size(), 1u);
+}
+
+TEST(Filter, ChainedGuards) {
+  // 1a: Set 0; 1b: Test 0 to Set 1; 1: Test 1 to Match (paper Sec. IV-A).
+  Program p;
+  p.memory_bits = 2;
+  p.actions.push_back(Action{kNone, 0, kNone, kNone});
+  p.actions.push_back(Action{0, 1, kNone, kNone});
+  p.actions.push_back(Action{1, kNone, kNone, 1});
+  EXPECT_TRUE(run(p, {{1, 0}, {2, 1}}).empty());          // B,C without A
+  EXPECT_TRUE(run(p, {{0, 0}, {2, 1}}).empty());          // A,C without B
+  EXPECT_TRUE(run(p, {{1, 0}, {0, 1}, {2, 2}}).empty());  // B before A
+  EXPECT_EQ(run(p, {{0, 0}, {1, 1}, {2, 2}}).size(), 1u);
+}
+
+TEST(Filter, TestGuardBlocksEffects) {
+  // A guarded set must not fire when the guard bit is clear.
+  Program p;
+  p.memory_bits = 2;
+  p.actions.push_back(Action{0, 1, kNone, kNone});  // test 0 -> set 1
+  p.actions.push_back(Action{1, kNone, kNone, 9});  // test 1 -> match
+  EXPECT_TRUE(run(p, {{0, 0}, {1, 1}}).empty());
+}
+
+TEST(Filter, MemoryResetsToZero) {
+  Memory m;
+  m.set_bit(3);
+  EXPECT_TRUE(m.test_bit(3));
+  m.reset();
+  EXPECT_FALSE(m.test_bit(3));
+}
+
+TEST(Filter, MemoryBitsIndependent) {
+  Memory m;
+  for (int i = 0; i < 256; i += 7) m.set_bit(i);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(m.test_bit(i), i % 7 == 0) << i;
+  m.clear_bit(0);
+  EXPECT_FALSE(m.test_bit(0));
+  EXPECT_TRUE(m.test_bit(7));
+}
+
+TEST(Filter, CounterExtension) {
+  // Counting filter (paper Sec. VI): report only after 3 increments.
+  Program p;
+  p.counters = 1;
+  p.actions.push_back(Action{kNone, kNone, kNone, kNone, kNone, 0, 0});  // incr ctr 0
+  Action gate;
+  gate.ctr_test = 0;
+  gate.ctr_threshold = 3;
+  gate.report = 5;
+  p.actions.push_back(gate);
+  EXPECT_TRUE(run(p, {{0, 0}, {0, 1}, {1, 2}}).empty());  // only 2 increments
+  const MatchVec m = run(p, {{0, 0}, {0, 1}, {0, 2}, {1, 3}});
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], (Match{5, 3}));
+}
+
+TEST(Filter, ActionOrderComparator) {
+  std::vector<Action> actions(3);
+  actions[0].order = 4;  // first segment (setter): runs last
+  actions[1].order = 2;  // middle segment
+  actions[2].order = 0;  // final segment (reporter): runs first
+  const ActionOrderLess less{&actions};
+  EXPECT_TRUE(less(2, 1));
+  EXPECT_TRUE(less(1, 0));
+  EXPECT_FALSE(less(0, 2));
+  // Equal orders tie-break by engine id, deterministically.
+  actions[0].order = actions[1].order = 0;
+  EXPECT_TRUE(less(0, 1));
+  EXPECT_FALSE(less(1, 0));
+}
+
+TEST(Filter, PseudocodeRendering) {
+  Action a;
+  a.set = 0;
+  EXPECT_EQ(a.to_pseudocode(), "Set 0");
+  Action b;
+  b.test = 0;
+  b.report = 1;
+  EXPECT_EQ(b.to_pseudocode(), "Test 0 to Match 1");
+  Action c;
+  c.test = 0;
+  c.set = 1;
+  EXPECT_EQ(c.to_pseudocode(), "Test 0 to Set 1");
+  Action d;
+  d.clear = 2;
+  EXPECT_EQ(d.to_pseudocode(), "Clear 2");
+}
+
+TEST(Filter, ContextBytesAccounting) {
+  EXPECT_EQ(Memory::context_bytes(1, 0), 8u);
+  EXPECT_EQ(Memory::context_bytes(64, 0), 8u);
+  EXPECT_EQ(Memory::context_bytes(65, 0), 16u);
+  EXPECT_EQ(Memory::context_bytes(0, 2), 8u);
+}
+
+TEST(Filter, ProgramImageBytes) {
+  Program p;
+  p.actions.resize(10);
+  EXPECT_EQ(p.memory_image_bytes(), 10 * sizeof(Action));
+}
+
+TEST(Filter, IsPlainReport) {
+  Action a;
+  a.report = 3;
+  EXPECT_TRUE(a.is_plain_report());
+  a.test = 0;
+  EXPECT_FALSE(a.is_plain_report());
+}
+
+}  // namespace
+}  // namespace mfa::filter

@@ -1,0 +1,174 @@
+#include "flow/flow.h"
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.h"
+#include "mfa/mfa.h"
+
+namespace mfa::flow {
+namespace {
+
+using mfa::testing::compile_patterns;
+
+core::Mfa build(const std::vector<std::string>& sources) {
+  auto m = core::build_mfa(compile_patterns(sources));
+  EXPECT_TRUE(m.has_value());
+  return *std::move(m);
+}
+
+Packet make_packet(const FlowKey& key, std::uint64_t seq, const std::string& bytes) {
+  return Packet{key, seq, reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                static_cast<std::uint32_t>(bytes.size())};
+}
+
+TEST(FlowKey, EqualityAndHash) {
+  const FlowKey a{1, 2, 3, 4, 6};
+  const FlowKey b{1, 2, 3, 4, 6};
+  const FlowKey c{1, 2, 3, 5, 6};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(FlowKeyHash{}(a), FlowKeyHash{}(b));
+  EXPECT_NE(FlowKeyHash{}(a), FlowKeyHash{}(c));  // overwhelmingly likely
+}
+
+TEST(FlowInspector, SingleFlowInOrder) {
+  const core::Mfa m = build({".*abc.*xyz"});
+  FlowInspector<core::MfaScanner> insp{core::MfaScanner(m)};
+  CollectingSink sink;
+  const FlowKey key{10, 20, 1000, 80, 6};
+  const std::string p1 = "ab";
+  const std::string p2 = "c..x";
+  const std::string p3 = "yz";
+  insp.packet(make_packet(key, 0, p1), sink);
+  insp.packet(make_packet(key, 2, p2), sink);
+  insp.packet(make_packet(key, 6, p3), sink);
+  ASSERT_EQ(sink.matches.size(), 1u);
+  EXPECT_EQ(sink.matches[0].end, 7u);
+  EXPECT_EQ(insp.flow_count(), 1u);
+}
+
+TEST(FlowInspector, CrossFlowIsolation) {
+  // abc in flow A and xyz in flow B must NOT combine into a match.
+  const core::Mfa m = build({".*abc.*xyz"});
+  FlowInspector<core::MfaScanner> insp{core::MfaScanner(m)};
+  CollectingSink sink;
+  const FlowKey a{1, 2, 3, 4, 6};
+  const FlowKey b{5, 6, 7, 8, 6};
+  insp.packet(make_packet(a, 0, "abc..."), sink);
+  insp.packet(make_packet(b, 0, "...xyz"), sink);
+  EXPECT_TRUE(sink.matches.empty());
+  EXPECT_EQ(insp.flow_count(), 2u);
+  // And each flow completes independently.
+  insp.packet(make_packet(a, 6, "xyz"), sink);
+  ASSERT_EQ(sink.matches.size(), 1u);
+  EXPECT_EQ(sink.matches[0].end, 8u);
+}
+
+TEST(FlowInspector, InterleavedFlows) {
+  const core::Mfa m = build({".*abc.*xyz"});
+  FlowInspector<core::MfaScanner> insp{core::MfaScanner(m)};
+  CollectingSink sink;
+  const FlowKey a{1, 2, 3, 4, 6};
+  const FlowKey b{5, 6, 7, 8, 6};
+  insp.packet(make_packet(a, 0, "ab"), sink);
+  insp.packet(make_packet(b, 0, "abc"), sink);
+  insp.packet(make_packet(a, 2, "c xyz"), sink);
+  insp.packet(make_packet(b, 3, " xyz"), sink);
+  EXPECT_EQ(sink.matches.size(), 2u);
+}
+
+TEST(FlowInspector, OutOfOrderSegmentsReassembled) {
+  const core::Mfa m = build({".*abcxyz"});
+  FlowInspector<core::MfaScanner> insp{core::MfaScanner(m)};
+  CollectingSink sink;
+  const FlowKey key{1, 2, 3, 4, 6};
+  insp.packet(make_packet(key, 3, "xyz"), sink);  // arrives first
+  EXPECT_TRUE(sink.matches.empty());
+  insp.packet(make_packet(key, 0, "abc"), sink);  // gap fills, both delivered
+  ASSERT_EQ(sink.matches.size(), 1u);
+  EXPECT_EQ(sink.matches[0].end, 5u);
+}
+
+TEST(FlowInspector, RetransmissionOverlapSkipped) {
+  const core::Mfa m = build({".*abcd"});
+  FlowInspector<core::MfaScanner> insp{core::MfaScanner(m)};
+  CollectingSink sink;
+  const FlowKey key{1, 2, 3, 4, 6};
+  insp.packet(make_packet(key, 0, "abc"), sink);
+  insp.packet(make_packet(key, 1, "bcd"), sink);  // overlaps 2 bytes
+  ASSERT_EQ(sink.matches.size(), 1u);
+  EXPECT_EQ(sink.matches[0].end, 3u);
+  // Full duplicate: no double delivery.
+  insp.packet(make_packet(key, 0, "abcd"), sink);
+  EXPECT_EQ(sink.matches.size(), 1u);
+}
+
+TEST(FlowInspector, EvictDropsContext) {
+  const core::Mfa m = build({".*abc.*xyz"});
+  FlowInspector<core::MfaScanner> insp{core::MfaScanner(m)};
+  CollectingSink sink;
+  const FlowKey key{1, 2, 3, 4, 6};
+  insp.packet(make_packet(key, 0, "abc"), sink);
+  insp.evict(key);
+  EXPECT_EQ(insp.flow_count(), 0u);
+  // A fresh context starts at offset 0; the earlier abc is forgotten.
+  insp.packet(make_packet(key, 0, "xyz"), sink);
+  EXPECT_TRUE(sink.matches.empty());
+}
+
+TEST(FlowInspector, ManyFlows) {
+  const core::Mfa m = build({".*needle"});
+  FlowInspector<core::MfaScanner> insp{core::MfaScanner(m)};
+  CountingSink sink;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const FlowKey key{i, 2, 3, 4, 6};
+    insp.packet(make_packet(key, 0, "has a needle inside"), sink);
+  }
+  EXPECT_EQ(sink.count, 500u);
+  EXPECT_EQ(insp.flow_count(), 500u);
+  insp.clear();
+  EXPECT_EQ(insp.flow_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mfa::flow
+
+namespace mfa::flow {
+namespace {
+
+TEST(FlowInspectorLru, CapEvictsLeastRecentlyActive) {
+  auto m = core::build_mfa(mfa::testing::compile_patterns({".*abc.*xyz"}));
+  ASSERT_TRUE(m.has_value());
+  FlowInspector<core::MfaScanner> insp{core::MfaScanner(*m), /*max_flows=*/2};
+  CollectingSink sink;
+  const FlowKey f1{1, 0, 0, 0, 6}, f2{2, 0, 0, 0, 6}, f3{3, 0, 0, 0, 6};
+  insp.packet(Packet{f1, 0, reinterpret_cast<const std::uint8_t*>("abc"), 3}, sink);
+  insp.packet(Packet{f2, 0, reinterpret_cast<const std::uint8_t*>("abc"), 3}, sink);
+  // Touch f1 so f2 becomes the oldest, then open f3: f2 must be evicted.
+  insp.packet(Packet{f1, 3, reinterpret_cast<const std::uint8_t*>("..."), 3}, sink);
+  insp.packet(Packet{f3, 0, reinterpret_cast<const std::uint8_t*>("abc"), 3}, sink);
+  EXPECT_EQ(insp.flow_count(), 2u);
+  EXPECT_EQ(insp.evicted_count(), 1u);
+  // f1 kept its context: xyz completes the match.
+  insp.packet(Packet{f1, 6, reinterpret_cast<const std::uint8_t*>("xyz"), 3}, sink);
+  EXPECT_EQ(sink.matches.size(), 1u);
+  // f2 lost its context: a fresh xyz alone must not match.
+  insp.packet(Packet{f2, 0, reinterpret_cast<const std::uint8_t*>("xyz"), 3}, sink);
+  EXPECT_EQ(sink.matches.size(), 1u);
+}
+
+TEST(FlowInspectorLru, UnboundedByDefault) {
+  auto m = core::build_mfa(mfa::testing::compile_patterns({".*needle"}));
+  ASSERT_TRUE(m.has_value());
+  FlowInspector<core::MfaScanner> insp{core::MfaScanner(*m)};
+  CountingSink sink;
+  for (std::uint32_t i = 0; i < 100; ++i)
+    insp.packet(Packet{FlowKey{i, 0, 0, 0, 6}, 0,
+                       reinterpret_cast<const std::uint8_t*>("x"), 1},
+                sink);
+  EXPECT_EQ(insp.flow_count(), 100u);
+  EXPECT_EQ(insp.evicted_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mfa::flow

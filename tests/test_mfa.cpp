@@ -1,0 +1,164 @@
+#include "mfa/mfa.h"
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.h"
+#include "regex/sample.h"
+#include "util/rng.h"
+
+namespace mfa::core {
+namespace {
+
+using mfa::testing::compile_patterns;
+using mfa::testing::reference_matches;
+using mfa::testing::sorted;
+
+Mfa build(const std::vector<std::string>& sources, BuildOptions opts = {}) {
+  auto m = build_mfa(compile_patterns(sources), opts);
+  EXPECT_TRUE(m.has_value());
+  return *std::move(m);
+}
+
+MatchVec scan(const Mfa& m, const std::string& input) {
+  MfaScanner s(m);
+  return sorted(s.scan(input));
+}
+
+TEST(Mfa, DotStarFiltered) {
+  const Mfa m = build({".*abc.*xyz"});
+  EXPECT_TRUE(scan(m, "xyz only").empty());
+  EXPECT_TRUE(scan(m, "abc only").empty());
+  EXPECT_TRUE(scan(m, "xyz then abc").empty());
+  const MatchVec hit = scan(m, "abc then xyz");
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0], (Match{1, 11}));
+}
+
+TEST(Mfa, MatchesEqualOriginalSemantics) {
+  const std::vector<std::string> pats = {".*abc.*xyz", ".*q1q2[^\\r\\n]*w3w4",
+                                         ".*plainstring", "^anchored.*tail"};
+  const Mfa m = build(pats);
+  for (const std::string input :
+       {"abc xyz", "xyz abc xyz", "q1q2 w3w4", "q1q2\nw3w4", "plainstring",
+        "anchored then tail", "then anchored tail", "nothing at all",
+        "abcxyzabcxyz", "q1q2 q1q2 w3w4 w3w4"}) {
+    EXPECT_EQ(scan(m, input), sorted(reference_matches(pats, input))) << input;
+  }
+}
+
+TEST(Mfa, StateSpaceFarSmallerThanDfa) {
+  // Three 2-dot-star patterns: the DFA explodes multiplicatively, the MFA
+  // stays additive (paper Sec. IV-A).
+  const std::vector<std::string> pats = {".*aaaa.*bbbb.*cccc", ".*dddd.*eeee.*ffff",
+                                         ".*gggg.*hhhh.*iiii"};
+  const auto inputs = compile_patterns(pats);
+  const nfa::Nfa n = nfa::build_nfa(inputs);
+  const auto d = dfa::build_dfa(n);
+  ASSERT_TRUE(d.has_value());
+  const Mfa m = build(pats);
+  EXPECT_LT(m.character_dfa().state_count() * 10, d->state_count());
+  EXPECT_EQ(m.program().memory_bits, 6u);
+}
+
+TEST(Mfa, SurvivesWhereDfaExplodes) {
+  std::vector<std::string> pats;
+  util::Rng rng(99);
+  for (int i = 0; i < 10; ++i) {
+    pats.push_back(".*" + rng.lower_string(4) + ".*" + rng.lower_string(4) + ".*" +
+                   rng.lower_string(4));
+  }
+  const auto inputs = compile_patterns(pats);
+  dfa::BuildOptions cap;
+  cap.max_states = 5000;
+  EXPECT_FALSE(dfa::build_dfa(nfa::build_nfa(inputs), cap).has_value());
+
+  BuildOptions opts;
+  opts.dfa.max_states = 5000;
+  BuildStats stats;
+  const auto m = build_mfa(inputs, opts, &stats);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_LT(m->character_dfa().state_count(), 1000u);
+}
+
+TEST(Mfa, FilterIsTinyShareOfImage) {
+  const Mfa m = build({".*abcd.*efgh", ".*ijkl.*mnop", ".*qrst[^\\r\\n]*uvwx"});
+  const std::size_t filters = m.program().memory_image_bytes();
+  EXPECT_LT(filters * 10, m.memory_image_bytes());  // filters are a small slice
+}
+
+TEST(Mfa, ContextBytesIncludesMemory) {
+  const Mfa m = build({".*abcd.*efgh"});
+  EXPECT_EQ(m.context_bytes(), 4u + 8u);  // dfa state + 1 bit rounded to a word
+}
+
+TEST(Mfa, BuildStatsPopulated) {
+  BuildStats stats;
+  const auto m = build_mfa(compile_patterns({".*ab12.*cd34", ".*plain"}), {}, &stats);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(stats.split.patterns_in, 2u);
+  EXPECT_EQ(stats.split.patterns_decomposed, 1u);
+  EXPECT_GT(stats.dfa.states, 0u);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(Mfa, RepeatedMatchesReported) {
+  const Mfa m = build({".*ab.*cd"});
+  const MatchVec v = scan(m, "ab cd cd cd");
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(Mfa, AlmostDotStarTableIVBehavior) {
+  // Only the third line pairs abc with xyz without an intervening newline.
+  const Mfa m = build({".*abc[^\\n]*xyz"});
+  const std::string input = "abc:\n:xyz\nabc:xyz\n";
+  const MatchVec v = scan(m, input);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].end, 16u);  // 'z' of the third line's xyz
+}
+
+TEST(Mfa, MultiplexedScannersIndependent) {
+  const Mfa m = build({".*abc.*xyz"});
+  MfaScanner flow_a(m);
+  MfaScanner flow_b(m);
+  CollectingSink sink_a;
+  CollectingSink sink_b;
+  const std::string a1 = "abc...";
+  const std::string b1 = "xyz after no abc";
+  flow_a.feed(reinterpret_cast<const std::uint8_t*>(a1.data()), a1.size(), 0, sink_a);
+  flow_b.feed(reinterpret_cast<const std::uint8_t*>(b1.data()), b1.size(), 0, sink_b);
+  const std::string a2 = "xyz";
+  flow_a.feed(reinterpret_cast<const std::uint8_t*>(a2.data()), a2.size(), a1.size(),
+              sink_a);
+  EXPECT_EQ(sink_a.matches.size(), 1u);  // abc in chunk 1, xyz in chunk 2
+  EXPECT_TRUE(sink_b.matches.empty());   // flow B never saw abc
+}
+
+TEST(Mfa, RandomizedEquivalenceWithDfaOfOriginal) {
+  // The core invariant (DESIGN.md Sec. 3): MFA(filtered) == DFA(original).
+  util::Rng rng(2024);
+  const std::vector<std::string> pats = {".*red1.*blu2", ".*gr3en[^\\n]*ye4lo",
+                                         ".*wh5te.*bl6ck.*pu7rp", ".*solostring"};
+  const auto inputs = compile_patterns(pats);
+  const auto original_dfa = dfa::build_dfa(nfa::build_nfa(inputs));
+  ASSERT_TRUE(original_dfa.has_value());
+  const Mfa m = build(pats);
+  for (int round = 0; round < 200; ++round) {
+    std::string input;
+    const int chunks = 1 + static_cast<int>(rng.below(6));
+    for (int c = 0; c < chunks; ++c) {
+      if (rng.chance(0.6)) {
+        const auto& p = pats[rng.below(pats.size())];
+        input += regex::sample_match(regex::parse_or_die(p), rng);
+      } else {
+        for (int i = rng.below(12); i > 0; --i)
+          input += static_cast<char>(rng.chance(0.2) ? '\n' : rng.printable());
+      }
+    }
+    dfa::DfaScanner ref(*original_dfa);
+    MfaScanner mfa_scan(m);
+    EXPECT_EQ(sorted(mfa_scan.scan(input)), sorted(ref.scan(input))) << input;
+  }
+}
+
+}  // namespace
+}  // namespace mfa::core

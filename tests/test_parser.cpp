@@ -1,0 +1,227 @@
+#include "regex/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "regex/ast.h"
+
+namespace mfa::regex {
+namespace {
+
+NodePtr parse_root(const std::string& src) {
+  return parse_or_die(src).root;
+}
+
+TEST(Parser, Literal) {
+  const NodePtr n = parse_root("abc");
+  ASSERT_EQ(n->kind, NodeKind::Concat);
+  ASSERT_EQ(n->children.size(), 3u);
+  EXPECT_EQ(n->children[0]->kind, NodeKind::CharSet);
+  EXPECT_TRUE(n->children[0]->cc.test('a'));
+}
+
+TEST(Parser, SingleCharIsCharSet) {
+  EXPECT_EQ(parse_root("a")->kind, NodeKind::CharSet);
+}
+
+TEST(Parser, Alternation) {
+  const NodePtr n = parse_root("ab|cd|ef");
+  ASSERT_EQ(n->kind, NodeKind::Alternate);
+  EXPECT_EQ(n->children.size(), 3u);
+}
+
+TEST(Parser, QuantifierKinds) {
+  EXPECT_EQ(parse_root("a*")->kind, NodeKind::Star);
+  EXPECT_EQ(parse_root("a+")->kind, NodeKind::Plus);
+  EXPECT_EQ(parse_root("a?")->kind, NodeKind::Optional);
+  EXPECT_EQ(parse_root("a{2,5}")->kind, NodeKind::Repeat);
+}
+
+TEST(Parser, CountedRepeatBounds) {
+  const NodePtr n = parse_root("a{3,7}");
+  EXPECT_EQ(n->rep_min, 3);
+  EXPECT_EQ(n->rep_max, 7);
+  const NodePtr exact = parse_root("(ab){4}");
+  EXPECT_EQ(exact->rep_min, 4);
+  EXPECT_EQ(exact->rep_max, 4);
+  const NodePtr open = parse_root("a{2,}");
+  EXPECT_EQ(open->rep_min, 2);
+  EXPECT_EQ(open->rep_max, -1);
+}
+
+TEST(Parser, BraceWithoutDigitsIsLiteral) {
+  // "{x}" is not a quantifier; it is three literal characters.
+  const NodePtr n = parse_root("a{x}");
+  ASSERT_EQ(n->kind, NodeKind::Concat);
+  EXPECT_EQ(n->children.size(), 4u);
+}
+
+TEST(Parser, AnchorDetected) {
+  EXPECT_TRUE(parse_or_die("^abc").anchored);
+  EXPECT_FALSE(parse_or_die("abc").anchored);
+}
+
+TEST(Parser, GroupingAndNonCapturing) {
+  const NodePtr a = parse_root("(ab)+");
+  EXPECT_EQ(a->kind, NodeKind::Plus);
+  const NodePtr b = parse_root("(?:ab)+");
+  EXPECT_EQ(b->kind, NodeKind::Plus);
+}
+
+TEST(Parser, ClassBasics) {
+  const NodePtr n = parse_root("[a-cx]");
+  ASSERT_EQ(n->kind, NodeKind::CharSet);
+  EXPECT_TRUE(n->cc.test('a'));
+  EXPECT_TRUE(n->cc.test('b'));
+  EXPECT_TRUE(n->cc.test('x'));
+  EXPECT_FALSE(n->cc.test('d'));
+}
+
+TEST(Parser, NegatedClass) {
+  const NodePtr n = parse_root("[^\\r\\n]");
+  EXPECT_FALSE(n->cc.test('\r'));
+  EXPECT_FALSE(n->cc.test('\n'));
+  EXPECT_TRUE(n->cc.test('a'));
+  EXPECT_EQ(n->cc.count(), 254u);
+}
+
+TEST(Parser, ClassLeadingBracketLiteral) {
+  const NodePtr n = parse_root("[]a]");
+  EXPECT_TRUE(n->cc.test(']'));
+  EXPECT_TRUE(n->cc.test('a'));
+  EXPECT_EQ(n->cc.count(), 2u);
+}
+
+TEST(Parser, ClassTrailingDashLiteral) {
+  const NodePtr n = parse_root("[a-]");
+  EXPECT_TRUE(n->cc.test('a'));
+  EXPECT_TRUE(n->cc.test('-'));
+}
+
+TEST(Parser, ClassEscapesInside) {
+  const NodePtr n = parse_root("[\\d\\.]");
+  EXPECT_TRUE(n->cc.test('5'));
+  EXPECT_TRUE(n->cc.test('.'));
+  EXPECT_FALSE(n->cc.test('a'));
+}
+
+TEST(Parser, EscapeShorthands) {
+  EXPECT_TRUE(parse_root("\\d")->cc.test('7'));
+  EXPECT_FALSE(parse_root("\\D")->cc.test('7'));
+  EXPECT_TRUE(parse_root("\\w")->cc.test('_'));
+  EXPECT_TRUE(parse_root("\\s")->cc.test(' '));
+  EXPECT_TRUE(parse_root("\\xff")->cc.test(0xff));
+  EXPECT_TRUE(parse_root("\\x41")->cc.test('A'));
+  EXPECT_TRUE(parse_root("\\n")->cc.test('\n'));
+  EXPECT_TRUE(parse_root("\\0")->cc.test('\0'));
+}
+
+TEST(Parser, DotIsAnyByteByDefault) {
+  // DPI convention: '.' covers every payload byte (see ParseOptions).
+  EXPECT_TRUE(parse_root(".")->cc.is_all());
+  ParseOptions pcre;
+  pcre.dotall = false;
+  const ParseResult r = parse(".", pcre);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.regex->root->cc.test('\n'));
+}
+
+TEST(Parser, SlashWrappingWithFlags) {
+  const Regex re = parse_or_die("/abc/i");
+  EXPECT_TRUE(re.root->children[0]->cc.test('A'));
+  EXPECT_TRUE(re.root->children[0]->cc.test('a'));
+  const Regex dotall = parse_or_die("/./s");
+  EXPECT_TRUE(dotall.root->cc.test('\n'));
+}
+
+TEST(Parser, LazyQuantifierIgnored) {
+  const NodePtr n = parse_root("ab*?c");
+  ASSERT_EQ(n->kind, NodeKind::Concat);
+  EXPECT_EQ(n->children[1]->kind, NodeKind::Star);
+}
+
+TEST(Parser, ErrorsReported) {
+  EXPECT_FALSE(parse("a(b").ok());
+  EXPECT_FALSE(parse("a)b").ok());
+  EXPECT_FALSE(parse("[abc").ok());
+  EXPECT_FALSE(parse("*a").ok());
+  EXPECT_FALSE(parse("a\\").ok());
+  EXPECT_FALSE(parse("a$").ok());
+  EXPECT_FALSE(parse("a^b").ok());
+  EXPECT_FALSE(parse("a{5,2}").ok());
+  EXPECT_FALSE(parse("/a/q").ok());
+  EXPECT_FALSE(parse("\\xg1").ok());
+  EXPECT_FALSE(parse("(?=a)").ok());
+}
+
+TEST(Parser, ErrorHasOffset) {
+  const ParseResult r = parse("ab(cd");
+  ASSERT_FALSE(r.ok());
+  EXPECT_GE(r.error->offset, 2u);
+}
+
+TEST(Parser, CountedRepeatCap) {
+  ParseOptions opts;
+  opts.max_counted_repeat = 16;
+  EXPECT_FALSE(parse("a{17}", opts).ok());
+  EXPECT_TRUE(parse("a{16}", opts).ok());
+}
+
+TEST(Parser, EmptyAlternateBranchAllowed) {
+  // "(a|)" has an empty branch: matches "a" or "".
+  const ParseResult r = parse("(a|)b");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Parser, NestedGroups) {
+  const NodePtr n = parse_root("((a|b)c)+d");
+  ASSERT_EQ(n->kind, NodeKind::Concat);
+  EXPECT_EQ(n->children[0]->kind, NodeKind::Plus);
+}
+
+}  // namespace
+}  // namespace mfa::regex
+
+namespace mfa::regex {
+namespace {
+
+TEST(ParserPosix, NamedClasses) {
+  EXPECT_TRUE(parse_or_die("[[:digit:]]").root->cc.test('5'));
+  EXPECT_FALSE(parse_or_die("[[:digit:]]").root->cc.test('a'));
+  EXPECT_TRUE(parse_or_die("[[:alpha:]]").root->cc.test('Q'));
+  EXPECT_TRUE(parse_or_die("[[:alnum:]]").root->cc.test('7'));
+  EXPECT_TRUE(parse_or_die("[[:space:]]").root->cc.test('\t'));
+  EXPECT_TRUE(parse_or_die("[[:xdigit:]]").root->cc.test('F'));
+  EXPECT_TRUE(parse_or_die("[[:punct:]]").root->cc.test(';'));
+  EXPECT_FALSE(parse_or_die("[[:punct:]]").root->cc.test('a'));
+  EXPECT_TRUE(parse_or_die("[[:blank:]]").root->cc.test(' '));
+  EXPECT_TRUE(parse_or_die("[[:cntrl:]]").root->cc.test(0x7f));
+}
+
+TEST(ParserPosix, CombinesWithOtherItems) {
+  const NodePtr n = parse_or_die("[[:digit:]a-c]").root;
+  EXPECT_TRUE(n->cc.test('3'));
+  EXPECT_TRUE(n->cc.test('b'));
+  EXPECT_FALSE(n->cc.test('z'));
+}
+
+TEST(ParserPosix, NegatedPosixClass) {
+  const NodePtr n = parse_or_die("[^[:digit:]]").root;
+  EXPECT_FALSE(n->cc.test('5'));
+  EXPECT_TRUE(n->cc.test('x'));
+}
+
+TEST(ParserPosix, BadNamesRejected) {
+  EXPECT_FALSE(parse("[[:bogus:]]").ok());
+  EXPECT_FALSE(parse("[[:alpha]]").ok());
+  EXPECT_FALSE(parse("[[:alpha:").ok());
+}
+
+TEST(ParserPosix, PlainBracketStillLiteralInClass) {
+  // '[' not followed by ':' stays an ordinary member.
+  const NodePtr n = parse_or_die("[[a]").root;
+  EXPECT_TRUE(n->cc.test('['));
+  EXPECT_TRUE(n->cc.test('a'));
+}
+
+}  // namespace
+}  // namespace mfa::regex

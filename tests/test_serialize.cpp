@@ -1,0 +1,165 @@
+// Compiled-automaton persistence: save/load round trips, corruption
+// rejection, and scan-equivalence of reloaded automata.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "engine_test_util.h"
+#include "mfa/mfa.h"
+#include "util/binio.h"
+
+namespace mfa::core {
+namespace {
+
+using mfa::testing::compile_patterns;
+using mfa::testing::sorted;
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+const std::vector<std::string> kPats = {".*atk1.*vec2", ".*hd3[^\\n]*vl4",
+                                        ".*gp5.{3,}gp6", "^anch7.*tail8", ".*solo9"};
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  auto built = build_mfa(compile_patterns(kPats));
+  ASSERT_TRUE(built.has_value());
+  const std::string path = temp_path("roundtrip.mfac");
+  ASSERT_TRUE(built->save(path));
+
+  auto loaded = Mfa::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->character_dfa().state_count(), built->character_dfa().state_count());
+  EXPECT_EQ(loaded->character_dfa().start(), built->character_dfa().start());
+  EXPECT_EQ(loaded->program().memory_bits, built->program().memory_bits);
+  EXPECT_EQ(loaded->program().counters, built->program().counters);
+  EXPECT_EQ(loaded->program().position_slots, built->program().position_slots);
+  EXPECT_EQ(loaded->program().actions.size(), built->program().actions.size());
+  for (std::size_t i = 0; i < built->program().actions.size(); ++i)
+    EXPECT_EQ(loaded->program().actions[i], built->program().actions[i]) << i;
+  ASSERT_EQ(loaded->pieces().size(), built->pieces().size());
+  for (std::size_t i = 0; i < built->pieces().size(); ++i)
+    EXPECT_EQ(loaded->pieces()[i].regex.source, built->pieces()[i].regex.source);
+  EXPECT_EQ(loaded->memory_image_bytes(), built->memory_image_bytes());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadedAutomatonScansIdentically) {
+  auto built = build_mfa(compile_patterns(kPats));
+  ASSERT_TRUE(built.has_value());
+  const std::string path = temp_path("scan.mfac");
+  ASSERT_TRUE(built->save(path));
+  auto loaded = Mfa::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  for (const std::string input :
+       {"atk1 then vec2", "hd3 vl4", "hd3\nvl4", "gp5...gp6", "gp5gp6",
+        "anch7 tail8", "x anch7 tail8", "solo9 solo9", "nothing"}) {
+    MfaScanner a(*built);
+    MfaScanner b(*loaded);
+    EXPECT_EQ(sorted(a.scan(input)), sorted(b.scan(input))) << input;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  EXPECT_FALSE(Mfa::load(temp_path("does_not_exist.mfac")).has_value());
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  const std::string path = temp_path("wrong_magic.mfac");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("MFTRgarbage-that-is-not-an-automaton", f);
+  std::fclose(f);
+  EXPECT_FALSE(Mfa::load(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsTruncation) {
+  auto built = build_mfa(compile_patterns(kPats));
+  ASSERT_TRUE(built.has_value());
+  const std::string path = temp_path("trunc.mfac");
+  ASSERT_TRUE(built->save(path));
+  // Truncate at several byte positions; every prefix must be rejected,
+  // never crash.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<char> bytes(static_cast<std::size_t>(size));
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  for (const double frac : {0.1, 0.3, 0.5, 0.8, 0.95, 0.999}) {
+    const std::string tpath = temp_path("trunc_cut.mfac");
+    std::FILE* out = std::fopen(tpath.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    const auto cut = static_cast<std::size_t>(static_cast<double>(size) * frac);
+    std::fwrite(bytes.data(), 1, cut, out);
+    std::fclose(out);
+    EXPECT_FALSE(Mfa::load(tpath).has_value()) << "fraction " << frac;
+    std::remove(tpath.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBitFlipsInHeaderRegion) {
+  // Flipping bytes in the structural header must not produce a loadable
+  // automaton with out-of-range tables (either a clean failure or a load
+  // whose invariants still hold is acceptable; crashes are not).
+  auto built = build_mfa(compile_patterns({".*abc.*xyz"}));
+  ASSERT_TRUE(built.has_value());
+  const std::string path = temp_path("flip.mfac");
+  ASSERT_TRUE(built->save(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<char> bytes(static_cast<std::size_t>(size));
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  for (std::size_t pos = 8; pos < std::min<std::size_t>(bytes.size(), 64); ++pos) {
+    std::vector<char> mutated = bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5a);
+    const std::string mpath = temp_path("flip_mut.mfac");
+    std::FILE* out = std::fopen(mpath.c_str(), "wb");
+    std::fwrite(mutated.data(), 1, mutated.size(), out);
+    std::fclose(out);
+    auto loaded = Mfa::load(mpath);
+    if (loaded) {
+      // If it loaded, its tables must still be internally consistent
+      // enough to scan without faulting.
+      MfaScanner s(*loaded);
+      s.scan(std::string("abc xyz abc"));
+    }
+    std::remove(mpath.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, DfaValidationCatchesBadTargets) {
+  // Hand-craft a DFA blob with an out-of-range transition target.
+  const std::string path = temp_path("bad_dfa.bin");
+  {
+    util::FilePtr f(std::fopen(path.c_str(), "wb"));
+    util::BinWriter w(f.get());
+    w.u32(2);   // state_count
+    w.u32(0);   // start
+    w.u32(1);   // accept_states
+    w.u32(1);   // max_match_id
+    w.u16(1);   // ncols
+    std::vector<std::uint8_t> cols(256, 0);
+    w.bytes(cols.data(), cols.size());
+    w.pod_vec(std::vector<std::uint32_t>{1, 99});  // target 99 out of range
+    w.pod_vec(std::vector<std::uint32_t>{0, 1});   // accept offsets
+    w.pod_vec(std::vector<std::uint32_t>{1});      // accept ids
+  }
+  util::FilePtr f(std::fopen(path.c_str(), "rb"));
+  util::BinReader r(f.get());
+  dfa::Dfa out;
+  EXPECT_FALSE(dfa::Dfa::deserialize(r, out));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mfa::core

@@ -1,0 +1,240 @@
+#include "split/splitter.h"
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.h"
+#include "regex/parser.h"
+
+namespace mfa::split {
+namespace {
+
+using filter::kNone;
+using mfa::testing::compile_patterns;
+
+SplitResult split(const std::vector<std::string>& sources, Options opts = {}) {
+  return split_patterns(compile_patterns(sources), opts);
+}
+
+TEST(OverlapCheck, SuffixPrefixOverlapDetected) {
+  // Paper Sec. IV-A example: abc / bcd overlap on "bc".
+  EXPECT_TRUE(segments_overlap(regex::parse_or_die("abc").root,
+                               regex::parse_or_die("bcd").root));
+}
+
+TEST(OverlapCheck, DisjointStringsDoNotOverlap) {
+  EXPECT_FALSE(segments_overlap(regex::parse_or_die("abc").root,
+                                regex::parse_or_die("xyz").root));
+  EXPECT_FALSE(segments_overlap(regex::parse_or_die("vi").root,
+                                regex::parse_or_die("emacs").root));
+}
+
+TEST(OverlapCheck, WholeWordPrefixDetected) {
+  // A's full word is a proper prefix of B: .*abc.*abcd falsely matches on
+  // "abcd" if split.
+  EXPECT_TRUE(segments_overlap(regex::parse_or_die("abc").root,
+                               regex::parse_or_die("abcd").root));
+}
+
+TEST(OverlapCheck, FactorContainmentDetected) {
+  // The paper's literal condition misses this: A=ab occurs inside B=cabd
+  // ending before B's final position; input "cabd" would falsely match.
+  EXPECT_TRUE(segments_overlap(regex::parse_or_die("ab").root,
+                               regex::parse_or_die("cabd").root));
+}
+
+TEST(OverlapCheck, FactorAtFinalPositionIsAllowed) {
+  // A=bc inside B=abc *at the final position* is handled by the
+  // tests-before-sets action order, not the overlap check.
+  EXPECT_FALSE(segments_overlap(regex::parse_or_die("bc").root,
+                                regex::parse_or_die("abc").root));
+}
+
+TEST(OverlapCheck, RegexSegments) {
+  EXPECT_TRUE(segments_overlap(regex::parse_or_die("a[bx]").root,
+                               regex::parse_or_die("(x|q)z").root));  // suffix x
+  EXPECT_FALSE(segments_overlap(regex::parse_or_die("a[bc]").root,
+                                regex::parse_or_die("[xy]z").root));
+}
+
+TEST(OverlapCheck, BudgetExhaustionIsConservative) {
+  EXPECT_TRUE(segments_overlap(regex::parse_or_die("a(b|c)(d|e)(f|g)").root,
+                               regex::parse_or_die("h(i|j)(k|l)m").root, /*limit=*/2));
+}
+
+TEST(Splitter, DotStarSplitsIntoTwoPieces) {
+  const SplitResult r = split({".*abc.*xyz"});
+  ASSERT_EQ(r.pieces.size(), 2u);
+  EXPECT_EQ(r.stats.dot_star_splits, 1u);
+  EXPECT_EQ(r.program.memory_bits, 1u);
+  // Piece 0: set bit 0; piece 1: test bit 0, report original id 1.
+  EXPECT_EQ(r.program.actions[0].set, 0);
+  EXPECT_EQ(r.program.actions[0].report, kNone);
+  EXPECT_EQ(r.program.actions[1].test, 0);
+  EXPECT_EQ(r.program.actions[1].report, 1);
+}
+
+TEST(Splitter, TwoDotStarsChainGuards) {
+  const SplitResult r = split({".*abc.*lmn.*xyz"});
+  ASSERT_EQ(r.pieces.size(), 3u);
+  EXPECT_EQ(r.program.memory_bits, 2u);
+  // 1a: Set 0; 1b: Test 0 to Set 1; 1: Test 1 to Match (paper Sec. IV-A).
+  EXPECT_EQ(r.program.actions[0].set, 0);
+  EXPECT_EQ(r.program.actions[0].test, kNone);
+  EXPECT_EQ(r.program.actions[1].test, 0);
+  EXPECT_EQ(r.program.actions[1].set, 1);
+  EXPECT_EQ(r.program.actions[2].test, 1);
+  EXPECT_EQ(r.program.actions[2].report, 1);
+}
+
+TEST(Splitter, AlmostDotStarEmitsClearPiece) {
+  const SplitResult r = split({".*abc[^\\r\\n]*xyz"});
+  ASSERT_EQ(r.pieces.size(), 3u);
+  EXPECT_EQ(r.stats.almost_dot_star_splits, 1u);
+  // set / clear / test-match.
+  EXPECT_EQ(r.program.actions[0].set, 0);
+  EXPECT_EQ(r.program.actions[1].clear, 0);
+  EXPECT_EQ(r.program.actions[1].test, kNone);
+  EXPECT_EQ(r.program.actions[2].test, 0);
+  EXPECT_EQ(r.program.actions[2].report, 1);
+  // The clear piece matches the class X itself (paper: ".*[X]{{1b}}").
+  EXPECT_EQ(r.pieces[1].regex.root->kind, regex::NodeKind::CharSet);
+  EXPECT_TRUE(r.pieces[1].regex.root->cc.test('\n'));
+  EXPECT_TRUE(r.pieces[1].regex.root->cc.test('\r'));
+  EXPECT_EQ(r.pieces[1].regex.root->cc.count(), 2u);
+}
+
+TEST(Splitter, PcreDotStarBecomesAlmostDotStar) {
+  // Under PCRE semantics (dotall off) `.` excludes newline, so A.*B is
+  // really A[^\n]*B and decomposes as almost-dot-star with X = {\n}.
+  regex::ParseOptions pcre;
+  pcre.dotall = false;
+  std::vector<nfa::PatternInput> pats;
+  pats.push_back(nfa::PatternInput{regex::parse_or_die("abc.*xyz", pcre), 1});
+  const SplitResult r = split_patterns(pats);
+  ASSERT_EQ(r.pieces.size(), 3u);
+  EXPECT_TRUE(r.pieces[1].regex.root->cc.test('\n'));
+  EXPECT_EQ(r.pieces[1].regex.root->cc.count(), 1u);
+}
+
+TEST(Splitter, OverlapRejectionFoldsBoundary) {
+  const SplitResult r = split({".*abc.*bcd"});
+  EXPECT_EQ(r.pieces.size(), 1u);
+  EXPECT_EQ(r.stats.boundaries_rejected, 1u);
+  EXPECT_EQ(r.program.actions[0].report, 1);
+  EXPECT_EQ(r.program.actions[0].test, kNone);
+}
+
+TEST(Splitter, PartialSplitAroundBadBoundary) {
+  // First boundary (abc/bcd) must fold, second (bcd../xyz) can split.
+  const SplitResult r = split({".*abc.*bcd.*xyz"});
+  ASSERT_EQ(r.pieces.size(), 2u);
+  EXPECT_EQ(r.stats.boundaries_rejected, 1u);
+  EXPECT_EQ(r.stats.dot_star_splits, 1u);
+}
+
+TEST(Splitter, AlmostDotStarXInBRejected) {
+  // X = {'y'} appears in B: must not split (Sec. IV-B).
+  const SplitResult r = split({".*abc[^y]*xyz"});
+  EXPECT_EQ(r.pieces.size(), 1u);
+  EXPECT_GE(r.stats.boundaries_rejected, 1u);
+}
+
+TEST(Splitter, AlmostDotStarXAtEndOfARejected) {
+  // X = {'c'} is the final char of A: must not split (Sec. IV-B).
+  const SplitResult r = split({".*abc[^c]*xyz"});
+  EXPECT_EQ(r.pieces.size(), 1u);
+}
+
+TEST(Splitter, AlmostDotStarXInsideANotFinalAllowed) {
+  // X = {'b'} occurs in A but not finally: split allowed (Sec. IV-B).
+  const SplitResult r = split({".*abc[^b]*xyz"});
+  EXPECT_EQ(r.pieces.size(), 3u);
+}
+
+TEST(Splitter, LargeClassThresholdBlocksSplit) {
+  // [a-f]* leaves X = everything but a-f (250 chars >= 128): no split
+  // (the paper's throughput guard, Sec. IV-B).
+  const SplitResult r = split({".*abc[a-f]*xyz"});
+  EXPECT_EQ(r.pieces.size(), 1u);
+}
+
+TEST(Splitter, NullableSegmentNotSplit) {
+  const SplitResult r = split({".*abc.*(xyz)?"});
+  EXPECT_EQ(r.pieces.size(), 1u);
+}
+
+TEST(Splitter, PlainStringPassesThrough) {
+  const SplitResult r = split({".*justastring"});
+  ASSERT_EQ(r.pieces.size(), 1u);
+  EXPECT_TRUE(r.program.actions[0].is_plain_report());
+  EXPECT_EQ(r.stats.patterns_decomposed, 0u);
+}
+
+TEST(Splitter, AnchoredFirstPieceKeepsAnchor) {
+  const SplitResult r = split({"^GET .*passwd"});
+  ASSERT_EQ(r.pieces.size(), 2u);  // ^GET<sp> sets, passwd tests+reports
+  EXPECT_TRUE(r.pieces[0].regex.anchored);
+  EXPECT_FALSE(r.pieces[1].regex.anchored);
+  EXPECT_EQ(r.program.actions[1].report, 1);
+}
+
+TEST(Splitter, MultiplePatternsGetDistinctBits) {
+  const SplitResult r = split({".*aaa.*bbb", ".*ccc.*ddd"});
+  ASSERT_EQ(r.pieces.size(), 4u);
+  EXPECT_EQ(r.program.memory_bits, 2u);
+  EXPECT_NE(r.program.actions[0].set, r.program.actions[2].set);
+  EXPECT_EQ(r.program.actions[1].report, 1);
+  EXPECT_EQ(r.program.actions[3].report, 2);
+}
+
+TEST(Splitter, AblationDisableDotStar) {
+  Options opts;
+  opts.enable_dot_star = false;
+  const SplitResult r = split({".*abc.*xyz"}, opts);
+  EXPECT_EQ(r.pieces.size(), 1u);
+  EXPECT_EQ(r.stats.dot_star_splits, 0u);
+}
+
+TEST(Splitter, AblationDisableAlmostDotStar) {
+  Options opts;
+  opts.enable_almost_dot_star = false;
+  const SplitResult r = split({".*abc[^\\r\\n]*xyz"}, opts);
+  EXPECT_EQ(r.pieces.size(), 1u);
+}
+
+TEST(Splitter, LeadingSeparatorDropped) {
+  // ".*abc" has a leading dot-star only; piece count 1, no bits.
+  const SplitResult r = split({".*abc"});
+  EXPECT_EQ(r.pieces.size(), 1u);
+  EXPECT_EQ(r.program.memory_bits, 0u);
+}
+
+TEST(Splitter, TrailingSeparatorBlocksItsBoundary) {
+  // `.*abc.*xyz.*` reports at *every* position after the first abc..xyz.
+  // The trailing separator folds into the final segment (B = xyz.*), and
+  // the overlap check then correctly rejects the boundary: B's words absorb
+  // arbitrary suffixes, so an abc occurring after xyz would falsely match
+  // at the next byte. The pattern stays whole; correctness over compression.
+  const SplitResult r = split({".*abc.*xyz.*"});
+  EXPECT_EQ(r.pieces.size(), 1u);
+  EXPECT_GE(r.stats.boundaries_rejected, 1u);
+}
+
+TEST(Splitter, TrailingSeparatorContaminatesLeftward) {
+  // Once lmn|xyz.* folds, the effective B for the abc boundary becomes
+  // lmn.*xyz.* whose words can contain abc, so the fixpoint re-validation
+  // folds that boundary too. Trailing separators therefore block the whole
+  // chain — conservative but required for correctness.
+  const SplitResult r = split({".*abc.*lmn.*xyz.*"});
+  EXPECT_EQ(r.pieces.size(), 1u);
+  EXPECT_GE(r.stats.boundaries_rejected, 2u);
+}
+
+TEST(Splitter, StatsTallyPatterns) {
+  const SplitResult r = split({".*a1b2.*c3d4", ".*plainword", ".*q9w8[^\\r\\n]*e7r6"});
+  EXPECT_EQ(r.stats.patterns_in, 3u);
+  EXPECT_EQ(r.stats.patterns_decomposed, 2u);
+}
+
+}  // namespace
+}  // namespace mfa::split
