@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_compare.dir/engine_compare.cpp.o"
+  "CMakeFiles/engine_compare.dir/engine_compare.cpp.o.d"
+  "engine_compare"
+  "engine_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

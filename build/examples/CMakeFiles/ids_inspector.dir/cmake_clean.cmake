@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_inspector.dir/ids_inspector.cpp.o"
+  "CMakeFiles/ids_inspector.dir/ids_inspector.cpp.o.d"
+  "ids_inspector"
+  "ids_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

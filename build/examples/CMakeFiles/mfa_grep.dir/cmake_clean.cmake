@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfa_grep.dir/mfa_grep.cpp.o"
+  "CMakeFiles/mfa_grep.dir/mfa_grep.cpp.o.d"
+  "mfa_grep"
+  "mfa_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfa_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("regex")
+subdirs("nfa")
+subdirs("dfa")
+subdirs("filter")
+subdirs("split")
+subdirs("mfa")
+subdirs("hfa")
+subdirs("xfa")
+subdirs("flow")
+subdirs("trace")
+subdirs("patterns")
+subdirs("rules")
+subdirs("eval")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfa_dfa.dir/compact.cpp.o"
+  "CMakeFiles/mfa_dfa.dir/compact.cpp.o.d"
+  "CMakeFiles/mfa_dfa.dir/dfa.cpp.o"
+  "CMakeFiles/mfa_dfa.dir/dfa.cpp.o.d"
+  "libmfa_dfa.a"
+  "libmfa_dfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfa_dfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfa_eval.dir/harness.cpp.o"
+  "CMakeFiles/mfa_eval.dir/harness.cpp.o.d"
+  "libmfa_eval.a"
+  "libmfa_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfa_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

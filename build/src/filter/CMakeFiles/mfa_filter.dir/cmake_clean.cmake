@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfa_filter.dir/action.cpp.o"
+  "CMakeFiles/mfa_filter.dir/action.cpp.o.d"
+  "libmfa_filter.a"
+  "libmfa_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfa_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

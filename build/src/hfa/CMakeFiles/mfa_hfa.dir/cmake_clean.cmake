@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfa_hfa.dir/hfa.cpp.o"
+  "CMakeFiles/mfa_hfa.dir/hfa.cpp.o.d"
+  "libmfa_hfa.a"
+  "libmfa_hfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfa_hfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

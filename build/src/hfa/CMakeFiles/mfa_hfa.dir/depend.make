@@ -1,0 +1,2 @@
+# Empty dependencies file for mfa_hfa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mfa/mfa.cpp" "src/mfa/CMakeFiles/mfa_core.dir/mfa.cpp.o" "gcc" "src/mfa/CMakeFiles/mfa_core.dir/mfa.cpp.o.d"
+  "/root/repo/src/mfa/serialize.cpp" "src/mfa/CMakeFiles/mfa_core.dir/serialize.cpp.o" "gcc" "src/mfa/CMakeFiles/mfa_core.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfa/CMakeFiles/mfa_dfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/mfa_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/split/CMakeFiles/mfa_split.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfa/CMakeFiles/mfa_nfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/mfa_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mfa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

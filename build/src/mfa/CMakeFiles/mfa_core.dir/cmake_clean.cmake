@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfa_core.dir/mfa.cpp.o"
+  "CMakeFiles/mfa_core.dir/mfa.cpp.o.d"
+  "CMakeFiles/mfa_core.dir/serialize.cpp.o"
+  "CMakeFiles/mfa_core.dir/serialize.cpp.o.d"
+  "libmfa_core.a"
+  "libmfa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfa_nfa.dir/nfa.cpp.o"
+  "CMakeFiles/mfa_nfa.dir/nfa.cpp.o.d"
+  "libmfa_nfa.a"
+  "libmfa_nfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfa_nfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

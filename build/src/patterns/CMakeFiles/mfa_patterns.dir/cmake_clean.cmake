@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfa_patterns.dir/builtin.cpp.o"
+  "CMakeFiles/mfa_patterns.dir/builtin.cpp.o.d"
+  "libmfa_patterns.a"
+  "libmfa_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfa_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regex/ast.cpp" "src/regex/CMakeFiles/mfa_regex.dir/ast.cpp.o" "gcc" "src/regex/CMakeFiles/mfa_regex.dir/ast.cpp.o.d"
+  "/root/repo/src/regex/parser.cpp" "src/regex/CMakeFiles/mfa_regex.dir/parser.cpp.o" "gcc" "src/regex/CMakeFiles/mfa_regex.dir/parser.cpp.o.d"
+  "/root/repo/src/regex/sample.cpp" "src/regex/CMakeFiles/mfa_regex.dir/sample.cpp.o" "gcc" "src/regex/CMakeFiles/mfa_regex.dir/sample.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mfa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfa_regex.dir/ast.cpp.o"
+  "CMakeFiles/mfa_regex.dir/ast.cpp.o.d"
+  "CMakeFiles/mfa_regex.dir/parser.cpp.o"
+  "CMakeFiles/mfa_regex.dir/parser.cpp.o.d"
+  "CMakeFiles/mfa_regex.dir/sample.cpp.o"
+  "CMakeFiles/mfa_regex.dir/sample.cpp.o.d"
+  "libmfa_regex.a"
+  "libmfa_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfa_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

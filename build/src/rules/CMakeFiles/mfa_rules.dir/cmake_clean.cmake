@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfa_rules.dir/rules.cpp.o"
+  "CMakeFiles/mfa_rules.dir/rules.cpp.o.d"
+  "libmfa_rules.a"
+  "libmfa_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfa_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

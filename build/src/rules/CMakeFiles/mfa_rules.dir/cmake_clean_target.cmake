@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmfa_rules.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfa_split.dir/splitter.cpp.o"
+  "CMakeFiles/mfa_split.dir/splitter.cpp.o.d"
+  "libmfa_split.a"
+  "libmfa_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfa_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfa_trace.dir/pcap.cpp.o"
+  "CMakeFiles/mfa_trace.dir/pcap.cpp.o.d"
+  "CMakeFiles/mfa_trace.dir/real_life.cpp.o"
+  "CMakeFiles/mfa_trace.dir/real_life.cpp.o.d"
+  "CMakeFiles/mfa_trace.dir/trace.cpp.o"
+  "CMakeFiles/mfa_trace.dir/trace.cpp.o.d"
+  "libmfa_trace.a"
+  "libmfa_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfa_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

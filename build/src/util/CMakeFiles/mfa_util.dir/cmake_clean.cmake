@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfa_util.dir/table.cpp.o"
+  "CMakeFiles/mfa_util.dir/table.cpp.o.d"
+  "CMakeFiles/mfa_util.dir/timing.cpp.o"
+  "CMakeFiles/mfa_util.dir/timing.cpp.o.d"
+  "libmfa_util.a"
+  "libmfa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

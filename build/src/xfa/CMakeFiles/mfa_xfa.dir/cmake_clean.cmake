@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfa_xfa.dir/xfa.cpp.o"
+  "CMakeFiles/mfa_xfa.dir/xfa.cpp.o.d"
+  "libmfa_xfa.a"
+  "libmfa_xfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfa_xfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

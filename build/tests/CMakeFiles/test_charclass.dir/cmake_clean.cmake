@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charclass.dir/test_charclass.cpp.o"
+  "CMakeFiles/test_charclass.dir/test_charclass.cpp.o.d"
+  "test_charclass"
+  "test_charclass.pdb"
+  "test_charclass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compact_dfa.dir/test_compact_dfa.cpp.o"
+  "CMakeFiles/test_compact_dfa.dir/test_compact_dfa.cpp.o.d"
+  "test_compact_dfa"
+  "test_compact_dfa.pdb"
+  "test_compact_dfa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compact_dfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfa.dir/test_dfa.cpp.o"
+  "CMakeFiles/test_dfa.dir/test_dfa.cpp.o.d"
+  "test_dfa"
+  "test_dfa.pdb"
+  "test_dfa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gap_split.dir/test_gap_split.cpp.o"
+  "CMakeFiles/test_gap_split.dir/test_gap_split.cpp.o.d"
+  "test_gap_split"
+  "test_gap_split.pdb"
+  "test_gap_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gap_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

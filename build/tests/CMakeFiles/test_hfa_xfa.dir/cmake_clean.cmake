@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hfa_xfa.dir/test_hfa_xfa.cpp.o"
+  "CMakeFiles/test_hfa_xfa.dir/test_hfa_xfa.cpp.o.d"
+  "test_hfa_xfa"
+  "test_hfa_xfa.pdb"
+  "test_hfa_xfa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hfa_xfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hfa_xfa.
+# This may be replaced when dependencies are built.

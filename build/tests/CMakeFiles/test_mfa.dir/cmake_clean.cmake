@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mfa.dir/test_mfa.cpp.o"
+  "CMakeFiles/test_mfa.dir/test_mfa.cpp.o.d"
+  "test_mfa"
+  "test_mfa.pdb"
+  "test_mfa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nfa.dir/test_nfa.cpp.o"
+  "CMakeFiles/test_nfa.dir/test_nfa.cpp.o.d"
+  "test_nfa"
+  "test_nfa.pdb"
+  "test_nfa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pcap.cpp" "tests/CMakeFiles/test_pcap.dir/test_pcap.cpp.o" "gcc" "tests/CMakeFiles/test_pcap.dir/test_pcap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/mfa_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/mfa/CMakeFiles/mfa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/mfa_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfa/CMakeFiles/mfa_dfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfa/CMakeFiles/mfa_nfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/hfa/CMakeFiles/mfa_hfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfa/CMakeFiles/mfa_xfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/split/CMakeFiles/mfa_split.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/mfa_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/mfa_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mfa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/mfa_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mfa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_splitter_edge.dir/test_splitter_edge.cpp.o"
+  "CMakeFiles/test_splitter_edge.dir/test_splitter_edge.cpp.o.d"
+  "test_splitter_edge"
+  "test_splitter_edge.pdb"
+  "test_splitter_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_splitter_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_lib.dir/test_util_lib.cpp.o"
+  "CMakeFiles/test_util_lib.dir/test_util_lib.cpp.o.d"
+  "test_util_lib"
+  "test_util_lib.pdb"
+  "test_util_lib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

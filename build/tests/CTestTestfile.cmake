@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_charclass[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_ast[1]_include.cmake")
+include("/root/repo/build/tests/test_nfa[1]_include.cmake")
+include("/root/repo/build/tests/test_dfa[1]_include.cmake")
+include("/root/repo/build/tests/test_filter[1]_include.cmake")
+include("/root/repo/build/tests/test_split[1]_include.cmake")
+include("/root/repo/build/tests/test_mfa[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_examples[1]_include.cmake")
+include("/root/repo/build/tests/test_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_patterns[1]_include.cmake")
+include("/root/repo/build/tests/test_hfa_xfa[1]_include.cmake")
+include("/root/repo/build/tests/test_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_util_lib[1]_include.cmake")
+include("/root/repo/build/tests/test_gap_split[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_rules[1]_include.cmake")
+include("/root/repo/build/tests/test_splitter_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_parser_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_compact_dfa[1]_include.cmake")
+include("/root/repo/build/tests/test_pcap[1]_include.cmake")
