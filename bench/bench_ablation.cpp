@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
         table.add_row({variant.name, "-", "-", "-", "-", "-", "-"});
         continue;
       }
-      const auto tp = eval::measure_throughput(core::MfaScanner(*m), t, args.reps);
+      const auto tp = eval::measure_throughput(*m, t, args.reps);
       table.add_row({variant.name, std::to_string(m->pieces().size()),
                      std::to_string(m->program().memory_bits),
                      std::to_string(m->character_dfa().state_count()),
@@ -90,9 +90,8 @@ int main(int argc, char** argv) {
     const auto exemplars = eval::attack_exemplars(set, 2, 999);
     const trace::Trace t = trace::make_real_life(trace::RealLifeProfile::kCyberDefense,
                                                  args.trace_bytes, 999, exemplars);
-    const auto dense_tp = eval::measure_throughput(dfa::DfaScanner(*d), t, args.reps);
-    const auto compact_tp =
-        eval::measure_throughput(dfa::CompactDfaScanner(compact), t, args.reps);
+    const auto dense_tp = eval::measure_throughput(*d, t, args.reps);
+    const auto compact_tp = eval::measure_throughput(compact, t, args.reps);
     table.add_row({set_name, util::format_bytes_mb(d->memory_image_bytes(false), 2),
                    util::format_bytes_mb(compact.memory_image_bytes(), 2),
                    util::format_double(compact.compression_vs_dense(*d), 3),

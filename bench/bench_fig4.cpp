@@ -33,34 +33,29 @@ int main(int argc, char** argv) {
       std::string dfa_cpb = "-";
       std::uint64_t matches = 0;
       if (suite.dfa) {
-        const auto tp = eval::measure_throughput(dfa::DfaScanner(*suite.dfa), trace,
-                                                 args.reps);
+        const auto tp = eval::measure_throughput(*suite.dfa, trace, args.reps);
         dfa_cpb = util::format_double(tp.cycles_per_byte, 1);
         matches = tp.matches;
         avg_dfa.add(tp.cycles_per_byte);
       }
-      const auto nfa_tp =
-          eval::measure_throughput(nfa::NfaScanner(suite.nfa), trace, args.reps);
+      const auto nfa_tp = eval::measure_throughput(suite.nfa, trace, args.reps);
       avg_nfa.add(nfa_tp.cycles_per_byte);
       matches = std::max(matches, nfa_tp.matches);
       std::string hfa_cpb = "-";
       if (suite.hfa) {
-        const auto tp = eval::measure_throughput(hfa::HfaScanner(*suite.hfa), trace,
-                                                 args.reps);
+        const auto tp = eval::measure_throughput(*suite.hfa, trace, args.reps);
         hfa_cpb = util::format_double(tp.cycles_per_byte, 1);
         avg_hfa.add(tp.cycles_per_byte);
       }
       std::string xfa_cpb = "-";
       if (suite.xfa) {
-        const auto tp = eval::measure_throughput(xfa::XfaScanner(*suite.xfa), trace,
-                                                 args.reps);
+        const auto tp = eval::measure_throughput(*suite.xfa, trace, args.reps);
         xfa_cpb = util::format_double(tp.cycles_per_byte, 1);
         avg_xfa.add(tp.cycles_per_byte);
       }
       std::string mfa_cpb = "-";
       if (suite.mfa) {
-        const auto tp = eval::measure_throughput(core::MfaScanner(*suite.mfa), trace,
-                                                 args.reps);
+        const auto tp = eval::measure_throughput(*suite.mfa, trace, args.reps);
         mfa_cpb = util::format_double(tp.cycles_per_byte, 1);
         avg_mfa.add(tp.cycles_per_byte);
       }

@@ -37,16 +37,11 @@ int main(int argc, char** argv) {
       const trace::Trace t =
           trace::make_synthetic(*suite.dfa, pms[pi], args.trace_bytes, 555 + pi);
       const double cpb[5] = {
-          eval::measure_throughput(dfa::DfaScanner(*suite.dfa), t, args.reps)
-              .cycles_per_byte,
-          eval::measure_throughput(nfa::NfaScanner(suite.nfa), t, args.reps)
-              .cycles_per_byte,
-          eval::measure_throughput(hfa::HfaScanner(*suite.hfa), t, args.reps)
-              .cycles_per_byte,
-          eval::measure_throughput(xfa::XfaScanner(*suite.xfa), t, args.reps)
-              .cycles_per_byte,
-          eval::measure_throughput(core::MfaScanner(*suite.mfa), t, args.reps)
-              .cycles_per_byte,
+          eval::measure_throughput(*suite.dfa, t, args.reps).cycles_per_byte,
+          eval::measure_throughput(suite.nfa, t, args.reps).cycles_per_byte,
+          eval::measure_throughput(*suite.hfa, t, args.reps).cycles_per_byte,
+          eval::measure_throughput(*suite.xfa, t, args.reps).cycles_per_byte,
+          eval::measure_throughput(*suite.mfa, t, args.reps).cycles_per_byte,
       };
       for (int e = 0; e < 5; ++e) {
         grid[pi][e].sum += cpb[e];

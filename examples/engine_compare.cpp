@@ -39,26 +39,23 @@ int main(int argc, char** argv) {
                    build.ok ? std::to_string(tp.matches) : "-"});
   };
 
-  {
-    nfa::NfaScanner proto(suite.nfa);
-    row("NFA", suite.nfa_build, proto.context_bytes(),
-        eval::measure_throughput(proto, t));
-  }
+  row("NFA", suite.nfa_build, suite.nfa.context_bytes(),
+      eval::measure_throughput(suite.nfa, t));
   if (suite.dfa) {
-    row("DFA", suite.dfa_build, dfa::DfaScanner::context_bytes(),
-        eval::measure_throughput(dfa::DfaScanner(*suite.dfa), t));
+    row("DFA", suite.dfa_build, suite.dfa->context_bytes(),
+        eval::measure_throughput(*suite.dfa, t));
   } else {
     row("DFA", suite.dfa_build, 0, {});
   }
   if (suite.hfa)
     row("HFA", suite.hfa_build, suite.hfa->context_bytes(),
-        eval::measure_throughput(hfa::HfaScanner(*suite.hfa), t));
+        eval::measure_throughput(*suite.hfa, t));
   if (suite.xfa)
     row("XFA", suite.xfa_build, suite.xfa->context_bytes(),
-        eval::measure_throughput(xfa::XfaScanner(*suite.xfa), t));
+        eval::measure_throughput(*suite.xfa, t));
   if (suite.mfa)
     row("MFA", suite.mfa_build, suite.mfa->context_bytes(),
-        eval::measure_throughput(core::MfaScanner(*suite.mfa), t));
+        eval::measure_throughput(*suite.mfa, t));
 
   std::printf("\ntrace: %.2f MB, %zu packets\n\n",
               static_cast<double>(t.payload_bytes()) / (1024 * 1024), t.packet_count());

@@ -59,8 +59,9 @@ int main(int argc, char** argv) {
   std::printf("trace \"%s\": %zu packets, %.2f MB payload\n", t.name().c_str(),
               t.packet_count(), static_cast<double>(t.payload_bytes()) / (1024 * 1024));
 
-  // Inspect: one (q, m) context per flow, alerts aggregated per rule.
-  flow::FlowInspector<core::MfaScanner> inspector{core::MfaScanner(*mfa)};
+  // Inspect: one shared engine, one (q, m) context per flow, alerts
+  // aggregated per rule.
+  flow::FlowInspector<core::Mfa> inspector{*mfa};
   std::map<std::uint32_t, std::uint64_t> alerts;
   util::CycleTimer timer;
   t.for_each_packet([&](const flow::Packet& p) {

@@ -68,6 +68,32 @@ class CompactDfa {
            static_cast<double>(dfa.memory_image_bytes(false));
   }
 
+  // --- Engine/Context split (uniform API across all six engines) ---
+
+  struct Context {
+    std::uint32_t state = 0;
+  };
+
+  [[nodiscard]] Context make_context() const { return Context{start_}; }
+  void reset(Context& ctx) const { ctx.state = start_; }
+  [[nodiscard]] std::size_t context_bytes() const { return sizeof(std::uint32_t); }
+
+  /// Feed a chunk through `ctx`. Thread-safe with distinct contexts.
+  template <typename Sink>
+  void feed(Context& ctx, const std::uint8_t* data, std::size_t size, std::uint64_t base,
+            Sink&& sink) const {
+    std::uint32_t s = ctx.state;
+    const std::uint32_t naccept = accept_states_;
+    for (std::size_t i = 0; i < size; ++i) {
+      s = next(s, data[i]);
+      if (s < naccept) {
+        const auto [first, last] = accepts(s);
+        for (const auto* it = first; it != last; ++it) sink(*it, base + i);
+      }
+    }
+    ctx.state = s;
+  }
+
  private:
   struct Entry {
     std::uint8_t col;
@@ -84,25 +110,17 @@ class CompactDfa {
   std::vector<std::uint32_t> accept_ids_;
 };
 
-/// Scanner over the compressed layout; same Match contract as DfaScanner.
+/// Back-compat wrapper (engine pointer + one Context); same Match contract
+/// as DfaScanner.
 class CompactDfaScanner {
  public:
-  explicit CompactDfaScanner(const CompactDfa& dfa) : dfa_(&dfa), state_(dfa.start()) {}
+  explicit CompactDfaScanner(const CompactDfa& dfa) : dfa_(&dfa), ctx_(dfa.make_context()) {}
 
-  void reset() { state_ = dfa_->start(); }
+  void reset() { dfa_->reset(ctx_); }
 
   template <typename Sink>
   void feed(const std::uint8_t* data, std::size_t size, std::uint64_t base, Sink&& sink) {
-    std::uint32_t s = state_;
-    const std::uint32_t naccept = dfa_->accepting_state_count();
-    for (std::size_t i = 0; i < size; ++i) {
-      s = dfa_->next(s, data[i]);
-      if (s < naccept) {
-        const auto [first, last] = dfa_->accepts(s);
-        for (const auto* it = first; it != last; ++it) sink(*it, base + i);
-      }
-    }
-    state_ = s;
+    dfa_->feed(ctx_, data, size, base, sink);
   }
 
   MatchVec scan(const std::uint8_t* data, std::size_t size) {
@@ -117,7 +135,7 @@ class CompactDfaScanner {
 
  private:
   const CompactDfa* dfa_;
-  std::uint32_t state_;
+  CompactDfa::Context ctx_;
 };
 
 }  // namespace mfa::dfa

@@ -69,6 +69,40 @@ class Dfa {
   [[nodiscard]] const std::uint32_t* table_data() const { return table_.data(); }
   [[nodiscard]] const std::uint8_t* byte_columns() const { return byte_to_col_.data(); }
 
+  // --- Engine/Context split (uniform API across all six engines) ---
+  // The Dfa itself is the immutable, shareable Engine; per-flow state is
+  // this one-word Context. See DESIGN.md "Engine/Context split & pipeline".
+
+  struct Context {
+    std::uint32_t state = 0;
+  };
+
+  [[nodiscard]] Context make_context() const { return Context{start_}; }
+  void reset(Context& ctx) const { ctx.state = start_; }
+
+  /// Per-flow context is a single DFA state (paper Sec. III-B).
+  [[nodiscard]] std::size_t context_bytes() const { return sizeof(std::uint32_t); }
+
+  /// Feed a chunk through `ctx`; `base` is the stream offset of data[0].
+  /// Thread-safe for concurrent calls with distinct contexts.
+  template <typename Sink>
+  void feed(Context& ctx, const std::uint8_t* data, std::size_t size, std::uint64_t base,
+            Sink&& sink) const {
+    const std::uint32_t* table = table_.data();
+    const std::uint8_t* cols = byte_to_col_.data();
+    const std::uint32_t ncols = ncols_;
+    const std::uint32_t naccept = accept_states_;
+    std::uint32_t s = ctx.state;
+    for (std::size_t i = 0; i < size; ++i) {
+      s = table[static_cast<std::size_t>(s) * ncols + cols[data[i]]];
+      if (s < naccept) {
+        const auto [first, last] = accepts(s);
+        for (const auto* it = first; it != last; ++it) sink(*it, base + i);
+      }
+    }
+    ctx.state = s;
+  }
+
   /// Binary (de)serialization for compiled-automaton files. deserialize
   /// validates structural invariants (transition targets in range, CSR
   /// monotone) and fails the reader on any violation.
@@ -99,31 +133,20 @@ std::optional<Dfa> build_dfa(const nfa::Nfa& nfa, const BuildOptions& options = 
 std::pair<std::array<std::uint8_t, 256>, std::uint16_t> compute_byte_classes(
     const nfa::Nfa& nfa);
 
-/// Single-active-state scanning engine over the dense table (paper Sec. V:
-/// ~19 CpB in the authors' OCaml build; the fastest baseline).
+/// Back-compat wrapper over the Engine/Context split: an engine pointer
+/// plus one owned Context, with the historical scan()/feed() surface
+/// (paper Sec. V: ~19 CpB in the authors' OCaml build; fastest baseline).
 class DfaScanner {
  public:
-  explicit DfaScanner(const Dfa& dfa) : dfa_(&dfa), state_(dfa.start()) {}
+  explicit DfaScanner(const Dfa& dfa) : dfa_(&dfa), ctx_(dfa.make_context()) {}
 
-  void reset() { state_ = dfa_->start(); }
-  [[nodiscard]] std::uint32_t state() const { return state_; }
-  void set_state(std::uint32_t s) { state_ = s; }
+  void reset() { dfa_->reset(ctx_); }
+  [[nodiscard]] std::uint32_t state() const { return ctx_.state; }
+  void set_state(std::uint32_t s) { ctx_.state = s; }
 
   template <typename Sink>
   void feed(const std::uint8_t* data, std::size_t size, std::uint64_t base, Sink&& sink) {
-    const std::uint32_t* table = dfa_->table_data();
-    const std::uint8_t* cols = dfa_->byte_columns();
-    const std::uint32_t ncols = dfa_->column_count();
-    const std::uint32_t naccept = dfa_->accepting_state_count();
-    std::uint32_t s = state_;
-    for (std::size_t i = 0; i < size; ++i) {
-      s = table[static_cast<std::size_t>(s) * ncols + cols[data[i]]];
-      if (s < naccept) {
-        const auto [first, last] = dfa_->accepts(s);
-        for (const auto* it = first; it != last; ++it) sink(*it, base + i);
-      }
-    }
-    state_ = s;
+    dfa_->feed(ctx_, data, size, base, sink);
   }
 
   MatchVec scan(const std::uint8_t* data, std::size_t size) {
@@ -141,7 +164,7 @@ class DfaScanner {
 
  private:
   const Dfa* dfa_;
-  std::uint32_t state_;
+  Dfa::Context ctx_;
 };
 
 }  // namespace mfa::dfa

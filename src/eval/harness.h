@@ -17,6 +17,7 @@
 #include "mfa/mfa.h"
 #include "nfa/nfa.h"
 #include "patterns/builtin.h"
+#include "pipeline/pipeline.h"
 #include "trace/trace.h"
 #include "util/timing.h"
 #include "xfa/xfa.h"
@@ -74,16 +75,18 @@ struct Throughput {
 };
 
 /// Scan a trace through the flow inspector and report cycles per payload
-/// byte. `reps` repetitions amortize timer noise; the first rep warms the
-/// caches and is excluded when reps > 1.
-template <typename ScannerT>
-Throughput measure_throughput(const ScannerT& prototype, const trace::Trace& trace,
+/// byte. The engine is shared (immutable); each repetition starts from a
+/// fresh flow table of per-flow Contexts. `reps` repetitions amortize
+/// timer noise; the first rep warms the caches and is excluded when
+/// reps > 1.
+template <typename EngineT>
+Throughput measure_throughput(const EngineT& engine, const trace::Trace& trace,
                               int reps = 2) {
   Throughput result;
   std::uint64_t cycles = 0;
   int timed_reps = 0;
   for (int rep = 0; rep < reps; ++rep) {
-    flow::FlowInspector<ScannerT> inspector(prototype);
+    flow::FlowInspector<EngineT> inspector(engine);
     CountingSink sink;
     const std::uint64_t start = util::rdtsc_now();
     trace.for_each_packet([&](const flow::Packet& p) { inspector.packet(p, sink); });
@@ -95,6 +98,48 @@ Throughput measure_throughput(const ScannerT& prototype, const trace::Trace& tra
     }
     result.matches = sink.count;
     result.flows = inspector.flow_count();
+  }
+  if (trace.payload_bytes() > 0 && timed_reps > 0) {
+    result.cycles_per_byte = static_cast<double>(cycles) /
+                             (static_cast<double>(timed_reps) *
+                              static_cast<double>(trace.payload_bytes()));
+  }
+  return result;
+}
+
+struct PipelineThroughput {
+  double cycles_per_byte = 0.0;  ///< wall cycles / payload bytes, submit→finish
+  std::uint64_t matches = 0;     ///< merged matches in the final repetition
+  std::vector<pipeline::ShardStats> shards;  ///< per-shard stats, final rep
+};
+
+/// Run a trace through the sharded pipeline and report wall cycles per
+/// payload byte across all shards (submit through finish, including queue
+/// hand-off). One Engine is shared by every shard; each shard owns a flow
+/// table of Contexts. First rep warms caches when reps > 1.
+template <typename EngineT>
+PipelineThroughput measure_pipeline_throughput(const EngineT& engine,
+                                               const trace::Trace& trace,
+                                               std::size_t shards, int reps = 2) {
+  PipelineThroughput result;
+  std::uint64_t cycles = 0;
+  int timed_reps = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    pipeline::Options opt;
+    opt.shards = shards;
+    pipeline::ShardedInspector<EngineT> pipe(engine, opt);
+    pipe.start();
+    const std::uint64_t start = util::rdtsc_now();
+    trace.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+    pipe.finish();
+    const std::uint64_t elapsed = util::rdtsc_now() - start;
+    const bool warmup = reps > 1 && rep == 0;
+    if (!warmup) {
+      cycles += elapsed;
+      ++timed_reps;
+    }
+    result.matches = pipe.totals().matches;
+    result.shards = pipe.stats();
   }
   if (trace.payload_bytes() > 0 && timed_reps > 0) {
     result.cycles_per_byte = static_cast<double>(cycles) /

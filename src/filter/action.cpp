@@ -29,4 +29,39 @@ std::string Action::to_pseudocode() const {
   return out.str();
 }
 
+bool Program::validate(std::string* error) const {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (memory_bits > kMaxMemoryBits)
+    return fail("program declares " + std::to_string(memory_bits) +
+                " memory bits; the per-flow Memory caps at " +
+                std::to_string(kMaxMemoryBits) +
+                " (reduce the pattern set or shard it across engines)");
+  const auto bit_ok = [&](std::int32_t b) {
+    return b == kNone || (b >= 0 && static_cast<std::uint32_t>(b) < memory_bits);
+  };
+  const auto ctr_ok = [&](std::int32_t c) {
+    return c == kNone || (c >= 0 && static_cast<std::uint32_t>(c) < counters);
+  };
+  const auto slot_ok = [&](std::int32_t s) {
+    return s == kNone || (s >= 0 && static_cast<std::uint32_t>(s) < position_slots);
+  };
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const Action& a = actions[i];
+    if (!bit_ok(a.test) || !bit_ok(a.set) || !bit_ok(a.clear))
+      return fail("action " + std::to_string(i) + " references a bit outside [0, " +
+                  std::to_string(memory_bits) + ")");
+    if (!ctr_ok(a.ctr_test) || !ctr_ok(a.ctr_incr))
+      return fail("action " + std::to_string(i) + " references a counter outside [0, " +
+                  std::to_string(counters) + ")");
+    if (!slot_ok(a.set_slot) || !slot_ok(a.test_slot))
+      return fail("action " + std::to_string(i) +
+                  " references a position slot outside [0, " +
+                  std::to_string(position_slots) + ")");
+  }
+  return true;
+}
+
 }  // namespace mfa::filter

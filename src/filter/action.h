@@ -16,6 +16,11 @@ namespace mfa::filter {
 
 inline constexpr std::int32_t kNone = -1;
 
+/// Hard cap on per-flow bit memory: Memory backs `w` with a fixed
+/// 4-word array, so any Program declaring more bits would silently alias
+/// flags. Program::validate() enforces this at build time.
+inline constexpr std::uint32_t kMaxMemoryBits = 256;
+
 struct Action {
   std::int32_t test = kNone;    ///< bit that must be 1 for this action to fire
   std::int32_t set = kNone;     ///< bit set when the action fires
@@ -89,6 +94,12 @@ struct Program {
   [[nodiscard]] std::size_t memory_image_bytes() const {
     return actions.size() * sizeof(Action);
   }
+
+  /// Geometry check: memory_bits within kMaxMemoryBits and every action
+  /// operand inside the declared geometry. Engine builders reject programs
+  /// that fail this instead of letting a >256-bit program alias flags at
+  /// scan time. On failure, fills `error` (when non-null) with the reason.
+  [[nodiscard]] bool validate(std::string* error = nullptr) const;
 };
 
 }  // namespace mfa::filter

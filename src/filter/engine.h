@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <vector>
@@ -29,9 +30,16 @@ class Memory {
     std::fill(positions_.begin(), positions_.end(), 0);
   }
 
-  void set_bit(std::int32_t i) { bits_[i >> 6] |= 1ULL << (i & 63); }
-  void clear_bit(std::int32_t i) { bits_[i >> 6] &= ~(1ULL << (i & 63)); }
+  void set_bit(std::int32_t i) {
+    assert(i >= 0 && static_cast<std::uint32_t>(i) < kMaxMemoryBits);
+    bits_[i >> 6] |= 1ULL << (i & 63);
+  }
+  void clear_bit(std::int32_t i) {
+    assert(i >= 0 && static_cast<std::uint32_t>(i) < kMaxMemoryBits);
+    bits_[i >> 6] &= ~(1ULL << (i & 63));
+  }
   [[nodiscard]] bool test_bit(std::int32_t i) const {
+    assert(i >= 0 && static_cast<std::uint32_t>(i) < kMaxMemoryBits);
     return (bits_[i >> 6] >> (i & 63)) & 1ULL;
   }
 
@@ -52,9 +60,18 @@ class Memory {
   }
 
  private:
-  std::array<std::uint64_t, 4> bits_{};
+  std::array<std::uint64_t, kMaxMemoryBits / 64> bits_{};
   std::vector<std::uint32_t> counters_;
   std::vector<std::uint64_t> positions_;
+};
+
+/// The paper's per-flow (q, m) pair: character-automaton state + filter
+/// memory. This is the shared Context type of every filter-backed engine
+/// (MFA, HFA, XFA) under the Engine/Context split: one immutable engine is
+/// shared by all flows/threads, one ScanContext is kept per flow.
+struct ScanContext {
+  std::uint32_t state = 0;
+  Memory memory;
 };
 
 /// Stateless executor over a Program; all mutable state lives in Memory so

@@ -2,12 +2,16 @@
 //
 // Paper Sec. III-B: "To handle many flows arriving in multiplexed fashion,
 // all that is necessary is to keep a (q, m) pair for each flow". The
-// FlowInspector below is that mechanism, generic over any scanner engine:
-// it keeps one scanner context per flow, restores it when a packet of that
-// flow arrives, and performs in-order reassembly (buffering out-of-order
-// segments) so engines always see a contiguous byte stream.
+// FlowInspector below is that mechanism under the Engine/Context split: it
+// holds ONE shared immutable Engine and stores only a small per-flow
+// Context (the (q, m) pair) plus reassembly bookkeeping in its flow table.
+// It restores the context when a packet of that flow arrives and performs
+// in-order reassembly (buffering out-of-order segments, bounded per flow)
+// so engines always see a contiguous byte stream.
 #pragma once
 
+#include <concepts>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -48,19 +52,67 @@ struct Packet {
   std::uint32_t length = 0;
 };
 
-/// Multiplexing inspector: per-flow scanner contexts + in-order reassembly.
-/// ScannerT must be copy-constructible (the per-flow context) and provide
-/// feed(data, size, base_offset, sink).
+/// Default per-flow cap on buffered out-of-order bytes: a hostile trace
+/// that opens holes and floods segments behind them cannot grow a flow's
+/// reassembly buffer past this (oldest-buffered segments are dropped).
+inline constexpr std::size_t kDefaultMaxPendingBytes = 256 * 1024;
+
+/// Requirements FlowInspector places on an engine: an immutable, shareable
+/// compiled automaton exposing a cheap per-flow Context (the paper's
+/// (q, m)) and a context-threaded feed. All six engines (Nfa, Dfa,
+/// CompactDfa, Hfa, Xfa, Mfa) satisfy this.
+template <typename EngineT>
+concept ScanEngine = requires(const EngineT& e, typename EngineT::Context& ctx,
+                              const std::uint8_t* data) {
+  { e.make_context() } -> std::same_as<typename EngineT::Context>;
+  { e.context_bytes() } -> std::convertible_to<std::size_t>;
+  e.feed(ctx, data, std::size_t{0}, std::uint64_t{0},
+         [](std::uint32_t, std::uint64_t) {});
+};
+
+/// Multiplexing inspector over the Engine/Context split. Stores one shared
+/// Engine reference for ALL flows and exactly one Context per flow — no
+/// per-flow engine copies or pointers — so the per-flow footprint is
+/// engine.context_bytes() plus reassembly bookkeeping.
 ///
 /// `max_flows` bounds the flow table (0 = unbounded): when a new flow would
-/// exceed it, the least-recently-active flow's context is evicted — the
-/// standard DPI memory-bound strategy, and the reason small per-flow
-/// contexts matter (paper Sec. III-A).
-template <typename ScannerT>
+/// exceed it, the least-recently-active flow's context is evicted in O(1)
+/// via an intrusive LRU list — the standard DPI memory-bound strategy, and
+/// the reason small per-flow contexts matter (paper Sec. III-A).
+///
+/// `max_pending_bytes` bounds each flow's out-of-order buffer (0 =
+/// unbounded); overflow drops the oldest buffered segment and counts it in
+/// reassembly_dropped_count().
+///
+/// The engine must outlive the inspector. Not thread-safe; under the
+/// sharded pipeline each worker thread owns one FlowInspector.
+template <typename EngineT>
+  requires ScanEngine<EngineT>
 class FlowInspector {
  public:
-  explicit FlowInspector(ScannerT prototype, std::size_t max_flows = 0)
-      : prototype_(std::move(prototype)), max_flows_(max_flows) {}
+  using Context = typename EngineT::Context;
+
+  explicit FlowInspector(const EngineT& engine, std::size_t max_flows = 0,
+                         std::size_t max_pending_bytes = kDefaultMaxPendingBytes)
+      : engine_(&engine), max_flows_(max_flows), max_pending_(max_pending_bytes) {}
+
+  /// Per-flow record: one engine Context plus reassembly bookkeeping and
+  /// the intrusive LRU links. Public so tests can verify the storage
+  /// contract (no per-flow engine duplication) by inspecting its layout.
+  struct FlowState {
+    struct PendingSegment {
+      std::vector<std::uint8_t> bytes;
+      std::uint64_t arrival = 0;  ///< inspector-wide tick, for oldest-drop
+    };
+
+    Context ctx;  ///< the engine's per-flow (q, m)
+    std::uint64_t next_offset = 0;
+    std::uint64_t pending_bytes = 0;
+    std::map<std::uint64_t, PendingSegment> pending;
+    FlowState* lru_prev = nullptr;
+    FlowState* lru_next = nullptr;
+    FlowKey key;  ///< back-reference for O(1) LRU eviction
+  };
 
   /// Deliver one packet. sink(match_id, flow_offset) fires for confirmed
   /// matches; positions are byte offsets within the flow's stream.
@@ -69,13 +121,13 @@ class FlowInspector {
     FlowState& fs = flow(p.key);
     if (p.seq > fs.next_offset) {
       // Out of order: hold the segment until the gap fills.
-      fs.pending.emplace(p.seq, std::vector<std::uint8_t>(p.payload, p.payload + p.length));
+      buffer_segment(fs, p);
       return;
     }
     // Possibly-overlapping retransmission: skip already-delivered bytes.
-    std::uint64_t skip = fs.next_offset - p.seq;
+    const std::uint64_t skip = fs.next_offset - p.seq;
     if (skip < p.length) {
-      fs.scanner.feed(p.payload + skip, p.length - skip, fs.next_offset, sink);
+      engine_->feed(fs.ctx, p.payload + skip, p.length - skip, fs.next_offset, sink);
       fs.next_offset += p.length - skip;
     }
     drain(fs, sink);
@@ -87,39 +139,107 @@ class FlowInspector {
   /// Flows evicted to honour max_flows.
   [[nodiscard]] std::uint64_t evicted_count() const { return evicted_; }
 
-  /// Drop a finished flow's context.
-  void evict(const FlowKey& key) { flows_.erase(key); }
+  /// Out-of-order segments dropped to honour max_pending_bytes.
+  [[nodiscard]] std::uint64_t reassembly_dropped_count() const {
+    return reassembly_dropped_;
+  }
 
-  void clear() { flows_.clear(); }
+  /// Logical per-flow context footprint (the engine's (q, m) bytes).
+  [[nodiscard]] std::size_t context_bytes() const { return engine_->context_bytes(); }
+
+  [[nodiscard]] const EngineT& engine() const { return *engine_; }
+
+  /// Drop a finished flow's context.
+  void evict(const FlowKey& key) {
+    auto it = flows_.find(key);
+    if (it == flows_.end()) return;
+    lru_unlink(&it->second);
+    flows_.erase(it);
+  }
+
+  void clear() {
+    flows_.clear();
+    lru_head_ = nullptr;
+    lru_tail_ = nullptr;
+  }
 
  private:
-  struct FlowState {
-    explicit FlowState(const ScannerT& prototype) : scanner(prototype) {}
-    ScannerT scanner;
-    std::uint64_t next_offset = 0;
-    std::map<std::uint64_t, std::vector<std::uint8_t>> pending;
-    std::uint64_t last_touch = 0;
-  };
-
   FlowState& flow(const FlowKey& key) {
     auto it = flows_.find(key);
-    if (it == flows_.end()) {
-      if (max_flows_ != 0 && flows_.size() >= max_flows_) evict_oldest();
-      it = flows_.emplace(key, FlowState(prototype_)).first;
+    if (it != flows_.end()) {
+      lru_touch(&it->second);
+      return it->second;
     }
-    it->second.last_touch = ++tick_;
+    if (max_flows_ != 0 && flows_.size() >= max_flows_) evict_oldest();
+    it = flows_.emplace(key, FlowState{engine_->make_context()}).first;
+    it->second.key = key;  // node addresses are stable in unordered_map
+    lru_push_back(&it->second);
     return it->second;
   }
 
+  // --- intrusive LRU list: head = least recently active, tail = most ---
+
+  void lru_push_back(FlowState* fs) {
+    fs->lru_prev = lru_tail_;
+    fs->lru_next = nullptr;
+    if (lru_tail_ != nullptr) lru_tail_->lru_next = fs;
+    lru_tail_ = fs;
+    if (lru_head_ == nullptr) lru_head_ = fs;
+  }
+
+  void lru_unlink(FlowState* fs) {
+    if (fs->lru_prev != nullptr) fs->lru_prev->lru_next = fs->lru_next;
+    if (fs->lru_next != nullptr) fs->lru_next->lru_prev = fs->lru_prev;
+    if (lru_head_ == fs) lru_head_ = fs->lru_next;
+    if (lru_tail_ == fs) lru_tail_ = fs->lru_prev;
+    fs->lru_prev = nullptr;
+    fs->lru_next = nullptr;
+  }
+
+  void lru_touch(FlowState* fs) {
+    if (lru_tail_ == fs) return;
+    lru_unlink(fs);
+    lru_push_back(fs);
+  }
+
   void evict_oldest() {
-    auto oldest = flows_.begin();
-    for (auto it = flows_.begin(); it != flows_.end(); ++it) {
-      if (it->second.last_touch < oldest->second.last_touch) oldest = it;
+    FlowState* victim = lru_head_;
+    if (victim == nullptr) return;
+    lru_unlink(victim);
+    flows_.erase(victim->key);
+    ++evicted_;
+  }
+
+  // --- bounded out-of-order reassembly ---
+
+  void buffer_segment(FlowState& fs, const Packet& p) {
+    if (p.length == 0) return;
+    if (max_pending_ != 0 && p.length > max_pending_) {
+      // A single segment larger than the whole budget can never be held.
+      ++reassembly_dropped_;
+      return;
     }
-    if (oldest != flows_.end()) {
-      flows_.erase(oldest);
-      ++evicted_;
+    while (max_pending_ != 0 && fs.pending_bytes + p.length > max_pending_)
+      drop_oldest_pending(fs);
+    auto [it, inserted] = fs.pending.try_emplace(p.seq);
+    if (!inserted) {
+      // Duplicate sequence number: keep whichever segment carries more data.
+      if (it->second.bytes.size() >= p.length) return;
+      fs.pending_bytes -= it->second.bytes.size();
     }
+    it->second.bytes.assign(p.payload, p.payload + p.length);
+    it->second.arrival = ++arrival_tick_;
+    fs.pending_bytes += p.length;
+  }
+
+  void drop_oldest_pending(FlowState& fs) {
+    auto oldest = fs.pending.begin();
+    for (auto it = fs.pending.begin(); it != fs.pending.end(); ++it) {
+      if (it->second.arrival < oldest->second.arrival) oldest = it;
+    }
+    fs.pending_bytes -= oldest->second.bytes.size();
+    fs.pending.erase(oldest);
+    ++reassembly_dropped_;
   }
 
   template <typename Sink>
@@ -128,19 +248,25 @@ class FlowInspector {
       auto it = fs.pending.begin();
       if (it->first > fs.next_offset) break;
       const std::uint64_t skip = fs.next_offset - it->first;
-      const auto& bytes = it->second;
+      const auto& bytes = it->second.bytes;
       if (skip < bytes.size()) {
-        fs.scanner.feed(bytes.data() + skip, bytes.size() - skip, fs.next_offset, sink);
+        engine_->feed(fs.ctx, bytes.data() + skip, bytes.size() - skip, fs.next_offset,
+                      sink);
         fs.next_offset += bytes.size() - skip;
       }
+      fs.pending_bytes -= bytes.size();
       fs.pending.erase(it);
     }
   }
 
-  ScannerT prototype_;
+  const EngineT* engine_;  ///< ONE engine for all flows (never per-flow)
   std::size_t max_flows_ = 0;
-  std::uint64_t tick_ = 0;
+  std::size_t max_pending_ = kDefaultMaxPendingBytes;
   std::uint64_t evicted_ = 0;
+  std::uint64_t reassembly_dropped_ = 0;
+  std::uint64_t arrival_tick_ = 0;
+  FlowState* lru_head_ = nullptr;  ///< least recently active
+  FlowState* lru_tail_ = nullptr;  ///< most recently active
   std::unordered_map<FlowKey, FlowState, FlowKeyHash> flows_;
 };
 

@@ -13,6 +13,12 @@ std::optional<Hfa> build_hfa(const std::vector<nfa::PatternInput>& patterns,
   BuildStats& st = stats != nullptr ? *stats : local;
 
   split::SplitResult sr = split::split_patterns(patterns, options.split);
+  // Same geometry guard as build_mfa: a program past kMaxMemoryBits would
+  // alias history bits at scan time.
+  if (!sr.program.validate()) {
+    st.seconds = timer.seconds();
+    return std::nullopt;
+  }
   std::vector<nfa::PatternInput> piece_inputs;
   piece_inputs.reserve(sr.pieces.size());
   for (const auto& piece : sr.pieces)

@@ -80,6 +80,40 @@ class Hfa {
                                          program_.position_slots);
   }
 
+  // --- Engine/Context split (uniform API across all six engines) ---
+
+  using Context = filter::ScanContext;
+
+  [[nodiscard]] Context make_context() const {
+    return Context{start_, filter::Memory(program_.counters, program_.position_slots)};
+  }
+
+  void reset(Context& ctx) const {
+    ctx.state = start_;
+    ctx.memory.reset();
+  }
+
+  /// Feed a chunk through `ctx`. Thread-safe with distinct contexts.
+  template <typename Sink>
+  void feed(Context& ctx, const std::uint8_t* data, std::size_t size, std::uint64_t base,
+            Sink&& sink) const {
+    const filter::Engine engine(program_);
+    const HfaEntry* table = table_.data();
+    std::uint32_t s = ctx.state;
+    for (std::size_t i = 0; i < size; ++i) {
+      const HfaEntry& e = table[(static_cast<std::size_t>(s) << 8) | data[i]];
+      // The defining HFA cost: every transition consults the history
+      // memory before the successor is known.
+      s = ctx.memory.test_bit(e.test_bit) ? e.next_set : e.next_clear;
+      if (e.ann != 0) {
+        const auto [first, last] = annotation(e.ann - 1);
+        for (const auto* it = first; it != last; ++it)
+          engine.on_match(*it, base + i, ctx.memory, sink);
+      }
+    }
+    ctx.state = s;
+  }
+
  private:
   friend std::optional<Hfa> build_hfa(const std::vector<nfa::PatternInput>&,
                                       const BuildOptions&, BuildStats*);
@@ -94,35 +128,17 @@ class Hfa {
 std::optional<Hfa> build_hfa(const std::vector<nfa::PatternInput>& patterns,
                              const BuildOptions& options = {}, BuildStats* stats = nullptr);
 
+/// Back-compat wrapper over the Engine/Context split (engine pointer + one
+/// owned Context).
 class HfaScanner {
  public:
-  explicit HfaScanner(const Hfa& hfa)
-      : hfa_(&hfa),
-        engine_(hfa.program()),
-        memory_(hfa.program().counters, hfa.program().position_slots),
-        state_(hfa.start()) {}
+  explicit HfaScanner(const Hfa& hfa) : hfa_(&hfa), ctx_(hfa.make_context()) {}
 
-  void reset() {
-    state_ = hfa_->start();
-    memory_.reset();
-  }
+  void reset() { hfa_->reset(ctx_); }
 
   template <typename Sink>
   void feed(const std::uint8_t* data, std::size_t size, std::uint64_t base, Sink&& sink) {
-    const HfaEntry* table = hfa_->table_data();
-    std::uint32_t s = state_;
-    for (std::size_t i = 0; i < size; ++i) {
-      const HfaEntry& e = table[(static_cast<std::size_t>(s) << 8) | data[i]];
-      // The defining HFA cost: every transition consults the history
-      // memory before the successor is known.
-      s = memory_.test_bit(e.test_bit) ? e.next_set : e.next_clear;
-      if (e.ann != 0) {
-        const auto [first, last] = hfa_->annotation(e.ann - 1);
-        for (const auto* it = first; it != last; ++it)
-          engine_.on_match(*it, base + i, memory_, sink);
-      }
-    }
-    state_ = s;
+    hfa_->feed(ctx_, data, size, base, sink);
   }
 
   MatchVec scan(const std::uint8_t* data, std::size_t size) {
@@ -137,9 +153,7 @@ class HfaScanner {
 
  private:
   const Hfa* hfa_;
-  filter::Engine engine_;
-  filter::Memory memory_;
-  std::uint32_t state_;
+  Hfa::Context ctx_;
 };
 
 }  // namespace mfa::hfa

@@ -16,6 +16,14 @@ std::optional<Mfa> build_mfa(const std::vector<nfa::PatternInput>& patterns,
   split::SplitResult sr = split_patterns(patterns, options.split);
   st.split = sr.stats;
 
+  // Reject programs whose geometry exceeds the per-flow Memory (e.g. more
+  // guard bits than kMaxMemoryBits) before paying for DFA construction; a
+  // silently-truncated filter would alias bits and corrupt match results.
+  if (!sr.program.validate()) {
+    st.seconds = timer.seconds();
+    return std::nullopt;
+  }
+
   // 2. Standard NFA + DFA construction over the decomposed pieces, with
   //    piece engine-ids as the DFA's match ids.
   std::vector<nfa::PatternInput> piece_inputs;

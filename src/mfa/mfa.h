@@ -62,6 +62,44 @@ class Mfa {
                                          program_.position_slots);
   }
 
+  // --- Engine/Context split (uniform API across all six engines) ---
+  // The Mfa is the immutable, shareable Engine; the Context is the paper's
+  // per-flow (q, m) pair. One Mfa serves any number of flows and threads.
+
+  using Context = filter::ScanContext;
+
+  [[nodiscard]] Context make_context() const {
+    return Context{dfa_.start(),
+                   filter::Memory(program_.counters, program_.position_slots)};
+  }
+
+  void reset(Context& ctx) const {
+    ctx.state = dfa_.start();
+    ctx.memory.reset();
+  }
+
+  /// Feed a chunk through `ctx`: DFA inner loop plus filter post-processing
+  /// on match events only. Thread-safe with distinct contexts.
+  template <typename Sink>
+  void feed(Context& ctx, const std::uint8_t* data, std::size_t size, std::uint64_t base,
+            Sink&& sink) const {
+    const filter::Engine engine(program_);
+    const std::uint32_t* table = dfa_.table_data();
+    const std::uint8_t* cols = dfa_.byte_columns();
+    const std::uint32_t ncols = dfa_.column_count();
+    const std::uint32_t naccept = dfa_.accepting_state_count();
+    std::uint32_t s = ctx.state;
+    for (std::size_t i = 0; i < size; ++i) {
+      s = table[static_cast<std::size_t>(s) * ncols + cols[data[i]]];
+      if (s < naccept) {
+        const auto [first, last] = ordered_actions(s);
+        for (const auto* it = first; it != last; ++it)
+          engine.on_match(*it, base + i, ctx.memory, sink);
+      }
+    }
+    ctx.state = s;
+  }
+
   /// Persist the compiled automaton (character DFA + filter program +
   /// per-accept-state action order + piece sources) to a ".mfac" file so a
   /// deployment can compile once and load on every sensor.
@@ -84,38 +122,17 @@ class Mfa {
 std::optional<Mfa> build_mfa(const std::vector<nfa::PatternInput>& patterns,
                              const BuildOptions& options = {}, BuildStats* stats = nullptr);
 
-/// Scanning engine: DFA inner loop plus filter-engine post-processing on
-/// match events only (unlike HFA/XFA which pay per byte or per state entry).
+/// Back-compat wrapper over the Engine/Context split (engine pointer + one
+/// owned (q, m) Context) with the historical scan()/feed() surface.
 class MfaScanner {
  public:
-  explicit MfaScanner(const Mfa& mfa)
-      : mfa_(&mfa),
-        engine_(mfa.program()),
-        memory_(mfa.program().counters, mfa.program().position_slots),
-        state_(mfa.character_dfa().start()) {}
+  explicit MfaScanner(const Mfa& mfa) : mfa_(&mfa), ctx_(mfa.make_context()) {}
 
-  void reset() {
-    state_ = mfa_->character_dfa().start();
-    memory_.reset();
-  }
+  void reset() { mfa_->reset(ctx_); }
 
   template <typename Sink>
   void feed(const std::uint8_t* data, std::size_t size, std::uint64_t base, Sink&& sink) {
-    const dfa::Dfa& d = mfa_->character_dfa();
-    const std::uint32_t* table = d.table_data();
-    const std::uint8_t* cols = d.byte_columns();
-    const std::uint32_t ncols = d.column_count();
-    const std::uint32_t naccept = d.accepting_state_count();
-    std::uint32_t s = state_;
-    for (std::size_t i = 0; i < size; ++i) {
-      s = table[static_cast<std::size_t>(s) * ncols + cols[data[i]]];
-      if (s < naccept) {
-        const auto [first, last] = mfa_->ordered_actions(s);
-        for (const auto* it = first; it != last; ++it)
-          engine_.on_match(*it, base + i, memory_, sink);
-      }
-    }
-    state_ = s;
+    mfa_->feed(ctx_, data, size, base, sink);
   }
 
   MatchVec scan(const std::uint8_t* data, std::size_t size) {
@@ -132,9 +149,7 @@ class MfaScanner {
 
  private:
   const Mfa* mfa_;
-  filter::Engine engine_;
-  filter::Memory memory_;
-  std::uint32_t state_;
+  Mfa::Context ctx_;
 };
 
 }  // namespace mfa::core

@@ -263,19 +263,21 @@ std::vector<regex::CharClass> Nfa::distinct_labels() const {
   return labels;
 }
 
-NfaScanner::NfaScanner(const Nfa& nfa) : nfa_(&nfa) {
-  const std::size_t words = (nfa.state_count() + 63) / 64;
-  current_.resize(words);
-  next_.resize(words);
-  seen_stamp_.assign(nfa.max_match_id() + 1, 0);
-  reset();
+Nfa::Context Nfa::make_context() const {
+  Context ctx;
+  const std::size_t words = (state_count() + 63) / 64;
+  ctx.current.resize(words);
+  ctx.next.resize(words);
+  ctx.seen_stamp.assign(max_match_id() + 1, 0);
+  reset(ctx);
+  return ctx;
 }
 
-void NfaScanner::reset() {
-  std::fill(current_.begin(), current_.end(), 0);
-  std::fill(next_.begin(), next_.end(), 0);
-  std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
-  current_[nfa_->start() >> 6] |= 1ULL << (nfa_->start() & 63);
+void Nfa::reset(Context& ctx) const {
+  std::fill(ctx.current.begin(), ctx.current.end(), 0);
+  std::fill(ctx.next.begin(), ctx.next.end(), 0);
+  std::fill(ctx.seen_stamp.begin(), ctx.seen_stamp.end(), 0);
+  ctx.current[start_ >> 6] |= 1ULL << (start_ & 63);
 }
 
 MatchVec NfaScanner::scan(const std::uint8_t* data, std::size_t size) {
@@ -283,10 +285,6 @@ MatchVec NfaScanner::scan(const std::uint8_t* data, std::size_t size) {
   CollectingSink sink;
   feed(data, size, 0, sink);
   return std::move(sink.matches);
-}
-
-std::size_t NfaScanner::context_bytes() const {
-  return current_.size() * sizeof(std::uint64_t);
 }
 
 }  // namespace mfa::nfa

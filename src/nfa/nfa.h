@@ -7,6 +7,7 @@
 // them before publishing, so downstream consumers never see epsilons.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -52,6 +53,34 @@ class Nfa {
   /// Union of all transition labels; used for byte-class computation.
   [[nodiscard]] std::vector<regex::CharClass> distinct_labels() const;
 
+  // --- Engine/Context split (uniform API across all six engines) ---
+  // The Nfa is the immutable, shareable Engine; the per-flow Context is the
+  // active-state bitset plus per-id dedup stamps. `next` is scratch for the
+  // simulation step — it lives in the Context (not the Engine) so one Nfa
+  // can serve many threads without interior mutability.
+
+  struct Context {
+    std::vector<std::uint64_t> current;
+    std::vector<std::uint64_t> next;        ///< scratch for the step
+    std::vector<std::uint64_t> seen_stamp;  ///< per id: 1 + last reported end offset
+  };
+
+  [[nodiscard]] Context make_context() const;
+  void reset(Context& ctx) const;
+
+  /// Bytes of per-flow state (the active-state bitset) — the NFA's weakness
+  /// for flow multiplexing that Sec. II-C discusses for FPGA solutions.
+  [[nodiscard]] std::size_t context_bytes() const {
+    return ((state_count() + 63) / 64) * sizeof(std::uint64_t);
+  }
+
+  /// Feed a chunk through `ctx`; `base` is the stream offset of data[0].
+  /// Emits sink(id, end_offset) once per (id, position). Thread-safe for
+  /// concurrent calls with distinct contexts.
+  template <typename Sink>
+  void feed(Context& ctx, const std::uint8_t* data, std::size_t size, std::uint64_t base,
+            Sink&& sink) const;
+
  private:
   friend Nfa build_nfa(const std::vector<PatternInput>& patterns);
   std::uint32_t start_ = 0;
@@ -65,18 +94,21 @@ class Nfa {
 /// may start anywhere; anchored patterns start only at offset 0.
 Nfa build_nfa(const std::vector<PatternInput>& patterns);
 
-/// Bitset-based NFA simulation engine (the paper's NFA baseline: compact
-/// but paying per-byte cost proportional to active states).
+/// Back-compat wrapper over the Engine/Context split: the paper's NFA
+/// baseline interface (compact image, per-byte cost proportional to active
+/// states), implemented as an engine pointer plus one owned Context.
 class NfaScanner {
  public:
-  explicit NfaScanner(const Nfa& nfa);
+  explicit NfaScanner(const Nfa& nfa) : nfa_(&nfa), ctx_(nfa.make_context()) {}
 
-  void reset();
+  void reset() { nfa_->reset(ctx_); }
 
   /// Feed a chunk; `base` is the stream offset of data[0]. Emits
   /// sink(id, end_offset) once per (id, position).
   template <typename Sink>
-  void feed(const std::uint8_t* data, std::size_t size, std::uint64_t base, Sink&& sink);
+  void feed(const std::uint8_t* data, std::size_t size, std::uint64_t base, Sink&& sink) {
+    nfa_->feed(ctx_, data, size, base, sink);
+  }
 
   /// Convenience: scan a whole buffer from offset 0 after reset().
   MatchVec scan(const std::uint8_t* data, std::size_t size);
@@ -84,35 +116,31 @@ class NfaScanner {
     return scan(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
   }
 
-  /// Bytes of per-flow state (the active-state bitset) — the NFA's weakness
-  /// for flow multiplexing that Sec. II-C discusses for FPGA solutions.
-  [[nodiscard]] std::size_t context_bytes() const;
+  [[nodiscard]] std::size_t context_bytes() const { return nfa_->context_bytes(); }
 
  private:
   const Nfa* nfa_;
-  std::vector<std::uint64_t> current_;
-  std::vector<std::uint64_t> next_;
-  std::vector<std::uint64_t> seen_stamp_;  // per id: 1 + last reported end offset
+  Nfa::Context ctx_;
 };
 
 // --- template implementation ---
 
 template <typename Sink>
-void NfaScanner::feed(const std::uint8_t* data, std::size_t size, std::uint64_t base,
-                      Sink&& sink) {
-  const std::size_t words = current_.size();
+void Nfa::feed(Context& ctx, const std::uint8_t* data, std::size_t size, std::uint64_t base,
+               Sink&& sink) const {
+  const std::size_t words = ctx.current.size();
   for (std::size_t i = 0; i < size; ++i) {
     const unsigned char c = data[i];
-    std::fill(next_.begin(), next_.end(), 0);
+    std::fill(ctx.next.begin(), ctx.next.end(), 0);
     // Gather active states then apply their transition lists.
     for (std::size_t wi = 0; wi < words; ++wi) {
-      std::uint64_t w = current_[wi];
+      std::uint64_t w = ctx.current[wi];
       while (w != 0) {
         const std::uint32_t s =
             static_cast<std::uint32_t>(wi * 64 + static_cast<std::size_t>(__builtin_ctzll(w)));
         w &= w - 1;
-        for (const auto& t : nfa_->transitions_from(s)) {
-          if (t.cc.test(c)) next_[t.target >> 6] |= 1ULL << (t.target & 63);
+        for (const auto& t : transitions_[s]) {
+          if (t.cc.test(c)) ctx.next[t.target >> 6] |= 1ULL << (t.target & 63);
         }
       }
     }
@@ -121,17 +149,17 @@ void NfaScanner::feed(const std::uint8_t* data, std::size_t size, std::uint64_t 
     // patterns hang off a start that must stay active only at offset 0 —
     // the builder models that with the prefix structure, so here we only
     // re-add the start's identity (it has a self-loop through the prefix).
-    current_.swap(next_);
+    ctx.current.swap(ctx.next);
     // Report accepts, deduped per (id, position) via last-seen stamps.
     for (std::size_t wi = 0; wi < words; ++wi) {
-      std::uint64_t w = current_[wi];
+      std::uint64_t w = ctx.current[wi];
       while (w != 0) {
         const std::uint32_t s =
             static_cast<std::uint32_t>(wi * 64 + static_cast<std::size_t>(__builtin_ctzll(w)));
         w &= w - 1;
-        for (const std::uint32_t id : nfa_->accepts(s)) {
-          if (seen_stamp_[id] != base + i + 1) {
-            seen_stamp_[id] = base + i + 1;
+        for (const std::uint32_t id : accepts_[s]) {
+          if (ctx.seen_stamp[id] != base + i + 1) {
+            ctx.seen_stamp[id] = base + i + 1;
             sink(id, base + i);
           }
         }

@@ -1,0 +1,196 @@
+// Sharded multi-worker flow inspection (ROADMAP: sharding/async scaling).
+//
+// One immutable Engine (built once, shared read-only) serves N worker
+// threads. Each worker owns a private FlowInspector — a flow table of small
+// per-flow Contexts, the paper's (q, m) pairs — and a bounded SPSC packet
+// queue. The dispatcher hashes each packet's FlowKey to a shard, so every
+// flow is pinned to exactly one worker: flow tables need no locks, and the
+// only cross-thread traffic is the queues themselves. Matches and stats
+// accumulate shard-locally and are merged after finish().
+//
+// Thread-safety contract (see DESIGN.md "Engine/Context split & pipeline"):
+//  - Engines are immutable after construction and shareable across threads.
+//  - Contexts (and the FlowInspectors holding them) are confined to one
+//    shard's worker thread.
+//  - submit() must be called from a single producer thread; packet payload
+//    pointers must stay valid until finish() returns (Trace owns them).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "flow/flow.h"
+#include "pipeline/spsc_queue.h"
+#include "util/match.h"
+
+namespace mfa::pipeline {
+
+/// Per-shard accounting, merged by the dispatcher after finish().
+struct ShardStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t flows = 0;             ///< flows resident at finish()
+  std::uint64_t evictions = 0;         ///< flow-table LRU evictions
+  std::uint64_t reassembly_drops = 0;  ///< segments dropped by the pending cap
+  std::uint64_t max_queue_depth = 0;   ///< high-water mark of the SPSC queue
+
+  ShardStats& operator+=(const ShardStats& o) {
+    packets += o.packets;
+    bytes += o.bytes;
+    matches += o.matches;
+    flows += o.flows;
+    evictions += o.evictions;
+    reassembly_drops += o.reassembly_drops;
+    max_queue_depth = max_queue_depth > o.max_queue_depth ? max_queue_depth
+                                                          : o.max_queue_depth;
+    return *this;
+  }
+};
+
+struct Options {
+  std::size_t shards = 1;
+  std::size_t queue_capacity = 4096;  ///< per-shard SPSC ring slots
+  std::size_t max_flows_per_shard = 0;  ///< 0 = unbounded flow tables
+  std::size_t max_pending_per_flow = flow::kDefaultMaxPendingBytes;
+  bool collect_matches = false;  ///< keep full Match records (else count only)
+};
+
+/// Hash-sharded multi-threaded inspector over any Engine/Context engine.
+template <typename EngineT>
+class ShardedInspector {
+ public:
+  using FlowKey = flow::FlowKey;
+
+  explicit ShardedInspector(const EngineT& engine, Options options = {})
+      : engine_(&engine), options_(options) {
+    if (options_.shards == 0) options_.shards = 1;
+  }
+
+  ~ShardedInspector() { finish(); }
+
+  ShardedInspector(const ShardedInspector&) = delete;
+  ShardedInspector& operator=(const ShardedInspector&) = delete;
+
+  /// Spawn the worker threads. Must be called before submit().
+  void start() {
+    if (running_) return;
+    shards_.clear();
+    stats_.clear();
+    matches_.clear();
+    stop_.store(false, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < options_.shards; ++i)
+      shards_.push_back(std::make_unique<Shard>(*engine_, options_, stop_));
+    for (auto& shard : shards_) shard->thread = std::thread([s = shard.get()] { s->run(); });
+    running_ = true;
+  }
+
+  /// Enqueue one packet to its flow's shard (single producer thread).
+  /// Spins (yielding) when the shard queue is full — backpressure instead
+  /// of drops, so match results stay deterministic.
+  void submit(const flow::Packet& p) {
+    Shard& s = *shards_[shard_of(p.key)];
+    while (!s.queue.try_push(p)) std::this_thread::yield();
+    const std::size_t depth = s.queue.depth();
+    if (depth > s.producer_max_depth) s.producer_max_depth = depth;
+  }
+
+  /// Drain all queues, join the workers, and merge stats/matches.
+  void finish() {
+    if (!running_) return;
+    stop_.store(true, std::memory_order_release);
+    for (auto& shard : shards_) {
+      if (shard->thread.joinable()) shard->thread.join();
+      shard->stats.max_queue_depth = shard->producer_max_depth;
+      stats_.push_back(shard->stats);
+      matches_.insert(matches_.end(), shard->matches.begin(), shard->matches.end());
+    }
+    shards_.clear();
+    running_ = false;
+  }
+
+  [[nodiscard]] std::size_t shard_count() const { return options_.shards; }
+
+  /// Per-shard stats; valid after finish().
+  [[nodiscard]] const std::vector<ShardStats>& stats() const { return stats_; }
+
+  /// Aggregate stats across shards; valid after finish().
+  [[nodiscard]] ShardStats totals() const {
+    ShardStats t;
+    for (const auto& s : stats_) t += s;
+    return t;
+  }
+
+  /// All shards' matches merged into (end, id) order; valid after finish()
+  /// and only populated when Options::collect_matches is set.
+  [[nodiscard]] MatchVec merged_matches() const {
+    MatchVec all = matches_;
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+
+  [[nodiscard]] std::size_t shard_of(const FlowKey& key) const {
+    return flow::FlowKeyHash{}(key) % options_.shards;
+  }
+
+ private:
+  struct Shard {
+    Shard(const EngineT& engine, const Options& o, std::atomic<bool>& stop_flag)
+        : queue(o.queue_capacity),
+          inspector(engine, o.max_flows_per_shard, o.max_pending_per_flow),
+          collect(o.collect_matches),
+          stop(&stop_flag) {}
+
+    SpscQueue<flow::Packet> queue;
+    flow::FlowInspector<EngineT> inspector;
+    bool collect;
+    std::atomic<bool>* stop;
+    MatchVec matches;          // worker-owned until join
+    ShardStats stats;          // worker-owned until join
+    std::size_t producer_max_depth = 0;  // producer-owned
+    std::thread thread;
+
+    void run() {
+      flow::Packet p;
+      for (;;) {
+        if (queue.try_pop(p)) {
+          process(p);
+          continue;
+        }
+        if (stop->load(std::memory_order_acquire)) {
+          // The producer stopped pushing before setting stop; one final
+          // drain pass catches anything published just before the flag.
+          while (queue.try_pop(p)) process(p);
+          break;
+        }
+        std::this_thread::yield();
+      }
+      stats.flows = inspector.flow_count();
+      stats.evictions = inspector.evicted_count();
+      stats.reassembly_drops = inspector.reassembly_dropped_count();
+    }
+
+    void process(const flow::Packet& p) {
+      ++stats.packets;
+      stats.bytes += p.length;
+      inspector.packet(p, [this](std::uint32_t id, std::uint64_t end) {
+        ++stats.matches;
+        if (collect) matches.push_back(Match{id, end});
+      });
+    }
+  };
+
+  const EngineT* engine_;
+  Options options_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<ShardStats> stats_;
+  MatchVec matches_;
+};
+
+}  // namespace mfa::pipeline

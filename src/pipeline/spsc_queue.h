@@ -1,0 +1,74 @@
+// Bounded single-producer/single-consumer ring queue.
+//
+// The sharded pipeline's only cross-thread channel: the dispatcher thread
+// pushes packets, exactly one worker pops them, so a classic Lamport ring
+// with acquire/release counters needs no locks and no CAS on the hot path.
+// Each side keeps a cached copy of the other side's counter so the common
+// case touches only one shared cache line per operation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mfa::pipeline {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side only. Returns false when the ring is full.
+  bool try_push(const T& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    ring_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side only. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = ring_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Occupancy estimate; exact from the producer thread, approximate
+  /// elsewhere. Used for queue-depth stats, not for synchronization.
+  [[nodiscard]] std::size_t depth() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> ring_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next slot to pop
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next slot to push
+  alignas(64) std::uint64_t head_cache_ = 0;  ///< producer's last view of head_
+  alignas(64) std::uint64_t tail_cache_ = 0;  ///< consumer's last view of tail_
+};
+
+}  // namespace mfa::pipeline

@@ -77,7 +77,74 @@ class Xfa {
                                          program_.position_slots);
   }
 
+  // --- Engine/Context split (uniform API across all six engines) ---
+
+  using Context = filter::ScanContext;
+
+  [[nodiscard]] Context make_context() const {
+    return Context{dfa_.start(),
+                   filter::Memory(program_.counters, program_.position_slots)};
+  }
+
+  void reset(Context& ctx) const {
+    ctx.state = dfa_.start();
+    ctx.memory.reset();
+  }
+
+  /// Feed a chunk through `ctx`. Thread-safe with distinct contexts.
+  template <typename Sink>
+  void feed(Context& ctx, const std::uint8_t* data, std::size_t size, std::uint64_t base,
+            Sink&& sink) const {
+    const std::uint32_t* table = dfa_.table_data();
+    const std::uint8_t* cols = dfa_.byte_columns();
+    const std::uint32_t ncols = dfa_.column_count();
+    std::uint32_t s = ctx.state;
+    for (std::size_t i = 0; i < size; ++i) {
+      s = table[static_cast<std::size_t>(s) * ncols + cols[data[i]]];
+      // The defining XFA cost: consult the per-state program on every entry.
+      const auto [ip, end] = program(s);
+      for (const auto* in = ip; in != end; ++in) execute(*in, base + i, ctx.memory, sink);
+    }
+    ctx.state = s;
+  }
+
  private:
+  template <typename Sink>
+  void execute(const Instruction& in, std::uint64_t pos, filter::Memory& memory,
+               Sink&& sink) const {
+    switch (in.op) {
+      case Op::kBitSet:
+        memory.set_bit(in.a);
+        break;
+      case Op::kBitClear:
+        memory.clear_bit(in.a);
+        break;
+      case Op::kSetIfBit:
+        if (memory.test_bit(in.a)) memory.set_bit(in.b);
+        break;
+      case Op::kClearIfBit:
+        if (memory.test_bit(in.a)) memory.clear_bit(in.b);
+        break;
+      case Op::kReport:
+        sink(static_cast<std::uint32_t>(in.a), pos);
+        break;
+      case Op::kReportIfBit:
+        if (memory.test_bit(in.a)) sink(static_cast<std::uint32_t>(in.b), pos);
+        break;
+      case Op::kCtrIncr:
+        memory.increment(in.a);
+        break;
+      case Op::kReportIfCtr:
+        if (memory.counter(in.a) >= static_cast<std::uint32_t>(in.b))
+          sink(static_cast<std::uint32_t>(in.c), pos);
+        break;
+      case Op::kExecAction:
+        filter::Engine(program_).on_match(static_cast<std::uint32_t>(in.a), pos, memory,
+                                          sink);
+        break;
+    }
+  }
+
   friend std::optional<Xfa> build_xfa(const std::vector<nfa::PatternInput>&,
                                       const BuildOptions&, BuildStats*);
   dfa::Dfa dfa_;
@@ -89,33 +156,17 @@ class Xfa {
 std::optional<Xfa> build_xfa(const std::vector<nfa::PatternInput>& patterns,
                              const BuildOptions& options = {}, BuildStats* stats = nullptr);
 
+/// Back-compat wrapper over the Engine/Context split (engine pointer + one
+/// owned Context).
 class XfaScanner {
  public:
-  explicit XfaScanner(const Xfa& xfa)
-      : xfa_(&xfa),
-        engine_(xfa.program()),
-        memory_(xfa.program().counters, xfa.program().position_slots),
-        state_(xfa.character_dfa().start()) {}
+  explicit XfaScanner(const Xfa& xfa) : xfa_(&xfa), ctx_(xfa.make_context()) {}
 
-  void reset() {
-    state_ = xfa_->character_dfa().start();
-    memory_.reset();
-  }
+  void reset() { xfa_->reset(ctx_); }
 
   template <typename Sink>
   void feed(const std::uint8_t* data, std::size_t size, std::uint64_t base, Sink&& sink) {
-    const dfa::Dfa& d = xfa_->character_dfa();
-    const std::uint32_t* table = d.table_data();
-    const std::uint8_t* cols = d.byte_columns();
-    const std::uint32_t ncols = d.column_count();
-    std::uint32_t s = state_;
-    for (std::size_t i = 0; i < size; ++i) {
-      s = table[static_cast<std::size_t>(s) * ncols + cols[data[i]]];
-      // The defining XFA cost: consult the per-state program on every entry.
-      const auto [ip, end] = xfa_->program(s);
-      for (const auto* in = ip; in != end; ++in) execute(*in, base + i, sink);
-    }
-    state_ = s;
+    xfa_->feed(ctx_, data, size, base, sink);
   }
 
   MatchVec scan(const std::uint8_t* data, std::size_t size) {
@@ -129,44 +180,8 @@ class XfaScanner {
   }
 
  private:
-  template <typename Sink>
-  void execute(const Instruction& in, std::uint64_t pos, Sink&& sink) {
-    switch (in.op) {
-      case Op::kBitSet:
-        memory_.set_bit(in.a);
-        break;
-      case Op::kBitClear:
-        memory_.clear_bit(in.a);
-        break;
-      case Op::kSetIfBit:
-        if (memory_.test_bit(in.a)) memory_.set_bit(in.b);
-        break;
-      case Op::kClearIfBit:
-        if (memory_.test_bit(in.a)) memory_.clear_bit(in.b);
-        break;
-      case Op::kReport:
-        sink(static_cast<std::uint32_t>(in.a), pos);
-        break;
-      case Op::kReportIfBit:
-        if (memory_.test_bit(in.a)) sink(static_cast<std::uint32_t>(in.b), pos);
-        break;
-      case Op::kCtrIncr:
-        memory_.increment(in.a);
-        break;
-      case Op::kReportIfCtr:
-        if (memory_.counter(in.a) >= static_cast<std::uint32_t>(in.b))
-          sink(static_cast<std::uint32_t>(in.c), pos);
-        break;
-      case Op::kExecAction:
-        engine_.on_match(static_cast<std::uint32_t>(in.a), pos, memory_, sink);
-        break;
-    }
-  }
-
   const Xfa* xfa_;
-  filter::Engine engine_;
-  filter::Memory memory_;
-  std::uint32_t state_;
+  Xfa::Context ctx_;
 };
 
 }  // namespace mfa::xfa

@@ -37,7 +37,7 @@ TEST(Harness, ThroughputMeasurement) {
   ASSERT_TRUE(suite.mfa.has_value());
   const trace::Trace t =
       trace::make_real_life(trace::RealLifeProfile::kNitroba, 100000, 1, {"abcq wxyz"});
-  const Throughput tp = measure_throughput(core::MfaScanner(*suite.mfa), t);
+  const Throughput tp = measure_throughput(*suite.mfa, t);
   EXPECT_GT(tp.cycles_per_byte, 0.0);
   EXPECT_LT(tp.cycles_per_byte, 10000.0);
   EXPECT_GT(tp.flows, 1u);
@@ -60,11 +60,11 @@ TEST(Harness, EnginesAgreeOnTraceMatchCounts) {
   const auto exemplars = attack_exemplars(set, 4, 9);
   const trace::Trace t =
       trace::make_real_life(trace::RealLifeProfile::kCyberDefense, 150000, 2, exemplars);
-  const auto nfa_tp = measure_throughput(nfa::NfaScanner(suite.nfa), t, 1);
-  const auto dfa_tp = measure_throughput(dfa::DfaScanner(*suite.dfa), t, 1);
-  const auto mfa_tp = measure_throughput(core::MfaScanner(*suite.mfa), t, 1);
-  const auto hfa_tp = measure_throughput(hfa::HfaScanner(*suite.hfa), t, 1);
-  const auto xfa_tp = measure_throughput(xfa::XfaScanner(*suite.xfa), t, 1);
+  const auto nfa_tp = measure_throughput(suite.nfa, t, 1);
+  const auto dfa_tp = measure_throughput(*suite.dfa, t, 1);
+  const auto mfa_tp = measure_throughput(*suite.mfa, t, 1);
+  const auto hfa_tp = measure_throughput(*suite.hfa, t, 1);
+  const auto xfa_tp = measure_throughput(*suite.xfa, t, 1);
   EXPECT_GT(dfa_tp.matches, 0u);
   EXPECT_EQ(nfa_tp.matches, dfa_tp.matches);
   EXPECT_EQ(mfa_tp.matches, dfa_tp.matches);

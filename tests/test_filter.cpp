@@ -158,5 +158,67 @@ TEST(Filter, IsPlainReport) {
   EXPECT_FALSE(a.is_plain_report());
 }
 
+TEST(FilterValidate, AcceptsProgramWithinGeometry) {
+  Program p;
+  p.memory_bits = 2;
+  p.counters = 1;
+  p.position_slots = 1;
+  Action a;
+  a.test = 0;
+  a.set = 1;
+  a.ctr_incr = 0;
+  a.set_slot = 0;
+  p.actions.push_back(a);
+  std::string err;
+  EXPECT_TRUE(p.validate(&err)) << err;
+  EXPECT_TRUE(err.empty());
+}
+
+TEST(FilterValidate, RejectsMemoryBitsBeyondCap) {
+  Program p;
+  p.memory_bits = kMaxMemoryBits + 1;
+  std::string err;
+  EXPECT_FALSE(p.validate(&err));
+  EXPECT_NE(err.find("memory bits"), std::string::npos);
+  // Exactly at the cap is fine.
+  p.memory_bits = kMaxMemoryBits;
+  EXPECT_TRUE(p.validate());
+}
+
+TEST(FilterValidate, RejectsOutOfRangeBitOperands) {
+  Program p;
+  p.memory_bits = 4;
+  Action a;
+  a.set = 4;  // bits are 0..3
+  p.actions.push_back(a);
+  EXPECT_FALSE(p.validate());
+  p.actions[0] = Action{};
+  p.actions[0].test = 7;
+  EXPECT_FALSE(p.validate());
+  p.actions[0] = Action{};
+  p.actions[0].clear = -2;  // any negative other than kNone is invalid
+  EXPECT_FALSE(p.validate());
+}
+
+TEST(FilterValidate, RejectsOutOfRangeCountersAndSlots) {
+  Program p;
+  p.memory_bits = 1;
+  p.counters = 1;
+  p.position_slots = 1;
+  Action a;
+  a.ctr_incr = 1;  // counters are 0..0
+  p.actions.push_back(a);
+  EXPECT_FALSE(p.validate());
+  p.actions[0] = Action{};
+  p.actions[0].ctr_test = 3;
+  EXPECT_FALSE(p.validate());
+  p.actions[0] = Action{};
+  p.actions[0].set_slot = 1;  // slots are 0..0
+  EXPECT_FALSE(p.validate());
+  p.actions[0] = Action{};
+  p.actions[0].test_slot = 9;
+  EXPECT_FALSE(p.validate());
+}
+
 }  // namespace
 }  // namespace mfa::filter

@@ -33,7 +33,7 @@ TEST(FlowKey, EqualityAndHash) {
 
 TEST(FlowInspector, SingleFlowInOrder) {
   const core::Mfa m = build({".*abc.*xyz"});
-  FlowInspector<core::MfaScanner> insp{core::MfaScanner(m)};
+  FlowInspector<core::Mfa> insp{m};
   CollectingSink sink;
   const FlowKey key{10, 20, 1000, 80, 6};
   const std::string p1 = "ab";
@@ -50,7 +50,7 @@ TEST(FlowInspector, SingleFlowInOrder) {
 TEST(FlowInspector, CrossFlowIsolation) {
   // abc in flow A and xyz in flow B must NOT combine into a match.
   const core::Mfa m = build({".*abc.*xyz"});
-  FlowInspector<core::MfaScanner> insp{core::MfaScanner(m)};
+  FlowInspector<core::Mfa> insp{m};
   CollectingSink sink;
   const FlowKey a{1, 2, 3, 4, 6};
   const FlowKey b{5, 6, 7, 8, 6};
@@ -66,7 +66,7 @@ TEST(FlowInspector, CrossFlowIsolation) {
 
 TEST(FlowInspector, InterleavedFlows) {
   const core::Mfa m = build({".*abc.*xyz"});
-  FlowInspector<core::MfaScanner> insp{core::MfaScanner(m)};
+  FlowInspector<core::Mfa> insp{m};
   CollectingSink sink;
   const FlowKey a{1, 2, 3, 4, 6};
   const FlowKey b{5, 6, 7, 8, 6};
@@ -79,7 +79,7 @@ TEST(FlowInspector, InterleavedFlows) {
 
 TEST(FlowInspector, OutOfOrderSegmentsReassembled) {
   const core::Mfa m = build({".*abcxyz"});
-  FlowInspector<core::MfaScanner> insp{core::MfaScanner(m)};
+  FlowInspector<core::Mfa> insp{m};
   CollectingSink sink;
   const FlowKey key{1, 2, 3, 4, 6};
   insp.packet(make_packet(key, 3, "xyz"), sink);  // arrives first
@@ -91,7 +91,7 @@ TEST(FlowInspector, OutOfOrderSegmentsReassembled) {
 
 TEST(FlowInspector, RetransmissionOverlapSkipped) {
   const core::Mfa m = build({".*abcd"});
-  FlowInspector<core::MfaScanner> insp{core::MfaScanner(m)};
+  FlowInspector<core::Mfa> insp{m};
   CollectingSink sink;
   const FlowKey key{1, 2, 3, 4, 6};
   insp.packet(make_packet(key, 0, "abc"), sink);
@@ -105,7 +105,7 @@ TEST(FlowInspector, RetransmissionOverlapSkipped) {
 
 TEST(FlowInspector, EvictDropsContext) {
   const core::Mfa m = build({".*abc.*xyz"});
-  FlowInspector<core::MfaScanner> insp{core::MfaScanner(m)};
+  FlowInspector<core::Mfa> insp{m};
   CollectingSink sink;
   const FlowKey key{1, 2, 3, 4, 6};
   insp.packet(make_packet(key, 0, "abc"), sink);
@@ -118,7 +118,7 @@ TEST(FlowInspector, EvictDropsContext) {
 
 TEST(FlowInspector, ManyFlows) {
   const core::Mfa m = build({".*needle"});
-  FlowInspector<core::MfaScanner> insp{core::MfaScanner(m)};
+  FlowInspector<core::Mfa> insp{m};
   CountingSink sink;
   for (std::uint32_t i = 0; i < 500; ++i) {
     const FlowKey key{i, 2, 3, 4, 6};
@@ -139,7 +139,7 @@ namespace {
 TEST(FlowInspectorLru, CapEvictsLeastRecentlyActive) {
   auto m = core::build_mfa(mfa::testing::compile_patterns({".*abc.*xyz"}));
   ASSERT_TRUE(m.has_value());
-  FlowInspector<core::MfaScanner> insp{core::MfaScanner(*m), /*max_flows=*/2};
+  FlowInspector<core::Mfa> insp{*m, /*max_flows=*/2};
   CollectingSink sink;
   const FlowKey f1{1, 0, 0, 0, 6}, f2{2, 0, 0, 0, 6}, f3{3, 0, 0, 0, 6};
   insp.packet(Packet{f1, 0, reinterpret_cast<const std::uint8_t*>("abc"), 3}, sink);
@@ -160,7 +160,7 @@ TEST(FlowInspectorLru, CapEvictsLeastRecentlyActive) {
 TEST(FlowInspectorLru, UnboundedByDefault) {
   auto m = core::build_mfa(mfa::testing::compile_patterns({".*needle"}));
   ASSERT_TRUE(m.has_value());
-  FlowInspector<core::MfaScanner> insp{core::MfaScanner(*m)};
+  FlowInspector<core::Mfa> insp{*m};
   CountingSink sink;
   for (std::uint32_t i = 0; i < 100; ++i)
     insp.packet(Packet{FlowKey{i, 0, 0, 0, 6}, 0,

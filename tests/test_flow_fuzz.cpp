@@ -1,0 +1,247 @@
+// Randomized flow-delivery fuzzing: the FlowInspector must present every
+// engine with the same reassembled byte stream no matter how a flow is
+// fragmented, reordered, or retransmitted — so NFA, DFA, and MFA must all
+// report exactly the matches a linear scan of the stream produces. Plus
+// regression coverage for the intrusive LRU, the bounded reassembly buffer,
+// and the per-flow storage contract of the Engine/Context split.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfa/dfa.h"
+#include "engine_test_util.h"
+#include "flow/flow.h"
+#include "mfa/mfa.h"
+#include "nfa/nfa.h"
+#include "util/rng.h"
+
+namespace mfa::flow {
+namespace {
+
+using mfa::testing::compile_patterns;
+using mfa::testing::sorted;
+
+const std::vector<std::string> kSources = {".*ab12.*cd34", ".*wxyz",
+                                           ".*ha[0-9]ck"};
+
+/// One flow's payload with planted pattern content.
+std::string make_content(util::Rng& rng) {
+  std::string s;
+  const std::size_t chunks = 2 + rng.below(5);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    s += rng.lower_string(3 + rng.below(20));
+    switch (rng.below(5)) {
+      case 0: s += "ab12"; break;
+      case 1: s += "cd34"; break;
+      case 2: s += "wxyz"; break;
+      case 3: s += "ha7ck"; break;
+      default: break;  // filler only
+    }
+  }
+  return s;
+}
+
+struct Delivery {
+  FlowKey key;
+  std::uint64_t seq = 0;
+  std::string bytes;  // owned: Packet payloads point here
+};
+
+/// Fragment `content` into segments, then shuffle within a bounded window
+/// and splice in duplicates and overlapping retransmissions. Every original
+/// byte is delivered at least once, so reassembly must reproduce `content`.
+std::vector<Delivery> plan_flow(const FlowKey& key, const std::string& content,
+                                util::Rng& rng) {
+  std::vector<Delivery> plan;
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const std::size_t len = std::min(content.size() - off, 1 + rng.below(9));
+    plan.push_back({key, off, content.substr(off, len)});
+    off += len;
+  }
+  // Overlapping retransmissions: re-send a random earlier slice.
+  const std::size_t extras = rng.below(3);
+  for (std::size_t i = 0; i < extras && !content.empty(); ++i) {
+    const std::size_t start = rng.below(content.size());
+    const std::size_t len = std::min(content.size() - start, 1 + rng.below(12));
+    plan.push_back({key, start, content.substr(start, len)});
+  }
+  // Bounded-window shuffle: swap neighbours up to 4 apart. Keeps the
+  // pending buffer small while still exercising out-of-order arrival.
+  for (std::size_t i = 0; i + 1 < plan.size(); ++i) {
+    const std::size_t j = i + 1 + rng.below(std::min<std::size_t>(4, plan.size() - i - 1));
+    if (rng.chance(0.5)) std::swap(plan[i], plan[j]);
+  }
+  // Duplicate a few deliveries verbatim (pure retransmission).
+  const std::size_t dups = rng.below(3);
+  for (std::size_t i = 0; i < dups; ++i)
+    plan.push_back(plan[rng.below(plan.size())]);
+  return plan;
+}
+
+template <typename EngineT>
+MatchVec run_plan(const EngineT& engine, const std::vector<Delivery>& plan) {
+  FlowInspector<EngineT> insp{engine};
+  CollectingSink sink;
+  for (const auto& d : plan) {
+    const Packet p{d.key, d.seq,
+                   reinterpret_cast<const std::uint8_t*>(d.bytes.data()),
+                   static_cast<std::uint32_t>(d.bytes.size())};
+    insp.packet(p, sink);
+  }
+  return sorted(std::move(sink.matches));
+}
+
+TEST(FlowFuzz, EnginesAgreeUnderFragmentationReorderRetransmission) {
+  const auto inputs = compile_patterns(kSources);
+  const nfa::Nfa n = nfa::build_nfa(inputs);
+  const auto d = dfa::build_dfa(n);
+  ASSERT_TRUE(d.has_value());
+  const auto m = core::build_mfa(inputs);
+  ASSERT_TRUE(m.has_value());
+
+  for (std::uint64_t round = 0; round < 25; ++round) {
+    util::Rng rng(9000 + round);
+    // Several interleaved flows per round.
+    MatchVec expected;  // linear per-flow scans, the ground truth
+    std::vector<Delivery> plan;
+    const std::size_t nflows = 1 + rng.below(4);
+    for (std::uint32_t f = 0; f < nflows; ++f) {
+      const FlowKey key{f + 1, 99, 1000, 80, 6};
+      const std::string content = make_content(rng);
+      nfa::NfaScanner ref(n);
+      for (const Match& mm : ref.scan(content)) expected.push_back(mm);
+      auto flow_plan = plan_flow(key, content, rng);
+      plan.insert(plan.end(), flow_plan.begin(), flow_plan.end());
+    }
+    // Interleave flows: bounded-window shuffle across the merged plan.
+    util::Rng mix(777 + round);
+    for (std::size_t i = 0; i + 1 < plan.size(); ++i)
+      if (mix.chance(0.5)) std::swap(plan[i], plan[i + 1]);
+
+    const MatchVec nfa_got = run_plan(n, plan);
+    EXPECT_EQ(nfa_got, sorted(std::move(expected))) << "round " << round;
+    EXPECT_EQ(run_plan(*d, plan), nfa_got) << "round " << round;
+    EXPECT_EQ(run_plan(*m, plan), nfa_got) << "round " << round;
+  }
+}
+
+TEST(FlowLru, EvictionFollowsRecencyAcrossManyTouches) {
+  const auto m = core::build_mfa(compile_patterns({".*needle"}));
+  ASSERT_TRUE(m.has_value());
+  FlowInspector<core::Mfa> insp{*m, /*max_flows=*/3};
+  CountingSink sink;
+  const auto touch = [&](std::uint32_t id) {
+    insp.packet(Packet{FlowKey{id, 0, 0, 0, 6}, 0,
+                       reinterpret_cast<const std::uint8_t*>("x"), 0},
+                sink);
+  };
+  touch(1);
+  touch(2);
+  touch(3);
+  touch(1);  // order now (LRU→MRU): 2 3 1
+  touch(4);  // evicts 2
+  EXPECT_EQ(insp.evicted_count(), 1u);
+  touch(3);  // order: 1 4 3
+  touch(5);  // evicts 1
+  EXPECT_EQ(insp.evicted_count(), 2u);
+  EXPECT_EQ(insp.flow_count(), 3u);
+  // Flows 3, 4, 5 must still be resident: touching them evicts nothing.
+  touch(3);
+  touch(4);
+  touch(5);
+  EXPECT_EQ(insp.evicted_count(), 2u);
+}
+
+TEST(FlowLru, ManualEvictionKeepsListConsistent) {
+  const auto m = core::build_mfa(compile_patterns({".*needle"}));
+  ASSERT_TRUE(m.has_value());
+  FlowInspector<core::Mfa> insp{*m, /*max_flows=*/3};
+  CountingSink sink;
+  const auto touch = [&](std::uint32_t id) {
+    insp.packet(Packet{FlowKey{id, 0, 0, 0, 6}, 0,
+                       reinterpret_cast<const std::uint8_t*>("x"), 0},
+                sink);
+  };
+  touch(1);
+  touch(2);
+  touch(3);
+  insp.evict(FlowKey{2, 0, 0, 0, 6});  // unlink from the middle of the list
+  EXPECT_EQ(insp.flow_count(), 2u);
+  touch(4);  // table has room again; nothing evicted
+  EXPECT_EQ(insp.evicted_count(), 0u);
+  touch(5);  // now over cap: LRU head (flow 1) goes
+  EXPECT_EQ(insp.evicted_count(), 1u);
+  EXPECT_EQ(insp.flow_count(), 3u);
+}
+
+TEST(FlowReassembly, PendingCapDropsOldestSegments) {
+  const auto m = core::build_mfa(compile_patterns({".*needle"}));
+  ASSERT_TRUE(m.has_value());
+  FlowInspector<core::Mfa> insp{*m, /*max_flows=*/0, /*max_pending_bytes=*/4};
+  CountingSink sink;
+  const FlowKey key{1, 2, 3, 4, 6};
+  const auto ooo = [&](std::uint64_t seq, const std::string& bytes) {
+    insp.packet(Packet{key, seq, reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                       static_cast<std::uint32_t>(bytes.size())},
+                sink);
+  };
+  ooo(10, "AA");  // buffered, 2 bytes
+  ooo(20, "BB");  // buffered, 4 bytes total = cap
+  EXPECT_EQ(insp.reassembly_dropped_count(), 0u);
+  ooo(30, "CC");  // cap exceeded: oldest-arrival (seq 10) dropped
+  EXPECT_EQ(insp.reassembly_dropped_count(), 1u);
+  ooo(40, "DDDDDD");  // bigger than the whole budget: dropped outright
+  EXPECT_EQ(insp.reassembly_dropped_count(), 2u);
+}
+
+TEST(FlowReassembly, UnboundedWhenCapIsZero) {
+  const auto m = core::build_mfa(compile_patterns({".*needle"}));
+  ASSERT_TRUE(m.has_value());
+  FlowInspector<core::Mfa> insp{*m, 0, /*max_pending_bytes=*/0};
+  CollectingSink sink;
+  const FlowKey key{1, 2, 3, 4, 6};
+  const std::string text = "there is a needle in here";
+  // Deliver everything except byte 0, in reverse, then the first byte.
+  for (std::size_t i = text.size(); i-- > 1;)
+    insp.packet(Packet{key, i, reinterpret_cast<const std::uint8_t*>(text.data() + i), 1},
+                sink);
+  EXPECT_TRUE(sink.matches.empty());
+  insp.packet(Packet{key, 0, reinterpret_cast<const std::uint8_t*>(text.data()), 1}, sink);
+  ASSERT_EQ(sink.matches.size(), 1u);
+  EXPECT_EQ(insp.reassembly_dropped_count(), 0u);
+}
+
+TEST(FlowStorage, PerFlowStateIsContextPlusBookkeepingOnly) {
+  // The Engine/Context contract: a flow record holds exactly one engine
+  // Context plus reassembly bookkeeping — no per-flow engine copy, pointer,
+  // or scanner. A mirror struct with those fields must have the same size.
+  using Insp = FlowInspector<core::Mfa>;
+  struct Bookkeeping {
+    core::Mfa::Context ctx;
+    std::uint64_t next_offset;
+    std::uint64_t pending_bytes;
+    std::map<std::uint64_t, Insp::FlowState::PendingSegment> pending;
+    Insp::FlowState* lru_prev;
+    Insp::FlowState* lru_next;
+    FlowKey key;
+  };
+  static_assert(sizeof(Insp::FlowState) == sizeof(Bookkeeping),
+                "FlowState must store only the Context and bookkeeping");
+  EXPECT_EQ(sizeof(Insp::FlowState), sizeof(Bookkeeping));
+
+  // And the advertised per-flow context footprint is the engine's, shared
+  // through one engine reference rather than duplicated per flow.
+  const auto m = core::build_mfa(compile_patterns({".*ab.*cd"}));
+  ASSERT_TRUE(m.has_value());
+  Insp a{*m};
+  Insp b{*m};
+  EXPECT_EQ(a.context_bytes(), m->context_bytes());
+  EXPECT_EQ(&a.engine(), m.operator->());
+  EXPECT_EQ(&a.engine(), &b.engine());
+}
+
+}  // namespace
+}  // namespace mfa::flow

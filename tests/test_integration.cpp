@@ -11,9 +11,9 @@ namespace {
 
 /// Collect (id, flow-offset) alerts per engine via the flow inspector and
 /// compare across all constructable engines.
-template <typename ScannerT>
-std::uint64_t count_alerts(const ScannerT& prototype, const trace::Trace& t) {
-  flow::FlowInspector<ScannerT> inspector{prototype};
+template <typename EngineT>
+std::uint64_t count_alerts(const EngineT& engine, const trace::Trace& t) {
+  flow::FlowInspector<EngineT> inspector{engine};
   CountingSink sink;
   t.for_each_packet([&](const flow::Packet& p) { inspector.packet(p, sink); });
   return sink.count;
@@ -27,12 +27,12 @@ TEST(Integration, S24OverCdxTraceAllEnginesAgree) {
   const auto exemplars = eval::attack_exemplars(set, 3, 42);
   const trace::Trace t = trace::make_real_life(trace::RealLifeProfile::kCyberDefenseNoisy,
                                                400000, 42, exemplars);
-  const std::uint64_t dfa_alerts = count_alerts(dfa::DfaScanner(*suite.dfa), t);
+  const std::uint64_t dfa_alerts = count_alerts(*suite.dfa, t);
   EXPECT_GT(dfa_alerts, 0u);
-  EXPECT_EQ(count_alerts(nfa::NfaScanner(suite.nfa), t), dfa_alerts);
-  EXPECT_EQ(count_alerts(core::MfaScanner(*suite.mfa), t), dfa_alerts);
-  EXPECT_EQ(count_alerts(hfa::HfaScanner(*suite.hfa), t), dfa_alerts);
-  EXPECT_EQ(count_alerts(xfa::XfaScanner(*suite.xfa), t), dfa_alerts);
+  EXPECT_EQ(count_alerts(suite.nfa, t), dfa_alerts);
+  EXPECT_EQ(count_alerts(*suite.mfa, t), dfa_alerts);
+  EXPECT_EQ(count_alerts(*suite.hfa, t), dfa_alerts);
+  EXPECT_EQ(count_alerts(*suite.xfa, t), dfa_alerts);
 }
 
 TEST(Integration, C10SyntheticHighPmAllEnginesAgree) {
@@ -40,11 +40,11 @@ TEST(Integration, C10SyntheticHighPmAllEnginesAgree) {
   const eval::Suite suite = eval::build_suite(set);
   ASSERT_TRUE(suite.dfa && suite.mfa && suite.hfa && suite.xfa);
   const trace::Trace t = trace::make_synthetic(*suite.dfa, 0.95, 100000, 9);
-  const std::uint64_t dfa_alerts = count_alerts(dfa::DfaScanner(*suite.dfa), t);
+  const std::uint64_t dfa_alerts = count_alerts(*suite.dfa, t);
   EXPECT_GT(dfa_alerts, 0u);  // p_M 0.95 must actually produce matches
-  EXPECT_EQ(count_alerts(core::MfaScanner(*suite.mfa), t), dfa_alerts);
-  EXPECT_EQ(count_alerts(hfa::HfaScanner(*suite.hfa), t), dfa_alerts);
-  EXPECT_EQ(count_alerts(xfa::XfaScanner(*suite.xfa), t), dfa_alerts);
+  EXPECT_EQ(count_alerts(*suite.mfa, t), dfa_alerts);
+  EXPECT_EQ(count_alerts(*suite.hfa, t), dfa_alerts);
+  EXPECT_EQ(count_alerts(*suite.xfa, t), dfa_alerts);
 }
 
 TEST(Integration, B217pMfaSurvivesWhereDfaFails) {
@@ -60,8 +60,8 @@ TEST(Integration, B217pMfaSurvivesWhereDfaFails) {
   const auto exemplars = eval::attack_exemplars(set, 1, 5);
   const trace::Trace t = trace::make_real_life(trace::RealLifeProfile::kCyberDefenseNoisy,
                                                300000, 5, exemplars);
-  const std::uint64_t mfa_alerts = count_alerts(core::MfaScanner(*suite.mfa), t);
-  const std::uint64_t nfa_alerts = count_alerts(nfa::NfaScanner(suite.nfa), t);
+  const std::uint64_t mfa_alerts = count_alerts(*suite.mfa, t);
+  const std::uint64_t nfa_alerts = count_alerts(suite.nfa, t);
   EXPECT_EQ(mfa_alerts, nfa_alerts);
   EXPECT_GT(mfa_alerts, 0u);
 }
@@ -77,8 +77,8 @@ TEST(Integration, PersistedAutomatonMatchesFreshBuild) {
   const auto exemplars = eval::attack_exemplars(set, 2, 77);
   const trace::Trace t =
       trace::make_real_life(trace::RealLifeProfile::kNitroba, 150000, 77, exemplars);
-  EXPECT_EQ(count_alerts(core::MfaScanner(*fresh), t),
-            count_alerts(core::MfaScanner(*loaded), t));
+  EXPECT_EQ(count_alerts(*fresh, t),
+            count_alerts(*loaded, t));
   std::remove(path.c_str());
 }
 
@@ -93,8 +93,8 @@ TEST(Integration, TraceRoundTripPreservesAlerts) {
   ASSERT_TRUE(original.save(path));
   trace::Trace reloaded;
   ASSERT_TRUE(trace::Trace::load(path, reloaded));
-  EXPECT_EQ(count_alerts(core::MfaScanner(*mfa), original),
-            count_alerts(core::MfaScanner(*mfa), reloaded));
+  EXPECT_EQ(count_alerts(*mfa, original),
+            count_alerts(*mfa, reloaded));
   std::remove(path.c_str());
 }
 
@@ -126,7 +126,7 @@ TEST(Integration, RulesFileToTraceAlerts) {
                                               "Evil-UA 2.0 probe"};
   const trace::Trace t = trace::make_real_life(trace::RealLifeProfile::kCyberDefenseNoisy,
                                                400000, 13, exemplars);
-  flow::FlowInspector<core::MfaScanner> inspector{core::MfaScanner(*mfa)};
+  flow::FlowInspector<core::Mfa> inspector{*mfa};
   std::set<std::uint32_t> sids;
   t.for_each_packet([&](const flow::Packet& p) {
     inspector.packet(p, [&](std::uint32_t id, std::uint64_t) { sids.insert(id); });
@@ -147,8 +147,8 @@ TEST(Integration, MinimizedMfaDfaStillEquivalent) {
   const auto exemplars = eval::attack_exemplars(set, 2, 55);
   const trace::Trace t =
       trace::make_real_life(trace::RealLifeProfile::kDarpa, 100000, 55, exemplars);
-  EXPECT_EQ(count_alerts(core::MfaScanner(*minimized), t),
-            count_alerts(core::MfaScanner(*plain), t));
+  EXPECT_EQ(count_alerts(*minimized, t),
+            count_alerts(*plain, t));
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "engine_test_util.h"
 #include "regex/sample.h"
 #include "util/rng.h"
@@ -158,6 +160,65 @@ TEST(Mfa, RandomizedEquivalenceWithDfaOfOriginal) {
     MfaScanner mfa_scan(m);
     EXPECT_EQ(sorted(mfa_scan.scan(input)), sorted(ref.scan(input))) << input;
   }
+}
+
+/// Each `.*XX.*YY` pattern consumes one guard bit, so `n` patterns need an
+/// n-bit filter memory.
+std::vector<std::string> guard_bit_patterns(std::size_t n) {
+  std::vector<std::string> sources;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string tag = std::to_string(i);
+    sources.push_back(".*qa" + tag + "z.*qb" + tag + "z");
+  }
+  return sources;
+}
+
+TEST(MfaMemoryCap, BuildRejectsProgramsBeyondMaxMemoryBits) {
+  // 300 guard bits exceed the fixed 256-bit per-flow Memory; the builder
+  // must refuse instead of silently aliasing bits at scan time.
+  const auto inputs = compile_patterns(guard_bit_patterns(300));
+  BuildStats stats;
+  EXPECT_GT(split::split_patterns(inputs).program.memory_bits,
+            filter::kMaxMemoryBits);
+  EXPECT_FALSE(build_mfa(compile_patterns(guard_bit_patterns(300)), {}, &stats)
+                   .has_value());
+}
+
+TEST(MfaMemoryCap, BuildAcceptsProgramsWithinMaxMemoryBits) {
+  const Mfa m = build(guard_bit_patterns(40));
+  EXPECT_LE(m.program().memory_bits, filter::kMaxMemoryBits);
+  EXPECT_TRUE(m.program().validate());
+  MfaScanner s(m);
+  EXPECT_EQ(s.scan("qa17z then qb17z").size(), 1u);
+}
+
+TEST(MfaEngineContext, SharedEngineIndependentContexts) {
+  // The Engine/Context split directly: one immutable engine, two contexts
+  // fed interleaved chunks of different flows.
+  const Mfa m = build({".*abc.*xyz"});
+  Mfa::Context a = m.make_context();
+  Mfa::Context b = m.make_context();
+  CollectingSink sink_a, sink_b;
+  const auto feed = [&](Mfa::Context& c, const char* s, std::uint64_t base,
+                        CollectingSink& sink) {
+    m.feed(c, reinterpret_cast<const std::uint8_t*>(s), std::strlen(s), base, sink);
+  };
+  feed(a, "abc", 0, sink_a);
+  feed(b, "xyz", 0, sink_b);  // no abc seen in this context: no match
+  feed(a, "xyz", 3, sink_a);
+  ASSERT_EQ(sink_a.matches.size(), 1u);
+  EXPECT_EQ(sink_a.matches[0].end, 5u);
+  EXPECT_TRUE(sink_b.matches.empty());
+  // reset() returns a context to the start state with cleared memory.
+  m.reset(a);
+  CollectingSink sink_r;
+  feed(a, "xyz", 0, sink_r);
+  EXPECT_TRUE(sink_r.matches.empty());
+  EXPECT_EQ(m.context_bytes(),
+            sizeof(std::uint32_t) +
+                filter::Memory::context_bytes(m.program().memory_bits,
+                                              m.program().counters,
+                                              m.program().position_slots));
 }
 
 }  // namespace

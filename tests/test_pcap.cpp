@@ -187,7 +187,7 @@ TEST(Pcap, OutOfOrderTcpReassembledByInspector) {
   ASSERT_TRUE(r.ok) << r.error;
   auto m = core::build_mfa(mfa::testing::compile_patterns({".*a needle"}));
   ASSERT_TRUE(m.has_value());
-  flow::FlowInspector<core::MfaScanner> insp{core::MfaScanner(*m)};
+  flow::FlowInspector<core::Mfa> insp{*m};
   CollectingSink sink;
   r.trace.for_each_packet([&](const flow::Packet& p) { insp.packet(p, sink); });
   ASSERT_EQ(sink.matches.size(), 1u);
@@ -203,7 +203,7 @@ TEST(Pcap, EndToEndScanThroughMfa) {
   ASSERT_TRUE(r.ok);
   auto m = core::build_mfa(mfa::testing::compile_patterns({".*cmd\\.exe"}));
   ASSERT_TRUE(m.has_value());
-  flow::FlowInspector<core::MfaScanner> insp{core::MfaScanner(*m)};
+  flow::FlowInspector<core::Mfa> insp{*m};
   CollectingSink sink;
   r.trace.for_each_packet([&](const flow::Packet& p) { insp.packet(p, sink); });
   ASSERT_EQ(sink.matches.size(), 1u);  // spans the two kFlow segments

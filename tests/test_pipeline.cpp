@@ -1,0 +1,208 @@
+// Sharded pipeline: SPSC queue unit behaviour, and the correctness contract
+// of ShardedInspector — any shard count must produce exactly the sequential
+// FlowInspector's matches, because flows are pinned to shards by hash.
+#include "pipeline/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine_test_util.h"
+#include "mfa/mfa.h"
+#include "pipeline/spsc_queue.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace mfa::pipeline {
+namespace {
+
+using mfa::testing::compile_patterns;
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(4096).capacity(), 4096u);
+  EXPECT_EQ(SpscQueue<int>(5000).capacity(), 8192u);
+}
+
+TEST(SpscQueue, FifoOrderSingleThread) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  EXPECT_EQ(q.depth(), 8u);
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));  // empty
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(SpscQueue, WrapsAroundManyTimes) {
+  SpscQueue<int> q(4);
+  int v = -1;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.try_push(i));
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(SpscQueue, TwoThreadHandoffDeliversEverything) {
+  SpscQueue<std::uint64_t> q(64);
+  constexpr std::uint64_t kCount = 200000;
+  std::uint64_t sum = 0;
+  std::thread consumer([&] {
+    std::uint64_t v = 0, got = 0;
+    while (got < kCount) {
+      if (q.try_pop(v)) {
+        sum += v;
+        ++got;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 1; i <= kCount; ++i)
+    while (!q.try_push(i)) std::this_thread::yield();
+  consumer.join();
+  EXPECT_EQ(sum, kCount * (kCount + 1) / 2);
+}
+
+// --- ShardedInspector vs sequential FlowInspector ---
+
+struct Fixture {
+  core::Mfa mfa;
+  trace::Trace trace;
+  MatchVec sequential;  // sorted matches from a plain FlowInspector
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+Fixture make_fixture() {
+  Fixture f;
+  auto m = core::build_mfa(
+      compile_patterns({".*atk1.*vec2", ".*worm77", ".*sig[0-9]end"}));
+  EXPECT_TRUE(m.has_value());
+  f.mfa = *std::move(m);
+  f.trace = trace::make_real_life(trace::RealLifeProfile::kCyberDefense, 200000, 77,
+                                  {"atk1 and vec2", "worm77", "sig5end"});
+  flow::FlowInspector<core::Mfa> insp{f.mfa};
+  CollectingSink sink;
+  f.trace.for_each_packet([&](const flow::Packet& p) {
+    ++f.packets;
+    f.bytes += p.length;
+    insp.packet(p, sink);
+  });
+  f.sequential = mfa::testing::sorted(std::move(sink.matches));
+  return f;
+}
+
+TEST(ShardedInspector, MatchesSequentialAtEveryShardCount) {
+  const Fixture f = make_fixture();
+  ASSERT_FALSE(f.sequential.empty());
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    Options opt;
+    opt.shards = shards;
+    opt.collect_matches = true;
+    ShardedInspector<core::Mfa> pipe(f.mfa, opt);
+    pipe.start();
+    f.trace.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+    pipe.finish();
+    EXPECT_EQ(pipe.merged_matches(), f.sequential) << shards << " shards";
+    EXPECT_EQ(pipe.totals().matches, f.sequential.size()) << shards << " shards";
+  }
+}
+
+TEST(ShardedInspector, PerShardStatsSumToTraceTotals) {
+  const Fixture f = make_fixture();
+  Options opt;
+  opt.shards = 4;
+  ShardedInspector<core::Mfa> pipe(f.mfa, opt);
+  pipe.start();
+  f.trace.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+  pipe.finish();
+  ASSERT_EQ(pipe.stats().size(), 4u);
+  const ShardStats t = pipe.totals();
+  EXPECT_EQ(t.packets, f.packets);
+  EXPECT_EQ(t.bytes, f.bytes);
+  EXPECT_EQ(t.matches, f.sequential.size());
+  // Hashing must actually spread this many flows over 4 shards.
+  std::size_t active = 0;
+  for (const auto& s : pipe.stats()) active += s.packets > 0 ? 1 : 0;
+  EXPECT_GT(active, 1u);
+  EXPECT_LE(t.max_queue_depth, 4096u);
+}
+
+TEST(ShardedInspector, PacketsLandOnTheirHashedShard) {
+  const Fixture f = make_fixture();
+  Options opt;
+  opt.shards = 4;
+  ShardedInspector<core::Mfa> pipe(f.mfa, opt);
+  // Predict each shard's packet count from the dispatch hash alone.
+  std::vector<std::uint64_t> expect(4, 0);
+  f.trace.for_each_packet(
+      [&](const flow::Packet& p) { ++expect[pipe.shard_of(p.key)]; });
+  pipe.start();
+  f.trace.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+  pipe.finish();
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(pipe.stats()[i].packets, expect[i]) << "shard " << i;
+}
+
+TEST(ShardedInspector, FlowCapEvictsPerShard) {
+  auto m = core::build_mfa(compile_patterns({".*needle"}));
+  ASSERT_TRUE(m.has_value());
+  Options opt;
+  opt.shards = 2;
+  opt.max_flows_per_shard = 8;
+  ShardedInspector<core::Mfa> pipe(*m, opt);
+  pipe.start();
+  const std::string payload = "a needle here";
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    flow::Packet p{flow::FlowKey{i, 1, 2, 3, 6}, 0,
+                   reinterpret_cast<const std::uint8_t*>(payload.data()),
+                   static_cast<std::uint32_t>(payload.size())};
+    pipe.submit(p);
+  }
+  pipe.finish();
+  const ShardStats t = pipe.totals();
+  EXPECT_EQ(t.matches, 100u);  // eviction never loses in-flight single packets
+  EXPECT_LE(t.flows, 16u);     // 8 per shard
+  EXPECT_EQ(t.flows + t.evictions, 100u);
+}
+
+TEST(ShardedInspector, TinyQueueStillDeliversEverything) {
+  // Queue capacity far below the packet count forces submit() backpressure.
+  const Fixture f = make_fixture();
+  Options opt;
+  opt.shards = 2;
+  opt.queue_capacity = 4;
+  ShardedInspector<core::Mfa> pipe(f.mfa, opt);
+  pipe.start();
+  f.trace.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+  pipe.finish();
+  EXPECT_EQ(pipe.totals().packets, f.packets);
+  EXPECT_EQ(pipe.totals().matches, f.sequential.size());
+  EXPECT_LE(pipe.totals().max_queue_depth, 4u);
+}
+
+TEST(ShardedInspector, RestartAfterFinishStartsClean) {
+  const Fixture f = make_fixture();
+  Options opt;
+  opt.shards = 2;
+  ShardedInspector<core::Mfa> pipe(f.mfa, opt);
+  for (int round = 0; round < 2; ++round) {
+    pipe.start();
+    f.trace.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+    pipe.finish();
+    EXPECT_EQ(pipe.totals().packets, f.packets) << "round " << round;
+    EXPECT_EQ(pipe.totals().matches, f.sequential.size()) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace mfa::pipeline

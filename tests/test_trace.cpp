@@ -132,7 +132,7 @@ TEST(RealLifeTrace, AttackExemplarsProduceMatches) {
   // Exemplar = a full sampled match of the pattern.
   const Trace t = make_real_life(RealLifeProfile::kCyberDefense, 200000, 11,
                                  {"maliciouscmd 1337 rootshell"});
-  flow::FlowInspector<dfa::DfaScanner> insp{dfa::DfaScanner(*d)};
+  flow::FlowInspector<dfa::Dfa> insp{*d};
   CountingSink sink;
   t.for_each_packet([&](const flow::Packet& p) { insp.packet(p, sink); });
   EXPECT_GT(sink.count, 0u);
