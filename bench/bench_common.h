@@ -11,9 +11,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eval/harness.h"
+#include "obs/export.h"
 #include "util/table.h"
 
 namespace mfa::bench {
@@ -26,6 +28,8 @@ struct Args {
   std::uint32_t dfa_cap = 250000;
   int reps = 2;                       ///< throughput repetitions (first warms)
   bool csv = false;                   ///< also print CSV blocks
+  bool smoke = false;                 ///< CI smoke mode: tiny trace, 1 rep
+  std::string json_path;              ///< write an obs::BenchReport here
 
   static Args parse(int argc, char** argv) {
     Args args;
@@ -43,8 +47,16 @@ struct Args {
           std::strtoull(next(), nullptr, 10));
       else if (a == "--reps") args.reps = std::atoi(next());
       else if (a == "--csv") args.csv = true;
+      else if (a == "--smoke") {
+        // CI-friendly: small enough to run on every push; later flags may
+        // still override bytes/reps.
+        args.smoke = true;
+        args.trace_bytes = 256 * 1024;
+        args.reps = 1;
+      } else if (a == "--json") args.json_path = next();
       else if (a == "--help") {
-        std::printf("options: --bytes N  --dfa-cap N  --reps N  --csv\n");
+        std::printf("options: --bytes N  --dfa-cap N  --reps N  --csv  --smoke"
+                    "  --json FILE\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown option %s\n", a.c_str());
@@ -54,6 +66,35 @@ struct Args {
     return args;
   }
 };
+
+/// Write the accumulated report when --json was given (mfa.bench.v1 — the
+/// schema the BENCH_*.json perf trajectory accumulates).
+inline void write_report(const Args& args, const obs::BenchReport& report) {
+  if (args.json_path.empty()) return;
+  if (report.write_file(args.json_path))
+    std::printf("wrote %s\n", args.json_path.c_str());
+  else
+    std::fprintf(stderr, "failed to write %s\n", args.json_path.c_str());
+}
+
+/// Visit every successfully built engine of a Suite as (label, engine).
+/// Labels are the engines' kEngineName constants; visit order is the
+/// fixed column order of the paper's figures (DFA NFA HFA XFA MFA).
+template <typename Fn>
+void for_each_engine(const eval::Suite& suite, Fn&& fn) {
+  if (suite.dfa) fn(dfa::Dfa::kEngineName, *suite.dfa);
+  fn(nfa::Nfa::kEngineName, suite.nfa);
+  if (suite.hfa) fn(hfa::Hfa::kEngineName, *suite.hfa);
+  if (suite.xfa) fn(xfa::Xfa::kEngineName, *suite.xfa);
+  if (suite.mfa) fn(core::Mfa::kEngineName, *suite.mfa);
+}
+
+/// Engine labels in figure column order, with the table-header spellings.
+inline const std::vector<std::pair<const char*, const char*>>& engine_columns() {
+  static const std::vector<std::pair<const char*, const char*>> cols = {
+      {"dfa", "DFA"}, {"nfa", "NFA"}, {"hfa", "HFA"}, {"xfa", "XFA"}, {"mfa", "MFA"}};
+  return cols;
+}
 
 inline eval::SuiteOptions suite_options(const Args& args) {
   eval::SuiteOptions opts;

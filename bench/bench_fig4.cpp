@@ -3,6 +3,11 @@
 // authors' build); MFA next and ~43% faster than XFA; NFA slow with a
 // bimodal jump on B217p; HFA slowest of the memory-augmented engines;
 // MFA is the only memory-augmented engine that completes B217p.
+//
+// --json FILE additionally emits every (set, trace, engine) cell as an
+// mfa.bench.v1 record — the same schema bench_fig5/bench_pipeline use.
+#include <map>
+
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -19,7 +24,8 @@ int main(int argc, char** argv) {
     void add(double v) { sum += v; ++n; }
     [[nodiscard]] double mean() const { return n > 0 ? sum / n : 0; }
   };
-  Avg avg_dfa, avg_nfa, avg_hfa, avg_xfa, avg_mfa;
+  std::map<std::string, Avg> avg;
+  obs::BenchReport report("fig4");
 
   const auto sets = patterns::builtin_sets();
   for (const auto& set : sets) {
@@ -30,37 +36,20 @@ int main(int argc, char** argv) {
 
     util::TextTable table({"Trace", "DFA", "NFA", "HFA", "XFA", "MFA", "matches"});
     for (const auto& [name, trace] : traces) {
-      std::string dfa_cpb = "-";
+      std::map<std::string, std::string> cell;
       std::uint64_t matches = 0;
-      if (suite.dfa) {
-        const auto tp = eval::measure_throughput(*suite.dfa, trace, args.reps);
-        dfa_cpb = util::format_double(tp.cycles_per_byte, 1);
-        matches = tp.matches;
-        avg_dfa.add(tp.cycles_per_byte);
-      }
-      const auto nfa_tp = eval::measure_throughput(suite.nfa, trace, args.reps);
-      avg_nfa.add(nfa_tp.cycles_per_byte);
-      matches = std::max(matches, nfa_tp.matches);
-      std::string hfa_cpb = "-";
-      if (suite.hfa) {
-        const auto tp = eval::measure_throughput(*suite.hfa, trace, args.reps);
-        hfa_cpb = util::format_double(tp.cycles_per_byte, 1);
-        avg_hfa.add(tp.cycles_per_byte);
-      }
-      std::string xfa_cpb = "-";
-      if (suite.xfa) {
-        const auto tp = eval::measure_throughput(*suite.xfa, trace, args.reps);
-        xfa_cpb = util::format_double(tp.cycles_per_byte, 1);
-        avg_xfa.add(tp.cycles_per_byte);
-      }
-      std::string mfa_cpb = "-";
-      if (suite.mfa) {
-        const auto tp = eval::measure_throughput(*suite.mfa, trace, args.reps);
-        mfa_cpb = util::format_double(tp.cycles_per_byte, 1);
-        avg_mfa.add(tp.cycles_per_byte);
-      }
-      table.add_row({name, dfa_cpb, util::format_double(nfa_tp.cycles_per_byte, 1),
-                     hfa_cpb, xfa_cpb, mfa_cpb, std::to_string(matches)});
+      bench::for_each_engine(suite, [&](const char* engine, const auto& e) {
+        const auto tp = eval::measure_throughput(e, trace, args.reps);
+        cell[engine] = util::format_double(tp.cycles_per_byte, 1);
+        matches = std::max(matches, tp.matches);
+        avg[engine].add(tp.cycles_per_byte);
+        report.add(set.name, name, engine, tp.cycles_per_byte, tp.matches);
+      });
+      std::vector<std::string> row = {name};
+      for (const auto& [key, header] : bench::engine_columns())
+        row.push_back(cell.count(key) != 0 ? cell[key] : "-");
+      row.push_back(std::to_string(matches));
+      table.add_row(std::move(row));
     }
     std::printf("=== %s ===\n", set.name.c_str());
     bench::print_table(table, args.csv);
@@ -69,10 +58,11 @@ int main(int argc, char** argv) {
   std::printf("Averages across all sets and traces (CpB):\n"
               "  DFA %.1f   MFA %.1f   XFA %.1f   NFA %.1f   HFA %.1f\n"
               "  (paper: DFA 19, MFA 49, XFA 125, NFA ~130, HFA ~360)\n",
-              avg_dfa.mean(), avg_mfa.mean(), avg_xfa.mean(), avg_nfa.mean(),
-              avg_hfa.mean());
-  if (avg_xfa.mean() > 0)
+              avg["dfa"].mean(), avg["mfa"].mean(), avg["xfa"].mean(),
+              avg["nfa"].mean(), avg["hfa"].mean());
+  if (avg["xfa"].mean() > 0)
     std::printf("MFA vs XFA: %.0f%% faster (paper reports 43%%)\n",
-                (avg_xfa.mean() - avg_mfa.mean()) / avg_xfa.mean() * 100.0);
+                (avg["xfa"].mean() - avg["mfa"].mean()) / avg["xfa"].mean() * 100.0);
+  bench::write_report(args, report);
   return 0;
 }

@@ -3,6 +3,11 @@
 // Paper shapes: every engine degrades as p_M grows; DFA stays fastest, MFA
 // tracks DFA (losing a bit more at high maliciousness from filter work),
 // XFA mid-pack, NFA and HFA at the top of the graph.
+//
+// --json FILE emits every (set, p_M, engine) cell as an mfa.bench.v1
+// record — the same schema bench_fig4/bench_pipeline use.
+#include <map>
+
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -23,7 +28,8 @@ int main(int argc, char** argv) {
     double sum = 0;
     int n = 0;
   };
-  Cell grid[5][5];  // [pm][engine]: DFA NFA HFA XFA MFA
+  std::map<std::string, Cell> grid[5];  // [pm] -> engine -> mean accumulator
+  obs::BenchReport report("fig5");
 
   for (const auto& name : set_names) {
     std::fprintf(stderr, "[fig5] building %s ...\n", name.c_str());
@@ -36,17 +42,14 @@ int main(int argc, char** argv) {
     for (int pi = 0; pi < 5; ++pi) {
       const trace::Trace t =
           trace::make_synthetic(*suite.dfa, pms[pi], args.trace_bytes, 555 + pi);
-      const double cpb[5] = {
-          eval::measure_throughput(*suite.dfa, t, args.reps).cycles_per_byte,
-          eval::measure_throughput(suite.nfa, t, args.reps).cycles_per_byte,
-          eval::measure_throughput(*suite.hfa, t, args.reps).cycles_per_byte,
-          eval::measure_throughput(*suite.xfa, t, args.reps).cycles_per_byte,
-          eval::measure_throughput(*suite.mfa, t, args.reps).cycles_per_byte,
-      };
-      for (int e = 0; e < 5; ++e) {
-        grid[pi][e].sum += cpb[e];
-        grid[pi][e].n += 1;
-      }
+      const std::string trace_name =
+          pi == 0 ? "rand" : "pm" + util::format_double(pms[pi], 2);
+      bench::for_each_engine(suite, [&](const char* engine, const auto& e) {
+        const auto tp = eval::measure_throughput(e, t, args.reps);
+        grid[pi][engine].sum += tp.cycles_per_byte;
+        grid[pi][engine].n += 1;
+        report.add(name, trace_name, engine, tp.cycles_per_byte, tp.matches);
+      });
     }
   }
 
@@ -54,14 +57,17 @@ int main(int argc, char** argv) {
   for (int pi = 0; pi < 5; ++pi) {
     std::vector<std::string> row;
     row.push_back(pi == 0 ? "rand" : util::format_double(pms[pi], 2));
-    for (int e = 0; e < 5; ++e)
-      row.push_back(grid[pi][e].n > 0
-                        ? util::format_double(grid[pi][e].sum / grid[pi][e].n, 1)
+    for (const auto& [key, header] : bench::engine_columns()) {
+      const auto it = grid[pi].find(key);
+      row.push_back(it != grid[pi].end() && it->second.n > 0
+                        ? util::format_double(it->second.sum / it->second.n, 1)
                         : "-");
+    }
     table.add_row(std::move(row));
   }
   bench::print_table(table, args.csv);
   std::printf("Shape checks: every column should rise with p_M; DFA < MFA < XFA;\n"
               "NFA/HFA at the top (paper Fig. 5).\n");
+  bench::write_report(args, report);
   return 0;
 }

@@ -5,9 +5,15 @@
 //
 // Reports wall cycles per payload byte from first submit to finish (queue
 // hand-off included) and the speedup over the 1-shard run, plus the
-// per-shard load split. Speedup tracks physical cores: on a 1-core host
-// every shard count serializes and the table mainly demonstrates that
-// sharding does not corrupt results (matches stay constant).
+// per-shard load split and producer backpressure (queue full-spins).
+// Speedup tracks physical cores: on a 1-core host every shard count
+// serializes and the table mainly demonstrates that sharding does not
+// corrupt results (matches stay constant).
+//
+// --smoke shrinks the run for per-push CI; --json FILE writes the
+// mfa.bench.v1 schema (the BENCH_*.json trajectory format) including a
+// live telemetry snapshot from one instrumented pass. The timed runs stay
+// uninstrumented so CpB numbers measure the disabled-telemetry hot path.
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -17,7 +23,11 @@ int main(int argc, char** argv) {
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("hardware threads: %u\n\n", cores);
 
-  for (const char* set_name : {"C8", "S24"}) {
+  obs::BenchReport report("pipeline");
+  std::vector<const char*> set_names = {"C8", "S24"};
+  if (args.smoke) set_names = {"C8"};
+
+  for (const char* set_name : set_names) {
     const patterns::PatternSet set = patterns::set_by_name(set_name);
     auto mfa = core::build_mfa(set.patterns);
     if (!mfa) {
@@ -30,23 +40,28 @@ int main(int argc, char** argv) {
 
     // Sequential (no queues, no threads) reference for the same trace.
     const eval::Throughput seq = eval::measure_throughput(*mfa, t, args.reps);
+    report.add(set.name, "cyberdefense", core::Mfa::kEngineName,
+               seq.cycles_per_byte, seq.matches, /*shards=*/0);
 
     std::printf("=== %s: %zu patterns, trace %.2f MB, sequential %.1f CpB ===\n",
                 set.name.c_str(), set.patterns.size(),
                 static_cast<double>(t.payload_bytes()) / (1024 * 1024),
                 seq.cycles_per_byte);
     util::TextTable table({"shards", "CpB", "speedup", "matches", "flows",
-                           "max shard pkts", "min shard pkts", "max q depth"});
+                           "max shard pkts", "min shard pkts", "max q depth",
+                           "q full spins"});
     double one_shard_cpb = 0.0;
     for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
       const auto tp = eval::measure_pipeline_throughput(*mfa, t, shards, args.reps);
       if (shards == 1) one_shard_cpb = tp.cycles_per_byte;
-      std::uint64_t max_pkts = 0, min_pkts = ~0ull, max_depth = 0, flows = 0;
+      std::uint64_t max_pkts = 0, min_pkts = ~0ull, max_depth = 0, flows = 0,
+                    full_spins = 0;
       for (const auto& s : tp.shards) {
         max_pkts = std::max(max_pkts, s.packets);
         min_pkts = std::min(min_pkts, s.packets);
         max_depth = std::max(max_depth, s.max_queue_depth);
         flows += s.flows;
+        full_spins += s.queue_full_spins;
       }
       table.add_row({std::to_string(shards),
                      util::format_double(tp.cycles_per_byte, 1),
@@ -56,17 +71,31 @@ int main(int argc, char** argv) {
                                          2),
                      std::to_string(tp.matches), std::to_string(flows),
                      std::to_string(max_pkts), std::to_string(min_pkts),
-                     std::to_string(max_depth)});
+                     std::to_string(max_depth), std::to_string(full_spins)});
+      report.add(set.name, "cyberdefense", core::Mfa::kEngineName,
+                 tp.cycles_per_byte, tp.matches, shards);
       if (tp.matches != seq.matches)
         std::fprintf(stderr, "WARNING: %zu-shard matches %llu != sequential %llu\n",
                      shards, static_cast<unsigned long long>(tp.matches),
                      static_cast<unsigned long long>(seq.matches));
     }
     bench::print_table(table, args.csv);
+
+    if (!args.json_path.empty()) {
+      // One extra instrumented pass (4 shards, telemetry attached) so the
+      // report carries a full registry snapshot; kept out of the timed
+      // loops above so those keep measuring the disabled-telemetry path.
+      obs::MetricsRegistry registry(
+          {.shards = 4, .match_id_capacity = 4096, .trace_capacity = 1024});
+      (void)eval::measure_pipeline_throughput(*mfa, t, 4, 1, &registry);
+      report.set_telemetry(registry.snapshot());
+    }
   }
   std::printf("Reading: one immutable engine serves every shard; per-flow state\n"
               "is a context of Mfa::context_bytes() bytes, so flow tables shard\n"
               "without locks. Speedup requires >= as many physical cores as\n"
-              "shards; expect ~flat CpB on fewer cores.\n");
+              "shards; expect ~flat CpB on fewer cores. Sustained queue full\n"
+              "spins mean the producer outruns the shard workers.\n");
+  bench::write_report(args, report);
   return 0;
 }

@@ -23,6 +23,9 @@ namespace mfa::dfa {
 
 class CompactDfa {
  public:
+  /// Stable engine label used by telemetry exporters and bench reports.
+  static constexpr const char* kEngineName = "compact_dfa";
+
   /// Compress an existing DFA. Match behaviour is identical by
   /// construction; only the storage layout changes.
   explicit CompactDfa(const Dfa& dfa);

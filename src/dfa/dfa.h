@@ -36,6 +36,9 @@ struct BuildStats {
 
 class Dfa {
  public:
+  /// Stable engine label used by telemetry exporters and bench reports.
+  static constexpr const char* kEngineName = "dfa";
+
   [[nodiscard]] std::uint32_t state_count() const { return state_count_; }
   [[nodiscard]] std::uint32_t start() const { return start_; }
   [[nodiscard]] std::uint16_t column_count() const { return ncols_; }

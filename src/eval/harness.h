@@ -16,6 +16,7 @@
 #include "hfa/hfa.h"
 #include "mfa/mfa.h"
 #include "nfa/nfa.h"
+#include "obs/metrics.h"
 #include "patterns/builtin.h"
 #include "pipeline/pipeline.h"
 #include "trace/trace.h"
@@ -78,15 +79,18 @@ struct Throughput {
 /// byte. The engine is shared (immutable); each repetition starts from a
 /// fresh flow table of per-flow Contexts. `reps` repetitions amortize
 /// timer noise; the first rep warms the caches and is excluded when
-/// reps > 1.
+/// reps > 1. Passing `metrics` attaches telemetry (shard slot 0) for every
+/// repetition — the measurement then includes instrumentation cost, so use
+/// it for observability runs, not for headline CpB numbers.
 template <typename EngineT>
 Throughput measure_throughput(const EngineT& engine, const trace::Trace& trace,
-                              int reps = 2) {
+                              int reps = 2, obs::MetricsRegistry* metrics = nullptr) {
   Throughput result;
   std::uint64_t cycles = 0;
   int timed_reps = 0;
   for (int rep = 0; rep < reps; ++rep) {
     flow::FlowInspector<EngineT> inspector(engine);
+    if (metrics != nullptr) inspector.set_metrics(metrics, 0);
     CountingSink sink;
     const std::uint64_t start = util::rdtsc_now();
     trace.for_each_packet([&](const flow::Packet& p) { inspector.packet(p, sink); });
@@ -116,17 +120,21 @@ struct PipelineThroughput {
 /// Run a trace through the sharded pipeline and report wall cycles per
 /// payload byte across all shards (submit through finish, including queue
 /// hand-off). One Engine is shared by every shard; each shard owns a flow
-/// table of Contexts. First rep warms caches when reps > 1.
+/// table of Contexts. First rep warms caches when reps > 1. Passing
+/// `metrics` attaches live telemetry to every repetition (instrumented
+/// measurement — see measure_throughput).
 template <typename EngineT>
 PipelineThroughput measure_pipeline_throughput(const EngineT& engine,
                                                const trace::Trace& trace,
-                                               std::size_t shards, int reps = 2) {
+                                               std::size_t shards, int reps = 2,
+                                               obs::MetricsRegistry* metrics = nullptr) {
   PipelineThroughput result;
   std::uint64_t cycles = 0;
   int timed_reps = 0;
   for (int rep = 0; rep < reps; ++rep) {
     pipeline::Options opt;
     opt.shards = shards;
+    opt.metrics = metrics;
     pipeline::ShardedInspector<EngineT> pipe(engine, opt);
     pipe.start();
     const std::uint64_t start = util::rdtsc_now();

@@ -18,6 +18,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "util/timing.h"
+
 namespace mfa::flow {
 
 struct FlowKey {
@@ -114,10 +117,89 @@ class FlowInspector {
     FlowKey key;  ///< back-reference for O(1) LRU eviction
   };
 
+  /// Attach telemetry (DESIGN.md Sec. 8): scan counters, latency histograms,
+  /// per-match-id counts, and trace-ring events flow into the registry's
+  /// shard slot `shard_index`. Pass nullptr to detach. When detached
+  /// (the default) the instrumented path reduces to one branch per packet.
+  void set_metrics(obs::MetricsRegistry* registry, std::size_t shard_index = 0) {
+    registry_ = registry;
+    metrics_ = registry != nullptr ? &registry->shard(shard_index) : nullptr;
+    // Pre-resolve the tick→ns factor so the per-packet path never pays the
+    // one-time TSC calibration.
+    if (registry != nullptr) ns_per_tick_ = 1e9 / util::tsc_ticks_per_second();
+  }
+
   /// Deliver one packet. sink(match_id, flow_offset) fires for confirmed
   /// matches; positions are byte offsets within the flow's stream.
   template <typename Sink>
   void packet(const Packet& p, Sink&& sink) {
+    if (metrics_ == nullptr) {
+      deliver(p, sink);
+      return;
+    }
+    obs::ShardMetrics& m = *metrics_;
+    m.packets.fetch_add(1, std::memory_order_relaxed);
+    m.bytes.fetch_add(p.length, std::memory_order_relaxed);
+    m.packet_bytes.record(p.length);
+    const std::uint64_t t0 = util::rdtsc_now();
+    deliver(p, [&](std::uint32_t id, std::uint64_t end) {
+      m.matches.fetch_add(1, std::memory_order_relaxed);
+      registry_->count_match(id);
+      registry_->trace().record(p.key.src_ip, p.key.dst_ip, p.key.src_port,
+                                p.key.dst_port, p.key.proto, id, end,
+                                util::rdtsc_now());
+      sink(id, end);
+    });
+    const double ticks = static_cast<double>(util::rdtsc_now() - t0);
+    m.scan_ns.record(static_cast<std::uint64_t>(ticks * ns_per_tick_));
+    // Gauges/counters mirrored every packet so mid-run snapshots are live.
+    m.flows.store(flows_.size(), std::memory_order_relaxed);
+    m.evictions.store(evicted_, std::memory_order_relaxed);
+    m.reassembly_drops.store(reassembly_dropped_, std::memory_order_relaxed);
+    m.reassembly_pending_bytes.store(total_pending_, std::memory_order_relaxed);
+  }
+
+  /// Number of flows currently tracked.
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+
+  /// Flows evicted to honour max_flows.
+  [[nodiscard]] std::uint64_t evicted_count() const { return evicted_; }
+
+  /// Out-of-order segments dropped to honour max_pending_bytes.
+  [[nodiscard]] std::uint64_t reassembly_dropped_count() const {
+    return reassembly_dropped_;
+  }
+
+  /// Out-of-order bytes currently buffered across all flows.
+  [[nodiscard]] std::uint64_t reassembly_pending_bytes() const {
+    return total_pending_;
+  }
+
+  /// Logical per-flow context footprint (the engine's (q, m) bytes).
+  [[nodiscard]] std::size_t context_bytes() const { return engine_->context_bytes(); }
+
+  [[nodiscard]] const EngineT& engine() const { return *engine_; }
+
+  /// Drop a finished flow's context.
+  void evict(const FlowKey& key) {
+    auto it = flows_.find(key);
+    if (it == flows_.end()) return;
+    total_pending_ -= it->second.pending_bytes;
+    lru_unlink(&it->second);
+    flows_.erase(it);
+  }
+
+  void clear() {
+    flows_.clear();
+    total_pending_ = 0;
+    lru_head_ = nullptr;
+    lru_tail_ = nullptr;
+  }
+
+ private:
+  /// The uninstrumented delivery path; packet() wraps it with telemetry.
+  template <typename Sink>
+  void deliver(const Packet& p, Sink&& sink) {
     FlowState& fs = flow(p.key);
     if (p.seq > fs.next_offset) {
       // Out of order: hold the segment until the gap fills.
@@ -133,37 +215,6 @@ class FlowInspector {
     drain(fs, sink);
   }
 
-  /// Number of flows currently tracked.
-  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
-
-  /// Flows evicted to honour max_flows.
-  [[nodiscard]] std::uint64_t evicted_count() const { return evicted_; }
-
-  /// Out-of-order segments dropped to honour max_pending_bytes.
-  [[nodiscard]] std::uint64_t reassembly_dropped_count() const {
-    return reassembly_dropped_;
-  }
-
-  /// Logical per-flow context footprint (the engine's (q, m) bytes).
-  [[nodiscard]] std::size_t context_bytes() const { return engine_->context_bytes(); }
-
-  [[nodiscard]] const EngineT& engine() const { return *engine_; }
-
-  /// Drop a finished flow's context.
-  void evict(const FlowKey& key) {
-    auto it = flows_.find(key);
-    if (it == flows_.end()) return;
-    lru_unlink(&it->second);
-    flows_.erase(it);
-  }
-
-  void clear() {
-    flows_.clear();
-    lru_head_ = nullptr;
-    lru_tail_ = nullptr;
-  }
-
- private:
   FlowState& flow(const FlowKey& key) {
     auto it = flows_.find(key);
     if (it != flows_.end()) {
@@ -205,6 +256,7 @@ class FlowInspector {
   void evict_oldest() {
     FlowState* victim = lru_head_;
     if (victim == nullptr) return;
+    total_pending_ -= victim->pending_bytes;
     lru_unlink(victim);
     flows_.erase(victim->key);
     ++evicted_;
@@ -226,10 +278,12 @@ class FlowInspector {
       // Duplicate sequence number: keep whichever segment carries more data.
       if (it->second.bytes.size() >= p.length) return;
       fs.pending_bytes -= it->second.bytes.size();
+      total_pending_ -= it->second.bytes.size();
     }
     it->second.bytes.assign(p.payload, p.payload + p.length);
     it->second.arrival = ++arrival_tick_;
     fs.pending_bytes += p.length;
+    total_pending_ += p.length;
   }
 
   void drop_oldest_pending(FlowState& fs) {
@@ -238,6 +292,7 @@ class FlowInspector {
       if (it->second.arrival < oldest->second.arrival) oldest = it;
     }
     fs.pending_bytes -= oldest->second.bytes.size();
+    total_pending_ -= oldest->second.bytes.size();
     fs.pending.erase(oldest);
     ++reassembly_dropped_;
   }
@@ -255,6 +310,7 @@ class FlowInspector {
         fs.next_offset += bytes.size() - skip;
       }
       fs.pending_bytes -= bytes.size();
+      total_pending_ -= bytes.size();
       fs.pending.erase(it);
     }
   }
@@ -264,7 +320,11 @@ class FlowInspector {
   std::size_t max_pending_ = kDefaultMaxPendingBytes;
   std::uint64_t evicted_ = 0;
   std::uint64_t reassembly_dropped_ = 0;
+  std::uint64_t total_pending_ = 0;  ///< buffered OOO bytes across all flows
   std::uint64_t arrival_tick_ = 0;
+  obs::MetricsRegistry* registry_ = nullptr;  ///< telemetry root (optional)
+  obs::ShardMetrics* metrics_ = nullptr;      ///< this inspector's shard slot
+  double ns_per_tick_ = 0.0;
   FlowState* lru_head_ = nullptr;  ///< least recently active
   FlowState* lru_tail_ = nullptr;  ///< most recently active
   std::unordered_map<FlowKey, FlowState, FlowKeyHash> flows_;

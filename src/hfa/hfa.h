@@ -53,6 +53,9 @@ struct HfaEntry {
 
 class Hfa {
  public:
+  /// Stable engine label used by telemetry exporters and bench reports.
+  static constexpr const char* kEngineName = "hfa";
+
   [[nodiscard]] std::uint32_t state_count() const { return state_count_; }
   [[nodiscard]] std::uint32_t start() const { return start_; }
   [[nodiscard]] const filter::Program& program() const { return program_; }

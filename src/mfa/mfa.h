@@ -33,6 +33,9 @@ struct BuildStats {
 
 class Mfa {
  public:
+  /// Stable engine label used by telemetry exporters and bench reports.
+  static constexpr const char* kEngineName = "mfa";
+
   [[nodiscard]] const dfa::Dfa& character_dfa() const { return dfa_; }
   [[nodiscard]] const filter::Program& program() const { return program_; }
   [[nodiscard]] const std::vector<split::Piece>& pieces() const { return pieces_; }

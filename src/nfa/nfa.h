@@ -32,6 +32,9 @@ struct PatternInput {
 
 class Nfa {
  public:
+  /// Stable engine label used by telemetry exporters and bench reports.
+  static constexpr const char* kEngineName = "nfa";
+
   [[nodiscard]] std::uint32_t state_count() const {
     return static_cast<std::uint32_t>(transitions_.size());
   }

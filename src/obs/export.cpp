@@ -1,0 +1,189 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <thread>
+
+namespace mfa::obs {
+namespace {
+
+void append(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n < 256 ? n : 255));
+}
+
+// --- Prometheus ---
+
+void prom_counter(std::string& out, const char* name, const char* help,
+                  const RegistrySnapshot& snap,
+                  std::uint64_t ShardSnapshot::*field, const char* type) {
+  append(out, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, type);
+  for (std::size_t i = 0; i < snap.shards.size(); ++i)
+    append(out, "%s{shard=\"%zu\"} %" PRIu64 "\n", name, i, snap.shards[i].*field);
+}
+
+void prom_histogram(std::string& out, const char* name, const char* help,
+                    const RegistrySnapshot& snap,
+                    HistogramSnapshot ShardSnapshot::*field) {
+  append(out, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name);
+  for (std::size_t i = 0; i < snap.shards.size(); ++i) {
+    const HistogramSnapshot& h = snap.shards[i].*field;
+    std::uint64_t cumulative = 0;
+    const std::size_t hi = h.max_bucket();
+    for (std::size_t b = 0; b <= hi && b + 1 < kHistogramBuckets; ++b) {
+      cumulative += h.counts[b];
+      append(out, "%s_bucket{shard=\"%zu\",le=\"%" PRIu64 "\"} %" PRIu64 "\n", name,
+             i, Histogram::bucket_upper_bound(b), cumulative);
+    }
+    append(out, "%s_bucket{shard=\"%zu\",le=\"+Inf\"} %" PRIu64 "\n", name, i,
+           h.count);
+    append(out, "%s_sum{shard=\"%zu\"} %" PRIu64 "\n", name, i, h.sum);
+    append(out, "%s_count{shard=\"%zu\"} %" PRIu64 "\n", name, i, h.count);
+  }
+}
+
+// --- JSON ---
+
+void json_histogram(std::string& out, const char* key, const HistogramSnapshot& h) {
+  append(out, "\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"buckets\":[",
+         key, h.count, h.sum);
+  bool first = true;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (h.counts[b] == 0) continue;
+    append(out, "%s[%" PRIu64 ",%" PRIu64 "]", first ? "" : ",",
+           Histogram::bucket_upper_bound(b), h.counts[b]);
+    first = false;
+  }
+  out += "]}";
+}
+
+void json_shard(std::string& out, const ShardSnapshot& s) {
+  append(out,
+         "{\"packets\":%" PRIu64 ",\"bytes\":%" PRIu64 ",\"matches\":%" PRIu64
+         ",\"flows\":%" PRIu64 ",\"evictions\":%" PRIu64
+         ",\"reassembly_drops\":%" PRIu64 ",\"reassembly_pending_bytes\":%" PRIu64
+         ",\"queue_full_spins\":%" PRIu64 ",\"max_queue_depth\":%" PRIu64 ",",
+         s.packets, s.bytes, s.matches, s.flows, s.evictions, s.reassembly_drops,
+         s.reassembly_pending_bytes, s.queue_full_spins, s.max_queue_depth);
+  json_histogram(out, "scan_ns", s.scan_ns);
+  out += ",";
+  json_histogram(out, "packet_bytes", s.packet_bytes);
+  out += ",";
+  json_histogram(out, "queue_depth", s.queue_depth);
+  out += "}";
+}
+
+std::string snapshot_json(const RegistrySnapshot& snap) {
+  std::string out = "{\"schema\":\"mfa.telemetry.v1\",\"shards\":[";
+  for (std::size_t i = 0; i < snap.shards.size(); ++i) {
+    if (i != 0) out += ",";
+    json_shard(out, snap.shards[i]);
+  }
+  out += "],\"totals\":";
+  json_shard(out, snap.totals());
+  out += ",\"match_counts\":[";
+  for (std::size_t i = 0; i < snap.match_counts.size(); ++i)
+    append(out, "%s[%" PRIu32 ",%" PRIu64 "]", i != 0 ? "," : "",
+           snap.match_counts[i].first, snap.match_counts[i].second);
+  append(out, "],\"match_id_overflow\":%" PRIu64
+              ",\"trace\":{\"recorded\":%" PRIu64 ",\"events\":[",
+         snap.match_id_overflow, snap.trace_recorded);
+  for (std::size_t i = 0; i < snap.trace_events.size(); ++i) {
+    const auto& e = snap.trace_events[i];
+    append(out,
+           "%s{\"src_ip\":%" PRIu32 ",\"dst_ip\":%" PRIu32
+           ",\"src_port\":%u,\"dst_port\":%u,\"proto\":%u,\"id\":%" PRIu32
+           ",\"offset\":%" PRIu64 ",\"tsc\":%" PRIu64 "}",
+           i != 0 ? "," : "", e.src_ip, e.dst_ip, e.src_port, e.dst_port, e.proto,
+           e.match_id, e.offset, e.tsc);
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const RegistrySnapshot& snap) {
+  std::string out;
+  prom_counter(out, "mfa_packets_total", "Packets scanned", snap,
+               &ShardSnapshot::packets, "counter");
+  prom_counter(out, "mfa_bytes_total", "Payload bytes scanned", snap,
+               &ShardSnapshot::bytes, "counter");
+  prom_counter(out, "mfa_matches_total", "Confirmed pattern matches", snap,
+               &ShardSnapshot::matches, "counter");
+  prom_counter(out, "mfa_flows", "Flows resident in the flow table", snap,
+               &ShardSnapshot::flows, "gauge");
+  prom_counter(out, "mfa_flow_evictions_total", "Flow-table LRU evictions", snap,
+               &ShardSnapshot::evictions, "counter");
+  prom_counter(out, "mfa_reassembly_drops_total",
+               "Out-of-order segments dropped by the pending cap", snap,
+               &ShardSnapshot::reassembly_drops, "counter");
+  prom_counter(out, "mfa_reassembly_pending_bytes",
+               "Buffered out-of-order bytes awaiting gaps", snap,
+               &ShardSnapshot::reassembly_pending_bytes, "gauge");
+  prom_counter(out, "mfa_queue_full_spins_total",
+               "Producer spins while a shard queue was full", snap,
+               &ShardSnapshot::queue_full_spins, "counter");
+  prom_counter(out, "mfa_queue_max_depth", "High-water mark of the shard queue",
+               snap, &ShardSnapshot::max_queue_depth, "gauge");
+  prom_histogram(out, "mfa_scan_ns", "Per-packet scan latency in nanoseconds",
+                 snap, &ShardSnapshot::scan_ns);
+  prom_histogram(out, "mfa_packet_bytes", "Per-packet payload size in bytes", snap,
+                 &ShardSnapshot::packet_bytes);
+  prom_histogram(out, "mfa_queue_depth", "Shard queue depth at submit", snap,
+                 &ShardSnapshot::queue_depth);
+  append(out, "# HELP mfa_match_hits_total Confirmed matches per pattern id\n"
+              "# TYPE mfa_match_hits_total counter\n");
+  for (const auto& [id, count] : snap.match_counts)
+    append(out, "mfa_match_hits_total{id=\"%" PRIu32 "\"} %" PRIu64 "\n", id, count);
+  append(out, "# HELP mfa_match_id_overflow_total Matches beyond the id counter table\n"
+              "# TYPE mfa_match_id_overflow_total counter\n"
+              "mfa_match_id_overflow_total %" PRIu64 "\n",
+         snap.match_id_overflow);
+  append(out, "# HELP mfa_trace_events_total Match events recorded to the trace ring\n"
+              "# TYPE mfa_trace_events_total counter\n"
+              "mfa_trace_events_total %" PRIu64 "\n",
+         snap.trace_recorded);
+  return out;
+}
+
+std::string to_json(const RegistrySnapshot& snap) { return snapshot_json(snap); }
+
+std::string BenchReport::to_json() const {
+  std::string out = "{\"schema\":\"mfa.bench.v1\",\"bench\":\"" + bench_ + "\",";
+  append(out, "\"hardware_threads\":%u,\"results\":[",
+         std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    append(out, "%s{\"set\":\"%s\",\"trace\":\"%s\",\"engine\":\"%s\","
+                "\"shards\":%zu,\"cycles_per_byte\":%.6g,\"matches\":%" PRIu64 "}",
+           i != 0 ? "," : "", r.set.c_str(), r.trace.c_str(), r.engine.c_str(),
+           r.shards, r.cycles_per_byte, r.matches);
+  }
+  out += "]";
+  if (telemetry_.has_value()) {
+    out += ",\"telemetry\":";
+    out += snapshot_json(*telemetry_);
+  }
+  out += "}";
+  return out;
+}
+
+bool BenchReport::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace mfa::obs

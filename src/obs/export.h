@@ -1,0 +1,63 @@
+// Snapshot exporters (DESIGN.md Sec. 8): Prometheus text format and the
+// JSON schema the BENCH_*.json perf trajectory adopts.
+//
+// Both render the same RegistrySnapshot, so any value present in one is
+// present in the other — the round-trip contract the exporter tests pin.
+// Metric naming convention: mfa_<noun>[_<unit>][_total], labels shard="N"
+// and id="N" only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mfa::obs {
+
+/// Prometheus text exposition format (one series per shard, cumulative
+/// histogram buckets with log2 "le" bounds).
+std::string to_prometheus(const RegistrySnapshot& snap);
+
+/// Compact single-line JSON ({"schema":"mfa.telemetry.v1",...}), suitable
+/// both for dashboards and for appending as JSON lines.
+std::string to_json(const RegistrySnapshot& snap);
+
+/// Accumulates bench results (the rows the fig4/fig5/pipeline binaries used
+/// to format by hand) and renders them as the mfa.bench.v1 JSON schema —
+/// the format BENCH_*.json files accumulate. Telemetry snapshots attach
+/// verbatim under "telemetry".
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void add(std::string set, std::string trace, std::string engine,
+           double cycles_per_byte, std::uint64_t matches, std::size_t shards = 1) {
+    rows_.push_back(Row{std::move(set), std::move(trace), std::move(engine),
+                        cycles_per_byte, matches, shards});
+  }
+
+  void set_telemetry(RegistrySnapshot snap) { telemetry_ = std::move(snap); }
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() plus a trailing newline; false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Row {
+    std::string set;
+    std::string trace;
+    std::string engine;
+    double cycles_per_byte = 0.0;
+    std::uint64_t matches = 0;
+    std::size_t shards = 1;
+  };
+
+  std::string bench_;
+  std::vector<Row> rows_;
+  std::optional<RegistrySnapshot> telemetry_;
+};
+
+}  // namespace mfa::obs

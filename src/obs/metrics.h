@@ -1,0 +1,294 @@
+// Telemetry core: lock-free per-shard metrics and a drainable match-event
+// trace ring (DESIGN.md Sec. 8 "Observability").
+//
+// The paper's argument is quantitative — MFA wins only if per-byte work
+// stays near-DFA while filter overhead stays negligible (Sec. VII) — so the
+// running system must be observable without perturbing what it measures.
+// Every hot-path update here is a relaxed atomic increment into
+// shard-private, cache-line-aligned storage: no locks, no CAS loops, no
+// cross-shard sharing. Readers take best-effort-consistent snapshots from
+// any thread while workers keep scanning; monotonic counters can only be
+// observed "slightly behind", never torn (all fields are atomics, so the
+// concurrent snapshot path is TSan-clean by construction).
+//
+// This header is dependency-free below util/ so that flow/ and pipeline/
+// can include it without cycles; flow identifiers are passed as raw tuple
+// fields rather than flow::FlowKey.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace mfa::obs {
+
+/// Bucket count of every log-bucketed histogram. Bucket i holds values
+/// whose bit width is i (i.e. v in [2^(i-1), 2^i - 1]; bucket 0 = {0});
+/// values too large for the last bucket clamp into it.
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// Read-side copy of a Histogram: plain integers, mergeable across shards.
+struct HistogramSnapshot {
+  std::uint64_t counts[kHistogramBuckets] = {};
+  std::uint64_t count = 0;  ///< total recorded values
+  std::uint64_t sum = 0;    ///< sum of recorded values (exact, not bucketed)
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& o) {
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) counts[i] += o.counts[i];
+    count += o.count;
+    sum += o.sum;
+    return *this;
+  }
+
+  [[nodiscard]] double mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+
+  /// Highest non-empty bucket index (0 when the histogram is empty).
+  [[nodiscard]] std::size_t max_bucket() const {
+    std::size_t hi = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+      if (counts[i] != 0) hi = i;
+    return hi;
+  }
+
+  /// Upper bound of the bucket where the cumulative count first reaches
+  /// q * count — a log2-granular quantile estimate.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+};
+
+/// Log2-bucketed histogram with relaxed-atomic recording. One writer per
+/// instance on the hot path (shard-confined); any number of concurrent
+/// snapshot readers.
+class Histogram {
+ public:
+  static constexpr std::size_t bucket_index(std::uint64_t v) {
+    const auto w = static_cast<std::size_t>(std::bit_width(v));
+    return w < kHistogramBuckets ? w : kHistogramBuckets - 1;
+  }
+
+  /// Largest value that lands in bucket i (UINT64_MAX for the clamp bucket).
+  static constexpr std::uint64_t bucket_upper_bound(std::size_t i) {
+    return i + 1 >= kHistogramBuckets ? ~std::uint64_t{0} : (std::uint64_t{1} << i) - 1;
+  }
+
+  void record(std::uint64_t v) {
+    counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const {
+    HistogramSnapshot s;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+      s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> counts_[kHistogramBuckets] = {};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Read-side copy of one shard's metrics. operator+= merges across shards
+/// (gauges sum; max_queue_depth takes the max).
+struct ShardSnapshot {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t flows = 0;                     ///< gauge: flows resident now
+  std::uint64_t evictions = 0;
+  std::uint64_t reassembly_drops = 0;
+  std::uint64_t reassembly_pending_bytes = 0;  ///< gauge: buffered OOO bytes
+  std::uint64_t queue_full_spins = 0;          ///< producer full-spin count
+  std::uint64_t max_queue_depth = 0;           ///< gauge: high-water mark
+  HistogramSnapshot scan_ns;      ///< per-packet scan latency, nanoseconds
+  HistogramSnapshot packet_bytes; ///< per-packet payload size
+  HistogramSnapshot queue_depth;  ///< SPSC depth sampled at each submit()
+
+  ShardSnapshot& operator+=(const ShardSnapshot& o) {
+    packets += o.packets;
+    bytes += o.bytes;
+    matches += o.matches;
+    flows += o.flows;
+    evictions += o.evictions;
+    reassembly_drops += o.reassembly_drops;
+    reassembly_pending_bytes += o.reassembly_pending_bytes;
+    queue_full_spins += o.queue_full_spins;
+    max_queue_depth = max_queue_depth > o.max_queue_depth ? max_queue_depth
+                                                          : o.max_queue_depth;
+    scan_ns += o.scan_ns;
+    packet_bytes += o.packet_bytes;
+    queue_depth += o.queue_depth;
+    return *this;
+  }
+};
+
+/// One shard's live counters. Cache-line-aligned so two shards never share
+/// a line; the scan-side fields are written only by the shard's worker
+/// thread, the queue-side fields only by the submit() producer, and any
+/// thread may snapshot.
+struct alignas(64) ShardMetrics {
+  // --- scan side (shard worker / sequential inspector thread) ---
+  std::atomic<std::uint64_t> packets{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> matches{0};
+  std::atomic<std::uint64_t> flows{0};                     // gauge
+  std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> reassembly_drops{0};
+  std::atomic<std::uint64_t> reassembly_pending_bytes{0};  // gauge
+  Histogram scan_ns;
+  Histogram packet_bytes;
+  // --- queue side (the submit() producer thread) ---
+  std::atomic<std::uint64_t> queue_full_spins{0};
+  std::atomic<std::uint64_t> max_queue_depth{0};           // gauge
+  Histogram queue_depth;
+
+  [[nodiscard]] ShardSnapshot snapshot() const {
+    ShardSnapshot s;
+    s.packets = packets.load(std::memory_order_relaxed);
+    s.bytes = bytes.load(std::memory_order_relaxed);
+    s.matches = matches.load(std::memory_order_relaxed);
+    s.flows = flows.load(std::memory_order_relaxed);
+    s.evictions = evictions.load(std::memory_order_relaxed);
+    s.reassembly_drops = reassembly_drops.load(std::memory_order_relaxed);
+    s.reassembly_pending_bytes =
+        reassembly_pending_bytes.load(std::memory_order_relaxed);
+    s.queue_full_spins = queue_full_spins.load(std::memory_order_relaxed);
+    s.max_queue_depth = max_queue_depth.load(std::memory_order_relaxed);
+    s.scan_ns = scan_ns.snapshot();
+    s.packet_bytes = packet_bytes.snapshot();
+    s.queue_depth = queue_depth.snapshot();
+    return s;
+  }
+};
+
+/// Fixed-capacity ring of match events, drainable while workers keep
+/// recording. Writers claim a slot by ticket (fetch_add) and publish it
+/// with a release store of the slot's sequence number; old events are
+/// silently overwritten once the ring wraps. drain() is best-effort under
+/// concurrency: a slot caught mid-overwrite is skipped, never torn (every
+/// field is an atomic).
+class MatchTraceRing {
+ public:
+  struct Event {
+    std::uint32_t src_ip = 0;
+    std::uint32_t dst_ip = 0;
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::uint8_t proto = 0;
+    std::uint32_t match_id = 0;
+    std::uint64_t offset = 0;  ///< flow byte offset of the match end
+    std::uint64_t tsc = 0;     ///< util::rdtsc_now() at the match
+  };
+
+  /// Capacity rounds up to a power of two (minimum 2).
+  explicit MatchTraceRing(std::size_t capacity);
+
+  void record(std::uint32_t src_ip, std::uint32_t dst_ip, std::uint16_t src_port,
+              std::uint16_t dst_port, std::uint8_t proto, std::uint32_t match_id,
+              std::uint64_t offset, std::uint64_t tsc);
+
+  /// The newest (up to capacity) published events, oldest first.
+  [[nodiscard]] std::vector<Event> drain() const;
+
+  /// Total events ever recorded, including overwritten ones.
+  [[nodiscard]] std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< 0 empty, 2t+1 writing, 2t+2 published
+    std::atomic<std::uint32_t> src_ip{0};
+    std::atomic<std::uint32_t> dst_ip{0};
+    std::atomic<std::uint64_t> ports_proto{0};  ///< sp<<32 | dp<<16 | proto
+    std::atomic<std::uint32_t> match_id{0};
+    std::atomic<std::uint64_t> offset{0};
+    std::atomic<std::uint64_t> tsc{0};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};  ///< next ticket to claim
+};
+
+/// Whole-registry read-side copy: per-shard snapshots, per-match-id hit
+/// counts, and the drained trace ring.
+struct RegistrySnapshot {
+  std::vector<ShardSnapshot> shards;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> match_counts;  ///< nonzero ids
+  std::uint64_t match_id_overflow = 0;  ///< hits whose id exceeded the counter table
+  std::vector<MatchTraceRing::Event> trace_events;
+  std::uint64_t trace_recorded = 0;
+
+  [[nodiscard]] ShardSnapshot totals() const {
+    ShardSnapshot t;
+    for (const auto& s : shards) t += s;
+    return t;
+  }
+};
+
+/// The telemetry root shared by all engines and the sharded pipeline: N
+/// cache-line-aligned ShardMetrics, a per-match-id counter table, and one
+/// match-event trace ring. Construct once, hand shard slots to inspectors
+/// (FlowInspector::set_metrics / pipeline::Options::metrics), snapshot from
+/// anywhere at any time.
+class MetricsRegistry {
+ public:
+  struct Options {
+    std::size_t shards = 1;
+    std::size_t match_id_capacity = 1024;  ///< ids >= this count as overflow
+    std::size_t trace_capacity = 1024;     ///< match-event ring slots
+  };
+
+  MetricsRegistry() : MetricsRegistry(Options{}) {}
+  explicit MetricsRegistry(Options opt);
+  explicit MetricsRegistry(std::size_t shards)
+      : MetricsRegistry(Options{.shards = shards}) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+  [[nodiscard]] ShardMetrics& shard(std::size_t i) { return shards_[i]; }
+  [[nodiscard]] const ShardMetrics& shard(std::size_t i) const { return shards_[i]; }
+
+  void count_match(std::uint32_t id) {
+    if (id < match_id_capacity_)
+      match_counts_[id].fetch_add(1, std::memory_order_relaxed);
+    else
+      match_id_overflow_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t match_count(std::uint32_t id) const {
+    return id < match_id_capacity_
+               ? match_counts_[id].load(std::memory_order_relaxed)
+               : 0;
+  }
+
+  [[nodiscard]] MatchTraceRing& trace() { return trace_; }
+  [[nodiscard]] const MatchTraceRing& trace() const { return trace_; }
+
+  /// Read-side copy of everything, safe while workers keep scanning.
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+
+ private:
+  std::size_t shard_count_;
+  std::size_t match_id_capacity_;
+  std::unique_ptr<ShardMetrics[]> shards_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> match_counts_;
+  std::atomic<std::uint64_t> match_id_overflow_{0};
+  MatchTraceRing trace_;
+};
+
+}  // namespace mfa::obs

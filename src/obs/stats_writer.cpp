@@ -1,0 +1,47 @@
+#include "obs/stats_writer.h"
+
+#include <cstdio>
+
+#include "obs/export.h"
+
+namespace mfa::obs {
+
+StatsWriter::StatsWriter(const MetricsRegistry& registry, std::string path,
+                         std::chrono::milliseconds period)
+    : registry_(&registry), path_(std::move(path)), period_(period) {
+  thread_ = std::thread([this] { run(); });
+}
+
+void StatsWriter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && !thread_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StatsWriter::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, period_, [this] { return stopping_; })) break;
+    lock.unlock();
+    write_line();
+    lock.lock();
+  }
+  lock.unlock();
+  write_line();  // final snapshot so short runs still record one line
+}
+
+void StatsWriter::write_line() {
+  std::FILE* f = std::fopen(path_.c_str(), "a");
+  if (f == nullptr) return;
+  const std::string line = to_json(registry_->snapshot());
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  ++lines_;
+}
+
+}  // namespace mfa::obs

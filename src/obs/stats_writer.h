@@ -1,0 +1,48 @@
+// Optional periodic stats thread: appends one telemetry JSON line (the
+// mfa.telemetry.v1 schema from obs/export.h) to a file every period, plus a
+// final line at stop, so even short runs leave a trajectory behind.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace mfa::obs {
+
+class StatsWriter {
+ public:
+  /// Starts the writer thread immediately. The registry must outlive the
+  /// writer. Lines are appended (the file is never truncated).
+  StatsWriter(const MetricsRegistry& registry, std::string path,
+              std::chrono::milliseconds period = std::chrono::seconds(1));
+
+  ~StatsWriter() { stop(); }
+
+  StatsWriter(const StatsWriter&) = delete;
+  StatsWriter& operator=(const StatsWriter&) = delete;
+
+  /// Stop the thread and append one final snapshot line. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  void run();
+  void write_line();
+
+  const MetricsRegistry* registry_;
+  std::string path_;
+  std::chrono::milliseconds period_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> lines_{0};
+  std::thread thread_;
+};
+
+}  // namespace mfa::obs

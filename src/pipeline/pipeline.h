@@ -6,7 +6,9 @@
 // queue. The dispatcher hashes each packet's FlowKey to a shard, so every
 // flow is pinned to exactly one worker: flow tables need no locks, and the
 // only cross-thread traffic is the queues themselves. Matches and stats
-// accumulate shard-locally and are merged after finish().
+// accumulate shard-locally and are merged after finish(); attaching an
+// obs::MetricsRegistry (Options::metrics) additionally mirrors every
+// counter into lock-free telemetry readable mid-run via snapshot().
 //
 // Thread-safety contract (see DESIGN.md "Engine/Context split & pipeline"):
 //  - Engines are immutable after construction and shareable across threads.
@@ -24,20 +26,25 @@
 #include <vector>
 
 #include "flow/flow.h"
+#include "obs/metrics.h"
 #include "pipeline/spsc_queue.h"
 #include "util/match.h"
 
 namespace mfa::pipeline {
 
 /// Per-shard accounting, merged by the dispatcher after finish().
+/// flows/evictions/reassembly_drops are refreshed on every processed packet
+/// (not only at worker exit), so the values are never stale; for reading
+/// them mid-run, attach an obs::MetricsRegistry and use snapshot().
 struct ShardStats {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
   std::uint64_t matches = 0;
-  std::uint64_t flows = 0;             ///< flows resident at finish()
+  std::uint64_t flows = 0;             ///< flows resident after the last packet
   std::uint64_t evictions = 0;         ///< flow-table LRU evictions
   std::uint64_t reassembly_drops = 0;  ///< segments dropped by the pending cap
   std::uint64_t max_queue_depth = 0;   ///< high-water mark of the SPSC queue
+  std::uint64_t queue_full_spins = 0;  ///< producer spins while the queue was full
 
   ShardStats& operator+=(const ShardStats& o) {
     packets += o.packets;
@@ -48,6 +55,7 @@ struct ShardStats {
     reassembly_drops += o.reassembly_drops;
     max_queue_depth = max_queue_depth > o.max_queue_depth ? max_queue_depth
                                                           : o.max_queue_depth;
+    queue_full_spins += o.queue_full_spins;
     return *this;
   }
 };
@@ -58,6 +66,10 @@ struct Options {
   std::size_t max_flows_per_shard = 0;  ///< 0 = unbounded flow tables
   std::size_t max_pending_per_flow = flow::kDefaultMaxPendingBytes;
   bool collect_matches = false;  ///< keep full Match records (else count only)
+  /// Optional telemetry root (externally owned, must outlive the inspector).
+  /// Shard i writes into metrics->shard(i % metrics->shard_count()); when
+  /// null the hot path pays one untaken branch per packet.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Hash-sharded multi-threaded inspector over any Engine/Context engine.
@@ -84,19 +96,30 @@ class ShardedInspector {
     matches_.clear();
     stop_.store(false, std::memory_order_relaxed);
     for (std::size_t i = 0; i < options_.shards; ++i)
-      shards_.push_back(std::make_unique<Shard>(*engine_, options_, stop_));
+      shards_.push_back(std::make_unique<Shard>(*engine_, options_, stop_, i));
     for (auto& shard : shards_) shard->thread = std::thread([s = shard.get()] { s->run(); });
     running_ = true;
   }
 
   /// Enqueue one packet to its flow's shard (single producer thread).
   /// Spins (yielding) when the shard queue is full — backpressure instead
-  /// of drops, so match results stay deterministic.
+  /// of drops, so match results stay deterministic. Full-spins are counted:
+  /// a sustained non-zero rate means the shard cannot keep up.
   void submit(const flow::Packet& p) {
     Shard& s = *shards_[shard_of(p.key)];
-    while (!s.queue.try_push(p)) std::this_thread::yield();
+    std::uint64_t spins = 0;
+    while (!s.queue.try_push(p)) {
+      ++spins;
+      std::this_thread::yield();
+    }
+    s.producer_full_spins += spins;
     const std::size_t depth = s.queue.depth();
     if (depth > s.producer_max_depth) s.producer_max_depth = depth;
+    if (s.metrics != nullptr) {
+      if (spins != 0) s.metrics->queue_full_spins.fetch_add(spins, std::memory_order_relaxed);
+      s.metrics->queue_depth.record(depth);
+      s.metrics->max_queue_depth.store(s.producer_max_depth, std::memory_order_relaxed);
+    }
   }
 
   /// Drain all queues, join the workers, and merge stats/matches.
@@ -106,11 +129,23 @@ class ShardedInspector {
     for (auto& shard : shards_) {
       if (shard->thread.joinable()) shard->thread.join();
       shard->stats.max_queue_depth = shard->producer_max_depth;
+      shard->stats.queue_full_spins = shard->producer_full_spins;
       stats_.push_back(shard->stats);
       matches_.insert(matches_.end(), shard->matches.begin(), shard->matches.end());
     }
     shards_.clear();
     running_ = false;
+  }
+
+  /// True when an obs::MetricsRegistry is attached via Options::metrics.
+  [[nodiscard]] bool telemetry_enabled() const { return options_.metrics != nullptr; }
+
+  /// Live read of the attached registry — safe at any time, including while
+  /// all workers are scanning (everything is relaxed atomics). Returns an
+  /// empty snapshot when no registry is attached.
+  [[nodiscard]] obs::RegistrySnapshot snapshot() const {
+    return options_.metrics != nullptr ? options_.metrics->snapshot()
+                                       : obs::RegistrySnapshot{};
   }
 
   [[nodiscard]] std::size_t shard_count() const { return options_.shards; }
@@ -139,19 +174,28 @@ class ShardedInspector {
 
  private:
   struct Shard {
-    Shard(const EngineT& engine, const Options& o, std::atomic<bool>& stop_flag)
+    Shard(const EngineT& engine, const Options& o, std::atomic<bool>& stop_flag,
+          std::size_t index)
         : queue(o.queue_capacity),
           inspector(engine, o.max_flows_per_shard, o.max_pending_per_flow),
           collect(o.collect_matches),
-          stop(&stop_flag) {}
+          stop(&stop_flag) {
+      if (o.metrics != nullptr) {
+        const std::size_t slot = index % o.metrics->shard_count();
+        metrics = &o.metrics->shard(slot);
+        inspector.set_metrics(o.metrics, slot);
+      }
+    }
 
     SpscQueue<flow::Packet> queue;
     flow::FlowInspector<EngineT> inspector;
     bool collect;
     std::atomic<bool>* stop;
+    obs::ShardMetrics* metrics = nullptr;  // producer-side queue telemetry
     MatchVec matches;          // worker-owned until join
     ShardStats stats;          // worker-owned until join
-    std::size_t producer_max_depth = 0;  // producer-owned
+    std::size_t producer_max_depth = 0;   // producer-owned
+    std::uint64_t producer_full_spins = 0;  // producer-owned
     std::thread thread;
 
     void run() {
@@ -169,9 +213,6 @@ class ShardedInspector {
         }
         std::this_thread::yield();
       }
-      stats.flows = inspector.flow_count();
-      stats.evictions = inspector.evicted_count();
-      stats.reassembly_drops = inspector.reassembly_dropped_count();
     }
 
     void process(const flow::Packet& p) {
@@ -181,6 +222,11 @@ class ShardedInspector {
         ++stats.matches;
         if (collect) matches.push_back(Match{id, end});
       });
+      // Refreshed every packet (not only at worker exit) so the merged
+      // ShardStats can never go stale if reporting moves mid-run.
+      stats.flows = inspector.flow_count();
+      stats.evictions = inspector.evicted_count();
+      stats.reassembly_drops = inspector.reassembly_dropped_count();
     }
   };
 

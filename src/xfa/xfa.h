@@ -53,6 +53,9 @@ struct BuildStats {
 
 class Xfa {
  public:
+  /// Stable engine label used by telemetry exporters and bench reports.
+  static constexpr const char* kEngineName = "xfa";
+
   [[nodiscard]] const dfa::Dfa& character_dfa() const { return dfa_; }
   [[nodiscard]] const filter::Program& program() const { return program_; }
   [[nodiscard]] std::uint32_t memory_bits() const { return program_.memory_bits; }

@@ -1,0 +1,353 @@
+// Telemetry layer: histogram bucket boundaries and merge, trace-ring
+// overwrite semantics, FlowInspector instrumentation, Prometheus/JSON
+// exporter golden output (and that both render the same snapshot), and the
+// periodic stats writer.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "engine_test_util.h"
+#include "flow/flow.h"
+#include "obs/export.h"
+#include "obs/stats_writer.h"
+
+namespace mfa::obs {
+namespace {
+
+using mfa::testing::compile_patterns;
+
+// --- Histogram ---
+
+TEST(Histogram, BucketIndexBoundaries) {
+  // Bucket i holds values of bit width i: 0 | 1 | 2-3 | 4-7 | 8-15 | ...
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), kHistogramBuckets - 1);
+}
+
+TEST(Histogram, BucketUpperBounds) {
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(10), 1023u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(kHistogramBuckets - 1), ~std::uint64_t{0});
+  // Every value lands in the bucket whose bounds contain it.
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 5ull, 100ull, 65535ull, 1ull << 30}) {
+    const std::size_t b = Histogram::bucket_index(v);
+    EXPECT_LE(v, Histogram::bucket_upper_bound(b)) << v;
+    if (b > 0) {
+      EXPECT_GT(v, Histogram::bucket_upper_bound(b - 1)) << v;
+    }
+  }
+}
+
+TEST(Histogram, RecordSnapshotAndMerge) {
+  Histogram h;
+  h.record(0);
+  h.record(3);
+  h.record(3);
+  h.record(100);
+  HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 106u);
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.counts[2], 2u);
+  EXPECT_EQ(s.counts[7], 1u);  // 100 has bit width 7
+  EXPECT_DOUBLE_EQ(s.mean(), 106.0 / 4.0);
+  EXPECT_EQ(s.max_bucket(), 7u);
+
+  Histogram h2;
+  h2.record(1 << 20);
+  s += h2.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 106u + (1u << 20));
+  EXPECT_EQ(s.counts[21], 1u);
+  EXPECT_EQ(s.max_bucket(), 21u);
+}
+
+TEST(Histogram, QuantileIsLogGranular) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(10);    // bucket 4, upper bound 15
+  for (int i = 0; i < 10; ++i) h.record(1000);  // bucket 10, upper bound 1023
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.quantile(0.5), 15u);
+  EXPECT_EQ(s.quantile(0.99), 1023u);
+  EXPECT_EQ(HistogramSnapshot{}.quantile(0.5), 0u);
+}
+
+// --- MatchTraceRing ---
+
+TEST(MatchTraceRing, OverwritesOldestKeepsNewest) {
+  MatchTraceRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (std::uint32_t i = 0; i < 20; ++i)
+    ring.record(i, 2 * i, 10, 20, 6, /*match_id=*/i, /*offset=*/100 + i, /*tsc=*/i);
+  EXPECT_EQ(ring.recorded(), 20u);
+  const auto events = ring.drain();
+  ASSERT_EQ(events.size(), 8u);
+  // The newest 8 events (ids 12..19), oldest first.
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(events[k].match_id, 12u + k);
+    EXPECT_EQ(events[k].src_ip, 12u + k);
+    EXPECT_EQ(events[k].dst_ip, 2 * (12u + k));
+    EXPECT_EQ(events[k].src_port, 10u);
+    EXPECT_EQ(events[k].dst_port, 20u);
+    EXPECT_EQ(events[k].proto, 6u);
+    EXPECT_EQ(events[k].offset, 112u + k);
+  }
+  // Draining does not consume: a second drain sees the same events.
+  EXPECT_EQ(ring.drain().size(), 8u);
+}
+
+TEST(MatchTraceRing, PartiallyFilledDrainsInOrder) {
+  MatchTraceRing ring(16);
+  ring.record(1, 1, 1, 1, 6, 7, 50, 0);
+  ring.record(2, 2, 2, 2, 17, 9, 60, 1);
+  const auto events = ring.drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].match_id, 7u);
+  EXPECT_EQ(events[1].match_id, 9u);
+  EXPECT_EQ(events[1].proto, 17u);
+}
+
+TEST(MatchTraceRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MatchTraceRing(1).capacity(), 2u);
+  EXPECT_EQ(MatchTraceRing(5).capacity(), 8u);
+  EXPECT_EQ(MatchTraceRing(1024).capacity(), 1024u);
+}
+
+// --- MetricsRegistry ---
+
+TEST(MetricsRegistry, SnapshotAggregatesShardsAndMatchIds) {
+  MetricsRegistry reg({.shards = 2, .match_id_capacity = 16, .trace_capacity = 8});
+  reg.shard(0).packets.fetch_add(3);
+  reg.shard(0).bytes.fetch_add(300);
+  reg.shard(1).packets.fetch_add(5);
+  reg.shard(1).bytes.fetch_add(500);
+  reg.shard(1).queue_full_spins.fetch_add(7);
+  reg.count_match(5);
+  reg.count_match(5);
+  reg.count_match(99);  // beyond capacity -> overflow bucket
+  const RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.shards.size(), 2u);
+  EXPECT_EQ(snap.shards[0].packets, 3u);
+  EXPECT_EQ(snap.shards[1].packets, 5u);
+  const ShardSnapshot t = snap.totals();
+  EXPECT_EQ(t.packets, 8u);
+  EXPECT_EQ(t.bytes, 800u);
+  EXPECT_EQ(t.queue_full_spins, 7u);
+  ASSERT_EQ(snap.match_counts.size(), 1u);
+  EXPECT_EQ(snap.match_counts[0].first, 5u);
+  EXPECT_EQ(snap.match_counts[0].second, 2u);
+  EXPECT_EQ(snap.match_id_overflow, 1u);
+  EXPECT_EQ(reg.match_count(5), 2u);
+}
+
+// --- FlowInspector instrumentation ---
+
+TEST(FlowInspectorTelemetry, CountsPacketsMatchesAndTraceEvents) {
+  auto m = core::build_mfa(compile_patterns({".*needle"}));
+  ASSERT_TRUE(m.has_value());
+  MetricsRegistry reg({.shards = 1, .match_id_capacity = 16, .trace_capacity = 16});
+  flow::FlowInspector<core::Mfa> insp(*m);
+  insp.set_metrics(&reg, 0);
+
+  const std::string payload = "xx needle yy";
+  const flow::FlowKey key{0x0a000001, 0x0a000002, 1234, 80, 6};
+  CollectingSink sink;
+  insp.packet(flow::Packet{key, 0,
+                           reinterpret_cast<const std::uint8_t*>(payload.data()),
+                           static_cast<std::uint32_t>(payload.size())},
+              sink);
+  // Second flow: an out-of-order segment that stays buffered.
+  const flow::FlowKey key2{0x0a000003, 0x0a000004, 5, 6, 6};
+  insp.packet(flow::Packet{key2, 100,
+                           reinterpret_cast<const std::uint8_t*>(payload.data()),
+                           static_cast<std::uint32_t>(payload.size())},
+              sink);
+
+  ASSERT_EQ(sink.matches.size(), 1u);
+  const RegistrySnapshot snap = reg.snapshot();
+  const ShardSnapshot& s = snap.shards.at(0);
+  EXPECT_EQ(s.packets, 2u);
+  EXPECT_EQ(s.bytes, 2 * payload.size());
+  EXPECT_EQ(s.matches, 1u);
+  EXPECT_EQ(s.flows, 2u);
+  EXPECT_EQ(s.reassembly_pending_bytes, payload.size());
+  EXPECT_EQ(s.scan_ns.count, 2u);
+  EXPECT_EQ(s.packet_bytes.count, 2u);
+  EXPECT_EQ(s.packet_bytes.sum, 2 * payload.size());
+
+  ASSERT_EQ(snap.match_counts.size(), 1u);
+  EXPECT_EQ(snap.match_counts[0].first, sink.matches[0].id);
+  EXPECT_EQ(snap.match_counts[0].second, 1u);
+
+  ASSERT_EQ(snap.trace_events.size(), 1u);
+  const MatchTraceRing::Event& e = snap.trace_events[0];
+  EXPECT_EQ(e.src_ip, key.src_ip);
+  EXPECT_EQ(e.dst_ip, key.dst_ip);
+  EXPECT_EQ(e.src_port, key.src_port);
+  EXPECT_EQ(e.dst_port, key.dst_port);
+  EXPECT_EQ(e.proto, key.proto);
+  EXPECT_EQ(e.match_id, sink.matches[0].id);
+  EXPECT_EQ(e.offset, sink.matches[0].end);
+}
+
+TEST(FlowInspectorTelemetry, DetachedInspectorTouchesNothing) {
+  auto m = core::build_mfa(compile_patterns({".*needle"}));
+  ASSERT_TRUE(m.has_value());
+  MetricsRegistry reg(1);
+  flow::FlowInspector<core::Mfa> insp(*m);  // never attached
+  const std::string payload = "a needle";
+  CollectingSink sink;
+  insp.packet(flow::Packet{flow::FlowKey{1, 2, 3, 4, 6}, 0,
+                           reinterpret_cast<const std::uint8_t*>(payload.data()),
+                           static_cast<std::uint32_t>(payload.size())},
+              sink);
+  EXPECT_EQ(sink.matches.size(), 1u);
+  EXPECT_EQ(reg.snapshot().totals().packets, 0u);
+}
+
+// --- Exporters ---
+
+RegistrySnapshot known_snapshot() {
+  MetricsRegistry reg({.shards = 1, .match_id_capacity = 16, .trace_capacity = 8});
+  ShardMetrics& s = reg.shard(0);
+  s.packets.fetch_add(3);
+  s.bytes.fetch_add(1500);
+  s.matches.fetch_add(2);
+  s.flows.store(4);
+  s.evictions.fetch_add(1);
+  s.queue_full_spins.fetch_add(9);
+  s.max_queue_depth.store(17);
+  s.scan_ns.record(100);
+  s.scan_ns.record(1000);
+  s.packet_bytes.record(500);
+  reg.count_match(7);
+  reg.count_match(7);
+  reg.trace().record(1, 2, 3, 4, 6, 7, 42, 5);
+  return reg.snapshot();
+}
+
+TEST(Exporters, PrometheusGoldenLines) {
+  const std::string out = to_prometheus(known_snapshot());
+  EXPECT_NE(out.find("# TYPE mfa_packets_total counter\n"
+                     "mfa_packets_total{shard=\"0\"} 3\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("mfa_bytes_total{shard=\"0\"} 1500\n"), std::string::npos);
+  EXPECT_NE(out.find("mfa_matches_total{shard=\"0\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE mfa_flows gauge\nmfa_flows{shard=\"0\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("mfa_queue_full_spins_total{shard=\"0\"} 9\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("mfa_queue_max_depth{shard=\"0\"} 17\n"), std::string::npos);
+  // Histogram: 100 -> bucket bound 127, 1000 -> bucket bound 1023; buckets
+  // are cumulative and end with +Inf == count.
+  EXPECT_NE(out.find("mfa_scan_ns_bucket{shard=\"0\",le=\"127\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("mfa_scan_ns_bucket{shard=\"0\",le=\"1023\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("mfa_scan_ns_bucket{shard=\"0\",le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("mfa_scan_ns_sum{shard=\"0\"} 1100\n"), std::string::npos);
+  EXPECT_NE(out.find("mfa_scan_ns_count{shard=\"0\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("mfa_match_hits_total{id=\"7\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("mfa_trace_events_total 1\n"), std::string::npos);
+}
+
+TEST(Exporters, JsonGoldenFields) {
+  const std::string out = to_json(known_snapshot());
+  EXPECT_EQ(out.find("{\"schema\":\"mfa.telemetry.v1\""), 0u) << out;
+  EXPECT_NE(out.find("\"packets\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"bytes\":1500"), std::string::npos);
+  EXPECT_NE(out.find("\"queue_full_spins\":9"), std::string::npos);
+  EXPECT_NE(out.find("\"scan_ns\":{\"count\":2,\"sum\":1100,\"buckets\":"
+                     "[[127,1],[1023,1]]}"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"match_counts\":[[7,2]]"), std::string::npos);
+  EXPECT_NE(out.find("\"trace\":{\"recorded\":1,\"events\":[{\"src_ip\":1,"
+                     "\"dst_ip\":2,\"src_port\":3,\"dst_port\":4,\"proto\":6,"
+                     "\"id\":7,\"offset\":42,\"tsc\":5}]}"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(out.find('\n'), std::string::npos);  // single line (JSONL-safe)
+}
+
+TEST(Exporters, PrometheusAndJsonRenderTheSameSnapshot) {
+  const RegistrySnapshot snap = known_snapshot();
+  const std::string prom = to_prometheus(snap);
+  const std::string json = to_json(snap);
+  const ShardSnapshot t = snap.totals();
+  // Every headline counter appears with the same value in both renderings.
+  EXPECT_NE(prom.find("mfa_packets_total{shard=\"0\"} " + std::to_string(t.packets)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"packets\":" + std::to_string(t.packets)), std::string::npos);
+  EXPECT_NE(prom.find("mfa_bytes_total{shard=\"0\"} " + std::to_string(t.bytes)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":" + std::to_string(t.bytes)), std::string::npos);
+  EXPECT_NE(prom.find("mfa_matches_total{shard=\"0\"} " + std::to_string(t.matches)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"matches\":" + std::to_string(t.matches)), std::string::npos);
+}
+
+TEST(Exporters, BenchReportSchema) {
+  BenchReport report("unit");
+  report.add("C8", "LL1", "mfa", 49.25, 12, 4);
+  report.set_telemetry(known_snapshot());
+  const std::string out = report.to_json();
+  EXPECT_EQ(out.find("{\"schema\":\"mfa.bench.v1\",\"bench\":\"unit\""), 0u) << out;
+  EXPECT_NE(out.find("{\"set\":\"C8\",\"trace\":\"LL1\",\"engine\":\"mfa\","
+                     "\"shards\":4,\"cycles_per_byte\":49.25,\"matches\":12}"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"telemetry\":{\"schema\":\"mfa.telemetry.v1\""),
+            std::string::npos);
+}
+
+// --- StatsWriter ---
+
+TEST(StatsWriter, AppendsJsonLines) {
+  const std::string path =
+      ::testing::TempDir() + "mfa_stats_writer_test.jsonl";
+  std::remove(path.c_str());
+  MetricsRegistry reg(1);
+  reg.shard(0).packets.fetch_add(11);
+  {
+    StatsWriter writer(reg, path, std::chrono::milliseconds(5));
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }  // destructor stops and appends a final line
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  ASSERT_FALSE(contents.empty());
+  std::size_t lines = 0, pos = 0;
+  while ((pos = contents.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_GE(lines, 2u);  // several periods elapsed plus the final line
+  EXPECT_EQ(contents.find("{\"schema\":\"mfa.telemetry.v1\""), 0u);
+  EXPECT_NE(contents.find("\"packets\":11"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mfa::obs

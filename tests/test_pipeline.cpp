@@ -190,6 +190,99 @@ TEST(ShardedInspector, TinyQueueStillDeliversEverything) {
   EXPECT_LE(pipe.totals().max_queue_depth, 4u);
 }
 
+TEST(ShardedInspector, LiveSnapshotWhileScanning) {
+  // The acceptance scenario from DESIGN.md Sec. 8: with workers actively
+  // scanning, snapshot() must return non-zero, internally consistent
+  // counters, and after finish() the telemetry must agree exactly with the
+  // merged ShardStats.
+  const Fixture f = make_fixture();
+  obs::MetricsRegistry registry(
+      {.shards = 4, .match_id_capacity = 64, .trace_capacity = 256});
+  Options opt;
+  opt.shards = 4;
+  opt.metrics = &registry;
+  ShardedInspector<core::Mfa> pipe(f.mfa, opt);
+  EXPECT_TRUE(pipe.telemetry_enabled());
+  pipe.start();
+
+  std::vector<flow::Packet> packets;
+  f.trace.for_each_packet([&](const flow::Packet& p) { packets.push_back(p); });
+  const std::size_t half = packets.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) pipe.submit(packets[i]);
+
+  // Poll mid-run until the workers have visibly progressed. Counters are
+  // monotonic, so every observed value is a lower bound on the final one.
+  obs::RegistrySnapshot mid = pipe.snapshot();
+  while (mid.totals().packets == 0) {
+    std::this_thread::yield();
+    mid = pipe.snapshot();
+  }
+  for (const obs::ShardSnapshot& s : mid.shards) {
+    // packets is incremented before the scan timer fires, and the snapshot
+    // reads packets first, so packets can lead scan_ns.count by at most the
+    // one packet in flight — never trail it by more.
+    EXPECT_LE(s.packets, s.scan_ns.count + 1);
+    EXPECT_LE(s.packets, f.packets);
+    EXPECT_LE(s.bytes, f.bytes);
+    EXPECT_GE(s.packet_bytes.count, s.scan_ns.count);
+  }
+  EXPECT_LE(mid.totals().matches, f.sequential.size());
+
+  for (std::size_t i = half; i < packets.size(); ++i) pipe.submit(packets[i]);
+  const obs::RegistrySnapshot later = pipe.snapshot();
+  EXPECT_GE(later.totals().packets, mid.totals().packets);  // monotone
+  pipe.finish();
+
+  const obs::RegistrySnapshot fin = pipe.snapshot();
+  const obs::ShardSnapshot t = fin.totals();
+  EXPECT_EQ(t.packets, f.packets);
+  EXPECT_EQ(t.bytes, f.bytes);
+  EXPECT_EQ(t.matches, f.sequential.size());
+  EXPECT_EQ(t.scan_ns.count, f.packets);
+  EXPECT_EQ(t.packet_bytes.sum, f.bytes);
+  std::uint64_t hits = 0;
+  for (const auto& [id, count] : fin.match_counts) hits += count;
+  EXPECT_EQ(hits + fin.match_id_overflow, f.sequential.size());
+  EXPECT_EQ(fin.trace_recorded, f.sequential.size());
+
+  // Shard i of the pipeline writes registry slot i (4 shards each), so the
+  // two accounting paths must agree exactly per shard.
+  ASSERT_EQ(pipe.stats().size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const ShardStats& st = pipe.stats()[i];
+    const obs::ShardSnapshot& s = fin.shards[i];
+    EXPECT_EQ(s.packets, st.packets) << "shard " << i;
+    EXPECT_EQ(s.bytes, st.bytes) << "shard " << i;
+    EXPECT_EQ(s.matches, st.matches) << "shard " << i;
+    EXPECT_EQ(s.flows, st.flows) << "shard " << i;
+    EXPECT_EQ(s.evictions, st.evictions) << "shard " << i;
+    EXPECT_EQ(s.reassembly_drops, st.reassembly_drops) << "shard " << i;
+    EXPECT_EQ(s.queue_full_spins, st.queue_full_spins) << "shard " << i;
+  }
+}
+
+TEST(ShardedInspector, BackpressureSpinsCounted) {
+  // A queue far smaller than the packet count forces the producer to spin;
+  // those spins must surface both in ShardStats and in the registry.
+  const Fixture f = make_fixture();
+  obs::MetricsRegistry registry(2);
+  Options opt;
+  opt.shards = 2;
+  opt.queue_capacity = 4;
+  opt.metrics = &registry;
+  ShardedInspector<core::Mfa> pipe(f.mfa, opt);
+  pipe.start();
+  f.trace.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+  pipe.finish();
+  const ShardStats t = pipe.totals();
+  EXPECT_EQ(t.packets, f.packets);
+  EXPECT_GT(t.queue_full_spins, 0u);
+  const obs::ShardSnapshot reg = pipe.snapshot().totals();
+  EXPECT_EQ(reg.queue_full_spins, t.queue_full_spins);
+  EXPECT_EQ(reg.max_queue_depth, t.max_queue_depth);
+  EXPECT_EQ(reg.queue_depth.count, f.packets);  // sampled at every submit
+}
+
 TEST(ShardedInspector, RestartAfterFinishStartsClean) {
   const Fixture f = make_fixture();
   Options opt;
