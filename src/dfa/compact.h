@@ -97,6 +97,28 @@ class CompactDfa {
     ctx.state = s;
   }
 
+  using FeedJob = scan::FeedJob<Context>;
+
+  /// K-way interleaved scan over the sparse layout (see Dfa::feed_many).
+  /// Each lane's byte costs one row-index load plus a short exception scan;
+  /// interleaving overlaps the row-index loads of distinct flows. The
+  /// prefetch targets the row-offset pair — the entry block itself is a
+  /// dependent second hop the prefetcher cannot reach ahead of time.
+  /// sink(job_index, id, end_offset).
+  template <typename Sink>
+  void feed_many(FeedJob* jobs, std::size_t count, Sink&& sink,
+                 std::size_t lanes = scan::kDefaultLanes) const {
+    const std::uint32_t* offsets = row_offsets_.data();
+    scan::interleaved_scan(
+        jobs, count, lanes, accept_states_,
+        [this](std::uint32_t s, std::uint8_t b) { return next(s, b); },
+        [=](std::uint32_t s) { scan::prefetch_ro(offsets + s); },
+        [&](std::size_t job, std::uint32_t s, std::uint64_t end) {
+          const auto [first, last] = accepts(s);
+          for (const auto* it = first; it != last; ++it) sink(job, *it, end);
+        });
+  }
+
  private:
   struct Entry {
     std::uint8_t col;

@@ -15,6 +15,7 @@
 
 #include "nfa/nfa.h"
 #include "util/binio.h"
+#include "util/interleave.h"
 #include "util/match.h"
 
 namespace mfa::dfa {
@@ -104,6 +105,35 @@ class Dfa {
       }
     }
     ctx.state = s;
+  }
+
+  using FeedJob = scan::FeedJob<Context>;
+
+  /// Advance many independent flow contexts through the table in lockstep
+  /// (K-way interleaved scan, K = `lanes`): each inner iteration issues one
+  /// transition load per lane, so distinct flows' dependent load chains
+  /// overlap in the memory system instead of serializing. Per-job byte
+  /// order (and therefore per-flow match semantics) is identical to feed();
+  /// only cross-job work interleaves. sink(job_index, id, end_offset).
+  /// Jobs must reference distinct contexts.
+  template <typename Sink>
+  void feed_many(FeedJob* jobs, std::size_t count, Sink&& sink,
+                 std::size_t lanes = scan::kDefaultLanes) const {
+    const std::uint32_t* table = table_.data();
+    const std::uint8_t* cols = byte_to_col_.data();
+    const std::uint32_t ncols = ncols_;
+    scan::interleaved_scan(
+        jobs, count, lanes, accept_states_,
+        [=](std::uint32_t s, std::uint8_t b) {
+          return table[static_cast<std::size_t>(s) * ncols + cols[b]];
+        },
+        [=](std::uint32_t s) {
+          scan::prefetch_ro(table + static_cast<std::size_t>(s) * ncols);
+        },
+        [&](std::size_t job, std::uint32_t s, std::uint64_t end) {
+          const auto [first, last] = accepts(s);
+          for (const auto* it = first; it != last; ++it) sink(job, *it, end);
+        });
   }
 
   /// Binary (de)serialization for compiled-automaton files. deserialize

@@ -6,6 +6,7 @@
 // describes in Sec. V-B.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -94,6 +95,49 @@ Throughput measure_throughput(const EngineT& engine, const trace::Trace& trace,
     CountingSink sink;
     const std::uint64_t start = util::rdtsc_now();
     trace.for_each_packet([&](const flow::Packet& p) { inspector.packet(p, sink); });
+    const std::uint64_t elapsed = util::rdtsc_now() - start;
+    const bool warmup = reps > 1 && rep == 0;
+    if (!warmup) {
+      cycles += elapsed;
+      ++timed_reps;
+    }
+    result.matches = sink.count;
+    result.flows = inspector.flow_count();
+  }
+  if (trace.payload_bytes() > 0 && timed_reps > 0) {
+    result.cycles_per_byte = static_cast<double>(cycles) /
+                             (static_cast<double>(timed_reps) *
+                              static_cast<double>(trace.payload_bytes()));
+  }
+  return result;
+}
+
+/// Scan a trace through FlowInspector::packet_batch in fixed-size bursts
+/// and report cycles per payload byte. `lanes` is the interleave width K of
+/// the engine's feed_many kernel (1 degenerates to the sequential scan
+/// loop, so a lanes sweep isolates the memory-level-parallelism win);
+/// `burst` is how many packets each packet_batch call sees. Matches and
+/// reassembly semantics are identical to measure_throughput by the batching
+/// contract (DESIGN.md Sec. 7).
+template <typename EngineT>
+Throughput measure_batched_throughput(const EngineT& engine, const trace::Trace& trace,
+                                      std::size_t lanes, std::size_t burst = 64,
+                                      int reps = 2) {
+  std::vector<flow::Packet> packets;
+  packets.reserve(trace.packet_count());
+  trace.for_each_packet([&](const flow::Packet& p) { packets.push_back(p); });
+  Throughput result;
+  std::uint64_t cycles = 0;
+  int timed_reps = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    flow::FlowInspector<EngineT> inspector(engine);
+    inspector.set_batch_lanes(lanes);
+    CountingSink sink;
+    const std::uint64_t start = util::rdtsc_now();
+    for (std::size_t i = 0; i < packets.size(); i += burst) {
+      const std::size_t n = std::min(burst, packets.size() - i);
+      inspector.packet_batch(packets.data() + i, n, sink);
+    }
     const std::uint64_t elapsed = util::rdtsc_now() - start;
     const bool warmup = reps > 1 && rep == 0;
     if (!warmup) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/interleave.h"
 #include "util/timing.h"
 
 namespace mfa::flow {
@@ -73,6 +74,18 @@ concept ScanEngine = requires(const EngineT& e, typename EngineT::Context& ctx,
          [](std::uint32_t, std::uint64_t) {});
 };
 
+/// Engines that additionally expose the K-way interleaved batch kernel
+/// (feed_many; today the table-driven Dfa, CompactDfa and Mfa).
+/// FlowInspector::packet_batch uses it when available and falls back to
+/// sequential feed() calls otherwise, so batching works with every engine.
+template <typename EngineT>
+concept BatchScanEngine =
+    ScanEngine<EngineT> &&
+    requires(const EngineT& e, scan::FeedJob<typename EngineT::Context>* jobs) {
+      e.feed_many(jobs, std::size_t{0},
+                  [](std::size_t, std::uint32_t, std::uint64_t) {}, std::size_t{1});
+    };
+
 /// Multiplexing inspector over the Engine/Context split. Stores one shared
 /// Engine reference for ALL flows and exactly one Context per flow — no
 /// per-flow engine copies or pointers — so the per-flow footprint is
@@ -111,6 +124,7 @@ class FlowInspector {
     Context ctx;  ///< the engine's per-flow (q, m)
     std::uint64_t next_offset = 0;
     std::uint64_t pending_bytes = 0;
+    std::uint64_t batch_stamp = 0;  ///< last packet_batch wave that fed this flow
     std::map<std::uint64_t, PendingSegment> pending;
     FlowState* lru_prev = nullptr;
     FlowState* lru_next = nullptr;
@@ -153,6 +167,59 @@ class FlowInspector {
     const double ticks = static_cast<double>(util::rdtsc_now() - t0);
     m.scan_ns.record(static_cast<std::uint64_t>(ticks * ns_per_tick_));
     // Gauges/counters mirrored every packet so mid-run snapshots are live.
+    m.flows.store(flows_.size(), std::memory_order_relaxed);
+    m.evictions.store(evicted_, std::memory_order_relaxed);
+    m.reassembly_drops.store(reassembly_dropped_, std::memory_order_relaxed);
+    m.reassembly_pending_bytes.store(total_pending_, std::memory_order_relaxed);
+  }
+
+  /// Interleave width for packet_batch() when the engine supports
+  /// feed_many (ignored otherwise). See DESIGN.md Sec. 7 on K selection.
+  void set_batch_lanes(std::size_t lanes) { batch_lanes_ = lanes == 0 ? 1 : lanes; }
+  [[nodiscard]] std::size_t batch_lanes() const { return batch_lanes_; }
+
+  /// Deliver a burst of packets (any mix of flows) with exact per-flow
+  /// in-order semantics: packets of the same flow are applied in burst
+  /// order, one "wave" at a time, while distinct flows' in-order bytes
+  /// advance through the engine's K-way interleaved feed_many. Matches are
+  /// byte-identical to calling packet() per packet, except that flow-table
+  /// LRU recency (and therefore eviction choice under max_flows) is
+  /// burst-granular rather than packet-granular.
+  template <typename Sink>
+  void packet_batch(const Packet* pkts, std::size_t count, Sink&& sink) {
+    if (count == 0) return;
+    if (metrics_ == nullptr) {
+      deliver_batch(pkts, count,
+                    [&](FlowState&, std::uint32_t id, std::uint64_t end) { sink(id, end); });
+      return;
+    }
+    obs::ShardMetrics& m = *metrics_;
+    // Mid-run snapshot ordering (DESIGN.md Sec. 8): packet_bytes records
+    // before the scan and packets increments after scan_ns, so a snapshot
+    // still sees packets <= scan_ns.count + 1 and
+    // packet_bytes.count >= scan_ns.count.
+    std::uint64_t burst_bytes = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      burst_bytes += pkts[i].length;
+      m.packet_bytes.record(pkts[i].length);
+    }
+    m.bytes.fetch_add(burst_bytes, std::memory_order_relaxed);
+    const std::uint64_t t0 = util::rdtsc_now();
+    deliver_batch(pkts, count, [&](FlowState& fs, std::uint32_t id, std::uint64_t end) {
+      m.matches.fetch_add(1, std::memory_order_relaxed);
+      registry_->count_match(id);
+      registry_->trace().record(fs.key.src_ip, fs.key.dst_ip, fs.key.src_port,
+                                fs.key.dst_port, fs.key.proto, id, end,
+                                util::rdtsc_now());
+      sink(id, end);
+    });
+    const double ticks = static_cast<double>(util::rdtsc_now() - t0);
+    // The burst is timed as one unit; scan_ns keeps its one-sample-per-
+    // packet contract by recording the per-packet share `count` times.
+    const auto per_packet = static_cast<std::uint64_t>(
+        ticks * ns_per_tick_ / static_cast<double>(count));
+    for (std::size_t i = 0; i < count; ++i) m.scan_ns.record(per_packet);
+    m.packets.fetch_add(count, std::memory_order_relaxed);
     m.flows.store(flows_.size(), std::memory_order_relaxed);
     m.evictions.store(evicted_, std::memory_order_relaxed);
     m.reassembly_drops.store(reassembly_dropped_, std::memory_order_relaxed);
@@ -215,6 +282,84 @@ class FlowInspector {
     drain(fs, sink);
   }
 
+  /// Batch delivery core. fsink(flow_state, id, end) so the instrumented
+  /// wrapper can attribute matches (trace ring) to the owning flow.
+  ///
+  /// Wave discipline: each pass over the remaining packets claims at most
+  /// one in-order feed per flow (stamping the FlowState with the wave id);
+  /// later same-flow packets defer to the next wave, which runs only after
+  /// this wave's feed_many + drains. Cross-flow work interleaves, same-flow
+  /// work never does — the ordering guarantee DESIGN.md Sec. 7 documents.
+  template <typename FlowSink>
+  void deliver_batch(const Packet* pkts, std::size_t count, FlowSink&& fsink) {
+    auto& jobs = batch_jobs_;
+    auto& jflows = batch_job_flows_;
+    auto& cur = batch_cur_;
+    auto& deferred = batch_deferred_;
+    jobs.clear();
+    jflows.clear();
+    cur.clear();
+    for (std::size_t i = 0; i < count; ++i) cur.push_back(static_cast<std::uint32_t>(i));
+
+    const auto flush = [&] {
+      if (jobs.empty()) return;
+      feed_jobs(jobs.data(), jobs.size(), fsink);
+      for (FlowState* fs : jflows)
+        drain(*fs, [&](std::uint32_t id, std::uint64_t end) { fsink(*fs, id, end); });
+      jobs.clear();
+      jflows.clear();
+    };
+
+    while (!cur.empty()) {
+      const std::uint64_t wave = ++batch_wave_;
+      deferred.clear();
+      for (const std::uint32_t idx : cur) {
+        const Packet& p = pkts[idx];
+        // Feeding is deferred within a wave, so the LRU eviction a *new*
+        // flow's insertion can trigger might otherwise tear down a
+        // FlowState that still has a queued job: flush queued work first.
+        if (max_flows_ != 0 && flows_.size() >= max_flows_ && !jobs.empty() &&
+            flows_.find(p.key) == flows_.end())
+          flush();
+        FlowState& fs = flow(p.key);
+        if (fs.batch_stamp == wave) {
+          deferred.push_back(idx);  // same flow already fed this wave
+          continue;
+        }
+        if (p.seq > fs.next_offset) {
+          buffer_segment(fs, p);  // out of order: hold until the gap fills
+          continue;
+        }
+        const std::uint64_t skip = fs.next_offset - p.seq;
+        // Fully already-delivered bytes feed nothing, and pending segments
+        // all start past next_offset (drain invariant), so nothing drains.
+        if (skip >= p.length) continue;
+        fs.batch_stamp = wave;
+        jobs.push_back({&fs.ctx, p.payload + skip, p.length - skip, fs.next_offset});
+        jflows.push_back(&fs);
+        fs.next_offset += p.length - skip;
+      }
+      flush();
+      cur.swap(deferred);
+    }
+  }
+
+  /// Feed the queued distinct-flow jobs: the engine's interleaved kernel
+  /// when it has one, sequential feed() calls otherwise.
+  template <typename FlowSink>
+  void feed_jobs(scan::FeedJob<Context>* jobs, std::size_t count, FlowSink& fsink) {
+    const auto lane_sink = [&](std::size_t job, std::uint32_t id, std::uint64_t end) {
+      fsink(*batch_job_flows_[job], id, end);
+    };
+    if constexpr (BatchScanEngine<EngineT>) {
+      engine_->feed_many(jobs, count, lane_sink, batch_lanes_);
+    } else {
+      for (std::size_t i = 0; i < count; ++i)
+        engine_->feed(*jobs[i].ctx, jobs[i].data, jobs[i].size, jobs[i].base,
+                      [&](std::uint32_t id, std::uint64_t end) { lane_sink(i, id, end); });
+    }
+  }
+
   FlowState& flow(const FlowKey& key) {
     auto it = flows_.find(key);
     if (it != flows_.end()) {
@@ -266,6 +411,29 @@ class FlowInspector {
 
   void buffer_segment(FlowState& fs, const Packet& p) {
     if (p.length == 0) return;
+    auto it = fs.pending.find(p.seq);
+    if (it != fs.pending.end()) {
+      // Duplicate sequence number: keep whichever segment carries more
+      // data. Only the *net growth* counts against the budget — a replaced
+      // segment's bytes leave the buffer, so charging the full incoming
+      // length would spuriously evict unrelated segments on retransmits.
+      if (it->second.bytes.size() >= p.length) return;
+      const std::uint64_t growth = p.length - it->second.bytes.size();
+      while (max_pending_ != 0 && fs.pending_bytes + growth > max_pending_ &&
+             fs.pending.size() > 1)
+        drop_oldest_pending(fs, &it->second);
+      if (max_pending_ != 0 && fs.pending_bytes + growth > max_pending_) {
+        // Even alone the replacement exceeds the budget: keep the smaller
+        // buffered segment and count the oversized replacement as dropped.
+        ++reassembly_dropped_;
+        return;
+      }
+      it->second.bytes.assign(p.payload, p.payload + p.length);
+      it->second.arrival = ++arrival_tick_;
+      fs.pending_bytes += growth;
+      total_pending_ += growth;
+      return;
+    }
     if (max_pending_ != 0 && p.length > max_pending_) {
       // A single segment larger than the whole budget can never be held.
       ++reassembly_dropped_;
@@ -273,24 +441,24 @@ class FlowInspector {
     }
     while (max_pending_ != 0 && fs.pending_bytes + p.length > max_pending_)
       drop_oldest_pending(fs);
-    auto [it, inserted] = fs.pending.try_emplace(p.seq);
-    if (!inserted) {
-      // Duplicate sequence number: keep whichever segment carries more data.
-      if (it->second.bytes.size() >= p.length) return;
-      fs.pending_bytes -= it->second.bytes.size();
-      total_pending_ -= it->second.bytes.size();
-    }
-    it->second.bytes.assign(p.payload, p.payload + p.length);
-    it->second.arrival = ++arrival_tick_;
+    auto slot = fs.pending.try_emplace(p.seq).first;
+    slot->second.bytes.assign(p.payload, p.payload + p.length);
+    slot->second.arrival = ++arrival_tick_;
     fs.pending_bytes += p.length;
     total_pending_ += p.length;
   }
 
-  void drop_oldest_pending(FlowState& fs) {
-    auto oldest = fs.pending.begin();
+  /// Drop the oldest-arrival pending segment, optionally sparing `keep`
+  /// (the segment a duplicate replacement is about to grow in place).
+  void drop_oldest_pending(FlowState& fs,
+                           const typename FlowState::PendingSegment* keep = nullptr) {
+    auto oldest = fs.pending.end();
     for (auto it = fs.pending.begin(); it != fs.pending.end(); ++it) {
-      if (it->second.arrival < oldest->second.arrival) oldest = it;
+      if (&it->second == keep) continue;
+      if (oldest == fs.pending.end() || it->second.arrival < oldest->second.arrival)
+        oldest = it;
     }
+    if (oldest == fs.pending.end()) return;
     fs.pending_bytes -= oldest->second.bytes.size();
     total_pending_ -= oldest->second.bytes.size();
     fs.pending.erase(oldest);
@@ -325,6 +493,13 @@ class FlowInspector {
   obs::MetricsRegistry* registry_ = nullptr;  ///< telemetry root (optional)
   obs::ShardMetrics* metrics_ = nullptr;      ///< this inspector's shard slot
   double ns_per_tick_ = 0.0;
+  std::size_t batch_lanes_ = scan::kDefaultLanes;
+  std::uint64_t batch_wave_ = 0;
+  // Scratch reused across packet_batch() calls (inspector is one-thread).
+  std::vector<scan::FeedJob<Context>> batch_jobs_;
+  std::vector<FlowState*> batch_job_flows_;
+  std::vector<std::uint32_t> batch_cur_;
+  std::vector<std::uint32_t> batch_deferred_;
   FlowState* lru_head_ = nullptr;  ///< least recently active
   FlowState* lru_tail_ = nullptr;  ///< most recently active
   std::unordered_map<FlowKey, FlowState, FlowKeyHash> flows_;

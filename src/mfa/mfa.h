@@ -103,6 +103,35 @@ class Mfa {
     ctx.state = s;
   }
 
+  using FeedJob = scan::FeedJob<Context>;
+
+  /// K-way interleaved scan (see Dfa::feed_many): the character-DFA inner
+  /// loop advances `lanes` flows per iteration; filter actions run on match
+  /// events only, against the owning job's per-flow memory, so per-flow
+  /// filter semantics are exactly feed()'s. sink(job_index, id, end_offset).
+  template <typename Sink>
+  void feed_many(FeedJob* jobs, std::size_t count, Sink&& sink,
+                 std::size_t lanes = scan::kDefaultLanes) const {
+    const filter::Engine engine(program_);
+    const std::uint32_t* table = dfa_.table_data();
+    const std::uint8_t* cols = dfa_.byte_columns();
+    const std::uint32_t ncols = dfa_.column_count();
+    scan::interleaved_scan(
+        jobs, count, lanes, dfa_.accepting_state_count(),
+        [=](std::uint32_t s, std::uint8_t b) {
+          return table[static_cast<std::size_t>(s) * ncols + cols[b]];
+        },
+        [=](std::uint32_t s) {
+          scan::prefetch_ro(table + static_cast<std::size_t>(s) * ncols);
+        },
+        [&](std::size_t job, std::uint32_t s, std::uint64_t end) {
+          const auto [first, last] = ordered_actions(s);
+          for (const auto* it = first; it != last; ++it)
+            engine.on_match(*it, end, jobs[job].ctx->memory,
+                            [&](std::uint32_t id, std::uint64_t e) { sink(job, id, e); });
+        });
+  }
+
   /// Persist the compiled automaton (character DFA + filter program +
   /// per-accept-state action order + piece sources) to a ".mfac" file so a
   /// deployment can compile once and load on every sensor.

@@ -5,7 +5,11 @@
 // per-flow Contexts, the paper's (q, m) pairs — and a bounded SPSC packet
 // queue. The dispatcher hashes each packet's FlowKey to a shard, so every
 // flow is pinned to exactly one worker: flow tables need no locks, and the
-// only cross-thread traffic is the queues themselves. Matches and stats
+// only cross-thread traffic is the queues themselves. The hot path is
+// batched end to end (DESIGN.md Sec. 7): submit() buffers per shard and
+// flushes bursts with one queue release-store, workers pop bursts and run
+// them through FlowInspector::packet_batch, which interleaves distinct
+// flows through the engine's K-way feed_many kernel. Matches and stats
 // accumulate shard-locally and are merged after finish(); attaching an
 // obs::MetricsRegistry (Options::metrics) additionally mirrors every
 // counter into lock-free telemetry readable mid-run via snapshot().
@@ -22,6 +26,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -65,6 +70,14 @@ struct Options {
   std::size_t queue_capacity = 4096;  ///< per-shard SPSC ring slots
   std::size_t max_flows_per_shard = 0;  ///< 0 = unbounded flow tables
   std::size_t max_pending_per_flow = flow::kDefaultMaxPendingBytes;
+  /// Packet batching (DESIGN.md Sec. 7): submit() buffers up to this many
+  /// packets per shard before flushing them into the SPSC queue in one
+  /// burst, and each worker pops/processes bursts of the same size through
+  /// FlowInspector::packet_batch. 1 disables batching (per-packet push/pop).
+  std::size_t batch_size = 32;
+  /// Interleave width K for the workers' batched scans (engines with
+  /// feed_many); see DESIGN.md Sec. 7 on K selection.
+  std::size_t scan_lanes = scan::kDefaultLanes;
   bool collect_matches = false;  ///< keep full Match records (else count only)
   /// Optional telemetry root (externally owned, must outlive the inspector).
   /// Shard i writes into metrics->shard(i % metrics->shard_count()); when
@@ -81,6 +94,7 @@ class ShardedInspector {
   explicit ShardedInspector(const EngineT& engine, Options options = {})
       : engine_(&engine), options_(options) {
     if (options_.shards == 0) options_.shards = 1;
+    if (options_.batch_size == 0) options_.batch_size = 1;
   }
 
   ~ShardedInspector() { finish(); }
@@ -97,26 +111,34 @@ class ShardedInspector {
     stop_.store(false, std::memory_order_relaxed);
     for (std::size_t i = 0; i < options_.shards; ++i)
       shards_.push_back(std::make_unique<Shard>(*engine_, options_, stop_, i));
-    for (auto& shard : shards_) shard->thread = std::thread([s = shard.get()] { s->run(); });
+    for (auto& shard : shards_) {
+      shard->alive.store(true, std::memory_order_release);
+      shard->thread = std::thread([s = shard.get()] { s->run(); });
+    }
     running_ = true;
   }
 
   /// Enqueue one packet to its flow's shard (single producer thread).
-  /// Spins (yielding) when the shard queue is full — backpressure instead
-  /// of drops, so match results stay deterministic. Full-spins are counted:
-  /// a sustained non-zero rate means the shard cannot keep up.
+  /// Packets buffer per shard and flush into the SPSC queue in bursts of
+  /// Options::batch_size; a full queue spins (yielding) — backpressure
+  /// instead of drops, so match results stay deterministic. Full-spins are
+  /// counted: a sustained non-zero rate means the shard cannot keep up. The
+  /// spin periodically verifies the shard's worker is still alive and
+  /// throws std::runtime_error if it died, so a dead worker surfaces as an
+  /// error instead of deadlocking the producer.
+  ///
+  /// Only legal between start() and finish(): anything else is a contract
+  /// violation (the shards do not exist) and throws std::logic_error.
   void submit(const flow::Packet& p) {
+    if (!running_)
+      throw std::logic_error(
+          "ShardedInspector::submit() outside start()/finish() — no shards exist");
     Shard& s = *shards_[shard_of(p.key)];
-    std::uint64_t spins = 0;
-    while (!s.queue.try_push(p)) {
-      ++spins;
-      std::this_thread::yield();
-    }
-    s.producer_full_spins += spins;
+    s.pending.push_back(p);
+    if (s.pending.size() >= options_.batch_size) flush_shard(s);
     const std::size_t depth = s.queue.depth();
     if (depth > s.producer_max_depth) s.producer_max_depth = depth;
     if (s.metrics != nullptr) {
-      if (spins != 0) s.metrics->queue_full_spins.fetch_add(spins, std::memory_order_relaxed);
       s.metrics->queue_depth.record(depth);
       s.metrics->max_queue_depth.store(s.producer_max_depth, std::memory_order_relaxed);
     }
@@ -125,6 +147,7 @@ class ShardedInspector {
   /// Drain all queues, join the workers, and merge stats/matches.
   void finish() {
     if (!running_) return;
+    for (auto& shard : shards_) flush_shard(*shard);
     stop_.store(true, std::memory_order_release);
     for (auto& shard : shards_) {
       if (shard->thread.joinable()) shard->thread.join();
@@ -173,13 +196,49 @@ class ShardedInspector {
   }
 
  private:
+  struct Shard;
+
+  /// Push a shard's buffered packets into its queue, spinning under
+  /// backpressure. Every kLivenessCheckSpins spins the worker's liveness
+  /// flag is consulted: a dead worker can never drain the queue, so the
+  /// producer throws (or, from finish(), discards the remainder) instead of
+  /// spinning forever.
+  void flush_shard(Shard& s, bool from_finish = false) {
+    static constexpr std::uint64_t kLivenessCheckSpins = 1024;
+    std::size_t done = 0;
+    std::uint64_t spins = 0;
+    while (done < s.pending.size()) {
+      done += s.queue.try_push_batch(s.pending.data() + done, s.pending.size() - done);
+      if (done == s.pending.size()) break;
+      ++spins;
+      if (spins % kLivenessCheckSpins == 0 &&
+          !s.alive.load(std::memory_order_acquire)) {
+        s.pending.clear();
+        if (from_finish) return;  // joining anyway; remainder is lost
+        throw std::runtime_error(
+            "ShardedInspector: shard worker died while its queue was full");
+      }
+      std::this_thread::yield();
+    }
+    s.pending.clear();
+    if (spins != 0) {
+      s.producer_full_spins += spins;
+      if (s.metrics != nullptr)
+        s.metrics->queue_full_spins.fetch_add(spins, std::memory_order_relaxed);
+    }
+  }
+
   struct Shard {
     Shard(const EngineT& engine, const Options& o, std::atomic<bool>& stop_flag,
           std::size_t index)
         : queue(o.queue_capacity),
           inspector(engine, o.max_flows_per_shard, o.max_pending_per_flow),
+          batch_size(o.batch_size),
           collect(o.collect_matches),
           stop(&stop_flag) {
+      inspector.set_batch_lanes(o.scan_lanes);
+      pending.reserve(batch_size);
+      burst.resize(batch_size);
       if (o.metrics != nullptr) {
         const std::size_t slot = index % o.metrics->shard_count();
         metrics = &o.metrics->shard(slot);
@@ -189,40 +248,60 @@ class ShardedInspector {
 
     SpscQueue<flow::Packet> queue;
     flow::FlowInspector<EngineT> inspector;
+    std::size_t batch_size;
     bool collect;
     std::atomic<bool>* stop;
+    std::atomic<bool> alive{false};        ///< set by start(), cleared at run() exit
     obs::ShardMetrics* metrics = nullptr;  // producer-side queue telemetry
     MatchVec matches;          // worker-owned until join
     ShardStats stats;          // worker-owned until join
+    std::vector<flow::Packet> pending;    // producer-owned submit buffer
+    std::vector<flow::Packet> burst;      // worker-owned pop buffer
     std::size_t producer_max_depth = 0;   // producer-owned
     std::uint64_t producer_full_spins = 0;  // producer-owned
     std::thread thread;
 
     void run() {
-      flow::Packet p;
-      for (;;) {
-        if (queue.try_pop(p)) {
-          process(p);
-          continue;
+      // Liveness contract: `alive` goes false on ANY exit (including an
+      // engine exception) so a spinning producer can detect a dead worker.
+      struct AliveGuard {
+        std::atomic<bool>* flag;
+        ~AliveGuard() { flag->store(false, std::memory_order_release); }
+      } guard{&alive};
+      try {
+        for (;;) {
+          const std::size_t n = queue.try_pop_batch(burst.data(), burst.size());
+          if (n != 0) {
+            process_burst(n);
+            continue;
+          }
+          if (stop->load(std::memory_order_acquire)) {
+            // The producer stopped pushing before setting stop; one final
+            // drain pass catches anything published just before the flag.
+            std::size_t m;
+            while ((m = queue.try_pop_batch(burst.data(), burst.size())) != 0)
+              process_burst(m);
+            break;
+          }
+          std::this_thread::yield();
         }
-        if (stop->load(std::memory_order_acquire)) {
-          // The producer stopped pushing before setting stop; one final
-          // drain pass catches anything published just before the flag.
-          while (queue.try_pop(p)) process(p);
-          break;
-        }
-        std::this_thread::yield();
+      } catch (...) {
+        // A worker must never crash the process; the producer sees `alive`
+        // drop and reports the failure on its own thread.
       }
     }
 
-    void process(const flow::Packet& p) {
-      ++stats.packets;
-      stats.bytes += p.length;
-      inspector.packet(p, [this](std::uint32_t id, std::uint64_t end) {
+    void process_burst(std::size_t n) {
+      stats.packets += n;
+      for (std::size_t i = 0; i < n; ++i) stats.bytes += burst[i].length;
+      // Batched delivery: the inspector groups the burst by flow and hands
+      // distinct-flow runs to the engine's K-way interleaved feed_many;
+      // same-flow packets stay strictly sequential.
+      inspector.packet_batch(burst.data(), n, [this](std::uint32_t id, std::uint64_t end) {
         ++stats.matches;
         if (collect) matches.push_back(Match{id, end});
       });
-      // Refreshed every packet (not only at worker exit) so the merged
+      // Refreshed every burst (not only at worker exit) so the merged
       // ShardStats can never go stale if reporting moves mid-run.
       stats.flows = inspector.flow_count();
       stats.evictions = inspector.evicted_count();

@@ -75,9 +75,18 @@ PcapResult read_pcap_buffer(const std::uint8_t* data, std::size_t size, std::str
     return result;
   }
 
-  // Per-flow TCP base sequence numbers (first segment observed) and UDP
-  // running offsets.
-  std::unordered_map<flow::FlowKey, std::uint32_t, flow::FlowKeyHash> tcp_base;
+  // Per-flow TCP sequence tracking. The wire carries 32-bit sequence
+  // numbers; long flows wrap them every 4 GiB, so `seq - base` alone would
+  // fold the stream offset back to zero (and a stray pre-base segment would
+  // wrap to a bogus ~4 GiB offset). Instead each new segment is unwrapped
+  // onto a 64-bit stream position via its signed 32-bit delta from the most
+  // recent unwrapped position — exact as long as successive segments stay
+  // within +/-2 GiB of each other, which TCP's window rules guarantee.
+  struct TcpSeqState {
+    std::uint64_t base = 0;  ///< unwrapped position of stream byte 0
+    std::uint64_t last = 0;  ///< highest unwrapped sequence seen
+  };
+  std::unordered_map<flow::FlowKey, TcpSeqState, flow::FlowKeyHash> tcp_seq;
   std::unordered_map<flow::FlowKey, std::uint64_t, flow::FlowKeyHash> udp_offset;
 
   while (cur.have(16)) {
@@ -138,19 +147,43 @@ PcapResult read_pcap_buffer(const std::uint8_t* data, std::size_t size, std::str
         continue;
       }
       const std::uint8_t* payload = l4 + data_off;
-      const std::size_t payload_len = l4_space - data_off;
+      std::size_t payload_len = l4_space - data_off;
       // Establish the per-flow base sequence: SYN consumes one sequence
       // number, so payload starts at seq+1 relative to the SYN's seq.
-      auto it = tcp_base.find(key);
-      if (it == tcp_base.end()) {
-        const std::uint32_t base = (flags & 0x02) != 0 ? seq + 1 : seq;
-        it = tcp_base.emplace(key, base).first;
+      auto it = tcp_seq.find(key);
+      if (it == tcp_seq.end()) {
+        TcpSeqState st;
+        st.last = seq;
+        st.base = st.last + ((flags & 0x02) != 0 ? 1 : 0);
+        it = tcp_seq.emplace(key, st).first;
       }
       if (payload_len == 0) {
         ++result.stats.skipped_empty;
         continue;
       }
-      const std::uint32_t rel = seq - it->second;  // wraps correctly mod 2^32
+      TcpSeqState& st = it->second;
+      // Unwrap: interpret the 32-bit difference from the last unwrapped
+      // position as signed, so both wraps (forward past 2^32) and
+      // retransmits (small negative deltas) land on the right 64-bit spot.
+      const auto delta =
+          static_cast<std::int32_t>(seq - static_cast<std::uint32_t>(st.last));
+      const std::uint64_t unwrapped = st.last + static_cast<std::int64_t>(delta);
+      if (unwrapped > st.last) st.last = unwrapped;
+      // Segments (or prefixes) from before stream byte 0 — keep-alive
+      // probes, retransmitted SYN-era bytes — are trimmed rather than left
+      // to wrap into a bogus far-future offset.
+      std::uint64_t rel = 0;
+      if (unwrapped < st.base) {
+        const std::uint64_t skip = st.base - unwrapped;
+        if (skip >= payload_len) {
+          ++result.stats.skipped_empty;
+          continue;
+        }
+        payload += skip;
+        payload_len -= static_cast<std::size_t>(skip);
+      } else {
+        rel = unwrapped - st.base;
+      }
       result.trace.add_packet(key, rel, payload, payload_len);
       ++result.stats.payload_packets;
     } else if (proto == 17) {  // UDP

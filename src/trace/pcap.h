@@ -6,8 +6,11 @@
 // variants, either endianness), parses Ethernet/IPv4/{TCP,UDP} headers to
 // recover the 5-tuple and the L4 payload, and emits a Trace whose packets
 // carry TCP sequence-relative offsets so the FlowInspector can reassemble
-// exactly like it does for generated traces. Non-IPv4/non-TCP/UDP frames
-// are counted and skipped. No external dependency.
+// exactly like it does for generated traces. Stream offsets are 64-bit:
+// the 32-bit wire sequence is unwrapped via its signed delta from the last
+// seen position, so flows longer than 4 GiB keep monotone offsets instead
+// of folding back to zero. Non-IPv4/non-TCP/UDP frames are counted and
+// skipped. No external dependency.
 #pragma once
 
 #include <cstdint>

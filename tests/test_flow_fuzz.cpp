@@ -197,6 +197,33 @@ TEST(FlowReassembly, PendingCapDropsOldestSegments) {
   EXPECT_EQ(insp.reassembly_dropped_count(), 2u);
 }
 
+TEST(FlowReassembly, DuplicateReplacementChargesNetGrowthOnly) {
+  // Regression: replacing a buffered duplicate with a longer copy used to
+  // charge the full new length against the budget before discounting the
+  // replaced bytes, spuriously evicting unrelated pending segments.
+  const auto m = core::build_mfa(compile_patterns({".*needle"}));
+  ASSERT_TRUE(m.has_value());
+  FlowInspector<core::Mfa> insp{*m, /*max_flows=*/0, /*max_pending_bytes=*/10};
+  CountingSink sink;
+  const FlowKey key{1, 2, 3, 4, 6};
+  const auto ooo = [&](std::uint64_t seq, const std::string& bytes) {
+    insp.packet(Packet{key, seq, reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                       static_cast<std::uint32_t>(bytes.size())},
+                sink);
+  };
+  ooo(10, "AAAA");    // buffered, 4 bytes
+  ooo(20, "BBBB");    // buffered, 8 of 10 bytes used
+  ooo(10, "AAAAAA");  // longer retransmit of seq 10: net growth is 2 -> fits
+  EXPECT_EQ(insp.reassembly_dropped_count(), 0u);
+  // Both segments must still be pending: delivering the in-order prefix
+  // drains 6 bytes at 10 and 4 at 20 (16..19 stays a gap).
+  ooo(0, "needle fil");  // bytes 0..9 -> drains [10,16)
+  EXPECT_EQ(insp.reassembly_dropped_count(), 0u);
+  // A same-length duplicate is a pure no-op: no growth, no drops.
+  ooo(20, "BBBB");
+  EXPECT_EQ(insp.reassembly_dropped_count(), 0u);
+}
+
 TEST(FlowReassembly, UnboundedWhenCapIsZero) {
   const auto m = core::build_mfa(compile_patterns({".*needle"}));
   ASSERT_TRUE(m.has_value());
@@ -223,6 +250,7 @@ TEST(FlowStorage, PerFlowStateIsContextPlusBookkeepingOnly) {
     core::Mfa::Context ctx;
     std::uint64_t next_offset;
     std::uint64_t pending_bytes;
+    std::uint64_t batch_stamp;
     std::map<std::uint64_t, Insp::FlowState::PendingSegment> pending;
     Insp::FlowState* lru_prev;
     Insp::FlowState* lru_next;

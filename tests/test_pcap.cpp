@@ -209,6 +209,62 @@ TEST(Pcap, EndToEndScanThroughMfa) {
   ASSERT_EQ(sink.matches.size(), 1u);  // spans the two kFlow segments
 }
 
+TEST(Pcap, LongFlowOffsetsStayMonotonePast4GiB) {
+  // Regression: rel used to be computed as a 32-bit difference, folding
+  // stream offsets back to zero every 4 GiB. Hop forward in ~1.5 GiB steps
+  // (each within the signed-32-bit unwrap window) until the cumulative
+  // stream position passes 2^32 and check offsets keep growing.
+  constexpr std::uint64_t kStep = 0x60000000;  // 1.5 GiB
+  PcapBuilder b;
+  for (std::uint64_t off = 0; off <= 3 * kStep; off += kStep)
+    b.tcp_packet(kFlow, static_cast<std::uint32_t>(off), 0, "x");
+  const PcapResult r = read_pcap_buffer(b.bytes().data(), b.bytes().size());
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.trace.packet_count(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(r.trace.packet(i).seq, i * kStep);
+  EXPECT_GT(r.trace.packet(3).seq, std::uint64_t{1} << 32);  // 4.5 GiB
+}
+
+TEST(Pcap, SeqWrapAcrossZeroReassembles) {
+  // A pattern spanning the 2^32 sequence wrap: segment one ends at wire
+  // seq 0xffffffff, segment two starts at wire seq 3 after wrapping. The
+  // unwrapped offsets must be contiguous so the inspector sees one stream.
+  PcapBuilder b;
+  b.tcp_packet(kFlow, 0xfffffff9, 0, "a need");  // wire seqs f9..fe
+  b.tcp_packet(kFlow, 0xffffffff, 0, "le!");     // crosses zero
+  const PcapResult r = read_pcap_buffer(b.bytes().data(), b.bytes().size());
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.trace.packet_count(), 2u);
+  EXPECT_EQ(r.trace.packet(0).seq, 0u);
+  EXPECT_EQ(r.trace.packet(1).seq, 6u);
+  auto m = core::build_mfa(mfa::testing::compile_patterns({".*a needle"}));
+  ASSERT_TRUE(m.has_value());
+  flow::FlowInspector<core::Mfa> insp{*m};
+  CollectingSink sink;
+  r.trace.for_each_packet([&](const flow::Packet& p) { insp.packet(p, sink); });
+  ASSERT_EQ(sink.matches.size(), 1u);
+}
+
+TEST(Pcap, KeepAliveBeforeBaseIsTrimmedNotWrapped) {
+  // TCP keep-alives carry one garbage byte at seq base-1. The old 32-bit
+  // subtraction wrapped that to a ~4 GiB offset, planting a phantom
+  // far-future segment; it must be dropped (or front-trimmed) instead.
+  PcapBuilder b;
+  b.tcp_packet(kFlow, 1000, 0x02, "");   // SYN: base = 1001
+  b.tcp_packet(kFlow, 1001, 0, "data");  // rel 0
+  b.tcp_packet(kFlow, 1000, 0, "k");     // keep-alive probe at base-1
+  b.tcp_packet(kFlow, 1000, 0, "kmore"); // retransmit overlapping base
+  const PcapResult r = read_pcap_buffer(b.bytes().data(), b.bytes().size());
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.trace.packet_count(), 2u);
+  EXPECT_EQ(r.trace.packet(0).seq, 0u);
+  EXPECT_EQ(r.trace.packet(1).seq, 0u);  // trimmed to start at stream byte 0
+  EXPECT_EQ(r.trace.packet(1).length, 4u);  // "more"
+  // Nothing may land anywhere near the wrapped 32-bit offset.
+  for (std::uint64_t i = 0; i < r.trace.packet_count(); ++i)
+    EXPECT_LT(r.trace.packet(i).seq, 16u);
+}
+
 TEST(Pcap, MissingFileReported) {
   const PcapResult r = read_pcap("/nonexistent/capture.pcap");
   EXPECT_FALSE(r.ok);

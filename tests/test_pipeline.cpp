@@ -297,5 +297,58 @@ TEST(ShardedInspector, RestartAfterFinishStartsClean) {
   }
 }
 
+TEST(ShardedInspector, SubmitOutsideStartFinishThrows) {
+  // Regression: submit() used to index shards_ unconditionally; before
+  // start() the vector is empty, so the modulo indexed into nothing (UB).
+  const Fixture f = make_fixture();
+  Options opt;
+  opt.shards = 2;
+  ShardedInspector<core::Mfa> pipe(f.mfa, opt);
+  const flow::Packet p{flow::FlowKey{1, 2, 3, 4, 6}, 0,
+                       reinterpret_cast<const std::uint8_t*>("x"), 1};
+  EXPECT_THROW(pipe.submit(p), std::logic_error);
+  pipe.start();
+  pipe.submit(p);
+  pipe.finish();
+  EXPECT_THROW(pipe.submit(p), std::logic_error);
+  // And the pipeline still restarts cleanly after the misuse.
+  pipe.start();
+  pipe.submit(p);
+  pipe.finish();
+  EXPECT_EQ(pipe.totals().packets, 1u);
+}
+
+TEST(ShardedInspector, BatchSizeOneBehavesLikeUnbatched) {
+  // batch_size=1 must flush every submit immediately and still match the
+  // sequential reference (the pre-batching behavior as a special case).
+  const Fixture f = make_fixture();
+  Options opt;
+  opt.shards = 2;
+  opt.batch_size = 1;
+  opt.collect_matches = true;
+  ShardedInspector<core::Mfa> pipe(f.mfa, opt);
+  pipe.start();
+  f.trace.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+  pipe.finish();
+  EXPECT_EQ(pipe.merged_matches(), f.sequential);
+  EXPECT_EQ(pipe.totals().packets, f.packets);
+}
+
+TEST(ShardedInspector, LargeBatchAndLaneSweepMatchesSequential) {
+  const Fixture f = make_fixture();
+  for (const std::size_t lanes : {1u, 4u, 16u}) {
+    Options opt;
+    opt.shards = 2;
+    opt.batch_size = 128;
+    opt.scan_lanes = lanes;
+    opt.collect_matches = true;
+    ShardedInspector<core::Mfa> pipe(f.mfa, opt);
+    pipe.start();
+    f.trace.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+    pipe.finish();
+    EXPECT_EQ(pipe.merged_matches(), f.sequential) << "lanes " << lanes;
+  }
+}
+
 }  // namespace
 }  // namespace mfa::pipeline
