@@ -13,12 +13,15 @@
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/faultpoint.h"
 #include "util/interleave.h"
 #include "util/timing.h"
 
@@ -125,6 +128,7 @@ class FlowInspector {
     std::uint64_t next_offset = 0;
     std::uint64_t pending_bytes = 0;
     std::uint64_t batch_stamp = 0;  ///< last packet_batch wave that fed this flow
+    std::uint64_t scan_ticks = 0;   ///< cumulative TSC ticks spent scanning this flow
     std::map<std::uint64_t, PendingSegment> pending;
     FlowState* lru_prev = nullptr;
     FlowState* lru_next = nullptr;
@@ -143,10 +147,50 @@ class FlowInspector {
     if (registry != nullptr) ns_per_tick_ = 1e9 / util::tsc_ticks_per_second();
   }
 
+  /// Per-flow CPU budget (DESIGN.md Sec. 9): cumulative scan time charged
+  /// to each flow's context; a flow whose total crosses `ns` nanoseconds is
+  /// quarantined — its state evicted with an obs::kFlowQuarantinedEventId
+  /// trace event, and every later packet of that flow dropped (counted in
+  /// quarantined_packet_count()) — so one adversarial, ReDoS-shaped flow
+  /// cannot starve the siblings sharing this inspector. 0 disables (the
+  /// default; no timing is taken then). Under packet_batch the interleaved
+  /// kernel's time is apportioned to flows by bytes fed.
+  void set_cpu_budget_ns(std::uint64_t ns) {
+    cpu_budget_ns_ = ns;
+    budget_ticks_ = 0;
+    if (ns != 0) {
+      const double ticks =
+          static_cast<double>(ns) * util::tsc_ticks_per_second() / 1e9;
+      budget_ticks_ = ticks < 1.0 ? 1 : static_cast<std::uint64_t>(ticks);
+    }
+  }
+  [[nodiscard]] std::uint64_t cpu_budget_ns() const { return cpu_budget_ns_; }
+
+  /// True when `key` has been quarantined (and not yet aged out of the
+  /// bounded quarantine memory).
+  [[nodiscard]] bool is_quarantined(const FlowKey& key) const {
+    return !quarantined_.empty() && quarantined_.count(key) != 0;
+  }
+
+  /// Flows evicted for exceeding the CPU budget.
+  [[nodiscard]] std::uint64_t quarantined_flow_count() const {
+    return flows_quarantined_;
+  }
+
+  /// Packets dropped because their flow was already quarantined.
+  [[nodiscard]] std::uint64_t quarantined_packet_count() const {
+    return quarantined_packets_;
+  }
+
   /// Deliver one packet. sink(match_id, flow_offset) fires for confirmed
-  /// matches; positions are byte offsets within the flow's stream.
+  /// matches; positions are byte offsets within the flow's stream. Packets
+  /// of quarantined flows are dropped (counted, never scanned).
   template <typename Sink>
   void packet(const Packet& p, Sink&& sink) {
+    if (is_quarantined(p.key)) {
+      ++quarantined_packets_;
+      return;
+    }
     if (metrics_ == nullptr) {
       deliver(p, sink);
       return;
@@ -187,10 +231,27 @@ class FlowInspector {
   /// burst-granular rather than packet-granular.
   template <typename Sink>
   void packet_batch(const Packet* pkts, std::size_t count, Sink&& sink) {
+    packet_batch_flows(
+        pkts, count,
+        [&](const FlowKey&, std::uint32_t id, std::uint64_t end) { sink(id, end); },
+        [](const Packet&) {});
+  }
+
+  /// packet_batch with flow attribution: sink(flow_key, match_id, offset)
+  /// for matches, dsink(packet) for every packet dropped because its flow is
+  /// quarantined. The pipeline's fault-tolerant accounting (and any caller
+  /// that must prove "every packet was scanned or counted") uses this form.
+  template <typename KeySink, typename DropSink>
+  void packet_batch_flows(const Packet* pkts, std::size_t count, KeySink&& sink,
+                          DropSink&& dsink) {
     if (count == 0) return;
     if (metrics_ == nullptr) {
-      deliver_batch(pkts, count,
-                    [&](FlowState&, std::uint32_t id, std::uint64_t end) { sink(id, end); });
+      deliver_batch(
+          pkts, count,
+          [&](FlowState& fs, std::uint32_t id, std::uint64_t end) {
+            sink(fs.key, id, end);
+          },
+          dsink);
       return;
     }
     obs::ShardMetrics& m = *metrics_;
@@ -205,14 +266,17 @@ class FlowInspector {
     }
     m.bytes.fetch_add(burst_bytes, std::memory_order_relaxed);
     const std::uint64_t t0 = util::rdtsc_now();
-    deliver_batch(pkts, count, [&](FlowState& fs, std::uint32_t id, std::uint64_t end) {
-      m.matches.fetch_add(1, std::memory_order_relaxed);
-      registry_->count_match(id);
-      registry_->trace().record(fs.key.src_ip, fs.key.dst_ip, fs.key.src_port,
-                                fs.key.dst_port, fs.key.proto, id, end,
-                                util::rdtsc_now());
-      sink(id, end);
-    });
+    deliver_batch(
+        pkts, count,
+        [&](FlowState& fs, std::uint32_t id, std::uint64_t end) {
+          m.matches.fetch_add(1, std::memory_order_relaxed);
+          registry_->count_match(id);
+          registry_->trace().record(fs.key.src_ip, fs.key.dst_ip, fs.key.src_port,
+                                    fs.key.dst_port, fs.key.proto, id, end,
+                                    util::rdtsc_now());
+          sink(fs.key, id, end);
+        },
+        dsink);
     const double ticks = static_cast<double>(util::rdtsc_now() - t0);
     // The burst is timed as one unit; scan_ns keeps its one-sample-per-
     // packet contract by recording the per-packet share `count` times.
@@ -275,11 +339,22 @@ class FlowInspector {
     }
     // Possibly-overlapping retransmission: skip already-delivered bytes.
     const std::uint64_t skip = fs.next_offset - p.seq;
+    if (budget_ticks_ == 0) {
+      if (skip < p.length) {
+        engine_->feed(fs.ctx, p.payload + skip, p.length - skip, fs.next_offset, sink);
+        fs.next_offset += p.length - skip;
+      }
+      drain(fs, sink);
+      return;
+    }
+    const std::uint64_t t0 = util::rdtsc_now();
     if (skip < p.length) {
       engine_->feed(fs.ctx, p.payload + skip, p.length - skip, fs.next_offset, sink);
       fs.next_offset += p.length - skip;
     }
     drain(fs, sink);
+    fs.scan_ticks += util::rdtsc_now() - t0;
+    maybe_quarantine(fs);  // may erase fs — nothing touches it afterwards
   }
 
   /// Batch delivery core. fsink(flow_state, id, end) so the instrumented
@@ -290,8 +365,9 @@ class FlowInspector {
   /// later same-flow packets defer to the next wave, which runs only after
   /// this wave's feed_many + drains. Cross-flow work interleaves, same-flow
   /// work never does — the ordering guarantee DESIGN.md Sec. 7 documents.
-  template <typename FlowSink>
-  void deliver_batch(const Packet* pkts, std::size_t count, FlowSink&& fsink) {
+  template <typename FlowSink, typename DropSink>
+  void deliver_batch(const Packet* pkts, std::size_t count, FlowSink&& fsink,
+                     DropSink&& dsink) {
     auto& jobs = batch_jobs_;
     auto& jflows = batch_job_flows_;
     auto& cur = batch_cur_;
@@ -303,9 +379,31 @@ class FlowInspector {
 
     const auto flush = [&] {
       if (jobs.empty()) return;
-      feed_jobs(jobs.data(), jobs.size(), fsink);
-      for (FlowState* fs : jflows)
-        drain(*fs, [&](std::uint32_t id, std::uint64_t end) { fsink(*fs, id, end); });
+      if (budget_ticks_ == 0) {
+        feed_jobs(jobs.data(), jobs.size(), fsink);
+        for (FlowState* fs : jflows)
+          drain(*fs, [&](std::uint32_t id, std::uint64_t end) { fsink(*fs, id, end); });
+      } else {
+        // Budgeted: the interleaved kernel runs K flows at once, so its
+        // time is apportioned to flows by bytes fed; drains are per-flow
+        // and timed exactly. Quarantine checks run last because they may
+        // erase FlowStates that jobs/jflows still reference.
+        std::uint64_t total_bytes = 0;
+        for (const auto& j : jobs) total_bytes += j.size;
+        const std::uint64_t t0 = util::rdtsc_now();
+        feed_jobs(jobs.data(), jobs.size(), fsink);
+        const std::uint64_t feed_ticks = util::rdtsc_now() - t0;
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+          jflows[i]->scan_ticks += total_bytes == 0
+                                       ? 0
+                                       : feed_ticks * jobs[i].size / total_bytes;
+        for (FlowState* fs : jflows) {
+          const std::uint64_t d0 = util::rdtsc_now();
+          drain(*fs, [&](std::uint32_t id, std::uint64_t end) { fsink(*fs, id, end); });
+          fs->scan_ticks += util::rdtsc_now() - d0;
+        }
+        for (FlowState* fs : jflows) maybe_quarantine(*fs);  // may erase fs
+      }
       jobs.clear();
       jflows.clear();
     };
@@ -315,6 +413,11 @@ class FlowInspector {
       deferred.clear();
       for (const std::uint32_t idx : cur) {
         const Packet& p = pkts[idx];
+        if (is_quarantined(p.key)) {
+          ++quarantined_packets_;
+          dsink(p);
+          continue;
+        }
         // Feeding is deferred within a wave, so the LRU eviction a *new*
         // flow's insertion can trigger might otherwise tear down a
         // FlowState that still has a queued job: flush queued work first.
@@ -367,10 +470,37 @@ class FlowInspector {
       return it->second;
     }
     if (max_flows_ != 0 && flows_.size() >= max_flows_) evict_oldest();
+    util::fault_maybe_bad_alloc("flow.table.alloc");
     it = flows_.emplace(key, FlowState{engine_->make_context()}).first;
     it->second.key = key;  // node addresses are stable in unordered_map
     lru_push_back(&it->second);
     return it->second;
+  }
+
+  /// CPU-budget enforcement: evict an over-budget flow and remember its key
+  /// so later packets are dropped at the door. The memory is bounded
+  /// (oldest quarantine forgotten first) so hostile many-flow traffic
+  /// cannot grow it without limit.
+  void maybe_quarantine(FlowState& fs) {
+    if (budget_ticks_ == 0 || fs.scan_ticks < budget_ticks_) return;
+    ++flows_quarantined_;
+    if (registry_ != nullptr) {
+      metrics_->flows_quarantined.fetch_add(1, std::memory_order_relaxed);
+      registry_->trace().record(fs.key.src_ip, fs.key.dst_ip, fs.key.src_port,
+                                fs.key.dst_port, fs.key.proto,
+                                obs::kFlowQuarantinedEventId, fs.next_offset,
+                                util::rdtsc_now());
+    }
+    static constexpr std::size_t kMaxQuarantineRemembered = 65536;
+    if (quarantine_order_.size() >= kMaxQuarantineRemembered) {
+      quarantined_.erase(quarantine_order_.front());
+      quarantine_order_.pop_front();
+    }
+    quarantined_.insert(fs.key);
+    quarantine_order_.push_back(fs.key);
+    total_pending_ -= fs.pending_bytes;
+    lru_unlink(&fs);
+    flows_.erase(fs.key);
   }
 
   // --- intrusive LRU list: head = least recently active, tail = most ---
@@ -411,6 +541,10 @@ class FlowInspector {
 
   void buffer_segment(FlowState& fs, const Packet& p) {
     if (p.length == 0) return;
+    // Reassembly buffering is the allocation-heavy path hostile traffic can
+    // drive at will; the fault point lets the soak test prove a bad_alloc
+    // here surfaces as a crashed-and-restarted worker, never a hang.
+    util::fault_maybe_bad_alloc("flow.reassembly.alloc");
     auto it = fs.pending.find(p.seq);
     if (it != fs.pending.end()) {
       // Duplicate sequence number: keep whichever segment carries more
@@ -490,6 +624,12 @@ class FlowInspector {
   std::uint64_t reassembly_dropped_ = 0;
   std::uint64_t total_pending_ = 0;  ///< buffered OOO bytes across all flows
   std::uint64_t arrival_tick_ = 0;
+  std::uint64_t cpu_budget_ns_ = 0;   ///< 0 = per-flow CPU budget disabled
+  std::uint64_t budget_ticks_ = 0;    ///< cpu_budget_ns_ in TSC ticks
+  std::uint64_t flows_quarantined_ = 0;
+  std::uint64_t quarantined_packets_ = 0;
+  std::unordered_set<FlowKey, FlowKeyHash> quarantined_;
+  std::deque<FlowKey> quarantine_order_;  ///< FIFO aging of quarantined_
   obs::MetricsRegistry* registry_ = nullptr;  ///< telemetry root (optional)
   obs::ShardMetrics* metrics_ = nullptr;      ///< this inspector's shard slot
   double ns_per_tick_ = 0.0;

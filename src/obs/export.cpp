@@ -70,9 +70,14 @@ void json_shard(std::string& out, const ShardSnapshot& s) {
          "{\"packets\":%" PRIu64 ",\"bytes\":%" PRIu64 ",\"matches\":%" PRIu64
          ",\"flows\":%" PRIu64 ",\"evictions\":%" PRIu64
          ",\"reassembly_drops\":%" PRIu64 ",\"reassembly_pending_bytes\":%" PRIu64
-         ",\"queue_full_spins\":%" PRIu64 ",\"max_queue_depth\":%" PRIu64 ",",
+         ",\"queue_full_spins\":%" PRIu64 ",\"max_queue_depth\":%" PRIu64
+         ",\"shed_packets\":%" PRIu64 ",\"shed_bytes\":%" PRIu64
+         ",\"flows_quarantined\":%" PRIu64 ",\"worker_restarts\":%" PRIu64
+         ",\"worker_stalls\":%" PRIu64 ",",
          s.packets, s.bytes, s.matches, s.flows, s.evictions, s.reassembly_drops,
-         s.reassembly_pending_bytes, s.queue_full_spins, s.max_queue_depth);
+         s.reassembly_pending_bytes, s.queue_full_spins, s.max_queue_depth,
+         s.shed_packets, s.shed_bytes, s.flows_quarantined, s.worker_restarts,
+         s.worker_stalls);
   json_histogram(out, "scan_ns", s.scan_ns);
   out += ",";
   json_histogram(out, "packet_bytes", s.packet_bytes);
@@ -134,6 +139,20 @@ std::string to_prometheus(const RegistrySnapshot& snap) {
                &ShardSnapshot::queue_full_spins, "counter");
   prom_counter(out, "mfa_queue_max_depth", "High-water mark of the shard queue",
                snap, &ShardSnapshot::max_queue_depth, "gauge");
+  prom_counter(out, "mfa_shed_packets_total",
+               "Packets shed (load shedding, quarantine, crash, failover) "
+               "instead of scanned", snap, &ShardSnapshot::shed_packets, "counter");
+  prom_counter(out, "mfa_shed_bytes_total", "Payload bytes of shed packets",
+               snap, &ShardSnapshot::shed_bytes, "counter");
+  prom_counter(out, "mfa_flows_quarantined_total",
+               "Flows evicted for exceeding their per-flow CPU budget", snap,
+               &ShardSnapshot::flows_quarantined, "counter");
+  prom_counter(out, "mfa_worker_restarts_total",
+               "Crashed shard workers restarted by the watchdog", snap,
+               &ShardSnapshot::worker_restarts, "counter");
+  prom_counter(out, "mfa_worker_stalls_total",
+               "Stalled shard workers detected by the watchdog", snap,
+               &ShardSnapshot::worker_stalls, "counter");
   prom_histogram(out, "mfa_scan_ns", "Per-packet scan latency in nanoseconds",
                  snap, &ShardSnapshot::scan_ns);
   prom_histogram(out, "mfa_packet_bytes", "Per-packet payload size in bytes", snap,

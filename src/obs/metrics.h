@@ -31,6 +31,12 @@ namespace mfa::obs {
 /// values too large for the last bucket clamp into it.
 inline constexpr std::size_t kHistogramBuckets = 64;
 
+/// Reserved match-id used in the MatchTraceRing for flow-quarantine events
+/// (DESIGN.md Sec. 9): the flow's 5-tuple identifies the quarantined flow
+/// and `offset` carries the stream position at eviction. Real pattern ids
+/// never reach this value (pattern tables are far smaller than 2^32-1).
+inline constexpr std::uint32_t kFlowQuarantinedEventId = 0xffffffffu;
+
 /// Read-side copy of a Histogram: plain integers, mergeable across shards.
 struct HistogramSnapshot {
   std::uint64_t counts[kHistogramBuckets] = {};
@@ -109,6 +115,11 @@ struct ShardSnapshot {
   std::uint64_t reassembly_pending_bytes = 0;  ///< gauge: buffered OOO bytes
   std::uint64_t queue_full_spins = 0;          ///< producer full-spin count
   std::uint64_t max_queue_depth = 0;           ///< gauge: high-water mark
+  std::uint64_t shed_packets = 0;       ///< packets shed instead of scanned
+  std::uint64_t shed_bytes = 0;         ///< payload bytes of shed packets
+  std::uint64_t flows_quarantined = 0;  ///< flows evicted for CPU over-budget
+  std::uint64_t worker_restarts = 0;    ///< crashed shard workers restarted
+  std::uint64_t worker_stalls = 0;      ///< watchdog stall detections
   HistogramSnapshot scan_ns;      ///< per-packet scan latency, nanoseconds
   HistogramSnapshot packet_bytes; ///< per-packet payload size
   HistogramSnapshot queue_depth;  ///< SPSC depth sampled at each submit()
@@ -122,6 +133,11 @@ struct ShardSnapshot {
     reassembly_drops += o.reassembly_drops;
     reassembly_pending_bytes += o.reassembly_pending_bytes;
     queue_full_spins += o.queue_full_spins;
+    shed_packets += o.shed_packets;
+    shed_bytes += o.shed_bytes;
+    flows_quarantined += o.flows_quarantined;
+    worker_restarts += o.worker_restarts;
+    worker_stalls += o.worker_stalls;
     max_queue_depth = max_queue_depth > o.max_queue_depth ? max_queue_depth
                                                           : o.max_queue_depth;
     scan_ns += o.scan_ns;
@@ -144,12 +160,18 @@ struct alignas(64) ShardMetrics {
   std::atomic<std::uint64_t> evictions{0};
   std::atomic<std::uint64_t> reassembly_drops{0};
   std::atomic<std::uint64_t> reassembly_pending_bytes{0};  // gauge
+  std::atomic<std::uint64_t> flows_quarantined{0};
   Histogram scan_ns;
   Histogram packet_bytes;
   // --- queue side (the submit() producer thread) ---
   std::atomic<std::uint64_t> queue_full_spins{0};
   std::atomic<std::uint64_t> max_queue_depth{0};           // gauge
   Histogram queue_depth;
+  // --- overload/supervision side (producer, worker, or watchdog thread) ---
+  std::atomic<std::uint64_t> shed_packets{0};
+  std::atomic<std::uint64_t> shed_bytes{0};
+  std::atomic<std::uint64_t> worker_restarts{0};
+  std::atomic<std::uint64_t> worker_stalls{0};
 
   [[nodiscard]] ShardSnapshot snapshot() const {
     ShardSnapshot s;
@@ -163,6 +185,11 @@ struct alignas(64) ShardMetrics {
         reassembly_pending_bytes.load(std::memory_order_relaxed);
     s.queue_full_spins = queue_full_spins.load(std::memory_order_relaxed);
     s.max_queue_depth = max_queue_depth.load(std::memory_order_relaxed);
+    s.shed_packets = shed_packets.load(std::memory_order_relaxed);
+    s.shed_bytes = shed_bytes.load(std::memory_order_relaxed);
+    s.flows_quarantined = flows_quarantined.load(std::memory_order_relaxed);
+    s.worker_restarts = worker_restarts.load(std::memory_order_relaxed);
+    s.worker_stalls = worker_stalls.load(std::memory_order_relaxed);
     s.scan_ns = scan_ns.snapshot();
     s.packet_bytes = packet_bytes.snapshot();
     s.queue_depth = queue_depth.snapshot();

@@ -14,35 +14,106 @@
 // obs::MetricsRegistry (Options::metrics) additionally mirrors every
 // counter into lock-free telemetry readable mid-run via snapshot().
 //
+// Robustness layer (DESIGN.md Sec. 9): the pipeline is built to survive
+// hostile traffic and its own workers failing.
+//  - Load shedding: Options::shed_policy trades completeness for liveness
+//    when a shard falls behind, with hysteresis around high/low watermarks.
+//  - Supervision: Options::watchdog runs a monitor thread that restarts
+//    crashed workers (fresh per-flow contexts) and detects stalled ones via
+//    heartbeats; a shard that keeps crashing is failed over to shedding.
+//  - Per-flow CPU budgets: Options::flow_cpu_budget_ns quarantines flows
+//    that monopolize scan time (FlowInspector evicts them; later packets of
+//    a quarantined flow are shed, never scanned).
+//  - Exact accounting: every submitted packet is either scanned or counted
+//    in exactly one shed bucket, so totals() always satisfies
+//    submitted == scanned + shed_total(), even across crashes, failovers
+//    and bounded shutdown.
+//  - Bounded shutdown: finish(timeout) drains what it can by the deadline,
+//    sheds the rest with accounting, and never hangs on a wedged worker
+//    (worst case it abandons the thread and leaks its shard).
+//
 // Thread-safety contract (see DESIGN.md "Engine/Context split & pipeline"):
 //  - Engines are immutable after construction and shareable across threads.
 //  - Contexts (and the FlowInspectors holding them) are confined to one
-//    shard's worker thread.
+//    shard's worker thread; the watchdog touches an inspector only after
+//    joining its dead worker.
 //  - submit() must be called from a single producer thread; packet payload
 //    pointers must stay valid until finish() returns (Trace owns them).
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "flow/flow.h"
 #include "obs/metrics.h"
 #include "pipeline/spsc_queue.h"
+#include "util/faultpoint.h"
 #include "util/match.h"
 
 namespace mfa::pipeline {
+
+/// What submit() does when a shard is overloaded (queue backlog past the
+/// high watermark, or buffered reassembly bytes past their cap).
+enum class ShedPolicy : std::uint8_t {
+  kBackpressure,    ///< never shed: spin the producer until the queue drains
+  kDropNewest,      ///< drop the arriving packet (counted as shed_admission)
+  kDropOldestFlow,  ///< sacrifice least-recently-active flows, admit the rest
+  kBypassToCount,   ///< don't scan, but still count packet+bytes (shed_bypass)
+};
+
+/// Why a packet was shed instead of scanned. Each shed packet is counted in
+/// exactly one bucket; Options::shed_sink receives (packet, reason).
+enum class ShedReason : std::uint8_t {
+  kAdmission,   ///< dropped at submit() by the shed policy
+  kBypass,      ///< admitted to the counts but never scanned (kBypassToCount)
+  kCorrupt,     ///< injected corrupt packet rejected before delivery
+  kCrash,       ///< burst abandoned because the worker crashed mid-scan
+  kQuarantine,  ///< its flow exceeded the per-flow CPU budget
+  kFailover,    ///< drained without scanning (failed shard or shutdown deadline)
+};
+
+[[nodiscard]] inline const char* to_string(ShedReason r) {
+  switch (r) {
+    case ShedReason::kAdmission: return "admission";
+    case ShedReason::kBypass: return "bypass";
+    case ShedReason::kCorrupt: return "corrupt";
+    case ShedReason::kCrash: return "crash";
+    case ShedReason::kQuarantine: return "quarantine";
+    case ShedReason::kFailover: return "failover";
+  }
+  return "?";
+}
+
+/// A match with the flow it occurred on; collected when
+/// Options::collect_flow_matches is set (parity harnesses need to compare
+/// per-flow match streams while excluding shed flows).
+struct FlowMatch {
+  flow::FlowKey key;
+  Match match;
+};
 
 /// Per-shard accounting, merged by the dispatcher after finish().
 /// flows/evictions/reassembly_drops are refreshed on every processed packet
 /// (not only at worker exit), so the values are never stale; for reading
 /// them mid-run, attach an obs::MetricsRegistry and use snapshot().
+///
+/// Accounting invariant: submitted == scanned + shed_total(). `packets` and
+/// `bytes` count what the worker popped from its queue (shed-at-admission
+/// packets never reach it); `scanned` is the subset actually delivered to
+/// the engine.
 struct ShardStats {
-  std::uint64_t packets = 0;
+  std::uint64_t packets = 0;  ///< packets popped by the shard worker
   std::uint64_t bytes = 0;
   std::uint64_t matches = 0;
   std::uint64_t flows = 0;             ///< flows resident after the last packet
@@ -50,6 +121,23 @@ struct ShardStats {
   std::uint64_t reassembly_drops = 0;  ///< segments dropped by the pending cap
   std::uint64_t max_queue_depth = 0;   ///< high-water mark of the SPSC queue
   std::uint64_t queue_full_spins = 0;  ///< producer spins while the queue was full
+  std::uint64_t submitted = 0;         ///< packets handed to submit()
+  std::uint64_t scanned = 0;           ///< packets actually fed to the engine
+  std::uint64_t shed_admission = 0;    ///< ShedReason::kAdmission
+  std::uint64_t shed_bypass = 0;       ///< ShedReason::kBypass
+  std::uint64_t shed_corrupt = 0;      ///< ShedReason::kCorrupt
+  std::uint64_t shed_crash = 0;        ///< ShedReason::kCrash
+  std::uint64_t shed_quarantine = 0;   ///< ShedReason::kQuarantine
+  std::uint64_t shed_failover = 0;     ///< ShedReason::kFailover
+  std::uint64_t shed_bytes = 0;        ///< payload bytes of shed packets
+  std::uint64_t flows_quarantined = 0; ///< flows evicted for busting CPU budget
+  std::uint64_t worker_restarts = 0;   ///< crashed workers revived by watchdog
+  std::uint64_t worker_stalls = 0;     ///< stall episodes flagged by watchdog
+
+  [[nodiscard]] std::uint64_t shed_total() const {
+    return shed_admission + shed_bypass + shed_corrupt + shed_crash +
+           shed_quarantine + shed_failover;
+  }
 
   ShardStats& operator+=(const ShardStats& o) {
     packets += o.packets;
@@ -61,6 +149,18 @@ struct ShardStats {
     max_queue_depth = max_queue_depth > o.max_queue_depth ? max_queue_depth
                                                           : o.max_queue_depth;
     queue_full_spins += o.queue_full_spins;
+    submitted += o.submitted;
+    scanned += o.scanned;
+    shed_admission += o.shed_admission;
+    shed_bypass += o.shed_bypass;
+    shed_corrupt += o.shed_corrupt;
+    shed_crash += o.shed_crash;
+    shed_quarantine += o.shed_quarantine;
+    shed_failover += o.shed_failover;
+    shed_bytes += o.shed_bytes;
+    flows_quarantined += o.flows_quarantined;
+    worker_restarts += o.worker_restarts;
+    worker_stalls += o.worker_stalls;
     return *this;
   }
 };
@@ -79,10 +179,41 @@ struct Options {
   /// feed_many); see DESIGN.md Sec. 7 on K selection.
   std::size_t scan_lanes = scan::kDefaultLanes;
   bool collect_matches = false;  ///< keep full Match records (else count only)
+  /// Keep (flow_key, match) records too — heavier than collect_matches;
+  /// meant for parity/soak harnesses, not production.
+  bool collect_flow_matches = false;
   /// Optional telemetry root (externally owned, must outlive the inspector).
   /// Shard i writes into metrics->shard(i % metrics->shard_count()); when
   /// null the hot path pays one untaken branch per packet.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // --- Overload & robustness (DESIGN.md Sec. 9) ---
+  ShedPolicy shed_policy = ShedPolicy::kBackpressure;
+  /// Queue backlog (ring + producer buffer) at which shedding engages.
+  /// 0 = 3/4 of the (rounded) queue capacity.
+  std::size_t shed_high_water = 0;
+  /// Backlog at which shedding disengages (hysteresis). 0 = high/2.
+  std::size_t shed_low_water = 0;
+  /// Buffered out-of-order reassembly bytes per shard past which the shard
+  /// is treated as overloaded regardless of queue depth. 0 = disabled.
+  std::uint64_t reassembly_high_water_bytes = 0;
+  /// Per-flow scan-CPU budget: a flow whose cumulative scan time exceeds
+  /// this is quarantined (evicted; its later packets shed). 0 = disabled.
+  std::uint64_t flow_cpu_budget_ns = 0;
+  /// Supervise the workers: restart crashed ones with fresh contexts (up to
+  /// max_worker_restarts, then fail the shard over to shedding) and flag
+  /// stalled ones via heartbeat age. Off by default: without a watchdog a
+  /// dead worker surfaces as std::runtime_error from submit(), as before.
+  bool watchdog = false;
+  std::uint32_t watchdog_interval_ms = 5;
+  std::uint32_t stall_timeout_ms = 250;  ///< heartbeat age that counts as a stall
+  std::uint32_t max_worker_restarts = 3;  ///< per shard, then failover
+  /// Invoked once per shed packet with the reason — from the producer
+  /// thread, a worker thread, or the watchdog, possibly concurrently; must
+  /// be thread-safe. On a worker crash the burst's packets may additionally
+  /// be reported kCrash after an earlier kQuarantine report (at-least-once;
+  /// the numeric shed counters never double-count).
+  std::function<void(const flow::Packet&, ShedReason)> shed_sink;
 };
 
 /// Hash-sharded multi-threaded inspector over any Engine/Context engine.
@@ -95,6 +226,7 @@ class ShardedInspector {
       : engine_(&engine), options_(options) {
     if (options_.shards == 0) options_.shards = 1;
     if (options_.batch_size == 0) options_.batch_size = 1;
+    if (options_.watchdog_interval_ms == 0) options_.watchdog_interval_ms = 1;
   }
 
   ~ShardedInspector() { finish(); }
@@ -102,30 +234,45 @@ class ShardedInspector {
   ShardedInspector(const ShardedInspector&) = delete;
   ShardedInspector& operator=(const ShardedInspector&) = delete;
 
-  /// Spawn the worker threads. Must be called before submit().
+  /// Spawn the worker threads (and the watchdog, when enabled). Must be
+  /// called before submit().
   void start() {
     if (running_) return;
     shards_.clear();
     stats_.clear();
     matches_.clear();
+    flow_matches_.clear();
     stop_.store(false, std::memory_order_relaxed);
     for (std::size_t i = 0; i < options_.shards; ++i)
-      shards_.push_back(std::make_unique<Shard>(*engine_, options_, stop_, i));
+      shards_.push_back(std::make_unique<Shard>(*engine_, options_, i));
+    shed_high_ = options_.shed_high_water != 0
+                     ? options_.shed_high_water
+                     : shards_.front()->queue.capacity() * 3 / 4;
+    if (shed_high_ == 0) shed_high_ = 1;
+    shed_low_ = options_.shed_low_water != 0 ? options_.shed_low_water
+                                             : shed_high_ / 2;
     for (auto& shard : shards_) {
       shard->alive.store(true, std::memory_order_release);
       shard->thread = std::thread([s = shard.get()] { s->run(); });
     }
+    if (options_.watchdog)
+      watchdog_thread_ = std::thread([this] { watchdog_run(); });
     running_ = true;
   }
 
   /// Enqueue one packet to its flow's shard (single producer thread).
   /// Packets buffer per shard and flush into the SPSC queue in bursts of
-  /// Options::batch_size; a full queue spins (yielding) — backpressure
-  /// instead of drops, so match results stay deterministic. Full-spins are
-  /// counted: a sustained non-zero rate means the shard cannot keep up. The
-  /// spin periodically verifies the shard's worker is still alive and
-  /// throws std::runtime_error if it died, so a dead worker surfaces as an
-  /// error instead of deadlocking the producer.
+  /// Options::batch_size. Under ShedPolicy::kBackpressure a full queue
+  /// spins (yielding) — backpressure instead of drops, so match results
+  /// stay deterministic; full-spins are counted, and a sustained non-zero
+  /// rate means the shard cannot keep up. Other policies shed at admission
+  /// once the backlog crosses the high watermark (with hysteresis down to
+  /// the low watermark), keeping the producer wait-free under overload.
+  /// The backpressure spin periodically verifies the shard's worker is
+  /// still alive: if it died and no watchdog is supervising, submit()
+  /// throws std::runtime_error instead of deadlocking the producer; with a
+  /// watchdog it keeps spinning until the worker is restarted or the shard
+  /// is failed over (then the packet is shed as kFailover).
   ///
   /// Only legal between start() and finish(): anything else is a contract
   /// violation (the shards do not exist) and throws std::logic_error.
@@ -134,6 +281,13 @@ class ShardedInspector {
       throw std::logic_error(
           "ShardedInspector::submit() outside start()/finish() — no shards exist");
     Shard& s = *shards_[shard_of(p.key)];
+    ++s.producer_submitted;
+    if (s.failed.load(std::memory_order_acquire)) {
+      s.shed_one(p, ShedReason::kFailover);
+      return;
+    }
+    if (options_.shed_policy != ShedPolicy::kBackpressure && try_shed(s, p))
+      return;
     s.pending.push_back(p);
     if (s.pending.size() >= options_.batch_size) flush_shard(s);
     const std::size_t depth = s.queue.depth();
@@ -144,20 +298,22 @@ class ShardedInspector {
     }
   }
 
-  /// Drain all queues, join the workers, and merge stats/matches.
-  void finish() {
-    if (!running_) return;
-    for (auto& shard : shards_) flush_shard(*shard);
-    stop_.store(true, std::memory_order_release);
-    for (auto& shard : shards_) {
-      if (shard->thread.joinable()) shard->thread.join();
-      shard->stats.max_queue_depth = shard->producer_max_depth;
-      shard->stats.queue_full_spins = shard->producer_full_spins;
-      stats_.push_back(shard->stats);
-      matches_.insert(matches_.end(), shard->matches.begin(), shard->matches.end());
-    }
-    shards_.clear();
-    running_ = false;
+  /// Drain all queues, join the workers, and merge stats/matches. Waits as
+  /// long as the drain takes (a truly wedged worker blocks forever — use
+  /// the deadline overload when that must not happen).
+  void finish() { finish_until(false, std::chrono::milliseconds::zero()); }
+
+  /// Bounded-deadline shutdown: drain for up to `timeout`; past the
+  /// deadline, injected stalls are aborted and workers flip to
+  /// drain-and-shed (every undelivered packet counted as kFailover), with a
+  /// second `timeout` of grace. A worker wedged beyond both windows is
+  /// abandoned: its thread is detached and its shard leaked for the process
+  /// lifetime (stats still merged from the shard's atomics). Returns true
+  /// when everything drained cleanly within the deadline; false when
+  /// anything was shed on the way out or a worker had to be abandoned. The
+  /// accounting invariant holds either way.
+  bool finish(std::chrono::milliseconds timeout) {
+    return finish_until(true, timeout);
   }
 
   /// True when an obs::MetricsRegistry is attached via Options::metrics.
@@ -191,6 +347,12 @@ class ShardedInspector {
     return all;
   }
 
+  /// All shards' flow-attributed matches (unordered across shards); valid
+  /// after finish(), populated when Options::collect_flow_matches is set.
+  [[nodiscard]] const std::vector<FlowMatch>& flow_matches() const {
+    return flow_matches_;
+  }
+
   [[nodiscard]] std::size_t shard_of(const FlowKey& key) const {
     return flow::FlowKeyHash{}(key) % options_.shards;
   }
@@ -198,45 +360,321 @@ class ShardedInspector {
  private:
   struct Shard;
 
+  /// Producer-side admission control. Returns true when `p` was shed.
+  /// Engages once the backlog (queue + producer buffer) crosses the high
+  /// watermark — or the shard's reassembly buffers are past their cap, or
+  /// the "pipeline.queue.full" fault fires — and disengages only once the
+  /// backlog falls to the low watermark (hysteresis, no flapping).
+  bool try_shed(Shard& s, const flow::Packet& p) {
+    const std::size_t depth = s.queue.depth() + s.pending.size();
+    const bool over = depth >= shed_high_ ||
+                      s.reassembly_overload.load(std::memory_order_relaxed) ||
+                      util::fault_fire("pipeline.queue.full");
+    if (!s.shed_engaged) {
+      if (!over) {
+        touch_recency(s, p.key);
+        return false;
+      }
+      s.shed_engaged = true;
+    } else if (!over && depth <= shed_low_) {
+      s.shed_engaged = false;
+      s.shed_list.clear();
+      touch_recency(s, p.key);
+      return false;
+    }
+    switch (options_.shed_policy) {
+      case ShedPolicy::kDropNewest:
+        s.shed_one(p, ShedReason::kAdmission);
+        return true;
+      case ShedPolicy::kBypassToCount:
+        s.shed_one(p, ShedReason::kBypass);
+        return true;
+      case ShedPolicy::kDropOldestFlow: {
+        if (s.shed_list.count(p.key) != 0) {
+          s.shed_one(p, ShedReason::kAdmission);
+          return true;
+        }
+        // Still above the high mark: sacrifice the least-recently-active
+        // flow; its future packets (and this one, if it IS the victim) are
+        // dropped while fresher flows keep flowing.
+        if (depth >= shed_high_ && !s.recency_list.empty()) {
+          const FlowKey victim = s.recency_list.front();
+          s.recency_map.erase(victim);
+          s.recency_list.pop_front();
+          s.shed_list.insert(victim);
+          if (victim == p.key) {
+            s.shed_one(p, ShedReason::kAdmission);
+            return true;
+          }
+        }
+        touch_recency(s, p.key);
+        return false;
+      }
+      case ShedPolicy::kBackpressure:
+        return false;  // not reached; backpressure never calls try_shed
+    }
+    return false;
+  }
+
+  /// Bounded recency ring for kDropOldestFlow victim selection
+  /// (producer-owned; approximate beyond kRecencyCap active flows).
+  void touch_recency(Shard& s, const FlowKey& key) {
+    if (options_.shed_policy != ShedPolicy::kDropOldestFlow) return;
+    auto it = s.recency_map.find(key);
+    if (it != s.recency_map.end()) {
+      s.recency_list.splice(s.recency_list.end(), s.recency_list, it->second);
+      return;
+    }
+    s.recency_list.push_back(key);
+    s.recency_map[key] = std::prev(s.recency_list.end());
+    if (s.recency_map.size() > kRecencyCap) {
+      s.recency_map.erase(s.recency_list.front());
+      s.recency_list.pop_front();
+    }
+  }
+
   /// Push a shard's buffered packets into its queue, spinning under
   /// backpressure. Every kLivenessCheckSpins spins the worker's liveness
-  /// flag is consulted: a dead worker can never drain the queue, so the
-  /// producer throws (or, from finish(), discards the remainder) instead of
-  /// spinning forever.
+  /// flag is consulted: a dead worker can never drain the queue, so unless
+  /// a watchdog is about to restart it the producer sheds the remainder
+  /// (kFailover, exact accounting) and — outside finish(), without a
+  /// watchdog — throws, so the failure surfaces instead of deadlocking.
   void flush_shard(Shard& s, bool from_finish = false) {
     static constexpr std::uint64_t kLivenessCheckSpins = 1024;
     std::size_t done = 0;
     std::uint64_t spins = 0;
     while (done < s.pending.size()) {
-      done += s.queue.try_push_batch(s.pending.data() + done, s.pending.size() - done);
+      if (!util::fault_fire("pipeline.queue.full"))
+        done += s.queue.try_push_batch(s.pending.data() + done,
+                                       s.pending.size() - done);
       if (done == s.pending.size()) break;
       ++spins;
       if (spins % kLivenessCheckSpins == 0 &&
           !s.alive.load(std::memory_order_acquire)) {
-        s.pending.clear();
-        if (from_finish) return;  // joining anyway; remainder is lost
-        throw std::runtime_error(
-            "ShardedInspector: shard worker died while its queue was full");
+        const bool recovery_coming =
+            options_.watchdog && !s.failed.load(std::memory_order_acquire);
+        if (!recovery_coming) {
+          s.producer_pushed += done;
+          for (std::size_t i = done; i < s.pending.size(); ++i)
+            s.shed_one(s.pending[i], ShedReason::kFailover);
+          s.pending.clear();
+          s.record_spins(spins);
+          if (from_finish || options_.watchdog) return;
+          throw std::runtime_error(
+              "ShardedInspector: shard worker died while its queue was full");
+        }
       }
       std::this_thread::yield();
     }
+    s.producer_pushed += done;
     s.pending.clear();
-    if (spins != 0) {
-      s.producer_full_spins += spins;
-      if (s.metrics != nullptr)
-        s.metrics->queue_full_spins.fetch_add(spins, std::memory_order_relaxed);
+    s.record_spins(spins);
+  }
+
+  bool finish_until(bool bounded, std::chrono::milliseconds timeout) {
+    if (!running_) return true;
+    bool clean = true;
+    for (auto& shard : shards_) flush_shard(*shard, true);
+    // Drain before stopping: while the watchdog is still running it can
+    // restart a just-crashed worker, so a backlog behind a crash gets
+    // scanned instead of being written off as failover sheds. Give up on a
+    // shard only when recovery is impossible (failed over, or dead with no
+    // watchdog) or the deadline passes.
+    const auto drain_deadline =
+        bounded ? std::chrono::steady_clock::now() + timeout
+                : std::chrono::steady_clock::time_point::max();
+    for (auto& shard : shards_) {
+      Shard& s = *shard;
+      while (s.queue.depth() != 0) {
+        if (s.failed.load(std::memory_order_acquire)) break;
+        if (!s.alive.load(std::memory_order_acquire) && !options_.watchdog)
+          break;
+        if (std::chrono::steady_clock::now() >= drain_deadline) {
+          clean = false;
+          break;
+        }
+        std::this_thread::yield();
+      }
+    }
+    stop_.store(true, std::memory_order_release);
+    if (watchdog_thread_.joinable()) watchdog_thread_.join();
+    for (auto& shard : shards_) {
+      shard->stop.store(true, std::memory_order_release);
+      shard->queue.close();
+    }
+    if (!bounded) {
+      for (auto& shard : shards_)
+        if (shard->thread.joinable()) shard->thread.join();
+    } else {
+      const auto all_dead = [this] {
+        for (const auto& sh : shards_)
+          if (sh->alive.load(std::memory_order_acquire)) return false;
+        return true;
+      };
+      const auto wait_until = [&all_dead](std::chrono::steady_clock::time_point d) {
+        while (!all_dead() && std::chrono::steady_clock::now() < d)
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      };
+      wait_until(std::chrono::steady_clock::now() + timeout);
+      if (!all_dead()) {
+        // Deadline passed with workers still running: stop being polite.
+        // Injected stalls abort, and remaining queue contents become
+        // failover sheds instead of scans (drain-and-shed is O(pop)).
+        clean = false;
+        util::FaultRegistry::instance().abort_stalls();
+        for (auto& sh : shards_)
+          sh->abort_drain.store(true, std::memory_order_release);
+        wait_until(std::chrono::steady_clock::now() +
+                   std::max(timeout, std::chrono::milliseconds(20)));
+      }
+      for (auto& sh : shards_) {
+        if (!sh->alive.load(std::memory_order_acquire)) {
+          if (sh->thread.joinable()) sh->thread.join();
+        } else {
+          // Wedged beyond both windows (e.g. an engine scan that never
+          // returns). Joining would hang forever, so abandon the thread;
+          // the shard object must outlive it, so it is leaked into a
+          // process-lifetime graveyard. Stats below come from the shard's
+          // atomics, which the wedged worker can no longer be trusted to
+          // advance.
+          clean = false;
+          sh->failed.store(true, std::memory_order_release);
+          sh->thread.detach();
+        }
+      }
+    }
+    for (auto& shard : shards_) {
+      if (shard->alive.load(std::memory_order_acquire)) continue;  // abandoned
+      // Worker joined; the producer is now the sole consumer. Anything left
+      // in the ring (crash without watchdog, abort-drain races) is shed
+      // with full accounting rather than silently dropped.
+      flow::Packet leftovers[64];
+      std::size_t n;
+      while ((n = shard->queue.try_pop_batch(leftovers, 64)) != 0) {
+        clean = false;
+        for (std::size_t j = 0; j < n; ++j)
+          shard->shed_one(leftovers[j], ShedReason::kFailover);
+      }
+    }
+    for (auto& shard : shards_) {
+      const bool abandoned = shard->alive.load(std::memory_order_acquire);
+      ShardStats st = shard->collect_stats();
+      if (abandoned) {
+        // Packets the wedged worker never popped can no longer be read out
+        // of its ring; count them shed so the invariant still holds.
+        // (Their bytes are unknown — shed_bytes is best-effort here.)
+        const std::uint64_t popped = st.packets;
+        if (shard->producer_pushed > popped)
+          st.shed_failover += shard->producer_pushed - popped;
+      } else {
+        matches_.insert(matches_.end(), shard->matches.begin(),
+                        shard->matches.end());
+        flow_matches_.insert(flow_matches_.end(), shard->flow_matches.begin(),
+                             shard->flow_matches.end());
+      }
+      stats_.push_back(st);
+    }
+    for (auto& shard : shards_)
+      if (shard->alive.load(std::memory_order_acquire))
+        graveyard_push(std::move(shard));
+    shards_.clear();
+    running_ = false;
+    return clean;
+  }
+
+  /// Supervision loop: per-shard heartbeat aging for stall detection,
+  /// join+clear+respawn for crashed workers, failover past the restart
+  /// budget. Runs every watchdog_interval_ms until finish() joins it.
+  void watchdog_run() {
+    const auto interval = std::chrono::milliseconds(options_.watchdog_interval_ms);
+    const auto stall_timeout = std::chrono::milliseconds(options_.stall_timeout_ms);
+    std::vector<std::uint64_t> last_hb(shards_.size(), 0);
+    std::vector<std::chrono::steady_clock::time_point> last_beat(
+        shards_.size(), std::chrono::steady_clock::now());
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(interval);
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        Shard& s = *shards_[i];
+        if (s.failed.load(std::memory_order_acquire)) {
+          drain_failed(s);
+          continue;
+        }
+        if (!s.alive.load(std::memory_order_acquire)) {
+          if (stop_.load(std::memory_order_acquire)) return;  // normal exit
+          // Crash recovery. The worker is dead: join it, then give the
+          // shard fresh per-flow contexts (a crash mid-scan may have left
+          // them in a torn state) and respawn. Past the restart budget the
+          // shard fails over: its queue is drained-and-shed here and all
+          // later submits shed at admission.
+          if (s.thread.joinable()) s.thread.join();
+          if (s.restarts.load(std::memory_order_relaxed) >=
+              options_.max_worker_restarts) {
+            s.failed.store(true, std::memory_order_release);
+            drain_failed(s);
+            continue;
+          }
+          s.inspector.clear();
+          s.restarts.fetch_add(1, std::memory_order_relaxed);
+          if (s.metrics != nullptr)
+            s.metrics->worker_restarts.fetch_add(1, std::memory_order_relaxed);
+          last_hb[i] = s.heartbeat.load(std::memory_order_relaxed);
+          last_beat[i] = std::chrono::steady_clock::now();
+          s.alive.store(true, std::memory_order_release);
+          s.thread = std::thread([sp = &s] { sp->run(); });
+          continue;
+        }
+        const std::uint64_t hb = s.heartbeat.load(std::memory_order_relaxed);
+        if (hb != last_hb[i]) {
+          last_hb[i] = hb;
+          last_beat[i] = std::chrono::steady_clock::now();
+          s.stalled.store(false, std::memory_order_relaxed);
+        } else if (std::chrono::steady_clock::now() - last_beat[i] >=
+                   stall_timeout) {
+          // Count each stall episode once; the flag clears on recovery.
+          if (!s.stalled.exchange(true, std::memory_order_relaxed)) {
+            s.stalls.fetch_add(1, std::memory_order_relaxed);
+            if (s.metrics != nullptr)
+              s.metrics->worker_stalls.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
     }
   }
 
+  /// Drain a failed-over shard's queue as sheds. Only called after the
+  /// shard's worker has been joined, so the caller is the sole consumer.
+  void drain_failed(Shard& s) {
+    flow::Packet leftovers[64];
+    std::size_t n;
+    while ((n = s.queue.try_pop_batch(leftovers, 64)) != 0)
+      for (std::size_t j = 0; j < n; ++j)
+        s.shed_one(leftovers[j], ShedReason::kFailover);
+  }
+
+  /// Shards abandoned by bounded shutdown: their detached worker threads
+  /// may still reference them, so they live for the process lifetime.
+  static void graveyard_push(std::unique_ptr<Shard> shard) {
+    static std::mutex mu;
+    static std::vector<std::unique_ptr<Shard>>* leaked =
+        new std::vector<std::unique_ptr<Shard>>;  // never destroyed, on purpose
+    std::lock_guard<std::mutex> lock(mu);
+    leaked->push_back(std::move(shard));
+  }
+
+  static constexpr std::size_t kRecencyCap = 1024;
+
   struct Shard {
-    Shard(const EngineT& engine, const Options& o, std::atomic<bool>& stop_flag,
-          std::size_t index)
+    Shard(const EngineT& engine, const Options& o, std::size_t index)
         : queue(o.queue_capacity),
           inspector(engine, o.max_flows_per_shard, o.max_pending_per_flow),
           batch_size(o.batch_size),
           collect(o.collect_matches),
-          stop(&stop_flag) {
+          collect_flows(o.collect_flow_matches),
+          reassembly_high(o.reassembly_high_water_bytes),
+          shed_sink(o.shed_sink) {
       inspector.set_batch_lanes(o.scan_lanes);
+      if (o.flow_cpu_budget_ns != 0)
+        inspector.set_cpu_budget_ns(o.flow_cpu_budget_ns);
       pending.reserve(batch_size);
       burst.resize(batch_size);
       if (o.metrics != nullptr) {
@@ -250,34 +688,142 @@ class ShardedInspector {
     flow::FlowInspector<EngineT> inspector;
     std::size_t batch_size;
     bool collect;
-    std::atomic<bool>* stop;
+    bool collect_flows;
+    std::uint64_t reassembly_high;
+    std::function<void(const flow::Packet&, ShedReason)> shed_sink;
+
+    // Control plane. The shard is self-contained (no pointers back into the
+    // ShardedInspector) so an abandoned shard in the graveyard stays valid
+    // for its detached worker.
+    std::atomic<bool> stop{false};         ///< set by finish()
     std::atomic<bool> alive{false};        ///< set by start(), cleared at run() exit
-    obs::ShardMetrics* metrics = nullptr;  // producer-side queue telemetry
-    MatchVec matches;          // worker-owned until join
-    ShardStats stats;          // worker-owned until join
-    std::vector<flow::Packet> pending;    // producer-owned submit buffer
-    std::vector<flow::Packet> burst;      // worker-owned pop buffer
-    std::size_t producer_max_depth = 0;   // producer-owned
-    std::uint64_t producer_full_spins = 0;  // producer-owned
+    std::atomic<bool> abort_drain{false};  ///< bounded shutdown: shed, don't scan
+    std::atomic<bool> failed{false};       ///< failed over: shed at admission
+    std::atomic<bool> stalled{false};      ///< heartbeat stale (watchdog view)
+    std::atomic<bool> reassembly_overload{false};  ///< worker→producer signal
+    std::atomic<std::uint64_t> heartbeat{0};
+    std::atomic<std::uint32_t> restarts{0};
+    std::atomic<std::uint32_t> stalls{0};
+
+    // Worker-side counters: relaxed atomics so final stats can be
+    // synthesized without joining (abandoned workers) and mid-run reads
+    // never tear. All hot-path updates are per-burst, not per-packet.
+    std::atomic<std::uint64_t> packets_a{0};  ///< popped from the queue
+    std::atomic<std::uint64_t> bytes_a{0};
+    std::atomic<std::uint64_t> matches_a{0};
+    std::atomic<std::uint64_t> scanned_a{0};
+    std::atomic<std::uint64_t> shed_admission_a{0};
+    std::atomic<std::uint64_t> shed_bypass_a{0};
+    std::atomic<std::uint64_t> shed_corrupt_a{0};
+    std::atomic<std::uint64_t> shed_crash_a{0};
+    std::atomic<std::uint64_t> shed_quarantine_a{0};
+    std::atomic<std::uint64_t> shed_failover_a{0};
+    std::atomic<std::uint64_t> shed_bytes_a{0};
+    std::atomic<std::uint64_t> flows_a{0};
+    std::atomic<std::uint64_t> evictions_a{0};
+    std::atomic<std::uint64_t> reassembly_drops_a{0};
+    std::atomic<std::uint64_t> flows_quarantined_a{0};
+
+    obs::ShardMetrics* metrics = nullptr;  // shared relaxed-atomic telemetry
+    MatchVec matches;                      // worker-owned until join
+    std::vector<FlowMatch> flow_matches;   // worker-owned until join
+    std::vector<flow::Packet> pending;     // producer-owned submit buffer
+    std::vector<flow::Packet> burst;       // worker-owned pop buffer
+    std::size_t producer_max_depth = 0;    // producer-owned
+    std::uint64_t producer_full_spins = 0;   // producer-owned
+    std::uint64_t producer_submitted = 0;    // producer-owned
+    std::uint64_t producer_pushed = 0;       // producer-owned
+
+    // Producer-owned shed-policy state (kDropOldestFlow).
+    bool shed_engaged = false;
+    std::list<flow::FlowKey> recency_list;
+    std::unordered_map<flow::FlowKey, std::list<flow::FlowKey>::iterator,
+                       flow::FlowKeyHash> recency_map;
+    std::unordered_set<flow::FlowKey, flow::FlowKeyHash> shed_list;
+
     std::thread thread;
+
+    /// Count one shed packet (exactly one reason bucket) and notify the
+    /// sink. Callable from the producer, the worker, or the watchdog — all
+    /// counters are atomics.
+    void shed_one(const flow::Packet& p, ShedReason reason) {
+      shed_counter(reason).fetch_add(1, std::memory_order_relaxed);
+      shed_bytes_a.fetch_add(p.length, std::memory_order_relaxed);
+      if (metrics != nullptr) {
+        metrics->shed_packets.fetch_add(1, std::memory_order_relaxed);
+        metrics->shed_bytes.fetch_add(p.length, std::memory_order_relaxed);
+      }
+      if (shed_sink) shed_sink(p, reason);
+    }
+
+    std::atomic<std::uint64_t>& shed_counter(ShedReason reason) {
+      switch (reason) {
+        case ShedReason::kAdmission: return shed_admission_a;
+        case ShedReason::kBypass: return shed_bypass_a;
+        case ShedReason::kCorrupt: return shed_corrupt_a;
+        case ShedReason::kCrash: return shed_crash_a;
+        case ShedReason::kQuarantine: return shed_quarantine_a;
+        case ShedReason::kFailover: return shed_failover_a;
+      }
+      return shed_failover_a;  // unreachable
+    }
+
+    void record_spins(std::uint64_t spins) {
+      if (spins == 0) return;
+      producer_full_spins += spins;
+      if (metrics != nullptr)
+        metrics->queue_full_spins.fetch_add(spins, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] ShardStats collect_stats() const {
+      ShardStats st;
+      st.packets = packets_a.load(std::memory_order_relaxed);
+      st.bytes = bytes_a.load(std::memory_order_relaxed);
+      st.matches = matches_a.load(std::memory_order_relaxed);
+      st.flows = flows_a.load(std::memory_order_relaxed);
+      st.evictions = evictions_a.load(std::memory_order_relaxed);
+      st.reassembly_drops = reassembly_drops_a.load(std::memory_order_relaxed);
+      st.max_queue_depth = producer_max_depth;
+      st.queue_full_spins = producer_full_spins;
+      st.submitted = producer_submitted;
+      st.scanned = scanned_a.load(std::memory_order_relaxed);
+      st.shed_admission = shed_admission_a.load(std::memory_order_relaxed);
+      st.shed_bypass = shed_bypass_a.load(std::memory_order_relaxed);
+      st.shed_corrupt = shed_corrupt_a.load(std::memory_order_relaxed);
+      st.shed_crash = shed_crash_a.load(std::memory_order_relaxed);
+      st.shed_quarantine = shed_quarantine_a.load(std::memory_order_relaxed);
+      st.shed_failover = shed_failover_a.load(std::memory_order_relaxed);
+      st.shed_bytes = shed_bytes_a.load(std::memory_order_relaxed);
+      st.flows_quarantined = flows_quarantined_a.load(std::memory_order_relaxed);
+      st.worker_restarts = restarts.load(std::memory_order_relaxed);
+      st.worker_stalls = stalls.load(std::memory_order_relaxed);
+      return st;
+    }
 
     void run() {
       // Liveness contract: `alive` goes false on ANY exit (including an
-      // engine exception) so a spinning producer can detect a dead worker.
+      // engine exception) so the producer/watchdog can detect a dead
+      // worker. The heartbeat ticks every loop iteration; a heartbeat that
+      // stops advancing while `alive` is the watchdog's stall signal.
       struct AliveGuard {
         std::atomic<bool>* flag;
         ~AliveGuard() { flag->store(false, std::memory_order_release); }
       } guard{&alive};
       try {
+        std::uint64_t iter = 0;
         for (;;) {
+          heartbeat.fetch_add(1, std::memory_order_relaxed);
+          if constexpr (util::faultpoints_enabled()) {
+            if ((iter++ & 63) == 0) util::fault_stall("pipeline.worker.stall");
+          }
           const std::size_t n = queue.try_pop_batch(burst.data(), burst.size());
           if (n != 0) {
             process_burst(n);
             continue;
           }
-          if (stop->load(std::memory_order_acquire)) {
-            // The producer stopped pushing before setting stop; one final
-            // drain pass catches anything published just before the flag.
+          if (stop.load(std::memory_order_acquire) || queue.closed()) {
+            // The producer stopped pushing before setting stop/closing; one
+            // final drain pass catches anything published just before.
             std::size_t m;
             while ((m = queue.try_pop_batch(burst.data(), burst.size())) != 0)
               process_burst(m);
@@ -286,26 +832,104 @@ class ShardedInspector {
           std::this_thread::yield();
         }
       } catch (...) {
-        // A worker must never crash the process; the producer sees `alive`
-        // drop and reports the failure on its own thread.
+        // A worker must never crash the process; `alive` drops and either
+        // the watchdog restarts this shard or the producer reports the
+        // death on its own thread.
       }
     }
 
     void process_burst(std::size_t n) {
-      stats.packets += n;
-      for (std::size_t i = 0; i < n; ++i) stats.bytes += burst[i].length;
-      // Batched delivery: the inspector groups the burst by flow and hands
-      // distinct-flow runs to the engine's K-way interleaved feed_many;
-      // same-flow packets stay strictly sequential.
-      inspector.packet_batch(burst.data(), n, [this](std::uint32_t id, std::uint64_t end) {
-        ++stats.matches;
-        if (collect) matches.push_back(Match{id, end});
-      });
-      // Refreshed every burst (not only at worker exit) so the merged
-      // ShardStats can never go stale if reporting moves mid-run.
-      stats.flows = inspector.flow_count();
-      stats.evictions = inspector.evicted_count();
-      stats.reassembly_drops = inspector.reassembly_dropped_count();
+      packets_a.fetch_add(n, std::memory_order_relaxed);
+      std::uint64_t burst_bytes = 0;
+      for (std::size_t i = 0; i < n; ++i) burst_bytes += burst[i].length;
+      bytes_a.fetch_add(burst_bytes, std::memory_order_relaxed);
+      if (abort_drain.load(std::memory_order_relaxed)) {
+        // Bounded shutdown passed its deadline: drain without scanning.
+        for (std::size_t i = 0; i < n; ++i)
+          shed_one(burst[i], ShedReason::kFailover);
+        return;
+      }
+      // Injected corrupt packets are rejected before delivery (a real
+      // deployment would fail checksum/sanity checks here).
+      std::size_t kept = n;
+      std::uint64_t kept_bytes = burst_bytes;
+      if constexpr (util::faultpoints_enabled()) {
+        if (util::FaultRegistry::instance().any_armed()) {
+          kept = 0;
+          kept_bytes = 0;
+          for (std::size_t i = 0; i < n; ++i) {
+            if (util::fault_fire("pipeline.packet.corrupt")) {
+              shed_one(burst[i], ShedReason::kCorrupt);
+            } else {
+              burst[kept] = burst[i];
+              kept_bytes += burst[kept].length;
+              ++kept;
+            }
+          }
+        }
+      }
+      std::uint64_t burst_qdrops = 0;
+      std::uint64_t burst_qbytes = 0;
+      try {
+        if (util::fault_fire("pipeline.worker.crash"))
+          throw std::runtime_error("injected worker crash");
+        // Batched delivery: the inspector groups the burst by flow and
+        // hands distinct-flow runs to the engine's K-way interleaved
+        // feed_many; same-flow packets stay strictly sequential. The drop
+        // sink fires for packets of quarantined flows.
+        inspector.packet_batch_flows(
+            burst.data(), kept,
+            [this](const flow::FlowKey& key, std::uint32_t id, std::uint64_t end) {
+              matches_a.fetch_add(1, std::memory_order_relaxed);
+              if (collect) matches.push_back(Match{id, end});
+              if (collect_flows) flow_matches.push_back(FlowMatch{key, Match{id, end}});
+            },
+            [&](const flow::Packet& p) {
+              ++burst_qdrops;
+              burst_qbytes += p.length;
+              shed_one(p, ShedReason::kQuarantine);
+            });
+      } catch (...) {
+        // Crash mid-burst (injected, allocation fault, or engine bug): the
+        // rest of the burst can't be trusted as scanned. Count everything
+        // not already quarantine-shed as crash-shed so the invariant holds,
+        // then die; matches already emitted for the scanned prefix stand.
+        shed_crash_a.fetch_add(kept - burst_qdrops, std::memory_order_relaxed);
+        shed_bytes_a.fetch_add(kept_bytes - burst_qbytes, std::memory_order_relaxed);
+        if (metrics != nullptr) {
+          metrics->shed_packets.fetch_add(kept - burst_qdrops,
+                                          std::memory_order_relaxed);
+          metrics->shed_bytes.fetch_add(kept_bytes - burst_qbytes,
+                                        std::memory_order_relaxed);
+        }
+        if (shed_sink)
+          for (std::size_t i = 0; i < kept; ++i)
+            shed_sink(burst[i], ShedReason::kCrash);
+        sync_gauges();
+        throw;
+      }
+      scanned_a.fetch_add(kept - burst_qdrops, std::memory_order_relaxed);
+      sync_gauges();
+    }
+
+    /// Refreshed every burst (not only at worker exit) so the merged
+    /// ShardStats can never go stale if reporting moves mid-run. Also
+    /// derives the reassembly-overload signal (with 2x hysteresis) that
+    /// the producer's admission control reads.
+    void sync_gauges() {
+      flows_a.store(inspector.flow_count(), std::memory_order_relaxed);
+      evictions_a.store(inspector.evicted_count(), std::memory_order_relaxed);
+      reassembly_drops_a.store(inspector.reassembly_dropped_count(),
+                               std::memory_order_relaxed);
+      flows_quarantined_a.store(inspector.quarantined_flow_count(),
+                                std::memory_order_relaxed);
+      if (reassembly_high != 0) {
+        const std::uint64_t pend = inspector.reassembly_pending_bytes();
+        if (pend >= reassembly_high)
+          reassembly_overload.store(true, std::memory_order_relaxed);
+        else if (pend * 2 <= reassembly_high)
+          reassembly_overload.store(false, std::memory_order_relaxed);
+      }
     }
   };
 
@@ -313,9 +937,13 @@ class ShardedInspector {
   Options options_;
   std::atomic<bool> stop_{false};
   bool running_ = false;
+  std::size_t shed_high_ = 0;
+  std::size_t shed_low_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<ShardStats> stats_;
   MatchVec matches_;
+  std::vector<FlowMatch> flow_matches_;
+  std::thread watchdog_thread_;
 };
 
 }  // namespace mfa::pipeline

@@ -83,6 +83,22 @@ class SpscQueue {
     return cnt;
   }
 
+  /// Producer side: declare that nothing more will ever be pushed. A
+  /// consumer looping on try_pop/try_pop_batch uses `empty-pop && closed()`
+  /// as its termination condition; because closed_ is set AFTER the final
+  /// push's release store (program order on the producer thread), a consumer
+  /// that observes closed() and then drains one more time cannot miss items
+  /// — closing the shutdown race where a stop flag set by a third party
+  /// could be observed before the queue's last elements.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Consumer side: reopen after a drain, for reusing the ring.
+  void reopen() { closed_.store(false, std::memory_order_release); }
+
   /// Occupancy estimate; exact from the producer thread, approximate
   /// elsewhere. Used for queue-depth stats, not for synchronization.
   [[nodiscard]] std::size_t depth() const {
@@ -96,6 +112,7 @@ class SpscQueue {
  private:
   std::vector<T> ring_;
   std::size_t mask_ = 0;
+  std::atomic<bool> closed_{false};
   alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next slot to pop
   alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next slot to push
   alignas(64) std::uint64_t head_cache_ = 0;  ///< producer's last view of head_

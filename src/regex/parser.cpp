@@ -147,7 +147,12 @@ class Parser {
         return make_charset(CharClass::dot(options_.dotall));
       case '(': {
         // Support plain and non-capturing groups; captures are irrelevant
-        // for match-at-position semantics.
+        // for match-at-position semantics. Depth is capped: each group
+        // recurses through parse_alternation, so unchecked nesting would
+        // let "((((…" overflow the C++ stack (DoS via rule upload).
+        if (++depth_ > options_.max_nesting_depth)
+          return fail("group nesting deeper than " +
+                      std::to_string(options_.max_nesting_depth));
         if (peek() == '?') {
           if (peek(1) == ':') {
             pos_ += 2;
@@ -157,6 +162,7 @@ class Parser {
         }
         NodePtr inner = parse_alternation();
         if (take() != ')') return fail("missing ')'");
+        --depth_;
         return inner;
       }
       case '[':
@@ -324,6 +330,7 @@ class Parser {
   std::string_view text_;
   ParseOptions options_;
   std::size_t pos_ = 0;
+  int depth_ = 0;  ///< open-group nesting, capped by max_nesting_depth
   bool failed_ = false;
   std::size_t err_pos_ = 0;
   std::string err_msg_;

@@ -37,6 +37,10 @@ struct ParseOptions {
   /// Counted repeats expand by duplication in the NFA; cap the expansion so
   /// a hostile {1000000} cannot exhaust memory.
   int max_counted_repeat = 256;
+  /// The parser is recursive-descent, so group nesting consumes C++ stack.
+  /// Cap it so a hostile "((((…" pattern gets a parse error instead of a
+  /// stack overflow. 100 is far beyond any real DPI rule.
+  int max_nesting_depth = 100;
 };
 
 /// Parse one pattern. Never throws; syntax problems come back in `error`.

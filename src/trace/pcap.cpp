@@ -18,6 +18,12 @@ constexpr std::uint32_t kMagicUsecSwapped = 0xd4c3b2a1;
 constexpr std::uint32_t kMagicNsecSwapped = 0x4d3cb2a1;
 constexpr std::uint32_t kLinkEthernet = 1;
 
+/// Sanity cap on a single captured record. Real captures top out at jumbo
+/// frames (~9 KB); anything past this is a corrupt or hostile length field,
+/// and trusting it would make the reader walk off (or far through) the
+/// buffer. Generous so ERF-style super-jumbo snaplens still pass.
+constexpr std::uint32_t kMaxFrameBytes = 256 * 1024;
+
 std::uint16_t bswap16(std::uint16_t v) { return static_cast<std::uint16_t>((v << 8) | (v >> 8)); }
 std::uint32_t bswap32(std::uint32_t v) {
   return ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) | (v >> 24);
@@ -96,9 +102,21 @@ PcapResult read_pcap_buffer(const std::uint8_t* data, std::size_t size, std::str
     std::memcpy(&incl_len, cur.take(4), 4);
     std::memcpy(&orig_len, cur.take(4), 4);
     if (swapped) incl_len = bswap32(incl_len);
+    // A corrupt capture is an error, not a skip: a bogus length field means
+    // every later record boundary is untrustworthy, so parsing stops with a
+    // diagnostic naming the frame. Packets parsed so far stay in the trace.
+    if (incl_len > kMaxFrameBytes) {
+      result.error = "frame " + std::to_string(result.stats.frames) +
+                     ": implausible record length " + std::to_string(incl_len) +
+                     " (max " + std::to_string(kMaxFrameBytes) + ")";
+      return result;
+    }
     if (!cur.have(incl_len)) {
-      ++result.stats.skipped_truncated;
-      break;
+      result.error = "frame " + std::to_string(result.stats.frames) +
+                     ": record truncated (header claims " +
+                     std::to_string(incl_len) + " bytes, " +
+                     std::to_string(cur.size - cur.pos) + " left in file)";
+      return result;
     }
     const std::uint8_t* frame = cur.take(incl_len);
     const std::size_t frame_len = incl_len;
@@ -210,6 +228,14 @@ PcapResult read_pcap_buffer(const std::uint8_t* data, std::size_t size, std::str
     } else {
       ++result.stats.skipped_non_l4;
     }
+  }
+  if (cur.pos != cur.size) {
+    // Trailing bytes too short to be a record header: the file was cut
+    // mid-header (or garbage was appended) — also a capture-level error.
+    result.error = "frame " + std::to_string(result.stats.frames + 1) +
+                   ": truncated record header (" +
+                   std::to_string(cur.size - cur.pos) + " trailing bytes)";
+    return result;
   }
 
   result.ok = true;

@@ -11,6 +11,15 @@
 // seen position, so flows longer than 4 GiB keep monotone offsets instead
 // of folding back to zero. Non-IPv4/non-TCP/UDP frames are counted and
 // skipped. No external dependency.
+//
+// Malformed-capture policy: damage at the CAPTURE level — an implausible
+// record length, a record body the file is too short to hold, trailing
+// bytes shorter than a record header — makes every later record boundary
+// untrustworthy, so parsing stops with ok=false and a diagnostic naming the
+// offending frame (packets parsed before the damage stay in the trace).
+// Damage INSIDE a well-formed record (truncated IP/TCP headers, bad IHL,
+// lying UDP lengths) is hostile traffic, not a broken file: those frames
+// are counted in skipped_truncated and parsing continues.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,125 @@
+#include "util/faultpoint.h"
+
+#include <chrono>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <unordered_map>
+
+namespace mfa::util {
+
+namespace {
+
+/// splitmix64: the per-evaluation hash that makes firing a pure function of
+/// (seed, evaluation index) — replaying a seed replays the schedule.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+struct FaultRegistry::Impl {
+  struct Site {
+    FaultConfig config;
+    std::uint64_t evals = 0;
+    std::uint64_t fires = 0;
+  };
+  mutable std::mutex mu;
+  std::unordered_map<std::string, Site> sites;
+};
+
+FaultRegistry& FaultRegistry::instance() {
+  static FaultRegistry registry;
+  return registry;
+}
+
+FaultRegistry::Impl& FaultRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+void FaultRegistry::arm(const std::string& name, FaultConfig config) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.sites[name] = Impl::Site{config};
+  armed_sites_.store(static_cast<int>(im.sites.size()), std::memory_order_relaxed);
+}
+
+void FaultRegistry::disarm(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.sites.erase(name);
+  armed_sites_.store(static_cast<int>(im.sites.size()), std::memory_order_relaxed);
+}
+
+void FaultRegistry::disarm_all() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.sites.clear();
+  armed_sites_.store(0, std::memory_order_relaxed);
+  stalls_aborted_.store(false, std::memory_order_release);
+}
+
+bool FaultRegistry::should_fire(const char* name) {
+  if (!any_armed()) return false;
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const auto it = im.sites.find(name);
+  if (it == im.sites.end()) return false;
+  Impl::Site& site = it->second;
+  const std::uint64_t eval = site.evals++;
+  if (eval < site.config.after) return false;
+  if (site.fires >= site.config.max_fires) return false;
+  if (mix(site.config.seed ^ eval) % 1000000 >= site.config.rate_ppm) return false;
+  ++site.fires;
+  return true;
+}
+
+std::uint64_t FaultRegistry::param(const char* name) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const auto it = im.sites.find(name);
+  return it != im.sites.end() ? it->second.config.param : 0;
+}
+
+std::uint64_t FaultRegistry::fire_count(const std::string& name) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const auto it = im.sites.find(name);
+  return it != im.sites.end() ? it->second.fires : 0;
+}
+
+std::uint64_t FaultRegistry::eval_count(const std::string& name) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const auto it = im.sites.find(name);
+  return it != im.sites.end() ? it->second.evals : 0;
+}
+
+void fault_stall(const char* name) {
+#if MFA_FAULTPOINTS_ENABLED
+  FaultRegistry& reg = FaultRegistry::instance();
+  if (!reg.should_fire(name)) return;
+  std::uint64_t ms = reg.param(name);
+  if (ms == 0) ms = 50;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < deadline && !reg.stalls_aborted())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+#else
+  (void)name;
+#endif
+}
+
+void fault_maybe_bad_alloc(const char* name) {
+#if MFA_FAULTPOINTS_ENABLED
+  if (FaultRegistry::instance().should_fire(name)) throw std::bad_alloc{};
+#else
+  (void)name;
+#endif
+}
+
+}  // namespace mfa::util

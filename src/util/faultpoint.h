@@ -1,0 +1,105 @@
+// Deterministic, named, seed-driven fault injection (DESIGN.md Sec. 9).
+//
+// A fault point is a named site in production code — MFA_FAULT_POINT
+// ("pipeline.worker.crash") — that tests arm with a seed and a firing rate
+// to drive recovery paths that ordinary traffic never exercises: allocation
+// failure, queue saturation, worker stalls and crashes, corrupt packets.
+// Firing is a pure function of (site seed, per-site evaluation index), so a
+// given seed replays the same fault schedule along each site's evaluation
+// sequence. In Release builds (NDEBUG) every query compiles to a constant
+// `false` and the registry is never consulted: zero hot-path cost.
+//
+// Override the build-type default by defining MFA_FAULTPOINTS_ENABLED=0/1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#ifndef MFA_FAULTPOINTS_ENABLED
+#ifdef NDEBUG
+#define MFA_FAULTPOINTS_ENABLED 0
+#else
+#define MFA_FAULTPOINTS_ENABLED 1
+#endif
+#endif
+
+namespace mfa::util {
+
+/// How an armed fault point fires along its evaluation sequence.
+struct FaultConfig {
+  std::uint64_t seed = 1;        ///< stream selector; same seed → same schedule
+  std::uint32_t rate_ppm = 0;    ///< firing probability in parts per million
+  std::uint64_t after = 0;       ///< never fire on the first `after` evaluations
+  std::uint64_t max_fires = ~std::uint64_t{0};  ///< stop firing after this many
+  std::uint64_t param = 0;       ///< site-specific knob (e.g. stall duration ms)
+};
+
+/// Process-wide table of armed fault points. Thread-safe; the fast path in
+/// production code never reaches it unless MFA_FAULTPOINTS_ENABLED.
+class FaultRegistry {
+ public:
+  static FaultRegistry& instance();
+
+  /// Arm (or re-arm, resetting counters) the named site.
+  void arm(const std::string& name, FaultConfig config);
+  void disarm(const std::string& name);
+  /// Disarm every site and clear the stall-abort latch.
+  void disarm_all();
+
+  /// One evaluation of the named site: returns true when the fault fires.
+  bool should_fire(const char* name);
+
+  /// Lock-free fast path: false when no site is armed at all, so unarmed
+  /// fault points cost one relaxed atomic load (debug builds) or nothing
+  /// (Release, where fault_fire is constant false).
+  [[nodiscard]] bool any_armed() const {
+    return armed_sites_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Site-specific parameter of an armed site (0 when not armed).
+  [[nodiscard]] std::uint64_t param(const char* name) const;
+
+  [[nodiscard]] std::uint64_t fire_count(const std::string& name) const;
+  [[nodiscard]] std::uint64_t eval_count(const std::string& name) const;
+
+  /// Release every in-progress injected stall (bounded-deadline shutdown
+  /// uses this so finish(timeout) never waits out a long stall schedule).
+  void abort_stalls() { stalls_aborted_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool stalls_aborted() const {
+    return stalls_aborted_.load(std::memory_order_acquire);
+  }
+
+ private:
+  FaultRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+  std::atomic<bool> stalls_aborted_{false};
+  std::atomic<int> armed_sites_{0};  ///< mirror of the site-table size
+};
+
+/// True when this build evaluates fault points at all.
+constexpr bool faultpoints_enabled() { return MFA_FAULTPOINTS_ENABLED != 0; }
+
+/// Evaluate a fault point. Constant false (no registry access, no branch
+/// left after optimization) when fault points are compiled out.
+inline bool fault_fire(const char* name) {
+#if MFA_FAULTPOINTS_ENABLED
+  return FaultRegistry::instance().should_fire(name);
+#else
+  (void)name;
+  return false;
+#endif
+}
+
+/// Stall the calling thread when the site fires: sleeps in 1 ms slices for
+/// the site's `param` milliseconds (default 50), returning early if
+/// FaultRegistry::abort_stalls() is called. Models a wedged worker that the
+/// watchdog must detect, while staying recoverable for bounded shutdown.
+void fault_stall(const char* name);
+
+/// Throw std::bad_alloc when the site fires — models allocation failure at
+/// the call site without poisoning the global allocator.
+void fault_maybe_bad_alloc(const char* name);
+
+}  // namespace mfa::util

@@ -1,0 +1,111 @@
+// Deterministic fault-injection registry: schedules replay per seed, rates
+// calibrate, gates (after/max_fires) hold, and the whole machinery is a
+// constant-false no-op when compiled out.
+#include "util/faultpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <new>
+#include <vector>
+
+namespace mfa::util {
+namespace {
+
+class FaultPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::instance().disarm_all(); }
+  void TearDown() override { FaultRegistry::instance().disarm_all(); }
+};
+
+TEST_F(FaultPointTest, UnarmedSiteNeverFiresAndCostsNoEvals) {
+  EXPECT_FALSE(fault_fire("test.unarmed"));
+  EXPECT_FALSE(FaultRegistry::instance().any_armed());
+  EXPECT_EQ(FaultRegistry::instance().eval_count("test.unarmed"), 0u);
+}
+
+TEST_F(FaultPointTest, DisabledBuildIsConstantFalse) {
+  if (faultpoints_enabled()) GTEST_SKIP() << "fault points are compiled in";
+  FaultConfig always;
+  always.rate_ppm = 1000000;
+  FaultRegistry::instance().arm("test.always", always);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(fault_fire("test.always"));
+  EXPECT_NO_THROW(fault_maybe_bad_alloc("test.always"));
+  fault_stall("test.always");  // returns immediately
+}
+
+TEST_F(FaultPointTest, SameSeedReplaysTheSameSchedule) {
+  if (!faultpoints_enabled()) GTEST_SKIP() << "fault points compiled out";
+  FaultConfig cfg;
+  cfg.seed = 42;
+  cfg.rate_ppm = 250000;  // ~25%
+  auto run = [&] {
+    FaultRegistry::instance().arm("test.replay", cfg);
+    std::vector<bool> fired;
+    for (int i = 0; i < 500; ++i) fired.push_back(fault_fire("test.replay"));
+    return fired;
+  };
+  const auto a = run();
+  const auto b = run();  // re-arm resets the evaluation sequence
+  EXPECT_EQ(a, b);
+  cfg.seed = 43;
+  const auto c = run();
+  EXPECT_NE(a, c) << "different seed must give a different schedule";
+}
+
+TEST_F(FaultPointTest, RateRoughlyCalibrated) {
+  if (!faultpoints_enabled()) GTEST_SKIP() << "fault points compiled out";
+  FaultConfig cfg;
+  cfg.seed = 7;
+  cfg.rate_ppm = 100000;  // 10%
+  FaultRegistry::instance().arm("test.rate", cfg);
+  int fires = 0;
+  for (int i = 0; i < 10000; ++i) fires += fault_fire("test.rate") ? 1 : 0;
+  EXPECT_GT(fires, 700);
+  EXPECT_LT(fires, 1300);
+  EXPECT_EQ(FaultRegistry::instance().fire_count("test.rate"),
+            static_cast<std::uint64_t>(fires));
+  EXPECT_EQ(FaultRegistry::instance().eval_count("test.rate"), 10000u);
+}
+
+TEST_F(FaultPointTest, AfterAndMaxFiresGateTheSchedule) {
+  if (!faultpoints_enabled()) GTEST_SKIP() << "fault points compiled out";
+  FaultConfig cfg;
+  cfg.rate_ppm = 1000000;  // would otherwise fire every evaluation
+  cfg.after = 10;
+  cfg.max_fires = 3;
+  FaultRegistry::instance().arm("test.gates", cfg);
+  int fires = 0;
+  for (int i = 0; i < 100; ++i) {
+    const bool f = fault_fire("test.gates");
+    if (i < 10) {
+      EXPECT_FALSE(f) << "must not fire during the 'after' window";
+    }
+    fires += f ? 1 : 0;
+  }
+  EXPECT_EQ(fires, 3);
+}
+
+TEST_F(FaultPointTest, BadAllocHelperThrows) {
+  if (!faultpoints_enabled()) GTEST_SKIP() << "fault points compiled out";
+  FaultConfig cfg;
+  cfg.rate_ppm = 1000000;
+  FaultRegistry::instance().arm("test.alloc", cfg);
+  EXPECT_THROW(fault_maybe_bad_alloc("test.alloc"), std::bad_alloc);
+}
+
+TEST_F(FaultPointTest, StallRespectsAbort) {
+  if (!faultpoints_enabled()) GTEST_SKIP() << "fault points compiled out";
+  FaultConfig cfg;
+  cfg.rate_ppm = 1000000;
+  cfg.param = 10000;  // 10 s stall — must NOT be served in full
+  FaultRegistry::instance().arm("test.stall", cfg);
+  FaultRegistry::instance().abort_stalls();
+  const auto t0 = std::chrono::steady_clock::now();
+  fault_stall("test.stall");
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+}
+
+}  // namespace
+}  // namespace mfa::util

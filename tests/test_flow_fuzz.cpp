@@ -251,6 +251,7 @@ TEST(FlowStorage, PerFlowStateIsContextPlusBookkeepingOnly) {
     std::uint64_t next_offset;
     std::uint64_t pending_bytes;
     std::uint64_t batch_stamp;
+    std::uint64_t scan_ticks;
     std::map<std::uint64_t, Insp::FlowState::PendingSegment> pending;
     Insp::FlowState* lru_prev;
     Insp::FlowState* lru_next;

@@ -27,6 +27,35 @@ TEST_P(ParserFuzz, RandomBytesNeverCrash) {
   }
 }
 
+TEST(ParserLimits, DeepGroupNestingRejectedNotStackOverflow) {
+  // A hostile rule upload of 100k '(' must come back as a parse error; the
+  // recursive-descent parser would otherwise ride it into a stack overflow.
+  const std::string deep(100000, '(');
+  const ParseResult r = parse(deep + "a" + std::string(100000, ')'));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("nesting"), std::string::npos)
+      << r.error->message;
+
+  // Same for unbalanced prefixes (the parser must not recurse while
+  // error-recovering either).
+  const ParseResult unbalanced = parse(deep);
+  ASSERT_FALSE(unbalanced.ok());
+}
+
+TEST(ParserLimits, ModerateNestingStillAccepted) {
+  std::string pattern;
+  for (int i = 0; i < 50; ++i) pattern += "(a";
+  pattern += "b";
+  for (int i = 0; i < 50; ++i) pattern += ")";
+  const ParseResult r = parse(pattern);
+  ASSERT_TRUE(r.ok()) << r.error->message;
+
+  // The cap is configurable: the same pattern fails under a tighter one.
+  ParseOptions tight;
+  tight.max_nesting_depth = 10;
+  EXPECT_FALSE(parse(pattern, tight).ok());
+}
+
 TEST_P(ParserFuzz, MetacharSoupNeverCrashes) {
   util::Rng rng(GetParam() * 7);
   const std::string alphabet = "ab(){}[]*+?|\\^$.-,0123456789/in";

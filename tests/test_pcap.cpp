@@ -162,18 +162,86 @@ TEST(Pcap, NonIpFramesSkipped) {
   EXPECT_EQ(r.trace.packet_count(), 1u);
 }
 
-TEST(Pcap, TruncatedRecordStopsCleanly) {
+TEST(Pcap, TruncatedRecordRejectedWithDiagnostic) {
   PcapBuilder b;
   b.tcp_packet(kFlow, 0, 0, "full packet");
   std::vector<std::uint8_t> bytes = b.bytes();
-  // Append a record header claiming more bytes than exist.
+  // Append a record header claiming more bytes than exist: capture-level
+  // damage is an error naming the frame, not a silent early stop.
   for (int i = 0; i < 8; ++i) bytes.push_back(0);
   for (const std::uint8_t v : {0xff, 0x00, 0x00, 0x00}) bytes.push_back(v);
   for (const std::uint8_t v : {0xff, 0x00, 0x00, 0x00}) bytes.push_back(v);
   const PcapResult r = read_pcap_buffer(bytes.data(), bytes.size());
-  ASSERT_TRUE(r.ok);
-  EXPECT_EQ(r.stats.skipped_truncated, 1u);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("frame 2"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("truncated"), std::string::npos) << r.error;
+  // The packet parsed before the damage is still available for diagnosis.
   EXPECT_EQ(r.trace.packet_count(), 1u);
+}
+
+TEST(Pcap, ImplausibleRecordLengthRejected) {
+  PcapBuilder b;
+  b.tcp_packet(kFlow, 0, 0, "ok");
+  std::vector<std::uint8_t> bytes = b.bytes();
+  for (int i = 0; i < 8; ++i) bytes.push_back(0);
+  for (const std::uint8_t v : {0xff, 0xff, 0xff, 0x7f}) bytes.push_back(v);
+  for (const std::uint8_t v : {0xff, 0xff, 0xff, 0x7f}) bytes.push_back(v);
+  // Pad so the file LOOKS long enough to keep parsing naively.
+  bytes.resize(bytes.size() + 4096, 0);
+  const PcapResult r = read_pcap_buffer(bytes.data(), bytes.size());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("implausible record length"), std::string::npos)
+      << r.error;
+}
+
+TEST(Pcap, TruncatedRecordHeaderRejected) {
+  PcapBuilder b;
+  b.tcp_packet(kFlow, 0, 0, "ok");
+  std::vector<std::uint8_t> bytes = b.bytes();
+  for (int i = 0; i < 7; ++i) bytes.push_back(0);  // 7 < 16-byte record header
+  const PcapResult r = read_pcap_buffer(bytes.data(), bytes.size());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("truncated record header"), std::string::npos)
+      << r.error;
+  EXPECT_EQ(r.trace.packet_count(), 1u);
+}
+
+TEST(Pcap, MalformedCorpusNeverCrashes) {
+  // Corpus fuzz: every truncation prefix of a healthy capture, plus
+  // deterministic byte corruptions, must parse without crashing or
+  // over-reading (ASan job), and every failure must carry a diagnostic.
+  PcapBuilder b;
+  flow::FlowKey udp = kFlow;
+  udp.proto = 17;
+  b.tcp_packet(kFlow, 100, 0x02, "");
+  b.tcp_packet(kFlow, 101, 0x10, "hello across ");
+  b.non_ip_frame();
+  b.udp_packet(udp, "datagram");
+  b.tcp_packet(kFlow, 114, 0x10, "the stream");
+  const std::vector<std::uint8_t> good = b.bytes();
+  const PcapResult healthy = read_pcap_buffer(good.data(), good.size());
+  ASSERT_TRUE(healthy.ok) << healthy.error;
+
+  for (std::size_t len = 0; len <= good.size(); ++len) {
+    const PcapResult r = read_pcap_buffer(good.data(), len, "trunc");
+    if (!r.ok) {
+      EXPECT_FALSE(r.error.empty()) << "truncated at " << len;
+    }
+    EXPECT_LE(r.trace.packet_count(), healthy.trace.packet_count());
+  }
+
+  // Single-byte corruptions at every offset (bit-flip and 0xff stomp):
+  // lengths, ethertypes, IHL nibbles, UDP lengths, record headers...
+  for (std::size_t pos = 0; pos < good.size(); ++pos) {
+    for (const std::uint8_t stomp : {std::uint8_t{0xff}, std::uint8_t{0x80}}) {
+      std::vector<std::uint8_t> bad = good;
+      bad[pos] ^= stomp;
+      const PcapResult r = read_pcap_buffer(bad.data(), bad.size(), "corrupt");
+      if (!r.ok) {
+        EXPECT_FALSE(r.error.empty()) << "corrupt byte " << pos;
+      }
+    }
+  }
 }
 
 TEST(Pcap, OutOfOrderTcpReassembledByInspector) {

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine_test_util.h"
@@ -49,6 +51,42 @@ TEST(SpscQueue, WrapsAroundManyTimes) {
     ASSERT_TRUE(q.try_pop(v));
     EXPECT_EQ(v, i);
   }
+}
+
+TEST(SpscQueue, CloseWakesBurstPoppingConsumerAndDeliversEverything) {
+  // A consumer that spins on try_pop and only exits once the queue is both
+  // empty AND closed must terminate without losing any element, even though
+  // close() races with its final empty-check.
+  SpscQueue<int> q(32);
+  constexpr int kCount = 1000;
+  std::atomic<int> got{0};
+  std::thread consumer([&] {
+    int v = -1;
+    for (;;) {
+      bool popped = false;
+      while (q.try_pop(v)) {  // burst-drain whatever is visible
+        got.fetch_add(1, std::memory_order_relaxed);
+        popped = true;
+      }
+      if (popped) continue;
+      if (q.closed()) {
+        // close() happens after the final push, so one last drain pass
+        // observes everything published before the close.
+        while (q.try_pop(v)) got.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < kCount; ++i)
+    while (!q.try_push(i)) std::this_thread::yield();
+  q.close();
+  consumer.join();  // must not hang
+  EXPECT_EQ(got.load(), kCount);
+  EXPECT_TRUE(q.closed());
+  q.reopen();
+  EXPECT_FALSE(q.closed());
+  EXPECT_TRUE(q.try_push(7));
 }
 
 TEST(SpscQueue, TwoThreadHandoffDeliversEverything) {

@@ -1,0 +1,448 @@
+// Hostile-traffic soak: randomized fault schedules (crashes, stalls,
+// corrupt packets, allocation failures, queue saturation) over realistic
+// traffic, checked against two contracts the robustness layer guarantees:
+//  1. Exact accounting — every submitted packet is scanned or counted in
+//     exactly one shed bucket (submitted == scanned + shed_total), per
+//     shard and in aggregate, no matter which faults fire.
+//  2. Parity on undisturbed flows — flows untouched by sheds, crashes and
+//     restarts produce byte-identical per-flow matches to a sequential
+//     FlowInspector, and the NFA/DFA/MFA engines agree with each other.
+// Plus regressions for watchdog restart, load-shedding policies, per-flow
+// CPU quarantine, and bounded-deadline shutdown.
+#include "pipeline/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dfa/dfa.h"
+#include "engine_test_util.h"
+#include "mfa/mfa.h"
+#include "nfa/nfa.h"
+#include "obs/metrics.h"
+#include "trace/trace.h"
+#include "util/faultpoint.h"
+
+namespace mfa::pipeline {
+namespace {
+
+using mfa::testing::compile_patterns;
+
+using PerFlowMatches =
+    std::unordered_map<flow::FlowKey, MatchVec, flow::FlowKeyHash>;
+
+/// Sequential ground truth: per-flow sorted matches from one FlowInspector.
+template <typename EngineT>
+PerFlowMatches per_flow_reference(const EngineT& engine, const trace::Trace& t) {
+  flow::FlowInspector<EngineT> insp{engine};
+  PerFlowMatches out;
+  t.for_each_packet([&](const flow::Packet& p) {
+    insp.packet(p, [&](std::uint32_t id, std::uint64_t end) {
+      out[p.key].push_back(Match{id, end});
+    });
+  });
+  for (auto& [key, v] : out) std::sort(v.begin(), v.end());
+  return out;
+}
+
+const std::vector<std::string> kPatterns = {".*attack[0-9]", ".*worm77",
+                                            ".*beacon.ping"};
+
+trace::Trace make_soak_trace(std::uint64_t seed) {
+  // Big enough for a real flow population (dozens of flows): the soak
+  // excludes every flow on a disturbed shard, so it needs survivors left
+  // over to compare.
+  return trace::make_real_life(trace::RealLifeProfile::kCyberDefense, 3000000,
+                               seed, {"attack5 here", "worm77", "beaconXping"});
+}
+
+void check_invariant(const ShardStats& s, const char* what) {
+  EXPECT_EQ(s.submitted, s.scanned + s.shed_total())
+      << what << ": submitted=" << s.submitted << " scanned=" << s.scanned
+      << " shed{adm=" << s.shed_admission << " byp=" << s.shed_bypass
+      << " cor=" << s.shed_corrupt << " cra=" << s.shed_crash
+      << " qua=" << s.shed_quarantine << " fov=" << s.shed_failover << "}";
+}
+
+class SoakTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FaultRegistry::instance().disarm_all(); }
+  void TearDown() override { util::FaultRegistry::instance().disarm_all(); }
+};
+
+TEST_F(SoakTest, NfaDfaMfaAgreePerFlowOnCleanTraffic) {
+  const auto inputs = compile_patterns(kPatterns);
+  const nfa::Nfa n = nfa::build_nfa(inputs);
+  const auto d = dfa::build_dfa(n);
+  ASSERT_TRUE(d.has_value());
+  const auto m = core::build_mfa(inputs);
+  ASSERT_TRUE(m.has_value());
+  const trace::Trace t = make_soak_trace(11);
+  const PerFlowMatches ref_n = per_flow_reference(n, t);
+  const PerFlowMatches ref_d = per_flow_reference(*d, t);
+  const PerFlowMatches ref_m = per_flow_reference(*m, t);
+  EXPECT_FALSE(ref_n.empty());
+  EXPECT_EQ(ref_n.size(), ref_d.size());
+  EXPECT_EQ(ref_n.size(), ref_m.size());
+  for (const auto& [key, matches] : ref_n) {
+    const auto itd = ref_d.find(key);
+    const auto itm = ref_m.find(key);
+    ASSERT_NE(itd, ref_d.end());
+    ASSERT_NE(itm, ref_m.end());
+    EXPECT_EQ(matches, itd->second) << "NFA vs DFA";
+    EXPECT_EQ(matches, itm->second) << "NFA vs MFA";
+  }
+}
+
+TEST_F(SoakTest, FaultSoakKeepsAccountingExactAndUndisturbedFlowsIdentical) {
+  if (!util::faultpoints_enabled())
+    GTEST_SKIP() << "fault points compiled out (Release build)";
+  const auto m = core::build_mfa(compile_patterns(kPatterns));
+  ASSERT_TRUE(m.has_value());
+  const trace::Trace t = make_soak_trace(23);
+  const PerFlowMatches reference = per_flow_reference(*m, t);
+
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    auto& reg = util::FaultRegistry::instance();
+    reg.disarm_all();
+    // Two deterministic crashes early on, five corrupt packets, a pinch of
+    // transient queue-full, one allocation failure, and short random
+    // stalls: enough chaos to exercise every recovery path in one run.
+    reg.arm("pipeline.worker.crash",
+            {seed, 1000000, /*after=*/20, /*max_fires=*/2, 0});
+    reg.arm("pipeline.packet.corrupt",
+            {seed + 1, 1000000, /*after=*/10, /*max_fires=*/5, 0});
+    reg.arm("pipeline.queue.full",
+            {seed + 2, 20000, 0, ~std::uint64_t{0}, 0});
+    reg.arm("flow.table.alloc",
+            {seed + 3, 1000000, /*after=*/400, /*max_fires=*/1, 0});
+    reg.arm("pipeline.worker.stall",
+            {seed + 4, 300000, 0, /*max_fires=*/10, /*param=*/2});
+
+    obs::MetricsRegistry metrics(3);
+    std::mutex mu;
+    std::unordered_set<flow::FlowKey, flow::FlowKeyHash> shed_flows;
+    std::atomic<std::uint64_t> sink_calls{0};
+
+    Options opt;
+    opt.shards = 3;
+    opt.queue_capacity = 512;
+    opt.batch_size = 16;
+    opt.collect_flow_matches = true;
+    opt.metrics = &metrics;
+    opt.watchdog = true;
+    opt.watchdog_interval_ms = 1;
+    opt.stall_timeout_ms = 10;
+    opt.max_worker_restarts = 2;
+    opt.shed_policy = ShedPolicy::kDropNewest;
+    opt.shed_sink = [&](const flow::Packet& p, ShedReason) {
+      sink_calls.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu);
+      shed_flows.insert(p.key);
+    };
+
+    ShardedInspector<core::Mfa> pipe(*m, opt);
+    pipe.start();
+    t.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+    pipe.finish();
+
+    const ShardStats total = pipe.totals();
+    EXPECT_EQ(total.submitted, t.packet_count()) << "seed " << seed;
+    check_invariant(total, "totals");
+    for (std::size_t i = 0; i < pipe.stats().size(); ++i)
+      check_invariant(pipe.stats()[i], "shard");
+    // The schedule guarantees at least the crashes and corruptions landed.
+    EXPECT_GE(total.shed_corrupt, 1u) << "seed " << seed;
+    EXPECT_GE(total.worker_restarts, 1u) << "seed " << seed;
+    // Telemetry mirror agrees with the merged stats (nothing abandoned, so
+    // every shed was mirrored).
+    std::uint64_t mirrored_shed = 0;
+    for (const auto& s : metrics.snapshot().shards) mirrored_shed += s.shed_packets;
+    EXPECT_EQ(mirrored_shed, total.shed_total()) << "seed " << seed;
+    // shed_sink saw at least every distinctly-counted shed (crash bursts
+    // may over-notify, never under-notify).
+    EXPECT_GE(sink_calls.load(), total.shed_total()) << "seed " << seed;
+
+    // Parity on undisturbed flows: exclude flows with any shed packet and
+    // flows on shards whose worker was restarted or failed over (a restart
+    // wipes the whole shard's contexts).
+    std::vector<bool> shard_disturbed(pipe.shard_count(), false);
+    for (std::size_t i = 0; i < pipe.stats().size(); ++i)
+      shard_disturbed[i] = pipe.stats()[i].worker_restarts > 0 ||
+                           pipe.stats()[i].shed_failover > 0;
+    PerFlowMatches got;
+    for (const FlowMatch& fm : pipe.flow_matches()) got[fm.key].push_back(fm.match);
+    for (auto& [key, v] : got) std::sort(v.begin(), v.end());
+    std::size_t compared = 0;
+    for (const auto& [key, expected] : reference) {
+      if (shed_flows.count(key) != 0) continue;
+      if (shard_disturbed[pipe.shard_of(key)]) continue;
+      const auto it = got.find(key);
+      ASSERT_NE(it, got.end()) << "undisturbed flow lost its matches";
+      EXPECT_EQ(it->second, expected) << "seed " << seed;
+      ++compared;
+    }
+    // And no undisturbed flow may have grown matches out of nowhere.
+    for (const auto& [key, v] : got) {
+      if (shed_flows.count(key) != 0 || shard_disturbed[pipe.shard_of(key)])
+        continue;
+      EXPECT_NE(reference.find(key), reference.end())
+          << "matches on a flow the reference never matched";
+    }
+    std::printf("soak seed %llu: %llu submitted, %llu scanned, %llu shed "
+                "(%llu crash, %llu corrupt, %llu admission), %llu restarts, "
+                "%zu/%zu flows compared\n",
+                (unsigned long long)seed, (unsigned long long)total.submitted,
+                (unsigned long long)total.scanned,
+                (unsigned long long)total.shed_total(),
+                (unsigned long long)total.shed_crash,
+                (unsigned long long)total.shed_corrupt,
+                (unsigned long long)total.shed_admission,
+                (unsigned long long)total.worker_restarts, compared,
+                reference.size());
+    EXPECT_GT(compared, 0u) << "soak excluded every flow — not a useful run";
+  }
+}
+
+TEST_F(SoakTest, WatchdogRestartsCrashedWorkerAndRunContinues) {
+  if (!util::faultpoints_enabled())
+    GTEST_SKIP() << "fault points compiled out (Release build)";
+  const auto m = core::build_mfa(compile_patterns(kPatterns));
+  ASSERT_TRUE(m.has_value());
+  const trace::Trace t = make_soak_trace(31);
+  util::FaultRegistry::instance().arm(
+      "pipeline.worker.crash", {9, 1000000, /*after=*/0, /*max_fires=*/1, 0});
+
+  Options opt;
+  opt.shards = 2;
+  opt.watchdog = true;
+  opt.watchdog_interval_ms = 1;
+  opt.max_worker_restarts = 3;
+  ShardedInspector<core::Mfa> pipe(*m, opt);
+  pipe.start();
+  t.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+  pipe.finish();
+
+  const ShardStats total = pipe.totals();
+  EXPECT_EQ(total.worker_restarts, 1u);
+  EXPECT_GE(total.shed_crash, 1u);
+  EXPECT_GT(total.scanned, 0u) << "the restarted worker must keep scanning";
+  check_invariant(total, "totals");
+}
+
+TEST_F(SoakTest, RepeatCrasherFailsOverWithFullAccounting) {
+  if (!util::faultpoints_enabled())
+    GTEST_SKIP() << "fault points compiled out (Release build)";
+  const auto m = core::build_mfa(compile_patterns(kPatterns));
+  ASSERT_TRUE(m.has_value());
+  const trace::Trace t = make_soak_trace(37);
+  // Every burst crashes: the single shard burns through its restart budget
+  // and must fail over — all remaining traffic shed, none lost.
+  util::FaultRegistry::instance().arm("pipeline.worker.crash",
+                                      {5, 1000000, 0, ~std::uint64_t{0}, 0});
+  Options opt;
+  opt.shards = 1;
+  opt.watchdog = true;
+  opt.watchdog_interval_ms = 1;
+  opt.max_worker_restarts = 2;
+  ShardedInspector<core::Mfa> pipe(*m, opt);
+  pipe.start();
+  t.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+  pipe.finish();
+
+  const ShardStats total = pipe.totals();
+  EXPECT_EQ(total.worker_restarts, 2u);
+  EXPECT_EQ(total.scanned, 0u);
+  EXPECT_GE(total.shed_failover, 1u) << "post-failover traffic must be shed";
+  check_invariant(total, "totals");
+  EXPECT_EQ(total.submitted, t.packet_count());
+}
+
+TEST_F(SoakTest, DropNewestShedsUnderOverloadAndAccountsExactly) {
+  const auto m = core::build_mfa(compile_patterns({".*zzz9q"}));
+  ASSERT_TRUE(m.has_value());
+  // One slow shard: 16 KiB packets cost the worker far more than submit()
+  // costs the producer, so the tiny queue must overflow its watermark.
+  const std::string payload(16384, 'a');
+  constexpr std::size_t kPackets = 1000;
+  Options opt;
+  opt.shards = 1;
+  opt.queue_capacity = 64;
+  opt.batch_size = 1;
+  opt.shed_policy = ShedPolicy::kDropNewest;
+  opt.shed_high_water = 32;
+  opt.shed_low_water = 8;
+  ShardedInspector<core::Mfa> pipe(*m, opt);
+  pipe.start();
+  const flow::FlowKey key{1, 2, 3, 4, 6};
+  std::uint64_t off = 0;
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    // Admitted packets advance the stream; shed ones are simply absent
+    // upstream bytes (gaps), exactly like real drop-based shedding.
+    pipe.submit(flow::Packet{key, off,
+                             reinterpret_cast<const std::uint8_t*>(payload.data()),
+                             static_cast<std::uint32_t>(payload.size())});
+    off += payload.size();
+  }
+  pipe.finish();
+  const ShardStats total = pipe.totals();
+  EXPECT_EQ(total.submitted, kPackets);
+  EXPECT_GT(total.shed_admission, 0u) << "overload never engaged shedding";
+  EXPECT_GT(total.scanned, 0u);
+  check_invariant(total, "totals");
+}
+
+TEST_F(SoakTest, BypassToCountKeepsCountingWithoutScanning) {
+  const auto m = core::build_mfa(compile_patterns({".*zzz9q"}));
+  ASSERT_TRUE(m.has_value());
+  const std::string payload(16384, 'b');
+  Options opt;
+  opt.shards = 1;
+  opt.queue_capacity = 64;
+  opt.batch_size = 1;
+  opt.shed_policy = ShedPolicy::kBypassToCount;
+  opt.shed_high_water = 16;
+  ShardedInspector<core::Mfa> pipe(*m, opt);
+  pipe.start();
+  const flow::FlowKey key{9, 8, 7, 6, 17};
+  for (std::size_t i = 0; i < 800; ++i)
+    pipe.submit(flow::Packet{key, i * payload.size(),
+                             reinterpret_cast<const std::uint8_t*>(payload.data()),
+                             static_cast<std::uint32_t>(payload.size())});
+  pipe.finish();
+  const ShardStats total = pipe.totals();
+  EXPECT_GT(total.shed_bypass, 0u);
+  EXPECT_GT(total.shed_bytes, 0u) << "bypassed bytes must still be counted";
+  check_invariant(total, "totals");
+}
+
+TEST_F(SoakTest, HostileFlowQuarantinedWhileSiblingsKeepMatching) {
+  const auto m = core::build_mfa(compile_patterns({".*needle77"}));
+  ASSERT_TRUE(m.has_value());
+  // One hostile flow pumps megabytes through the scanner; ten siblings send
+  // one small matching packet each, interleaved. With a per-flow CPU budget
+  // the hostile flow must be quarantined and the siblings must all match.
+  trace::Trace t("quarantine");
+  const flow::FlowKey hostile{0xbad, 0xbad, 666, 666, 6};
+  const std::string bulk(8192, 'x');
+  std::uint64_t hoff = 0;
+  int sibling = 0;
+  for (int i = 0; i < 500; ++i) {
+    t.add_packet(hostile, hoff, bulk);
+    hoff += bulk.size();
+    if (i % 50 == 25 && sibling < 10) {
+      const flow::FlowKey key{10u + static_cast<std::uint32_t>(sibling), 20, 1000,
+                              80, 6};
+      t.add_packet(key, 0, "hello needle77 goodbye");
+      ++sibling;
+    }
+  }
+  ASSERT_EQ(sibling, 10);
+
+  Options opt;
+  opt.shards = 1;
+  opt.collect_flow_matches = true;
+  opt.flow_cpu_budget_ns = 1000000;  // 1 ms of scan CPU per flow
+  ShardedInspector<core::Mfa> pipe(*m, opt);
+  const auto t0 = std::chrono::steady_clock::now();
+  pipe.start();
+  t.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+  pipe.finish();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const ShardStats total = pipe.totals();
+  EXPECT_GE(total.flows_quarantined, 1u) << "hostile flow evaded its budget";
+  EXPECT_GT(total.shed_quarantine, 0u);
+  check_invariant(total, "totals");
+  std::size_t sibling_matches = 0;
+  for (const FlowMatch& fm : pipe.flow_matches())
+    if (!(fm.key == hostile)) ++sibling_matches;
+  EXPECT_EQ(sibling_matches, 10u) << "sibling flows must be unaffected";
+  std::printf("quarantine: %llu flows quarantined, %llu packets shed, "
+              "%.1f MB scanned in %.3f s (%.0f MB/s)\n",
+              (unsigned long long)total.flows_quarantined,
+              (unsigned long long)total.shed_quarantine,
+              static_cast<double>(total.bytes) / 1e6, secs,
+              static_cast<double>(total.bytes) / 1e6 / (secs > 0 ? secs : 1));
+}
+
+TEST_F(SoakTest, FinishWithDeadlineReturnsTrueOnCleanRuns) {
+  const auto m = core::build_mfa(compile_patterns(kPatterns));
+  ASSERT_TRUE(m.has_value());
+  const trace::Trace t = make_soak_trace(41);
+  Options opt;
+  opt.shards = 2;
+  opt.collect_matches = true;
+  ShardedInspector<core::Mfa> pipe(*m, opt);
+  pipe.start();
+  t.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+  EXPECT_TRUE(pipe.finish(std::chrono::milliseconds(30000)));
+  const ShardStats total = pipe.totals();
+  EXPECT_EQ(total.scanned, t.packet_count());
+  EXPECT_EQ(total.shed_total(), 0u);
+  check_invariant(total, "totals");
+}
+
+TEST_F(SoakTest, FinishWithDeadlineNeverHangsOnStalledWorkers) {
+  if (!util::faultpoints_enabled())
+    GTEST_SKIP() << "fault points compiled out (Release build)";
+  const auto m = core::build_mfa(compile_patterns(kPatterns));
+  ASSERT_TRUE(m.has_value());
+  // Both workers stall for 30 s on their first loop iteration; a 100 ms
+  // deadline must still come back in well under a second per window.
+  util::FaultRegistry::instance().arm(
+      "pipeline.worker.stall",
+      {3, 1000000, 0, /*max_fires=*/2, /*param=*/30000});
+  Options opt;
+  opt.shards = 2;
+  opt.queue_capacity = 64;
+  ShardedInspector<core::Mfa> pipe(*m, opt);
+  pipe.start();
+  const std::string payload = "some bytes to leave in the queues";
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    const flow::FlowKey key{i, 1, 2, 3, 6};
+    pipe.submit(flow::Packet{key, 0,
+                             reinterpret_cast<const std::uint8_t*>(payload.data()),
+                             static_cast<std::uint32_t>(payload.size())});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool clean = pipe.finish(std::chrono::milliseconds(100));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(10)) << "finish(timeout) hung";
+  EXPECT_FALSE(clean) << "a stalled shutdown must report itself";
+  const ShardStats total = pipe.totals();
+  EXPECT_EQ(total.submitted, 32u);
+  check_invariant(total, "totals");
+}
+
+TEST_F(SoakTest, WatchdogFlagsStalledWorker) {
+  if (!util::faultpoints_enabled())
+    GTEST_SKIP() << "fault points compiled out (Release build)";
+  const auto m = core::build_mfa(compile_patterns(kPatterns));
+  ASSERT_TRUE(m.has_value());
+  util::FaultRegistry::instance().arm(
+      "pipeline.worker.stall", {4, 1000000, 0, /*max_fires=*/1, /*param=*/300});
+  Options opt;
+  opt.shards = 1;
+  opt.watchdog = true;
+  opt.watchdog_interval_ms = 1;
+  opt.stall_timeout_ms = 30;
+  ShardedInspector<core::Mfa> pipe(*m, opt);
+  pipe.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  pipe.finish();
+  EXPECT_GE(pipe.totals().worker_stalls, 1u);
+}
+
+}  // namespace
+}  // namespace mfa::pipeline
