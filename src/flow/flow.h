@@ -16,8 +16,10 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -89,6 +91,19 @@ concept BatchScanEngine =
                   [](std::size_t, std::uint32_t, std::uint64_t) {}, std::size_t{1});
     };
 
+/// What happens to flows whose context was built by a previous engine
+/// generation when adopt_engine() publishes a new one (DESIGN.md Sec. 10).
+enum class SwapPolicy : std::uint8_t {
+  /// The flow's (q, m) restarts on the new engine at its next packet; the
+  /// stream position and buffered out-of-order segments are kept, so the
+  /// flow keeps scanning the same byte stream under the new rules.
+  kResetOnNextPacket,
+  /// Existing flows finish their lifetime on the generation that created
+  /// their context; only new flows use the new engine. The old generation
+  /// is retired epoch-style: its pin is released when its last flow goes.
+  kDrainOld,
+};
+
 /// Multiplexing inspector over the Engine/Context split. Stores one shared
 /// Engine reference for ALL flows and exactly one Context per flow — no
 /// per-flow engine copies or pointers — so the per-flow footprint is
@@ -125,6 +140,7 @@ class FlowInspector {
     };
 
     Context ctx;  ///< the engine's per-flow (q, m)
+    std::uint64_t context_generation = 0;  ///< engine generation ctx belongs to
     std::uint64_t next_offset = 0;
     std::uint64_t pending_bytes = 0;
     std::uint64_t batch_stamp = 0;  ///< last packet_batch wave that fed this flow
@@ -192,7 +208,7 @@ class FlowInspector {
       return;
     }
     if (metrics_ == nullptr) {
-      deliver(p, sink);
+      deliver(p, [&](FlowState&, std::uint32_t id, std::uint64_t end) { sink(id, end); });
       return;
     }
     obs::ShardMetrics& m = *metrics_;
@@ -200,9 +216,10 @@ class FlowInspector {
     m.bytes.fetch_add(p.length, std::memory_order_relaxed);
     m.packet_bytes.record(p.length);
     const std::uint64_t t0 = util::rdtsc_now();
-    deliver(p, [&](std::uint32_t id, std::uint64_t end) {
+    deliver(p, [&](FlowState& fs, std::uint32_t id, std::uint64_t end) {
       m.matches.fetch_add(1, std::memory_order_relaxed);
       registry_->count_match(id);
+      if (generation_active_) registry_->count_match_generation(fs.context_generation);
       registry_->trace().record(p.key.src_ip, p.key.dst_ip, p.key.src_port,
                                 p.key.dst_port, p.key.proto, id, end,
                                 util::rdtsc_now());
@@ -244,12 +261,27 @@ class FlowInspector {
   template <typename KeySink, typename DropSink>
   void packet_batch_flows(const Packet* pkts, std::size_t count, KeySink&& sink,
                           DropSink&& dsink) {
+    packet_batch_attributed(
+        pkts, count,
+        [&](const FlowKey& key, std::uint64_t, std::uint32_t id, std::uint64_t end) {
+          sink(key, id, end);
+        },
+        std::forward<DropSink>(dsink));
+  }
+
+  /// packet_batch_flows plus engine-generation attribution:
+  /// sink(flow_key, context_generation, match_id, offset). Across a hot
+  /// swap this is what lets the pipeline prove each match against the
+  /// ruleset generation that actually scanned the flow.
+  template <typename GenSink, typename DropSink>
+  void packet_batch_attributed(const Packet* pkts, std::size_t count, GenSink&& sink,
+                               DropSink&& dsink) {
     if (count == 0) return;
     if (metrics_ == nullptr) {
       deliver_batch(
           pkts, count,
           [&](FlowState& fs, std::uint32_t id, std::uint64_t end) {
-            sink(fs.key, id, end);
+            sink(fs.key, fs.context_generation, id, end);
           },
           dsink);
       return;
@@ -271,10 +303,11 @@ class FlowInspector {
         [&](FlowState& fs, std::uint32_t id, std::uint64_t end) {
           m.matches.fetch_add(1, std::memory_order_relaxed);
           registry_->count_match(id);
+          if (generation_active_) registry_->count_match_generation(fs.context_generation);
           registry_->trace().record(fs.key.src_ip, fs.key.dst_ip, fs.key.src_port,
                                     fs.key.dst_port, fs.key.proto, id, end,
                                     util::rdtsc_now());
-          sink(fs.key, id, end);
+          sink(fs.key, fs.context_generation, id, end);
         },
         dsink);
     const double ticks = static_cast<double>(util::rdtsc_now() - t0);
@@ -311,10 +344,58 @@ class FlowInspector {
 
   [[nodiscard]] const EngineT& engine() const { return *engine_; }
 
+  // --- live ruleset hot-swap (DESIGN.md Sec. 10) ---
+
+  /// Replace the engine all *new* work runs on. `generation` must be a
+  /// value never passed before (the pipeline hands out a monotonically
+  /// increasing counter); `pin` keeps the new engine's owner (e.g. a
+  /// reload::EngineSet) alive for as long as this inspector references it.
+  ///
+  /// Flows whose context belongs to the previous generation follow
+  /// `policy`; the previous generation is retired — its engine pointer and
+  /// pin are kept in a per-generation record until the last such flow is
+  /// reset, drained/evicted or cleared, at which point the pin drops and a
+  /// refcounted owner can be destroyed. With no live flows the old pin is
+  /// released immediately. Swaps are rare: the O(flow-table) census here is
+  /// paid per swap, never per packet.
+  void adopt_engine(const EngineT& engine, std::uint64_t generation, SwapPolicy policy,
+                    std::shared_ptr<const void> pin = nullptr) {
+    // Re-adopting the current generation (worker restart replaying a staged
+    // swap) is a no-op — in particular it must not retire the generation
+    // it is itself publishing.
+    if (generation_active_ && generation == current_generation_) return;
+    std::size_t live = 0;
+    for (const auto& [key, fs] : flows_)
+      if (fs.context_generation == current_generation_) ++live;
+    if (live > 0)
+      retired_.push_back(Retired{current_generation_, engine_, std::move(current_pin_),
+                                 live, policy == SwapPolicy::kDrainOld});
+    engine_ = &engine;
+    current_pin_ = std::move(pin);
+    current_generation_ = generation;
+    generation_active_ = true;
+  }
+
+  /// Generation all new flows (and, under kResetOnNextPacket, re-adopted
+  /// flows) are tagged with. 0 until the first adopt_engine().
+  [[nodiscard]] std::uint64_t current_generation() const { return current_generation_; }
+
+  /// Retired generations still pinned by at least one live flow context.
+  [[nodiscard]] std::size_t retired_generation_count() const { return retired_.size(); }
+
+  /// Live flows whose context still belongs to `generation`.
+  [[nodiscard]] std::size_t flows_on_generation(std::uint64_t generation) const {
+    std::size_t n = 0;
+    for (const auto& [key, fs] : flows_)
+      if (fs.context_generation == generation) ++n;
+    return n;
+  }
+
   /// Drop a finished flow's context.
   void evict(const FlowKey& key) {
     auto it = flows_.find(key);
     if (it == flows_.end()) return;
+    release_flow(it->second);
     total_pending_ -= it->second.pending_bytes;
     lru_unlink(&it->second);
     flows_.erase(it);
@@ -322,6 +403,7 @@ class FlowInspector {
 
   void clear() {
     flows_.clear();
+    retired_.clear();  // no live contexts left: every old-generation pin drops
     total_pending_ = 0;
     lru_head_ = nullptr;
     lru_tail_ = nullptr;
@@ -329,19 +411,23 @@ class FlowInspector {
 
  private:
   /// The uninstrumented delivery path; packet() wraps it with telemetry.
-  template <typename Sink>
-  void deliver(const Packet& p, Sink&& sink) {
+  /// fsink(flow_state, id, end) so wrappers can attribute the match to the
+  /// owning flow and its engine generation.
+  template <typename FlowSink>
+  void deliver(const Packet& p, FlowSink&& fsink) {
     FlowState& fs = flow(p.key);
     if (p.seq > fs.next_offset) {
       // Out of order: hold the segment until the gap fills.
       buffer_segment(fs, p);
       return;
     }
+    const EngineT& eng = engine_for(fs);
+    const auto sink = [&](std::uint32_t id, std::uint64_t end) { fsink(fs, id, end); };
     // Possibly-overlapping retransmission: skip already-delivered bytes.
     const std::uint64_t skip = fs.next_offset - p.seq;
     if (budget_ticks_ == 0) {
       if (skip < p.length) {
-        engine_->feed(fs.ctx, p.payload + skip, p.length - skip, fs.next_offset, sink);
+        eng.feed(fs.ctx, p.payload + skip, p.length - skip, fs.next_offset, sink);
         fs.next_offset += p.length - skip;
       }
       drain(fs, sink);
@@ -349,7 +435,7 @@ class FlowInspector {
     }
     const std::uint64_t t0 = util::rdtsc_now();
     if (skip < p.length) {
-      engine_->feed(fs.ctx, p.payload + skip, p.length - skip, fs.next_offset, sink);
+      eng.feed(fs.ctx, p.payload + skip, p.length - skip, fs.next_offset, sink);
       fs.next_offset += p.length - skip;
     }
     drain(fs, sink);
@@ -448,18 +534,57 @@ class FlowInspector {
   }
 
   /// Feed the queued distinct-flow jobs: the engine's interleaved kernel
-  /// when it has one, sequential feed() calls otherwise.
+  /// when it has one, sequential feed() calls otherwise. Right after a
+  /// kDrainOld swap a burst can mix generations; the interleaved kernel
+  /// must never advance two flows through *different* engines in one pass,
+  /// so mixed bursts run one feed_many per generation present (transient —
+  /// the moment old flows retire the homogeneous fast path is back).
   template <typename FlowSink>
   void feed_jobs(scan::FeedJob<Context>* jobs, std::size_t count, FlowSink& fsink) {
     const auto lane_sink = [&](std::size_t job, std::uint32_t id, std::uint64_t end) {
       fsink(*batch_job_flows_[job], id, end);
     };
     if constexpr (BatchScanEngine<EngineT>) {
-      engine_->feed_many(jobs, count, lane_sink, batch_lanes_);
+      const std::uint64_t g0 = batch_job_flows_[0]->context_generation;
+      bool mixed = false;
+      for (std::size_t i = 1; i < count && !mixed; ++i)
+        mixed = batch_job_flows_[i]->context_generation != g0;
+      if (!mixed) {
+        engine_for_generation(g0).feed_many(jobs, count, lane_sink, batch_lanes_);
+        return;
+      }
+      mixed_done_.assign(count, 0);
+      std::size_t remaining = count;
+      while (remaining > 0) {
+        mixed_jobs_.clear();
+        mixed_index_.clear();
+        std::uint64_t gen = 0;
+        bool have_gen = false;
+        for (std::size_t i = 0; i < count; ++i) {
+          if (mixed_done_[i] != 0) continue;
+          const std::uint64_t g = batch_job_flows_[i]->context_generation;
+          if (!have_gen) {
+            gen = g;
+            have_gen = true;
+          }
+          if (g != gen) continue;
+          mixed_jobs_.push_back(jobs[i]);  // FeedJob copies share the ctx pointer
+          mixed_index_.push_back(i);
+          mixed_done_[i] = 1;
+        }
+        remaining -= mixed_jobs_.size();
+        engine_for_generation(gen).feed_many(
+            mixed_jobs_.data(), mixed_jobs_.size(),
+            [&](std::size_t j, std::uint32_t id, std::uint64_t end) {
+              lane_sink(mixed_index_[j], id, end);
+            },
+            batch_lanes_);
+      }
     } else {
       for (std::size_t i = 0; i < count; ++i)
-        engine_->feed(*jobs[i].ctx, jobs[i].data, jobs[i].size, jobs[i].base,
-                      [&](std::uint32_t id, std::uint64_t end) { lane_sink(i, id, end); });
+        engine_for(*batch_job_flows_[i])
+            .feed(*jobs[i].ctx, jobs[i].data, jobs[i].size, jobs[i].base,
+                  [&](std::uint32_t id, std::uint64_t end) { lane_sink(i, id, end); });
     }
   }
 
@@ -467,14 +592,72 @@ class FlowInspector {
     auto it = flows_.find(key);
     if (it != flows_.end()) {
       lru_touch(&it->second);
+      if (it->second.context_generation != current_generation_) adopt_flow(it->second);
       return it->second;
     }
     if (max_flows_ != 0 && flows_.size() >= max_flows_) evict_oldest();
     util::fault_maybe_bad_alloc("flow.table.alloc");
     it = flows_.emplace(key, FlowState{engine_->make_context()}).first;
     it->second.key = key;  // node addresses are stable in unordered_map
+    it->second.context_generation = current_generation_;
     lru_push_back(&it->second);
     return it->second;
+  }
+
+  // --- engine-generation bookkeeping (cold unless adopt_engine was used) ---
+
+  /// A previous engine generation still referenced by live flow contexts.
+  struct Retired {
+    std::uint64_t generation = 0;
+    const EngineT* engine = nullptr;
+    std::shared_ptr<const void> pin;  ///< keeps the engine's owner alive
+    std::size_t live_flows = 0;
+    bool drain = false;  ///< SwapPolicy::kDrainOld
+  };
+
+  [[nodiscard]] const Retired* find_retired(std::uint64_t generation) const {
+    for (const auto& r : retired_)
+      if (r.generation == generation) return &r;
+    return nullptr;
+  }
+
+  [[nodiscard]] const EngineT& engine_for_generation(std::uint64_t generation) const {
+    if (generation == current_generation_) return *engine_;
+    const Retired* r = find_retired(generation);
+    return r != nullptr ? *r->engine : *engine_;
+  }
+
+  [[nodiscard]] const EngineT& engine_for(const FlowState& fs) const {
+    return engine_for_generation(fs.context_generation);
+  }
+
+  /// A flow tagged with an older generation took a packet: under kDrainOld
+  /// it stays on its engine; under kResetOnNextPacket its (q, m) restarts
+  /// on the current engine — stream position and pending segments are kept,
+  /// so the byte stream continues seamlessly under the new rules.
+  void adopt_flow(FlowState& fs) {
+    const Retired* r = find_retired(fs.context_generation);
+    if (r != nullptr && r->drain) return;
+    const std::uint64_t old_generation = fs.context_generation;
+    fs.ctx = engine_->make_context();
+    fs.context_generation = current_generation_;
+    fs.scan_ticks = 0;  // fresh context, fresh CPU-budget account
+    release_generation(old_generation);
+  }
+
+  /// `fs` is leaving the table (evict/quarantine/LRU): drop its claim on a
+  /// retired generation, releasing the pin when the last claim goes.
+  void release_flow(const FlowState& fs) {
+    if (fs.context_generation != current_generation_)
+      release_generation(fs.context_generation);
+  }
+
+  void release_generation(std::uint64_t generation) {
+    for (std::size_t i = 0; i < retired_.size(); ++i) {
+      if (retired_[i].generation != generation) continue;
+      if (--retired_[i].live_flows == 0) retired_.erase(retired_.begin() + i);
+      return;
+    }
   }
 
   /// CPU-budget enforcement: evict an over-budget flow and remember its key
@@ -498,6 +681,7 @@ class FlowInspector {
     }
     quarantined_.insert(fs.key);
     quarantine_order_.push_back(fs.key);
+    release_flow(fs);
     total_pending_ -= fs.pending_bytes;
     lru_unlink(&fs);
     flows_.erase(fs.key);
@@ -531,6 +715,7 @@ class FlowInspector {
   void evict_oldest() {
     FlowState* victim = lru_head_;
     if (victim == nullptr) return;
+    release_flow(*victim);
     total_pending_ -= victim->pending_bytes;
     lru_unlink(victim);
     flows_.erase(victim->key);
@@ -607,8 +792,8 @@ class FlowInspector {
       const std::uint64_t skip = fs.next_offset - it->first;
       const auto& bytes = it->second.bytes;
       if (skip < bytes.size()) {
-        engine_->feed(fs.ctx, bytes.data() + skip, bytes.size() - skip, fs.next_offset,
-                      sink);
+        engine_for(fs).feed(fs.ctx, bytes.data() + skip, bytes.size() - skip,
+                            fs.next_offset, sink);
         fs.next_offset += bytes.size() - skip;
       }
       fs.pending_bytes -= bytes.size();
@@ -618,6 +803,10 @@ class FlowInspector {
   }
 
   const EngineT* engine_;  ///< ONE engine for all flows (never per-flow)
+  std::uint64_t current_generation_ = 0;
+  bool generation_active_ = false;  ///< adopt_engine() was called at least once
+  std::shared_ptr<const void> current_pin_;  ///< keeps engine_'s owner alive
+  std::vector<Retired> retired_;  ///< old generations with live flow contexts
   std::size_t max_flows_ = 0;
   std::size_t max_pending_ = kDefaultMaxPendingBytes;
   std::uint64_t evicted_ = 0;
@@ -640,6 +829,10 @@ class FlowInspector {
   std::vector<FlowState*> batch_job_flows_;
   std::vector<std::uint32_t> batch_cur_;
   std::vector<std::uint32_t> batch_deferred_;
+  // Scratch for the (transient) mixed-generation burst path in feed_jobs.
+  std::vector<scan::FeedJob<Context>> mixed_jobs_;
+  std::vector<std::size_t> mixed_index_;
+  std::vector<char> mixed_done_;
   FlowState* lru_head_ = nullptr;  ///< least recently active
   FlowState* lru_tail_ = nullptr;  ///< most recently active
   std::unordered_map<FlowKey, FlowState, FlowKeyHash> flows_;

@@ -41,6 +41,7 @@ std::optional<Mfa> build_mfa(const std::vector<nfa::PatternInput>& patterns,
   mfa.dfa_ = *std::move(d);
   mfa.program_ = std::move(sr.program);
   mfa.pieces_ = std::move(sr.pieces);
+  mfa.parse_options_ = options.parse;
 
   // 3. Pre-resolve per-accept-state action order: stable-sort each accept
   //    set by filter phase so one pass over ordered_actions() executes the

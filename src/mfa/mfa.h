@@ -16,6 +16,7 @@
 
 #include "dfa/dfa.h"
 #include "filter/engine.h"
+#include "regex/parser.h"
 #include "split/splitter.h"
 
 namespace mfa::core {
@@ -23,6 +24,10 @@ namespace mfa::core {
 struct BuildOptions {
   split::Options split;
   dfa::BuildOptions dfa;
+  /// Options the pattern sources were parsed with. Persisted in the MFAC
+  /// artifact so load() re-parses piece sources under the same dialect
+  /// (flags, caps) instead of silently assuming the defaults.
+  regex::ParseOptions parse;
 };
 
 struct BuildStats {
@@ -39,6 +44,7 @@ class Mfa {
   [[nodiscard]] const dfa::Dfa& character_dfa() const { return dfa_; }
   [[nodiscard]] const filter::Program& program() const { return program_; }
   [[nodiscard]] const std::vector<split::Piece>& pieces() const { return pieces_; }
+  [[nodiscard]] const regex::ParseOptions& parse_options() const { return parse_options_; }
 
   /// Engine match ids of accepting state `s`, pre-sorted into filter
   /// execution order (clears, then tests/reports, then sets).
@@ -146,6 +152,7 @@ class Mfa {
   std::vector<split::Piece> pieces_;
   std::vector<std::uint32_t> ordered_offsets_;  // accept_states + 1
   std::vector<std::uint32_t> ordered_ids_;
+  regex::ParseOptions parse_options_;
 };
 
 /// Compile a pattern set into an MFA. Returns nullopt if the piece DFA

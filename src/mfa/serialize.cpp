@@ -5,6 +5,11 @@
 // mmap/load the table+program and start scanning. The format stores the
 // character DFA, the filter program, the pre-ordered per-accept-state
 // action lists, and the decomposed piece sources (for operator display).
+//
+// v2 additionally stores the regex::ParseOptions the sources were compiled
+// under (so load() re-parses pieces in the same dialect) and a trailing
+// FNV-1a digest of the whole payload; v1 files remain readable.
+#include <cstdio>
 #include <cstring>
 
 #include "mfa/mfa.h"
@@ -15,15 +20,25 @@ namespace mfa::core {
 
 namespace {
 constexpr char kMagic[4] = {'M', 'F', 'A', 'C'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionV1 = 1;
+constexpr std::uint32_t kVersion = 2;
 }  // namespace
 
 bool Mfa::save(const std::string& path) const {
-  util::FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return false;
-  util::BinWriter w(f.get());
+  // Write to a sibling temp file and rename into place so a crash mid-save
+  // (or a hot-reload load() racing a push) never observes a torn artifact;
+  // rename() within a directory is atomic on POSIX.
+  const std::string tmp = path + ".tmp";
+  std::FILE* raw = std::fopen(tmp.c_str(), "wb");
+  if (raw == nullptr) return false;
+  util::BinWriter w(raw);
   w.bytes(kMagic, 4);
   w.u32(kVersion);
+  // Parse dialect the piece sources round-trip under.
+  w.u8(parse_options_.icase ? 1 : 0);
+  w.u8(parse_options_.dotall ? 1 : 0);
+  w.i32(parse_options_.max_counted_repeat);
+  w.i32(parse_options_.max_nesting_depth);
   dfa_.serialize(w);
   // Filter program: actions are a trivially-copyable struct of int32s.
   w.pod_vec(program_.actions);
@@ -35,7 +50,13 @@ bool Mfa::save(const std::string& path) const {
   // Piece regex sources; engine ids are their indices.
   w.u64(pieces_.size());
   for (const auto& piece : pieces_) w.str(piece.regex.source);
-  return w.ok();
+  // Trailing checksum over everything above (snapshot before writing it).
+  w.u64(w.digest());
+  bool ok = w.ok();
+  if (std::fclose(raw) != 0) ok = false;
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) std::remove(tmp.c_str());
+  return ok;
 }
 
 std::optional<Mfa> Mfa::load(const std::string& path) {
@@ -45,9 +66,19 @@ std::optional<Mfa> Mfa::load(const std::string& path) {
   char magic[4];
   r.bytes(magic, 4);
   if (!r.ok() || std::memcmp(magic, kMagic, 4) != 0) return std::nullopt;
-  if (r.u32() != kVersion) return std::nullopt;
+  const std::uint32_t version = r.u32();
+  if (version != kVersionV1 && version != kVersion) return std::nullopt;
 
   Mfa mfa;
+  if (version >= kVersion) {
+    mfa.parse_options_.icase = r.u8() != 0;
+    mfa.parse_options_.dotall = r.u8() != 0;
+    mfa.parse_options_.max_counted_repeat = r.i32();
+    mfa.parse_options_.max_nesting_depth = r.i32();
+    if (!r.ok() || mfa.parse_options_.max_counted_repeat < 0 ||
+        mfa.parse_options_.max_nesting_depth < 0)
+      return std::nullopt;
+  }
   if (!dfa::Dfa::deserialize(r, mfa.dfa_)) return std::nullopt;
   mfa.program_.actions = r.pod_vec<filter::Action>();
   mfa.program_.memory_bits = r.u32();
@@ -60,12 +91,20 @@ std::optional<Mfa> Mfa::load(const std::string& path) {
   for (std::uint64_t i = 0; i < piece_count; ++i) {
     const std::string source = r.str();
     if (!r.ok()) return std::nullopt;
-    regex::ParseResult parsed = regex::parse(source);
+    regex::ParseResult parsed = regex::parse(source, mfa.parse_options_);
     if (!parsed.ok()) return std::nullopt;
     mfa.pieces_.push_back(
         split::Piece{*std::move(parsed.regex), static_cast<std::uint32_t>(i)});
   }
   if (!r.ok()) return std::nullopt;
+  if (version >= kVersion) {
+    // Verify the trailing digest (computed over everything before it) and
+    // insist the file ends there: any stomped or truncated or appended byte
+    // fails deterministically instead of depending on which field it hit.
+    const std::uint64_t expect = r.digest();
+    if (r.u64() != expect || !r.ok()) return std::nullopt;
+    if (std::fgetc(f.get()) != EOF) return std::nullopt;
+  }
 
   // Cross-structure validation: every id the DFA can report must have an
   // action; ordered lists must mirror the DFA's accept geometry; bit and

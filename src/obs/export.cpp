@@ -110,7 +110,17 @@ std::string snapshot_json(const RegistrySnapshot& snap) {
            i != 0 ? "," : "", e.src_ip, e.dst_ip, e.src_port, e.dst_port, e.proto,
            e.match_id, e.offset, e.tsc);
   }
-  out += "]}}";
+  out += "]},\"ruleset\":{";
+  append(out, "\"generation\":%" PRIu64 ",\"swaps\":%" PRIu64 ",",
+         snap.ruleset_generation, snap.ruleset_swaps);
+  json_histogram(out, "swap_ns", snap.ruleset_swap_ns);
+  out += ",\"generation_matches\":[";
+  for (std::size_t i = 0; i < snap.generation_matches.size(); ++i)
+    append(out, "%s[%" PRIu64 ",%" PRIu64 "]", i != 0 ? "," : "",
+           snap.generation_matches[i].first, snap.generation_matches[i].second);
+  append(out, "],\"generation_match_overflow\":%" PRIu64 "}",
+         snap.generation_match_overflow);
+  out += "}";
   return out;
 }
 
@@ -171,6 +181,40 @@ std::string to_prometheus(const RegistrySnapshot& snap) {
               "# TYPE mfa_trace_events_total counter\n"
               "mfa_trace_events_total %" PRIu64 "\n",
          snap.trace_recorded);
+  append(out, "# HELP mfa_ruleset_generation Newest published ruleset generation\n"
+              "# TYPE mfa_ruleset_generation gauge\n"
+              "mfa_ruleset_generation %" PRIu64 "\n",
+         snap.ruleset_generation);
+  append(out, "# HELP mfa_ruleset_swaps_total Completed ruleset hot swaps\n"
+              "# TYPE mfa_ruleset_swaps_total counter\n"
+              "mfa_ruleset_swaps_total %" PRIu64 "\n",
+         snap.ruleset_swaps);
+  // Swap prepare latency is registry-level (one background compiler, not
+  // per shard), so it is emitted by hand rather than via prom_histogram.
+  append(out, "# HELP mfa_ruleset_swap_ns Ruleset swap prepare latency in nanoseconds\n"
+              "# TYPE mfa_ruleset_swap_ns histogram\n");
+  {
+    const HistogramSnapshot& h = snap.ruleset_swap_ns;
+    std::uint64_t cumulative = 0;
+    const std::size_t hi = h.max_bucket();
+    for (std::size_t b = 0; b <= hi && b + 1 < kHistogramBuckets; ++b) {
+      cumulative += h.counts[b];
+      append(out, "mfa_ruleset_swap_ns_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+             Histogram::bucket_upper_bound(b), cumulative);
+    }
+    append(out, "mfa_ruleset_swap_ns_bucket{le=\"+Inf\"} %" PRIu64 "\n", h.count);
+    append(out, "mfa_ruleset_swap_ns_sum %" PRIu64 "\n", h.sum);
+    append(out, "mfa_ruleset_swap_ns_count %" PRIu64 "\n", h.count);
+  }
+  append(out, "# HELP mfa_generation_matches_total Confirmed matches per ruleset generation\n"
+              "# TYPE mfa_generation_matches_total counter\n");
+  for (const auto& [gen, count] : snap.generation_matches)
+    append(out, "mfa_generation_matches_total{generation=\"%" PRIu64 "\"} %" PRIu64 "\n",
+           gen, count);
+  append(out, "# HELP mfa_generation_match_overflow_total Matches the generation slot table could not place\n"
+              "# TYPE mfa_generation_match_overflow_total counter\n"
+              "mfa_generation_match_overflow_total %" PRIu64 "\n",
+         snap.generation_match_overflow);
   return out;
 }
 

@@ -1,5 +1,9 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+
+#include "util/timing.h"
+
 namespace mfa::obs {
 
 std::uint64_t HistogramSnapshot::quantile(double q) const {
@@ -89,7 +93,28 @@ RegistrySnapshot MetricsRegistry::snapshot() const {
   snap.match_id_overflow = match_id_overflow_.load(std::memory_order_relaxed);
   snap.trace_events = trace_.drain();
   snap.trace_recorded = trace_.recorded();
+  snap.ruleset_generation = ruleset_generation_.load(std::memory_order_relaxed);
+  snap.ruleset_swaps = ruleset_swaps_.load(std::memory_order_relaxed);
+  snap.ruleset_swap_ns = ruleset_swap_ns_.snapshot();
+  for (const GenerationSlot& slot : generation_slots_) {
+    const std::uint64_t gen = slot.generation.load(std::memory_order_acquire);
+    if (gen == kGenerationSlotEmpty) continue;
+    const std::uint64_t c = slot.count.load(std::memory_order_relaxed);
+    if (c != 0) snap.generation_matches.emplace_back(gen, c);
+  }
+  std::sort(snap.generation_matches.begin(), snap.generation_matches.end());
+  snap.generation_match_overflow =
+      generation_match_overflow_.load(std::memory_order_relaxed);
   return snap;
+}
+
+void MetricsRegistry::record_ruleset_swap(std::uint64_t generation,
+                                          std::uint64_t prepare_ns) {
+  ruleset_generation_.store(generation, std::memory_order_relaxed);
+  ruleset_swaps_.fetch_add(1, std::memory_order_relaxed);
+  ruleset_swap_ns_.record(prepare_ns);
+  trace_.record(0, 0, 0, 0, 0, kRulesetSwappedEventId, generation,
+                util::rdtsc_now());
 }
 
 }  // namespace mfa::obs

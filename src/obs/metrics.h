@@ -37,6 +37,11 @@ inline constexpr std::size_t kHistogramBuckets = 64;
 /// never reach this value (pattern tables are far smaller than 2^32-1).
 inline constexpr std::uint32_t kFlowQuarantinedEventId = 0xffffffffu;
 
+/// Reserved match-id used in the MatchTraceRing for ruleset hot-swap events
+/// (DESIGN.md Sec. 10): the 5-tuple fields are zero and `offset` carries the
+/// newly published engine generation.
+inline constexpr std::uint32_t kRulesetSwappedEventId = 0xfffffffeu;
+
 /// Read-side copy of a Histogram: plain integers, mergeable across shards.
 struct HistogramSnapshot {
   std::uint64_t counts[kHistogramBuckets] = {};
@@ -257,6 +262,13 @@ struct RegistrySnapshot {
   std::uint64_t match_id_overflow = 0;  ///< hits whose id exceeded the counter table
   std::vector<MatchTraceRing::Event> trace_events;
   std::uint64_t trace_recorded = 0;
+  // --- ruleset lifecycle (DESIGN.md Sec. 10) ---
+  std::uint64_t ruleset_generation = 0;  ///< gauge: newest published generation
+  std::uint64_t ruleset_swaps = 0;       ///< completed hot swaps
+  HistogramSnapshot ruleset_swap_ns;     ///< swap prepare latency (compile/load)
+  /// Matches attributed per engine generation, ascending by generation.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> generation_matches;
+  std::uint64_t generation_match_overflow = 0;  ///< hits the slot table couldn't place
 
   [[nodiscard]] ShardSnapshot totals() const {
     ShardSnapshot t;
@@ -306,16 +318,69 @@ class MetricsRegistry {
   [[nodiscard]] MatchTraceRing& trace() { return trace_; }
   [[nodiscard]] const MatchTraceRing& trace() const { return trace_; }
 
+  // --- ruleset lifecycle (DESIGN.md Sec. 10) ---
+
+  /// A hot swap published `generation`; `prepare_ns` is the off-thread
+  /// compile/load latency. Bumps the generation gauge and swap counter,
+  /// records the latency histogram and a kRulesetSwappedEventId trace event.
+  void record_ruleset_swap(std::uint64_t generation, std::uint64_t prepare_ns);
+
+  [[nodiscard]] std::uint64_t ruleset_generation() const {
+    return ruleset_generation_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t ruleset_swaps() const {
+    return ruleset_swaps_.load(std::memory_order_relaxed);
+  }
+
+  /// Attribute one match to the engine generation that produced it. Lock
+  /// free: a small fixed table of CAS-claimed (generation, count) slots —
+  /// plenty for the handful of generations alive at once; a hit that cannot
+  /// claim a slot (hash collision with a different live generation) counts
+  /// as generation_match_overflow instead of being dropped.
+  void count_match_generation(std::uint64_t generation) {
+    GenerationSlot& slot = generation_slots_[generation % kGenerationSlots];
+    std::uint64_t cur = slot.generation.load(std::memory_order_acquire);
+    if (cur == kGenerationSlotEmpty &&
+        slot.generation.compare_exchange_strong(cur, generation,
+                                                std::memory_order_acq_rel))
+      cur = generation;  // we claimed it (CAS failure leaves the winner in cur)
+    if (cur != generation) {
+      generation_match_overflow_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    slot.count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t generation_match_count(std::uint64_t generation) const {
+    const GenerationSlot& slot = generation_slots_[generation % kGenerationSlots];
+    return slot.generation.load(std::memory_order_acquire) == generation
+               ? slot.count.load(std::memory_order_relaxed)
+               : 0;
+  }
+
   /// Read-side copy of everything, safe while workers keep scanning.
   [[nodiscard]] RegistrySnapshot snapshot() const;
 
  private:
+  static constexpr std::size_t kGenerationSlots = 32;
+  static constexpr std::uint64_t kGenerationSlotEmpty = ~std::uint64_t{0};
+
+  struct GenerationSlot {
+    std::atomic<std::uint64_t> generation{kGenerationSlotEmpty};
+    std::atomic<std::uint64_t> count{0};
+  };
+
   std::size_t shard_count_;
   std::size_t match_id_capacity_;
   std::unique_ptr<ShardMetrics[]> shards_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> match_counts_;
   std::atomic<std::uint64_t> match_id_overflow_{0};
   MatchTraceRing trace_;
+  std::atomic<std::uint64_t> ruleset_generation_{0};
+  std::atomic<std::uint64_t> ruleset_swaps_{0};
+  Histogram ruleset_swap_ns_;
+  GenerationSlot generation_slots_[kGenerationSlots];
+  std::atomic<std::uint64_t> generation_match_overflow_{0};
 };
 
 }  // namespace mfa::obs

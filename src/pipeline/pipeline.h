@@ -47,6 +47,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -101,6 +102,10 @@ enum class ShedReason : std::uint8_t {
 struct FlowMatch {
   flow::FlowKey key;
   Match match;
+  /// Engine generation whose context produced the match (0 before any
+  /// swap_ruleset); across a hot swap this attributes every match to the
+  /// ruleset that actually scanned the flow.
+  std::uint64_t generation = 0;
 };
 
 /// Per-shard accounting, merged by the dispatcher after finish().
@@ -133,6 +138,9 @@ struct ShardStats {
   std::uint64_t flows_quarantined = 0; ///< flows evicted for busting CPU budget
   std::uint64_t worker_restarts = 0;   ///< crashed workers revived by watchdog
   std::uint64_t worker_stalls = 0;     ///< stall episodes flagged by watchdog
+  /// Matches keyed by the engine generation that produced them (generation
+  /// 0 before any swap_ruleset). Sums to `matches` for joined workers.
+  std::map<std::uint64_t, std::uint64_t> matches_by_generation;
 
   [[nodiscard]] std::uint64_t shed_total() const {
     return shed_admission + shed_bypass + shed_corrupt + shed_crash +
@@ -161,6 +169,8 @@ struct ShardStats {
     flows_quarantined += o.flows_quarantined;
     worker_restarts += o.worker_restarts;
     worker_stalls += o.worker_stalls;
+    for (const auto& [gen, count] : o.matches_by_generation)
+      matches_by_generation[gen] += count;
     return *this;
   }
 };
@@ -186,6 +196,11 @@ struct Options {
   /// Shard i writes into metrics->shard(i % metrics->shard_count()); when
   /// null the hot path pays one untaken branch per packet.
   obs::MetricsRegistry* metrics = nullptr;
+  /// What happens to flows mid-stream when swap_ruleset() publishes a new
+  /// engine generation (DESIGN.md Sec. 10). kDrainOld preserves per-flow
+  /// match parity for flows that predate the swap; kResetOnNextPacket
+  /// releases the old generation fastest.
+  flow::SwapPolicy swap_policy = flow::SwapPolicy::kDrainOld;
 
   // --- Overload & robustness (DESIGN.md Sec. 9) ---
   ShedPolicy shed_policy = ShedPolicy::kBackpressure;
@@ -251,6 +266,14 @@ class ShardedInspector {
     if (shed_high_ == 0) shed_high_ = 1;
     shed_low_ = options_.shed_low_water != 0 ? options_.shed_low_water
                                              : shed_high_ / 2;
+    {
+      // A swap published before this start() (or between runs): stage it so
+      // every fresh worker adopts the generation on its first iteration.
+      std::lock_guard<std::mutex> lock(swap_mu_);
+      if (engine_pin_ != nullptr)
+        for (auto& shard : shards_)
+          shard->stage_swap(engine_pin_, current_generation_);
+    }
     for (auto& shard : shards_) {
       shard->alive.store(true, std::memory_order_release);
       shard->thread = std::thread([s = shard.get()] { s->run(); });
@@ -258,6 +281,48 @@ class ShardedInspector {
     if (options_.watchdog)
       watchdog_thread_ = std::thread([this] { watchdog_run(); });
     running_ = true;
+  }
+
+  /// Atomically publish a new engine generation to the running pipeline
+  /// (the ruleset hot swap, DESIGN.md Sec. 10). `engine` is typically an
+  /// aliased pointer into a reload::EngineSet — the shared_ptr refcount is
+  /// what keeps the set alive while any shard still references it.
+  /// `generation` must be unique and increasing (reload::RulesetRegistry
+  /// hands these out).
+  ///
+  /// Each worker notices the staged generation at its next batch boundary
+  /// (one acquire load per loop iteration) and adopts it there, so no
+  /// packet is ever lost or torn mid-burst by a swap; per-flow contexts
+  /// follow Options::swap_policy. Callable from any thread — including a
+  /// background compile thread — concurrently with submit(), but not
+  /// concurrently with start()/finish().
+  void swap_ruleset(std::shared_ptr<const EngineT> engine, std::uint64_t generation) {
+    if (engine == nullptr) return;
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    engine_ = engine.get();
+    engine_pin_ = engine;
+    current_generation_ = generation;
+    for (auto& shard : shards_) shard->stage_swap(engine, generation);
+  }
+
+  /// Newest generation published via swap_ruleset (0 initially).
+  [[nodiscard]] std::uint64_t current_generation() const {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    return current_generation_;
+  }
+
+  /// Lowest generation adopted across the live shards — once this reaches
+  /// the value passed to swap_ruleset, every worker is scanning new flows
+  /// with the new ruleset. 0 before start() or before any swap.
+  [[nodiscard]] std::uint64_t adopted_generation() const {
+    if (shards_.empty()) return 0;
+    std::uint64_t lowest = ~std::uint64_t{0};
+    for (const auto& shard : shards_) {
+      const std::uint64_t g =
+          shard->adopted_generation.load(std::memory_order_acquire);
+      lowest = g < lowest ? g : lowest;
+    }
+    return lowest;
   }
 
   /// Enqueue one packet to its flow's shard (single producer thread).
@@ -571,6 +636,9 @@ class ShardedInspector {
                         shard->matches.end());
         flow_matches_.insert(flow_matches_.end(), shard->flow_matches.begin(),
                              shard->flow_matches.end());
+        // The per-generation map is worker-owned plain memory: only merged
+        // after a join (an abandoned worker's map cannot be read safely).
+        st.matches_by_generation = shard->gen_matches;
       }
       stats_.push_back(st);
     }
@@ -670,6 +738,7 @@ class ShardedInspector {
           batch_size(o.batch_size),
           collect(o.collect_matches),
           collect_flows(o.collect_flow_matches),
+          swap_policy(o.swap_policy),
           reassembly_high(o.reassembly_high_water_bytes),
           shed_sink(o.shed_sink) {
       inspector.set_batch_lanes(o.scan_lanes);
@@ -689,8 +758,43 @@ class ShardedInspector {
     std::size_t batch_size;
     bool collect;
     bool collect_flows;
+    flow::SwapPolicy swap_policy;
     std::uint64_t reassembly_high;
     std::function<void(const flow::Packet&, ShedReason)> shed_sink;
+
+    // Ruleset hot-swap staging: the swapper thread writes the staged fields
+    // under swap_mu and bumps swap_seq; the worker notices the bump at a
+    // batch boundary and adopts under the same mutex (cold path — one
+    // acquire load per loop iteration when no swap is pending).
+    std::mutex swap_mu;
+    std::shared_ptr<const EngineT> staged_pin;  // guarded by swap_mu
+    std::uint64_t staged_generation = 0;        // guarded by swap_mu
+    std::atomic<std::uint64_t> swap_seq{0};
+    std::atomic<std::uint64_t> adopted_generation{0};
+
+    void stage_swap(std::shared_ptr<const EngineT> engine, std::uint64_t generation) {
+      std::lock_guard<std::mutex> lock(swap_mu);
+      staged_pin = std::move(engine);
+      staged_generation = generation;
+      swap_seq.fetch_add(1, std::memory_order_release);
+    }
+
+    /// Worker-side: adopt whatever is currently staged. adopt_engine is a
+    /// no-op when the staged generation is already current (restart replay,
+    /// or two seq bumps observed after one read).
+    void adopt_staged() {
+      std::shared_ptr<const EngineT> pin;
+      std::uint64_t generation;
+      {
+        std::lock_guard<std::mutex> lock(swap_mu);
+        pin = staged_pin;
+        generation = staged_generation;
+      }
+      if (pin == nullptr) return;
+      const EngineT& engine = *pin;
+      inspector.adopt_engine(engine, generation, swap_policy, std::move(pin));
+      adopted_generation.store(generation, std::memory_order_release);
+    }
 
     // Control plane. The shard is self-contained (no pointers back into the
     // ShardedInspector) so an abandoned shard in the graveyard stays valid
@@ -727,6 +831,7 @@ class ShardedInspector {
     obs::ShardMetrics* metrics = nullptr;  // shared relaxed-atomic telemetry
     MatchVec matches;                      // worker-owned until join
     std::vector<FlowMatch> flow_matches;   // worker-owned until join
+    std::map<std::uint64_t, std::uint64_t> gen_matches;  // worker-owned until join
     std::vector<flow::Packet> pending;     // producer-owned submit buffer
     std::vector<flow::Packet> burst;       // worker-owned pop buffer
     std::size_t producer_max_depth = 0;    // producer-owned
@@ -811,10 +916,18 @@ class ShardedInspector {
       } guard{&alive};
       try {
         std::uint64_t iter = 0;
+        std::uint64_t adopted_seq = 0;
         for (;;) {
           heartbeat.fetch_add(1, std::memory_order_relaxed);
           if constexpr (util::faultpoints_enabled()) {
             if ((iter++ & 63) == 0) util::fault_stall("pipeline.worker.stall");
+          }
+          // Batch boundary: adopt a staged ruleset generation before the
+          // next burst. One acquire load when nothing is staged.
+          const std::uint64_t seq = swap_seq.load(std::memory_order_acquire);
+          if (seq != adopted_seq) {
+            adopt_staged();
+            adopted_seq = seq;
           }
           const std::size_t n = queue.try_pop_batch(burst.data(), burst.size());
           if (n != 0) {
@@ -877,12 +990,15 @@ class ShardedInspector {
         // hands distinct-flow runs to the engine's K-way interleaved
         // feed_many; same-flow packets stay strictly sequential. The drop
         // sink fires for packets of quarantined flows.
-        inspector.packet_batch_flows(
+        inspector.packet_batch_attributed(
             burst.data(), kept,
-            [this](const flow::FlowKey& key, std::uint32_t id, std::uint64_t end) {
+            [this](const flow::FlowKey& key, std::uint64_t generation,
+                   std::uint32_t id, std::uint64_t end) {
               matches_a.fetch_add(1, std::memory_order_relaxed);
+              ++gen_matches[generation];
               if (collect) matches.push_back(Match{id, end});
-              if (collect_flows) flow_matches.push_back(FlowMatch{key, Match{id, end}});
+              if (collect_flows)
+                flow_matches.push_back(FlowMatch{key, Match{id, end}, generation});
             },
             [&](const flow::Packet& p) {
               ++burst_qdrops;
@@ -935,6 +1051,9 @@ class ShardedInspector {
 
   const EngineT* engine_;
   Options options_;
+  mutable std::mutex swap_mu_;  ///< serializes swap_ruleset vs. itself/start
+  std::shared_ptr<const EngineT> engine_pin_;  ///< owner of a swapped engine
+  std::uint64_t current_generation_ = 0;       ///< guarded by swap_mu_
   std::atomic<bool> stop_{false};
   bool running_ = false;
   std::size_t shed_high_ = 0;

@@ -1,0 +1,42 @@
+#include "pipeline/reload.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "rules/rules.h"
+
+namespace mfa::pipeline::reload {
+
+SourceResult<core::Mfa> compile_rules_file(const std::string& path,
+                                           const core::BuildOptions& options) {
+  rules::LoadResult loaded = rules::load_rules_file(path);
+  if (!loaded.ok()) {
+    std::string err = "cannot compile rules file '" + path + "'";
+    if (!loaded.errors.empty()) {
+      err += ": line " + std::to_string(loaded.errors.front().line) + ": " +
+             loaded.errors.front().message;
+      if (loaded.errors.size() > 1)
+        err += " (+" + std::to_string(loaded.errors.size() - 1) + " more)";
+    }
+    return {std::nullopt, std::move(err)};
+  }
+  if (loaded.rules.empty())
+    return {std::nullopt, "rules file '" + path + "' contains no rules"};
+  std::optional<core::Mfa> mfa =
+      core::build_mfa(rules::to_pattern_inputs(loaded.rules), options);
+  if (!mfa.has_value())
+    return {std::nullopt,
+            "MFA construction failed for '" + path + "' (piece DFA state cap)"};
+  return {std::move(mfa), std::string()};
+}
+
+SourceResult<core::Mfa> load_artifact(const std::string& path) {
+  std::optional<core::Mfa> mfa = core::Mfa::load(path);
+  if (!mfa.has_value())
+    return {std::nullopt,
+            "cannot load MFAC artifact '" + path + "' (missing, corrupt, or wrong version)"};
+  return {std::move(mfa), std::string()};
+}
+
+}  // namespace mfa::pipeline::reload

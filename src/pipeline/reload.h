@@ -1,0 +1,204 @@
+// Live ruleset hot-swap (DESIGN.md Sec. 10 "Ruleset lifecycle & hot reload").
+//
+// Security rule sets change constantly while the sensor must keep scanning:
+// this header turns "compile on a build host, push to sensors" (the MFAC
+// artifact workflow) into an online operation. An EngineSet is one compiled
+// ruleset with a generation number; the RulesetRegistry versions and owns
+// the newest one; a HotSwapper prepares a candidate (compiling a rules file
+// or loading an artifact) off the packet path — optionally on a background
+// thread — and atomically publishes it to a running ShardedInspector via
+// swap_ruleset(). Lifetime is pure refcounting: every pipeline shard pins
+// the EngineSet it scans with through an aliased shared_ptr, so the old set
+// is destroyed exactly when the last flow context referencing it retires.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "mfa/mfa.h"
+#include "obs/metrics.h"
+#include "pipeline/pipeline.h"
+#include "util/timing.h"
+
+namespace mfa::pipeline::reload {
+
+/// One compiled ruleset generation: the immutable engine plus the metadata
+/// operators see in swap reports and telemetry. Shared, refcounted; the
+/// pipeline holds aliased shared_ptrs into `engine`, so the whole set lives
+/// until the last shard/flow referencing it lets go.
+template <typename EngineT>
+struct EngineSet {
+  EngineT engine;
+  std::uint64_t generation = 0;
+  std::string origin;  ///< rules path, artifact path, or a caller label
+};
+
+/// Aliased pointer to the set's engine: copying it refcounts the whole
+/// EngineSet — exactly what ShardedInspector::swap_ruleset wants to pin.
+template <typename EngineT>
+[[nodiscard]] std::shared_ptr<const EngineT> engine_of(
+    const std::shared_ptr<const EngineSet<EngineT>>& set) {
+  return std::shared_ptr<const EngineT>(set, &set->engine);
+}
+
+/// Generation-versioned registry of the newest published ruleset. publish()
+/// assigns the next generation (starting at 1; 0 means "the engine the
+/// pipeline was constructed with"). Thread-safe.
+template <typename EngineT>
+class RulesetRegistry {
+ public:
+  std::shared_ptr<const EngineSet<EngineT>> publish(EngineT engine, std::string origin) {
+    auto set = std::make_shared<EngineSet<EngineT>>(EngineSet<EngineT>{
+        std::move(engine), next_generation_.fetch_add(1, std::memory_order_relaxed),
+        std::move(origin)});
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = set;
+    return set;
+  }
+
+  [[nodiscard]] std::shared_ptr<const EngineSet<EngineT>> current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  /// Generation of the newest published set (0 when none yet).
+  [[nodiscard]] std::uint64_t current_generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_ != nullptr ? current_->generation : 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const EngineSet<EngineT>> current_;
+  std::atomic<std::uint64_t> next_generation_{1};
+};
+
+/// Outcome of one swap attempt. A failed prepare (parse error, missing or
+/// corrupt artifact, state-cap blowup) never touches the pipeline: the old
+/// generation keeps scanning.
+struct SwapReport {
+  bool ok = false;
+  std::string error;
+  std::uint64_t generation = 0;    ///< published generation when ok
+  double prepare_seconds = 0.0;    ///< compile/load time, off the packet path
+  std::string origin;
+
+  [[nodiscard]] explicit operator bool() const { return ok; }
+};
+
+/// A candidate-ruleset source: returns the compiled engine, or nullopt plus
+/// a human-readable error. Runs on the swapper's (possibly background)
+/// thread, never on a packet-path thread.
+template <typename EngineT>
+using SourceResult = std::pair<std::optional<EngineT>, std::string>;
+
+/// Glue object for "keep scanning while rules change": prepares a candidate
+/// via a Source callback, publishes it through the registry, and swaps it
+/// into the pipeline; obs::MetricsRegistry (optional) gets the generation
+/// gauge / swap counter / latency histogram / trace event.
+///
+/// swap_now() runs inline (caller's thread blocks for the prepare);
+/// swap_async() runs the same sequence on a managed background thread — at
+/// most one in flight, the destructor joins. Both may run concurrently with
+/// submit(), but not with start()/finish() (swap_ruleset's contract).
+template <typename EngineT>
+class HotSwapper {
+ public:
+  using Source = std::function<SourceResult<EngineT>()>;
+
+  HotSwapper(RulesetRegistry<EngineT>& registry, ShardedInspector<EngineT>& pipeline,
+             obs::MetricsRegistry* metrics = nullptr)
+      : registry_(&registry), pipeline_(&pipeline), metrics_(metrics) {}
+
+  ~HotSwapper() { join(); }
+
+  HotSwapper(const HotSwapper&) = delete;
+  HotSwapper& operator=(const HotSwapper&) = delete;
+
+  /// Prepare + publish + swap, inline on the calling thread.
+  SwapReport swap_now(const Source& source, std::string origin) {
+    util::WallTimer timer;
+    SourceResult<EngineT> prepared = source();
+    SwapReport report;
+    report.origin = std::move(origin);
+    if (!prepared.first.has_value()) {
+      report.prepare_seconds = timer.seconds();
+      report.error = prepared.second.empty() ? "ruleset prepare failed"
+                                             : std::move(prepared.second);
+      set_report(report);
+      return report;
+    }
+    auto set = registry_->publish(*std::move(prepared.first), report.origin);
+    report.prepare_seconds = timer.seconds();
+    pipeline_->swap_ruleset(engine_of(set), set->generation);
+    report.ok = true;
+    report.generation = set->generation;
+    if (metrics_ != nullptr)
+      metrics_->record_ruleset_swap(
+          set->generation,
+          static_cast<std::uint64_t>(report.prepare_seconds * 1e9));
+    set_report(report);
+    return report;
+  }
+
+  /// Kick off swap_now() on a background thread. Returns false (and does
+  /// nothing) when a previous async swap is still in flight. Completion is
+  /// observable via busy() / last_report().
+  bool swap_async(Source source, std::string origin) {
+    if (busy_.exchange(true, std::memory_order_acq_rel)) return false;
+    join();  // reap the previous (finished) thread before reusing the slot
+    thread_ = std::thread([this, src = std::move(source), org = std::move(origin)]() mutable {
+      swap_now(src, std::move(org));
+      busy_.store(false, std::memory_order_release);
+    });
+    return true;
+  }
+
+  /// An async swap is still preparing/publishing.
+  [[nodiscard]] bool busy() const { return busy_.load(std::memory_order_acquire); }
+
+  /// Block until the in-flight async swap (if any) completes.
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// The most recent completed swap attempt (sync or async).
+  [[nodiscard]] std::optional<SwapReport> last_report() const {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    return last_report_;
+  }
+
+ private:
+  void set_report(const SwapReport& report) {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    last_report_ = report;
+  }
+
+  RulesetRegistry<EngineT>* registry_;
+  ShardedInspector<EngineT>* pipeline_;
+  obs::MetricsRegistry* metrics_;
+  std::atomic<bool> busy_{false};
+  std::thread thread_;
+  mutable std::mutex report_mu_;
+  std::optional<SwapReport> last_report_;
+};
+
+// --- Mfa-specific candidate sources (reload.cpp) ---
+
+/// Compile a Snort-style rules file into an Mfa. Parse options inside
+/// `options.parse` govern the rule dialect and are persisted through any
+/// later Mfa::save().
+SourceResult<core::Mfa> compile_rules_file(const std::string& path,
+                                           const core::BuildOptions& options = {});
+
+/// Load a compiled MFAC artifact (the build-host → sensor push workflow).
+SourceResult<core::Mfa> load_artifact(const std::string& path);
+
+}  // namespace mfa::pipeline::reload

@@ -19,14 +19,36 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+namespace detail {
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) h = (h ^ p[i]) * kFnvPrime;
+  return h;
+}
+}  // namespace detail
+
 class BinWriter {
  public:
   explicit BinWriter(std::FILE* f) : f_(f) {}
 
   bool ok() const { return ok_; }
+  void fail() { ok_ = false; }
+
+  /// FNV-1a over everything written so far. Write it last (via u64) so a
+  /// reader can verify the payload; the trailing write itself is excluded
+  /// because the caller snapshots digest() before emitting it.
+  std::uint64_t digest() const { return digest_; }
 
   void bytes(const void* data, std::size_t size) {
-    if (ok_ && std::fwrite(data, 1, size, f_) != size) ok_ = false;
+    if (!ok_) return;
+    if (std::fwrite(data, 1, size, f_) != size) {
+      ok_ = false;
+      return;
+    }
+    digest_ = detail::fnv1a(digest_, data, size);
   }
   void u8(std::uint8_t v) { bytes(&v, 1); }
   void u16(std::uint16_t v) { bytes(&v, 2); }
@@ -34,6 +56,12 @@ class BinWriter {
   void u64(std::uint64_t v) { bytes(&v, 8); }
   void i32(std::int32_t v) { bytes(&v, 4); }
   void str(const std::string& s) {
+    // The length prefix is a u32; refuse anything it cannot represent
+    // instead of silently truncating the prefix and writing a torn record.
+    if (s.size() > 0xffffffffull) {
+      ok_ = false;
+      return;
+    }
     u32(static_cast<std::uint32_t>(s.size()));
     bytes(s.data(), s.size());
   }
@@ -46,6 +74,7 @@ class BinWriter {
  private:
   std::FILE* f_;
   bool ok_ = true;
+  std::uint64_t digest_ = detail::kFnvOffset;
 };
 
 class BinReader {
@@ -57,8 +86,17 @@ class BinReader {
   bool ok() const { return ok_; }
   void fail() { ok_ = false; }
 
+  /// FNV-1a over everything read so far; snapshot before reading a trailing
+  /// checksum and compare against it.
+  std::uint64_t digest() const { return digest_; }
+
   void bytes(void* data, std::size_t size) {
-    if (ok_ && std::fread(data, 1, size, f_) != size) ok_ = false;
+    if (!ok_) return;
+    if (std::fread(data, 1, size, f_) != size) {
+      ok_ = false;
+      return;
+    }
+    digest_ = detail::fnv1a(digest_, data, size);
   }
   std::uint8_t u8() { return scalar<std::uint8_t>(); }
   std::uint16_t u16() { return scalar<std::uint16_t>(); }
@@ -80,7 +118,10 @@ class BinReader {
   template <typename T>
   std::vector<T> pod_vec() {
     const std::uint64_t count = u64();
-    if (!ok_ || count * sizeof(T) > max_bytes_) {
+    // Divide instead of multiplying: `count * sizeof(T)` wraps for huge
+    // counts (2^62 * 8 == 0), letting a 16-byte crafted header drive the
+    // vector constructor into std::length_error / OOM.
+    if (!ok_ || count > max_bytes_ / sizeof(T)) {
       ok_ = false;
       return {};
     }
@@ -100,6 +141,7 @@ class BinReader {
   std::FILE* f_;
   std::size_t max_bytes_;
   bool ok_ = true;
+  std::uint64_t digest_ = detail::kFnvOffset;
 };
 
 }  // namespace mfa::util

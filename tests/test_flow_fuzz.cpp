@@ -252,6 +252,7 @@ TEST(FlowStorage, PerFlowStateIsContextPlusBookkeepingOnly) {
     std::uint64_t pending_bytes;
     std::uint64_t batch_stamp;
     std::uint64_t scan_ticks;
+    std::uint64_t context_generation;
     std::map<std::uint64_t, Insp::FlowState::PendingSegment> pending;
     Insp::FlowState* lru_prev;
     Insp::FlowState* lru_next;

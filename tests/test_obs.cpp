@@ -318,6 +318,76 @@ TEST(Exporters, BenchReportSchema) {
             std::string::npos);
 }
 
+// --- Ruleset hot-swap telemetry (DESIGN.md Sec. 10) ---
+
+TEST(RulesetSwapTelemetry, RecordsGaugeCounterHistogramAndTraceEvent) {
+  MetricsRegistry reg(1);
+  reg.record_ruleset_swap(3, 1500);
+  reg.count_match_generation(3);
+  reg.count_match_generation(3);
+  reg.count_match_generation(1);
+
+  EXPECT_EQ(reg.ruleset_generation(), 3u);
+  EXPECT_EQ(reg.ruleset_swaps(), 1u);
+  EXPECT_EQ(reg.generation_match_count(3), 2u);
+  EXPECT_EQ(reg.generation_match_count(1), 1u);
+  EXPECT_EQ(reg.generation_match_count(2), 0u);
+
+  const RegistrySnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.ruleset_generation, 3u);
+  EXPECT_EQ(snap.ruleset_swaps, 1u);
+  EXPECT_EQ(snap.ruleset_swap_ns.count, 1u);
+  EXPECT_EQ(snap.ruleset_swap_ns.sum, 1500u);
+  ASSERT_EQ(snap.generation_matches.size(), 2u);  // ascending generation
+  EXPECT_EQ(snap.generation_matches[0], (std::pair<std::uint64_t, std::uint64_t>{1, 1}));
+  EXPECT_EQ(snap.generation_matches[1], (std::pair<std::uint64_t, std::uint64_t>{3, 2}));
+  EXPECT_EQ(snap.generation_match_overflow, 0u);
+
+  // The swap leaves a trace-ring marker carrying the generation.
+  bool saw_event = false;
+  for (const auto& e : snap.trace_events)
+    if (e.match_id == kRulesetSwappedEventId) {
+      saw_event = true;
+      EXPECT_EQ(e.offset, 3u);
+    }
+  EXPECT_TRUE(saw_event);
+}
+
+TEST(RulesetSwapTelemetry, SlotCollisionCountsOverflowInsteadOfMisattributing) {
+  MetricsRegistry reg(1);
+  // Generations 5 and 5+32 hash to the same slot; the second claim must be
+  // rejected and counted as overflow, never added to generation 5.
+  reg.count_match_generation(5);
+  reg.count_match_generation(5 + 32);
+  const RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.generation_matches.size(), 1u);
+  EXPECT_EQ(snap.generation_matches[0].first, 5u);
+  EXPECT_EQ(snap.generation_matches[0].second, 1u);
+  EXPECT_EQ(snap.generation_match_overflow, 1u);
+}
+
+TEST(RulesetSwapTelemetry, ExportersRenderSwapFields) {
+  MetricsRegistry reg(1);
+  reg.record_ruleset_swap(2, 1000);
+  reg.count_match_generation(2);
+  const RegistrySnapshot snap = reg.snapshot();
+
+  const std::string prom = to_prometheus(snap);
+  EXPECT_NE(prom.find("mfa_ruleset_generation 2\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("mfa_ruleset_swaps_total 1\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE mfa_ruleset_swap_ns histogram"), std::string::npos);
+  EXPECT_NE(prom.find("mfa_ruleset_swap_ns_count 1\n"), std::string::npos);
+  EXPECT_NE(prom.find("mfa_generation_matches_total{generation=\"2\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("mfa_generation_match_overflow_total 0\n"), std::string::npos);
+
+  const std::string json = to_json(snap);
+  EXPECT_NE(json.find("\"ruleset\":{\"generation\":2,\"swaps\":1,"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"generation_matches\":[[2,1]]"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // still JSONL-safe
+}
+
 // --- StatsWriter ---
 
 TEST(StatsWriter, AppendsJsonLines) {

@@ -137,6 +137,154 @@ TEST(Serialize, RejectsBitFlipsInHeaderRegion) {
   std::remove(path.c_str());
 }
 
+TEST(BinIo, PodVecCraftedHugeCountFailsCleanly) {
+  // Regression: a 16-byte crafted header whose count makes `count *
+  // sizeof(T)` wrap to ~0 (2^61 * 8 == 2^64) used to slip past the
+  // pre-allocation size check and drive std::vector into length_error /
+  // OOM. The divide-based guard must reject it before allocating.
+  const std::string path = temp_path("huge_count.bin");
+  {
+    util::FilePtr f(std::fopen(path.c_str(), "wb"));
+    util::BinWriter w(f.get());
+    w.u64(0x2000000000000000ull);  // * sizeof(u64) wraps to exactly 0
+    w.u64(0xdeadbeefull);          // "payload" the wrap would have trusted
+    ASSERT_TRUE(w.ok());
+  }
+  {
+    util::FilePtr f(std::fopen(path.c_str(), "rb"));
+    util::BinReader r(f.get());
+    const std::vector<std::uint64_t> v = r.pod_vec<std::uint64_t>();
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(v.empty());
+  }
+  {
+    // Same wrap through a narrower element type (2^62 * 4 == 2^64).
+    util::FilePtr f(std::fopen(path.c_str(), "rb"));
+    util::BinReader r(f.get());
+    r.u32();  // misalign so the count reads as a different huge value
+    const std::vector<std::uint32_t> v = r.pod_vec<std::uint32_t>();
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(v.empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, SaveIsAtomicAndLeavesNoTempFile) {
+  auto built = build_mfa(compile_patterns({".*ab.*cd"}));
+  ASSERT_TRUE(built.has_value());
+  const std::string path = temp_path("atomic.mfac");
+
+  // Plant garbage at the destination: a failed save must not clobber it,
+  // a successful save must replace it wholesale.
+  std::FILE* g = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(g, nullptr);
+  std::fputs("stale garbage, not an automaton", g);
+  std::fclose(g);
+
+  ASSERT_TRUE(built->save(path));
+  EXPECT_TRUE(Mfa::load(path).has_value());
+
+  // The staging file must be gone after a successful rename.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+
+  // A save into a nonexistent directory fails cleanly and leaves the
+  // previously published artifact untouched.
+  EXPECT_FALSE(built->save(::testing::TempDir() + "/no_such_dir/x.mfac"));
+  EXPECT_TRUE(Mfa::load(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, PersistsParseOptionsAcrossRoundTrip) {
+  // A pattern nested beyond the default max_nesting_depth only parses with
+  // relaxed options; load() re-parses the stored piece sources, so the
+  // format must carry the options or reload fails at exactly this
+  // boundary.
+  std::string deep = ".*";
+  for (int i = 0; i < 150; ++i) deep += '(';
+  deep += "needle";
+  for (int i = 0; i < 150; ++i) deep += ')';
+
+  ASSERT_FALSE(regex::parse(deep).ok());  // default cap (100) rejects it
+
+  regex::ParseOptions popt;
+  popt.max_nesting_depth = 200;
+  popt.max_counted_repeat = 512;  // non-default, must round-trip too
+  regex::ParseResult parsed = regex::parse(deep, popt);
+  ASSERT_TRUE(parsed.ok());
+
+  BuildOptions bopt;
+  bopt.parse = popt;
+  auto built = build_mfa({nfa::PatternInput{*parsed.regex, 7}}, bopt);
+  ASSERT_TRUE(built.has_value());
+
+  const std::string path = temp_path("options.mfac");
+  ASSERT_TRUE(built->save(path));
+  auto loaded = Mfa::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->parse_options().icase, popt.icase);
+  EXPECT_EQ(loaded->parse_options().dotall, popt.dotall);
+  EXPECT_EQ(loaded->parse_options().max_counted_repeat, popt.max_counted_repeat);
+  EXPECT_EQ(loaded->parse_options().max_nesting_depth, popt.max_nesting_depth);
+
+  MfaScanner a(*built);
+  MfaScanner b(*loaded);
+  for (const std::string input : {"xx needle yy", "need le", "needleneedle"})
+    EXPECT_EQ(sorted(a.scan(input)), sorted(b.scan(input))) << input;
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, StompCorpusEveryMutationLoadsAsNullopt) {
+  // The v2 format ends with an FNV-1a digest of the whole payload plus an
+  // EOF check, so ANY single-byte corruption, truncation, or trailing
+  // garbage must come back std::nullopt — never a half-valid automaton,
+  // never a crash (the ASan job runs this file).
+  auto built = build_mfa(compile_patterns({".*ab.*cd", "^ef.{2,5}gh"}));
+  ASSERT_TRUE(built.has_value());
+  const std::string path = temp_path("stomp.mfac");
+  ASSERT_TRUE(built->save(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<char> bytes(static_cast<std::size_t>(size));
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  const std::string mpath = temp_path("stomp_mut.mfac");
+  const auto write_mutant = [&](const char* data, std::size_t n) {
+    std::FILE* out = std::fopen(mpath.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    if (n > 0) ASSERT_EQ(std::fwrite(data, 1, n, out), n);
+    std::fclose(out);
+  };
+
+  // Every truncation prefix.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    write_mutant(bytes.data(), cut);
+    EXPECT_FALSE(Mfa::load(mpath).has_value()) << "truncated at " << cut;
+  }
+  // Every single-byte stomp.
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::vector<char> mutated = bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5a);
+    write_mutant(mutated.data(), mutated.size());
+    EXPECT_FALSE(Mfa::load(mpath).has_value()) << "stomped byte " << pos;
+  }
+  // Trailing garbage after a byte-perfect payload.
+  {
+    std::vector<char> padded = bytes;
+    padded.push_back('\x00');
+    write_mutant(padded.data(), padded.size());
+    EXPECT_FALSE(Mfa::load(mpath).has_value()) << "trailing garbage";
+  }
+  std::remove(mpath.c_str());
+}
+
 TEST(Serialize, DfaValidationCatchesBadTargets) {
   // Hand-craft a DFA blob with an out-of-range transition target.
   const std::string path = temp_path("bad_dfa.bin");
