@@ -67,8 +67,10 @@ int main(int argc, char** argv) {
     const auto exemplars = eval::attack_exemplars(set, 2, 707);
     // Many concurrent flows (the real-life profiles multiplex hundreds) so
     // every burst carries enough distinct flows to fill the lanes.
-    const trace::Trace t = trace::make_real_life(trace::RealLifeProfile::kCyberDefense,
-                                                 args.trace_bytes, 707, exemplars);
+    trace::Trace t = trace::make_real_life(trace::RealLifeProfile::kCyberDefense,
+                                           args.trace_bytes, 707, exemplars);
+    // --flows N: replicate with re-keyed flows to pressure the flow tables.
+    if (args.flows != 0) t = bench::with_flow_count(t, args.flows);
     std::printf("=== %s: %zu patterns, trace %.2f MB ===\n", set.name.c_str(),
                 set.patterns.size(),
                 static_cast<double>(t.payload_bytes()) / (1024 * 1024));

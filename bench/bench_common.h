@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -30,6 +31,13 @@ struct Args {
   bool csv = false;                   ///< also print CSV blocks
   bool smoke = false;                 ///< CI smoke mode: tiny trace, 1 rep
   std::string json_path;              ///< write an obs::BenchReport here
+  /// Concurrent-flow count for flow-table benches (0 = binary default).
+  /// bench_pipeline/bench_batch spread the trace across this many flows;
+  /// bench_flows sizes its flow sweep with it.
+  std::size_t flows = 0;
+  /// bench_flows only: exit non-zero if the tiered inspector's measured
+  /// bytes/flow exceeds this ceiling (0 = no assertion). CI regression gate.
+  std::size_t assert_bytes_per_flow = 0;
 
   static Args parse(int argc, char** argv) {
     Args args;
@@ -54,9 +62,12 @@ struct Args {
         args.trace_bytes = 256 * 1024;
         args.reps = 1;
       } else if (a == "--json") args.json_path = next();
+      else if (a == "--flows") args.flows = std::strtoull(next(), nullptr, 10);
+      else if (a == "--assert-bytes-per-flow")
+        args.assert_bytes_per_flow = std::strtoull(next(), nullptr, 10);
       else if (a == "--help") {
         std::printf("options: --bytes N  --dfa-cap N  --reps N  --csv  --smoke"
-                    "  --json FILE\n");
+                    "  --json FILE  --flows N  --assert-bytes-per-flow N\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown option %s\n", a.c_str());
@@ -134,6 +145,29 @@ inline std::vector<NamedTrace> real_life_traces(std::size_t bytes,
   // Nitroba.
   out.push_back({"N", trace::make_real_life(trace::RealLifeProfile::kNitroba, bytes, 120,
                                             exemplars)});
+  return out;
+}
+
+/// Scale a trace to roughly `flows` distinct flows by replicating the
+/// capture with re-keyed flow ids (dst_ip offset per replica). Payload
+/// bytes replicate too (Trace owns its arena), so CpB stays comparable
+/// while flow-table pressure — table size, eviction churn, cache misses on
+/// per-flow state — scales with the knob. Returns the input unchanged when
+/// it already carries at least `flows` flows.
+inline trace::Trace with_flow_count(const trace::Trace& t, std::size_t flows) {
+  std::unordered_set<flow::FlowKey, flow::FlowKeyHash> keys;
+  t.for_each_packet([&](const flow::Packet& p) { keys.insert(p.key); });
+  const std::size_t base = keys.empty() ? 1 : keys.size();
+  if (base >= flows) return t;
+  const std::size_t reps = (flows + base - 1) / base;
+  trace::Trace out(t.name() + "+flows");
+  for (std::size_t r = 0; r < reps; ++r) {
+    t.for_each_packet([&](const flow::Packet& p) {
+      flow::FlowKey key = p.key;
+      key.dst_ip += static_cast<std::uint32_t>(r);  // distinct flow per replica
+      out.add_packet(key, p.seq, p.payload, p.length);
+    });
+  }
   return out;
 }
 

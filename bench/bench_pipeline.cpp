@@ -35,8 +35,10 @@ int main(int argc, char** argv) {
       continue;
     }
     const auto exemplars = eval::attack_exemplars(set, 2, 808);
-    const trace::Trace t = trace::make_real_life(trace::RealLifeProfile::kCyberDefense,
-                                                 args.trace_bytes, 808, exemplars);
+    trace::Trace t = trace::make_real_life(trace::RealLifeProfile::kCyberDefense,
+                                           args.trace_bytes, 808, exemplars);
+    // --flows N: replicate with re-keyed flows to pressure the flow tables.
+    if (args.flows != 0) t = bench::with_flow_count(t, args.flows);
 
     // Sequential (no queues, no threads) reference for the same trace.
     const eval::Throughput seq = eval::measure_throughput(*mfa, t, args.reps);

@@ -81,6 +81,13 @@ class CompactDfa {
   void reset(Context& ctx) const { ctx.state = start_; }
   [[nodiscard]] std::size_t context_bytes() const { return sizeof(std::uint32_t); }
 
+  // InlineContext small-state API (tiered flow table): one state word is
+  // already hot-slot sized, so the inline context IS the context.
+  using InlineContext = Context;
+  [[nodiscard]] bool inline_contexts_ok() const { return true; }
+  [[nodiscard]] InlineContext make_inline_context() const { return make_context(); }
+  [[nodiscard]] Context expand_inline(const InlineContext& ic) const { return ic; }
+
   /// Feed a chunk through `ctx`. Thread-safe with distinct contexts.
   template <typename Sink>
   void feed(Context& ctx, const std::uint8_t* data, std::size_t size, std::uint64_t base,

@@ -83,14 +83,14 @@ struct Throughput {
 /// reps > 1. Passing `metrics` attaches telemetry (shard slot 0) for every
 /// repetition — the measurement then includes instrumentation cost, so use
 /// it for observability runs, not for headline CpB numbers.
-template <typename EngineT>
+template <typename EngineT, template <typename> class InspectorT = flow::FlowInspector>
 Throughput measure_throughput(const EngineT& engine, const trace::Trace& trace,
                               int reps = 2, obs::MetricsRegistry* metrics = nullptr) {
   Throughput result;
   std::uint64_t cycles = 0;
   int timed_reps = 0;
   for (int rep = 0; rep < reps; ++rep) {
-    flow::FlowInspector<EngineT> inspector(engine);
+    InspectorT<EngineT> inspector(engine);
     if (metrics != nullptr) inspector.set_metrics(metrics, 0);
     CountingSink sink;
     const std::uint64_t start = util::rdtsc_now();
@@ -119,7 +119,7 @@ Throughput measure_throughput(const EngineT& engine, const trace::Trace& trace,
 /// `burst` is how many packets each packet_batch call sees. Matches and
 /// reassembly semantics are identical to measure_throughput by the batching
 /// contract (DESIGN.md Sec. 7).
-template <typename EngineT>
+template <typename EngineT, template <typename> class InspectorT = flow::FlowInspector>
 Throughput measure_batched_throughput(const EngineT& engine, const trace::Trace& trace,
                                       std::size_t lanes, std::size_t burst = 64,
                                       int reps = 2) {
@@ -130,7 +130,7 @@ Throughput measure_batched_throughput(const EngineT& engine, const trace::Trace&
   std::uint64_t cycles = 0;
   int timed_reps = 0;
   for (int rep = 0; rep < reps; ++rep) {
-    flow::FlowInspector<EngineT> inspector(engine);
+    InspectorT<EngineT> inspector(engine);
     inspector.set_batch_lanes(lanes);
     CountingSink sink;
     const std::uint64_t start = util::rdtsc_now();

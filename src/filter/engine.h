@@ -74,6 +74,53 @@ struct ScanContext {
   Memory memory;
 };
 
+/// Memory view over a single 64-bit word split into two 32-bit halves, for
+/// programs whose filter state fits one word (memory_bits <= 64, no
+/// counters, no position slots — the common case the paper optimizes for).
+/// Backing the halves separately keeps the embedding struct 4-byte aligned,
+/// so a hot-table slot can hold the full (q, m) in 12 bytes. Counter and
+/// position methods exist only so Engine::on_match<InlineMemory64>
+/// compiles; programs eligible for inline memory never reach them.
+class InlineMemory64 {
+ public:
+  InlineMemory64(std::uint32_t& lo, std::uint32_t& hi) : lo_(&lo), hi_(&hi) {}
+
+  void set_bit(std::int32_t i) {
+    assert(i >= 0 && i < 64);
+    word(i) |= 1U << (i & 31);
+  }
+  void clear_bit(std::int32_t i) {
+    assert(i >= 0 && i < 64);
+    word(i) &= ~(1U << (i & 31));
+  }
+  [[nodiscard]] bool test_bit(std::int32_t i) const {
+    assert(i >= 0 && i < 64);
+    return (word(i) >> (i & 31)) & 1U;
+  }
+
+  void increment(std::int32_t) { assert(false && "inline memory has no counters"); }
+  [[nodiscard]] std::uint32_t counter(std::int32_t) const {
+    assert(false && "inline memory has no counters");
+    return 0;
+  }
+  void record_position(std::int32_t, std::uint64_t) {
+    assert(false && "inline memory has no position slots");
+  }
+  [[nodiscard]] std::uint64_t position(std::int32_t) const {
+    assert(false && "inline memory has no position slots");
+    return 0;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t& word(std::int32_t i) { return i < 32 ? *lo_ : *hi_; }
+  [[nodiscard]] const std::uint32_t& word(std::int32_t i) const {
+    return i < 32 ? *lo_ : *hi_;
+  }
+
+  std::uint32_t* lo_;
+  std::uint32_t* hi_;
+};
+
 /// Stateless executor over a Program; all mutable state lives in Memory so
 /// one Engine serves any number of multiplexed flows.
 class Engine {
@@ -81,9 +128,11 @@ class Engine {
   explicit Engine(const Program& program) : program_(&program) {}
 
   /// Process one match event. Calls sink(report_id, pos) if the action
-  /// confirms the match.
-  template <typename Sink>
-  void on_match(std::uint32_t engine_id, std::uint64_t pos, Memory& memory,
+  /// confirms the match. Templated over the memory representation so the
+  /// same action semantics run against the full Memory or an InlineMemory64
+  /// view (tiered flow table hot slots).
+  template <typename MemoryT, typename Sink>
+  void on_match(std::uint32_t engine_id, std::uint64_t pos, MemoryT& memory,
                 Sink&& sink) const {
     const Action& a = program_->actions[engine_id];
     if (a.test != kNone) {

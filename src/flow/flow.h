@@ -10,12 +10,12 @@
 // so engines always see a contiguous byte stream.
 #pragma once
 
+#include <algorithm>
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -65,6 +65,28 @@ struct Packet {
 /// that opens holes and floods segments behind them cannot grow a flow's
 /// reassembly buffer past this (oldest-buffered segments are dropped).
 inline constexpr std::size_t kDefaultMaxPendingBytes = 256 * 1024;
+
+/// One buffered out-of-order segment. Flows keep these in a small vector
+/// sorted by `seq` (binary-search insert): segment counts are tiny — a
+/// handful of in-flight holes — so a flat sorted vector beats a node-based
+/// map on both memory (no per-node allocation) and drain locality. The
+/// tiered inspector's cold records use the same layout.
+struct PendingSegment {
+  std::uint64_t seq = 0;      ///< byte offset of bytes[0] within the flow
+  std::uint64_t arrival = 0;  ///< inspector-wide tick, for oldest-drop
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Sorted-by-seq pending list shared by the flat and tiered inspectors.
+using PendingList = std::vector<PendingSegment>;
+
+/// First segment with seq >= `seq` (lower bound in the sorted list).
+inline PendingList::iterator pending_lower_bound(PendingList& list,
+                                                 std::uint64_t seq) {
+  return std::lower_bound(
+      list.begin(), list.end(), seq,
+      [](const PendingSegment& s, std::uint64_t q) { return s.seq < q; });
+}
 
 /// Requirements FlowInspector places on an engine: an immutable, shareable
 /// compiled automaton exposing a cheap per-flow Context (the paper's
@@ -134,10 +156,7 @@ class FlowInspector {
   /// the intrusive LRU links. Public so tests can verify the storage
   /// contract (no per-flow engine duplication) by inspecting its layout.
   struct FlowState {
-    struct PendingSegment {
-      std::vector<std::uint8_t> bytes;
-      std::uint64_t arrival = 0;  ///< inspector-wide tick, for oldest-drop
-    };
+    using PendingSegment = flow::PendingSegment;
 
     Context ctx;  ///< the engine's per-flow (q, m)
     std::uint64_t context_generation = 0;  ///< engine generation ctx belongs to
@@ -145,7 +164,7 @@ class FlowInspector {
     std::uint64_t pending_bytes = 0;
     std::uint64_t batch_stamp = 0;  ///< last packet_batch wave that fed this flow
     std::uint64_t scan_ticks = 0;   ///< cumulative TSC ticks spent scanning this flow
-    std::map<std::uint64_t, PendingSegment> pending;
+    PendingList pending;  ///< sorted by seq
     FlowState* lru_prev = nullptr;
     FlowState* lru_next = nullptr;
     FlowKey key;  ///< back-reference for O(1) LRU eviction
@@ -401,12 +420,33 @@ class FlowInspector {
     flows_.erase(it);
   }
 
+  /// Drop every flow and reset all derived per-inspector bookkeeping in one
+  /// place — the recency/arrival tick, the batch-wave counter, buffered
+  /// reassembly accounting, and the live gauges mirrored into the metrics
+  /// shard (the watchdog calls this when it restarts a crashed worker, and
+  /// stale gauges would otherwise survive until the next packet).
+  ///
+  /// Deliberately NOT reset: the monotone totals (evicted_count,
+  /// reassembly_dropped_count, quarantined_flow/packet_count), which are
+  /// cumulative across restarts, and the quarantine memory itself — a
+  /// hostile flow must not escape quarantine by crashing the worker
+  /// (DESIGN.md Sec. 9).
   void clear() {
     flows_.clear();
     retired_.clear();  // no live contexts left: every old-generation pin drops
     total_pending_ = 0;
+    arrival_tick_ = 0;
+    batch_wave_ = 0;
+    batch_jobs_.clear();
+    batch_job_flows_.clear();
+    batch_cur_.clear();
+    batch_deferred_.clear();
     lru_head_ = nullptr;
     lru_tail_ = nullptr;
+    if (metrics_ != nullptr) {
+      metrics_->flows.store(0, std::memory_order_relaxed);
+      metrics_->reassembly_pending_bytes.store(0, std::memory_order_relaxed);
+    }
   }
 
  private:
@@ -730,25 +770,27 @@ class FlowInspector {
     // drive at will; the fault point lets the soak test prove a bad_alloc
     // here surfaces as a crashed-and-restarted worker, never a hang.
     util::fault_maybe_bad_alloc("flow.reassembly.alloc");
-    auto it = fs.pending.find(p.seq);
-    if (it != fs.pending.end()) {
+    auto it = pending_lower_bound(fs.pending, p.seq);
+    if (it != fs.pending.end() && it->seq == p.seq) {
       // Duplicate sequence number: keep whichever segment carries more
       // data. Only the *net growth* counts against the budget — a replaced
       // segment's bytes leave the buffer, so charging the full incoming
       // length would spuriously evict unrelated segments on retransmits.
-      if (it->second.bytes.size() >= p.length) return;
-      const std::uint64_t growth = p.length - it->second.bytes.size();
+      if (it->bytes.size() >= p.length) return;
+      const std::uint64_t growth = p.length - it->bytes.size();
       while (max_pending_ != 0 && fs.pending_bytes + growth > max_pending_ &&
-             fs.pending.size() > 1)
-        drop_oldest_pending(fs, &it->second);
+             fs.pending.size() > 1) {
+        drop_oldest_pending(fs, p.seq);
+        it = pending_lower_bound(fs.pending, p.seq);  // drops shift the vector
+      }
       if (max_pending_ != 0 && fs.pending_bytes + growth > max_pending_) {
         // Even alone the replacement exceeds the budget: keep the smaller
         // buffered segment and count the oversized replacement as dropped.
         ++reassembly_dropped_;
         return;
       }
-      it->second.bytes.assign(p.payload, p.payload + p.length);
-      it->second.arrival = ++arrival_tick_;
+      it->bytes.assign(p.payload, p.payload + p.length);
+      it->arrival = ++arrival_tick_;
       fs.pending_bytes += growth;
       total_pending_ += growth;
       return;
@@ -758,48 +800,51 @@ class FlowInspector {
       ++reassembly_dropped_;
       return;
     }
-    while (max_pending_ != 0 && fs.pending_bytes + p.length > max_pending_)
+    while (max_pending_ != 0 && fs.pending_bytes + p.length > max_pending_) {
       drop_oldest_pending(fs);
-    auto slot = fs.pending.try_emplace(p.seq).first;
-    slot->second.bytes.assign(p.payload, p.payload + p.length);
-    slot->second.arrival = ++arrival_tick_;
+      it = pending_lower_bound(fs.pending, p.seq);
+    }
+    it = fs.pending.emplace(it, PendingSegment{p.seq, ++arrival_tick_, {}});
+    it->bytes.assign(p.payload, p.payload + p.length);
     fs.pending_bytes += p.length;
     total_pending_ += p.length;
   }
 
-  /// Drop the oldest-arrival pending segment, optionally sparing `keep`
-  /// (the segment a duplicate replacement is about to grow in place).
-  void drop_oldest_pending(FlowState& fs,
-                           const typename FlowState::PendingSegment* keep = nullptr) {
+  /// Drop the oldest-arrival pending segment, optionally sparing the one at
+  /// `keep_seq` (the segment a duplicate replacement is about to grow in
+  /// place). Erasing shifts the vector, so callers re-derive iterators.
+  void drop_oldest_pending(FlowState& fs, std::uint64_t keep_seq = ~std::uint64_t{0}) {
     auto oldest = fs.pending.end();
     for (auto it = fs.pending.begin(); it != fs.pending.end(); ++it) {
-      if (&it->second == keep) continue;
-      if (oldest == fs.pending.end() || it->second.arrival < oldest->second.arrival)
-        oldest = it;
+      if (it->seq == keep_seq) continue;
+      if (oldest == fs.pending.end() || it->arrival < oldest->arrival) oldest = it;
     }
     if (oldest == fs.pending.end()) return;
-    fs.pending_bytes -= oldest->second.bytes.size();
-    total_pending_ -= oldest->second.bytes.size();
+    fs.pending_bytes -= oldest->bytes.size();
+    total_pending_ -= oldest->bytes.size();
     fs.pending.erase(oldest);
     ++reassembly_dropped_;
   }
 
   template <typename Sink>
   void drain(FlowState& fs, Sink&& sink) {
-    while (!fs.pending.empty()) {
-      auto it = fs.pending.begin();
-      if (it->first > fs.next_offset) break;
-      const std::uint64_t skip = fs.next_offset - it->first;
-      const auto& bytes = it->second.bytes;
-      if (skip < bytes.size()) {
-        engine_for(fs).feed(fs.ctx, bytes.data() + skip, bytes.size() - skip,
-                            fs.next_offset, sink);
-        fs.next_offset += bytes.size() - skip;
+    std::size_t consumed = 0;
+    while (consumed < fs.pending.size()) {
+      PendingSegment& seg = fs.pending[consumed];
+      if (seg.seq > fs.next_offset) break;
+      const std::uint64_t skip = fs.next_offset - seg.seq;
+      if (skip < seg.bytes.size()) {
+        engine_for(fs).feed(fs.ctx, seg.bytes.data() + skip,
+                            seg.bytes.size() - skip, fs.next_offset, sink);
+        fs.next_offset += seg.bytes.size() - skip;
       }
-      fs.pending_bytes -= bytes.size();
-      total_pending_ -= bytes.size();
-      fs.pending.erase(it);
+      fs.pending_bytes -= seg.bytes.size();
+      total_pending_ -= seg.bytes.size();
+      ++consumed;
     }
+    if (consumed != 0)
+      fs.pending.erase(fs.pending.begin(),
+                       fs.pending.begin() + static_cast<std::ptrdiff_t>(consumed));
   }
 
   const EngineT* engine_;  ///< ONE engine for all flows (never per-flow)

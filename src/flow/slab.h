@@ -1,0 +1,113 @@
+// Per-shard slab arena for cold-tier flow records (DESIGN.md Sec. 11).
+//
+// Cold records (heap engine contexts, reassembly pending lists) are needed
+// only for the minority of flows that reorder or run a big-state engine.
+// Allocating them from fixed-size slabs instead of the global heap gives
+// (a) zero per-record malloc header overhead, (b) stable uint32 handles the
+// hot tier can store in 4 bytes instead of an 8-byte pointer, and (c) an
+// exact allocated_bytes() figure for the mfa_flow_cold_bytes gauge.
+//
+// Handles stay valid across alloc/free of other records (slabs never move).
+// Single-threaded by design: each pipeline shard owns one arena.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace mfa::flow {
+
+inline constexpr std::uint32_t kNoRecord = 0xffffffffU;
+
+template <typename T, std::size_t kSlabItems = 256>
+class SlabArena {
+ public:
+  SlabArena() = default;
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+  ~SlabArena() { clear(); }
+
+  /// Construct a T and return its handle. O(1); grows by one slab when the
+  /// free list is empty.
+  template <typename... Args>
+  std::uint32_t alloc(Args&&... args) {
+    if (free_head_ == kNoRecord) grow();
+    const std::uint32_t idx = free_head_;
+    free_head_ = free_next_[idx];
+    free_next_[idx] = kLiveMark;
+    ::new (address(idx)) T(std::forward<Args>(args)...);
+    ++live_;
+    return idx;
+  }
+
+  /// Destroy the record behind `idx` and recycle its storage.
+  void free(std::uint32_t idx) {
+    assert(free_next_[idx] == kLiveMark && "double free / stale handle");
+    (*this)[idx].~T();
+    free_next_[idx] = free_head_;
+    free_head_ = idx;
+    --live_;
+  }
+
+  [[nodiscard]] T& operator[](std::uint32_t idx) {
+    return *std::launder(reinterpret_cast<T*>(address(idx)));
+  }
+  [[nodiscard]] const T& operator[](std::uint32_t idx) const {
+    return *std::launder(reinterpret_cast<const T*>(
+        const_cast<SlabArena*>(this)->address(idx)));
+  }
+
+  /// Records currently live.
+  [[nodiscard]] std::size_t live() const { return live_; }
+
+  /// Bytes of slab storage owned (live or recycled) — the cold tier's
+  /// structural footprint, independent of what records allocate internally.
+  [[nodiscard]] std::size_t allocated_bytes() const {
+    return slabs_.size() * sizeof(Slab) +
+           free_next_.capacity() * sizeof(std::uint32_t);
+  }
+
+  /// Destroy every live record and release all slabs.
+  void clear() {
+    for (std::uint32_t i = 0; i < free_next_.size(); ++i)
+      if (free_next_[i] == kLiveMark) (*this)[i].~T();
+    slabs_.clear();
+    free_next_.clear();
+    free_head_ = kNoRecord;
+    live_ = 0;
+  }
+
+ private:
+  static constexpr std::uint32_t kLiveMark = 0xfffffffeU;
+
+  struct Slab {
+    alignas(T) unsigned char storage[kSlabItems * sizeof(T)];
+  };
+
+  [[nodiscard]] void* address(std::uint32_t idx) {
+    return slabs_[idx / kSlabItems]->storage + (idx % kSlabItems) * sizeof(T);
+  }
+
+  void grow() {
+    const std::uint32_t base = static_cast<std::uint32_t>(slabs_.size() * kSlabItems);
+    slabs_.push_back(std::make_unique<Slab>());
+    free_next_.resize(base + kSlabItems);
+    // Thread the new slab onto the free list, last item first so handles
+    // come out in ascending order.
+    for (std::uint32_t i = kSlabItems; i-- > 0;) {
+      free_next_[base + i] = free_head_;
+      free_head_ = base + i;
+    }
+  }
+
+  std::vector<std::unique_ptr<Slab>> slabs_;
+  std::vector<std::uint32_t> free_next_;  ///< per-handle free chain / live mark
+  std::uint32_t free_head_ = kNoRecord;
+  std::size_t live_ = 0;
+};
+
+}  // namespace mfa::flow

@@ -1,0 +1,1223 @@
+// Hierarchical hot/cold flow state (DESIGN.md Sec. 11).
+//
+// The flat FlowInspector keeps every flow in an unordered_map node: ~200+
+// bytes of node/allocator overhead around a context that, for the paper's
+// MFA, is a 12-byte (q, m) pair (Sec. III-B). At millions of concurrent
+// flows that overhead — not the automaton — dominates memory, and the
+// per-packet LRU relink dirties two extra cache lines per packet.
+//
+// TieredFlowInspector splits the flow table into two tiers:
+//
+//  - HOT: an open-addressed, 2-choice-hashed table of fixed-size slots
+//    (width-8 buckets, one cuckoo kick level, then grow). A slot holds the
+//    FlowKey, the stream offset, the last-active epoch, and — for engines
+//    exposing the InlineContext small-state API (Dfa, CompactDfa, Mfa) —
+//    the whole per-flow scan state inline. In-order flows of such engines
+//    never touch the heap at all.
+//  - COLD: per-shard slab-arena records (slab.h), allocated only for flows
+//    that reorder (buffered segments) or run a big-state engine
+//    (Nfa/Hfa/Xfa, or an Mfa ruleset whose memory exceeds the inline word).
+//    A reorder-only record is freed again the moment its gap fills.
+//
+// Eviction replaces the intrusive LRU with a hashed timing wheel
+// (timing_wheel.h) driven by a per-shard packet epoch: touching a flow
+// writes one epoch field in its hot slot — no list relinking — and wheel
+// entries are validated lazily when they surface. Capacity eviction
+// (max_flows) consumes the oldest-surfacing valid entry; an optional idle
+// TTL evicts flows untouched for N epochs. All O(1) amortized.
+//
+// API parity: this class mirrors the flat FlowInspector surface (packet,
+// packet_batch*, quarantine/CPU budgets, adopt_engine generations, metrics)
+// plus tiering extras (reserve_flows, set_idle_ttl, hot/cold accounting).
+// The flat inspector remains available; the sharded pipeline uses this one.
+//
+// Capacity note: wheel entries encode (slot << 8 | stamp) in 32 bits, so a
+// single inspector is capped at 2^24 hot slots (~16M flows per shard).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "flow/flow.h"
+#include "flow/slab.h"
+#include "flow/timing_wheel.h"
+#include "obs/metrics.h"
+#include "util/faultpoint.h"
+#include "util/interleave.h"
+#include "util/timing.h"
+
+namespace mfa::flow {
+
+/// Engines whose per-flow scan state can live inline in a hot-table slot:
+/// they expose a trivially-copyable InlineContext, a runtime predicate for
+/// whether the *compiled ruleset* fits it (an Mfa with >64 memory bits does
+/// not), an expander to the full heap Context, and an InlineContext feed.
+template <typename EngineT>
+concept InlineScanEngine =
+    ScanEngine<EngineT> &&
+    requires(const EngineT& e, typename EngineT::InlineContext& ic,
+             const std::uint8_t* data) {
+      { e.inline_contexts_ok() } -> std::convertible_to<bool>;
+      { e.make_inline_context() } -> std::same_as<typename EngineT::InlineContext>;
+      { e.expand_inline(ic) } -> std::same_as<typename EngineT::Context>;
+      e.feed(ic, data, std::size_t{0}, std::uint64_t{0},
+             [](std::uint32_t, std::uint64_t) {});
+    };
+
+/// Inline engines whose K-way interleaved kernel also takes InlineContext
+/// jobs (all three table-driven engines: the batched hot path stays batched
+/// under tiering).
+template <typename EngineT>
+concept InlineBatchScanEngine =
+    InlineScanEngine<EngineT> &&
+    requires(const EngineT& e,
+             scan::FeedJob<typename EngineT::InlineContext>* jobs) {
+      e.feed_many(jobs, std::size_t{0},
+                  [](std::size_t, std::uint32_t, std::uint64_t) {},
+                  std::size_t{1});
+    };
+
+namespace detail {
+
+/// Slot-resident scan state: the engine's InlineContext when it has one, an
+/// empty (zero-size via [[no_unique_address]]) placeholder otherwise.
+template <typename EngineT, bool kInlineCapable = InlineScanEngine<EngineT>>
+struct InlineStateOf {
+  struct type {};
+};
+template <typename EngineT>
+struct InlineStateOf<EngineT, true> {
+  using type = typename EngineT::InlineContext;
+};
+
+}  // namespace detail
+
+/// Two-tier multiplexing inspector. See file comment; the flat
+/// FlowInspector's contract (ordering, reassembly budgets, quarantine,
+/// generations, metrics) is preserved verbatim unless noted.
+///
+/// Not thread-safe; one instance per pipeline shard. The engine must
+/// outlive the inspector.
+template <typename EngineT>
+  requires ScanEngine<EngineT>
+class TieredFlowInspector {
+ public:
+  using Context = typename EngineT::Context;
+  using InlineState = typename detail::InlineStateOf<EngineT>::type;
+
+  /// Slots per bucket; both candidate buckets are scanned on lookup.
+  static constexpr std::uint32_t kBucketWidth = 8;
+  /// Epochs ahead a validated wheel entry is rescheduled. Deliberately NOT
+  /// a multiple of the wheel span (256 buckets * 4-epoch granule = 1024):
+  /// a same-bucket reschedule loop would otherwise re-surface immediately.
+  static constexpr std::uint32_t kHorizon = 768;
+
+  explicit TieredFlowInspector(const EngineT& engine, std::size_t max_flows = 0,
+                               std::size_t max_pending_bytes = kDefaultMaxPendingBytes)
+      : engine_(&engine), max_flows_(max_flows), max_pending_(max_pending_bytes) {
+    refresh_inline_ok();
+    if (max_flows_ != 0) reserve_flows(max_flows_);
+  }
+
+  /// One hot-table slot. Public so tests can verify the storage contract
+  /// (fixed-size, pointer-free for inline flows) by inspecting its layout.
+  /// next_offset is split into two u32 halves so the slot stays 4-aligned
+  /// (no u64 padding holes around the 13-byte key).
+  struct HotSlot {
+    FlowKey key;                  ///< valid when kOccupied
+    std::uint32_t off_lo = 0;     ///< next_offset, low half
+    std::uint32_t off_hi = 0;     ///< next_offset, high half
+    std::uint32_t last_epoch = 0; ///< epoch of the last packet (recency)
+    std::uint32_t cold = kNoRecord;  ///< slab handle, kNoRecord when pure-hot
+    [[no_unique_address]] InlineState ictx;  ///< engine state (inline flows)
+    std::uint16_t batch_stamp = 0;  ///< last packet_batch wave that fed this flow
+    std::uint8_t stamp = 0;         ///< bumped per (re)occupancy; ghost detection
+    std::uint8_t flags = 0;
+  };
+
+  static constexpr std::uint8_t kOccupied = 1;  ///< slot holds a live flow
+  static constexpr std::uint8_t kInline = 2;    ///< scan state lives in ictx
+
+  /// Cold-tier record: the heap Context (engaged for big-state flows, empty
+  /// for inline flows that merely reordered) plus the reassembly buffer.
+  struct ColdRecord {
+    std::optional<Context> ctx;
+    PendingList pending;  ///< sorted by seq
+    std::uint64_t pending_bytes = 0;
+  };
+
+  // --- telemetry / budgets (contract identical to FlowInspector) ---
+
+  void set_metrics(obs::MetricsRegistry* registry, std::size_t shard_index = 0) {
+    registry_ = registry;
+    metrics_ = registry != nullptr ? &registry->shard(shard_index) : nullptr;
+    if (registry != nullptr) ns_per_tick_ = 1e9 / util::tsc_ticks_per_second();
+  }
+
+  void set_cpu_budget_ns(std::uint64_t ns) {
+    cpu_budget_ns_ = ns;
+    budget_ticks_ = 0;
+    if (ns != 0) {
+      const double ticks =
+          static_cast<double>(ns) * util::tsc_ticks_per_second() / 1e9;
+      budget_ticks_ = ticks < 1.0 ? 1 : static_cast<std::uint64_t>(ticks);
+      ticks_.assign(slots_.size(), 0);
+    } else {
+      ticks_.clear();
+    }
+  }
+  [[nodiscard]] std::uint64_t cpu_budget_ns() const { return cpu_budget_ns_; }
+
+  [[nodiscard]] bool is_quarantined(const FlowKey& key) const {
+    return !quarantined_.empty() && quarantined_.count(key) != 0;
+  }
+  [[nodiscard]] std::uint64_t quarantined_flow_count() const {
+    return flows_quarantined_;
+  }
+  [[nodiscard]] std::uint64_t quarantined_packet_count() const {
+    return quarantined_packets_;
+  }
+
+  void set_batch_lanes(std::size_t lanes) { batch_lanes_ = lanes == 0 ? 1 : lanes; }
+  [[nodiscard]] std::size_t batch_lanes() const { return batch_lanes_; }
+
+  // --- tiering knobs ---
+
+  /// Pre-size the hot table so `n` flows fit under the grow threshold
+  /// (~85% load). Called automatically for bounded tables (max_flows).
+  void reserve_flows(std::size_t n) {
+    const std::size_t want = n * 20 / (17 * kBucketWidth) + 1;
+    if (want > nbuckets_) grow_table(want);
+  }
+
+  /// Evict flows idle for at least `epochs` packet epochs (0 = off, the
+  /// default). Enforced lazily as their wheel entries surface, so an idle
+  /// flow outlives its TTL only until the epoch cursor passes its bucket.
+  void set_idle_ttl(std::uint32_t epochs) {
+    const bool was_active = wheel_active();
+    idle_ttl_ = epochs;
+    if (!was_active && wheel_active()) reschedule_all();
+  }
+  [[nodiscard]] std::uint32_t idle_ttl() const { return idle_ttl_; }
+
+  /// Per-shard packet epoch driving the timing wheel (advances at least
+  /// once per delivered packet; u32, wraps).
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
+  // --- delivery (contract identical to FlowInspector) ---
+
+  template <typename Sink>
+  void packet(const Packet& p, Sink&& sink) {
+    if (is_quarantined(p.key)) {
+      ++quarantined_packets_;
+      return;
+    }
+    if (metrics_ == nullptr) {
+      deliver(p, [&](std::uint32_t, std::uint32_t id, std::uint64_t end) {
+        sink(id, end);
+      });
+      return;
+    }
+    obs::ShardMetrics& m = *metrics_;
+    m.packets.fetch_add(1, std::memory_order_relaxed);
+    m.bytes.fetch_add(p.length, std::memory_order_relaxed);
+    m.packet_bytes.record(p.length);
+    const std::uint64_t t0 = util::rdtsc_now();
+    deliver(p, [&](std::uint32_t si, std::uint32_t id, std::uint64_t end) {
+      m.matches.fetch_add(1, std::memory_order_relaxed);
+      registry_->count_match(id);
+      if (generation_active_) registry_->count_match_generation(generation_of(si));
+      registry_->trace().record(p.key.src_ip, p.key.dst_ip, p.key.src_port,
+                                p.key.dst_port, p.key.proto, id, end,
+                                util::rdtsc_now());
+      sink(id, end);
+    });
+    const double ticks = static_cast<double>(util::rdtsc_now() - t0);
+    m.scan_ns.record(static_cast<std::uint64_t>(ticks * ns_per_tick_));
+    store_gauges(m);
+  }
+
+  template <typename Sink>
+  void packet_batch(const Packet* pkts, std::size_t count, Sink&& sink) {
+    packet_batch_flows(
+        pkts, count,
+        [&](const FlowKey&, std::uint32_t id, std::uint64_t end) { sink(id, end); },
+        [](const Packet&) {});
+  }
+
+  template <typename KeySink, typename DropSink>
+  void packet_batch_flows(const Packet* pkts, std::size_t count, KeySink&& sink,
+                          DropSink&& dsink) {
+    packet_batch_attributed(
+        pkts, count,
+        [&](const FlowKey& key, std::uint64_t, std::uint32_t id, std::uint64_t end) {
+          sink(key, id, end);
+        },
+        std::forward<DropSink>(dsink));
+  }
+
+  template <typename GenSink, typename DropSink>
+  void packet_batch_attributed(const Packet* pkts, std::size_t count, GenSink&& sink,
+                               DropSink&& dsink) {
+    if (count == 0) return;
+    if (metrics_ == nullptr) {
+      deliver_batch(
+          pkts, count,
+          [&](std::uint32_t si, std::uint32_t id, std::uint64_t end) {
+            sink(slots_[si].key, generation_of(si), id, end);
+          },
+          dsink);
+      return;
+    }
+    obs::ShardMetrics& m = *metrics_;
+    std::uint64_t burst_bytes = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      burst_bytes += pkts[i].length;
+      m.packet_bytes.record(pkts[i].length);
+    }
+    m.bytes.fetch_add(burst_bytes, std::memory_order_relaxed);
+    const std::uint64_t t0 = util::rdtsc_now();
+    deliver_batch(
+        pkts, count,
+        [&](std::uint32_t si, std::uint32_t id, std::uint64_t end) {
+          const HotSlot& s = slots_[si];
+          m.matches.fetch_add(1, std::memory_order_relaxed);
+          registry_->count_match(id);
+          if (generation_active_) registry_->count_match_generation(generation_of(si));
+          registry_->trace().record(s.key.src_ip, s.key.dst_ip, s.key.src_port,
+                                    s.key.dst_port, s.key.proto, id, end,
+                                    util::rdtsc_now());
+          sink(s.key, generation_of(si), id, end);
+        },
+        dsink);
+    const double ticks = static_cast<double>(util::rdtsc_now() - t0);
+    const auto per_packet = static_cast<std::uint64_t>(
+        ticks * ns_per_tick_ / static_cast<double>(count));
+    for (std::size_t i = 0; i < count; ++i) m.scan_ns.record(per_packet);
+    m.packets.fetch_add(count, std::memory_order_relaxed);
+    store_gauges(m);
+  }
+
+  // --- accounting (contract identical to FlowInspector) ---
+
+  [[nodiscard]] std::size_t flow_count() const { return live_; }
+  [[nodiscard]] std::uint64_t evicted_count() const { return evicted_; }
+  [[nodiscard]] std::uint64_t reassembly_dropped_count() const {
+    return reassembly_dropped_;
+  }
+  [[nodiscard]] std::uint64_t reassembly_pending_bytes() const {
+    return total_pending_;
+  }
+  [[nodiscard]] std::size_t context_bytes() const { return engine_->context_bytes(); }
+  [[nodiscard]] const EngineT& engine() const { return *engine_; }
+
+  // --- tiering accounting ---
+
+  /// Flows evicted by the idle TTL (distinct from capacity evictions so the
+  /// max_flows conservation law — inserts == flows + evictions — is
+  /// unaffected by enabling a TTL).
+  [[nodiscard]] std::uint64_t idle_evicted_count() const { return idle_evicted_; }
+
+  /// Hot-table slot capacity (the mfa_flow_hot_slots gauge).
+  [[nodiscard]] std::size_t hot_slot_capacity() const { return slots_.size(); }
+
+  /// True when the current engine generation keeps new flows' state inline.
+  [[nodiscard]] bool inline_eligible() const { return inline_ok_; }
+
+  /// Cold records currently allocated (reordering or big-state flows).
+  [[nodiscard]] std::size_t cold_record_count() const { return cold_.live(); }
+
+  /// Structural bytes of the hot tier: slot array, lazy per-flow side
+  /// arrays, and the timing wheel.
+  [[nodiscard]] std::size_t hot_bytes() const {
+    return slots_.capacity() * sizeof(HotSlot) +
+           generations_.capacity() * sizeof(std::uint64_t) +
+           ticks_.capacity() * sizeof(std::uint64_t) + wheel_.allocated_bytes();
+  }
+
+  /// Structural bytes of the cold tier (the mfa_flow_cold_bytes gauge);
+  /// excludes what records allocate internally (contexts, pending buffers).
+  [[nodiscard]] std::size_t cold_bytes() const { return cold_.allocated_bytes(); }
+
+  /// Entries currently held by the timing wheel (live flows + stale ghosts).
+  [[nodiscard]] std::size_t wheel_entries() const { return wheel_.pending(); }
+
+  // --- live ruleset hot-swap (contract identical to FlowInspector) ---
+
+  void adopt_engine(const EngineT& engine, std::uint64_t generation, SwapPolicy policy,
+                    std::shared_ptr<const void> pin = nullptr) {
+    if (generation_active_ && generation == current_generation_) return;
+    if (!generation_active_)
+      generations_.assign(slots_.size(), current_generation_);
+    std::size_t live = 0;
+    for (std::uint32_t si = 0; si < slots_.size(); ++si)
+      if ((slots_[si].flags & kOccupied) != 0 &&
+          generations_[si] == current_generation_)
+        ++live;
+    if (live > 0)
+      retired_.push_back(Retired{current_generation_, engine_, std::move(current_pin_),
+                                 live, policy == SwapPolicy::kDrainOld});
+    engine_ = &engine;
+    current_pin_ = std::move(pin);
+    current_generation_ = generation;
+    generation_active_ = true;
+    refresh_inline_ok();
+  }
+
+  [[nodiscard]] std::uint64_t current_generation() const { return current_generation_; }
+  [[nodiscard]] std::size_t retired_generation_count() const { return retired_.size(); }
+
+  [[nodiscard]] std::size_t flows_on_generation(std::uint64_t generation) const {
+    std::size_t n = 0;
+    for (std::uint32_t si = 0; si < slots_.size(); ++si)
+      if ((slots_[si].flags & kOccupied) != 0 && generation_of(si) == generation) ++n;
+    return n;
+  }
+
+  /// Drop a finished flow's state (not counted as an eviction).
+  void evict(const FlowKey& key) {
+    const std::uint32_t si = find_slot(key, FlowKeyHash{}(key));
+    if (si != kNoSlot) evict_slot_core(si);
+  }
+
+  /// Drop every flow and reset derived bookkeeping; monotone totals and the
+  /// quarantine memory deliberately survive (same contract and rationale as
+  /// FlowInspector::clear — a hostile flow must not escape quarantine by
+  /// crashing its worker).
+  void clear() {
+    for (auto& s : slots_) {
+      s.flags = 0;
+      s.cold = kNoRecord;
+      s.stamp = 0;
+      s.batch_stamp = 0;
+    }
+    cold_.clear();
+    wheel_.clear();
+    retired_.clear();  // no live contexts left: every old-generation pin drops
+    live_ = 0;
+    total_pending_ = 0;
+    epoch_ = 0;
+    wave_ = 0;
+    batch_jobs_.clear();
+    batch_cur_.clear();
+    batch_deferred_.clear();
+    if (metrics_ != nullptr) {
+      metrics_->flows.store(0, std::memory_order_relaxed);
+      metrics_->reassembly_pending_bytes.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffU;
+  static constexpr std::size_t kMinBuckets = 8;
+
+  /// A queued batch job, held as a slot reference (not a context pointer):
+  /// slots can move between queueing and flush (cuckoo kick, table grow),
+  /// and every move/grow patches these references. Context pointers are
+  /// materialized only at flush time.
+  struct BatchJob {
+    std::uint32_t slot = 0;
+    const std::uint8_t* data = nullptr;
+    std::size_t size = 0;
+    std::uint64_t base = 0;
+  };
+
+  // --- hashing / slot lookup ---
+
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> buckets_of(
+      std::uint64_t h) const {
+    // Multiply-shift range reduction over two independent 32-bit halves of
+    // the key hash; works for any bucket count, no power-of-two rounding.
+    const std::uint32_t nb = static_cast<std::uint32_t>(nbuckets_);
+    const auto b1 = static_cast<std::uint32_t>(
+        (std::uint64_t{static_cast<std::uint32_t>(h)} * nb) >> 32);
+    auto b2 = static_cast<std::uint32_t>(
+        (std::uint64_t{static_cast<std::uint32_t>(h >> 32) * 0x9e3779b1U} * nb) >> 32);
+    if (b2 == b1) b2 = (b2 + 1) % nb;
+    return {b1, b2};
+  }
+
+  [[nodiscard]] std::uint32_t find_slot(const FlowKey& key, std::uint64_t h) const {
+    if (nbuckets_ == 0) return kNoSlot;
+    const auto [b1, b2] = buckets_of(h);
+    for (std::uint32_t i = b1 * kBucketWidth; i < (b1 + 1) * kBucketWidth; ++i)
+      if ((slots_[i].flags & kOccupied) != 0 && slots_[i].key == key) return i;
+    for (std::uint32_t i = b2 * kBucketWidth; i < (b2 + 1) * kBucketWidth; ++i)
+      if ((slots_[i].flags & kOccupied) != 0 && slots_[i].key == key) return i;
+    return kNoSlot;
+  }
+
+  [[nodiscard]] std::uint32_t free_in_bucket(std::uint32_t b) const {
+    for (std::uint32_t i = b * kBucketWidth; i < (b + 1) * kBucketWidth; ++i)
+      if ((slots_[i].flags & kOccupied) == 0) return i;
+    return kNoSlot;
+  }
+
+  [[nodiscard]] std::uint32_t wheel_item(std::uint32_t si) const {
+    return (si << 8) | slots_[si].stamp;
+  }
+
+  /// Decode+validate a wheel entry; kNoSlot for stale ghosts (evicted flow,
+  /// reused or moved slot).
+  [[nodiscard]] std::uint32_t wheel_slot(std::uint32_t item) const {
+    const std::uint32_t si = item >> 8;
+    if (si >= slots_.size()) return kNoSlot;
+    const HotSlot& s = slots_[si];
+    if ((s.flags & kOccupied) == 0 ||
+        s.stamp != static_cast<std::uint8_t>(item & 0xff))
+      return kNoSlot;
+    return si;
+  }
+
+  static std::uint64_t slot_off(const HotSlot& s) {
+    return (std::uint64_t{s.off_hi} << 32) | s.off_lo;
+  }
+  static void set_slot_off(HotSlot& s, std::uint64_t v) {
+    s.off_lo = static_cast<std::uint32_t>(v);
+    s.off_hi = static_cast<std::uint32_t>(v >> 32);
+  }
+
+  [[nodiscard]] std::uint64_t generation_of(std::uint32_t si) const {
+    return generation_active_ ? generations_[si] : 0;
+  }
+
+  [[nodiscard]] bool wheel_active() const {
+    return max_flows_ != 0 || idle_ttl_ != 0;
+  }
+
+  void refresh_inline_ok() {
+    if constexpr (InlineScanEngine<EngineT>)
+      inline_ok_ = engine_->inline_contexts_ok();
+    else
+      inline_ok_ = false;
+  }
+
+  // --- table maintenance (kick / grow / move) ---
+
+  /// Move a live flow between slots (cuckoo kick). The old wheel entry
+  /// becomes a ghost; a fresh entry is scheduled for the destination, and
+  /// any queued batch jobs referencing the source are patched.
+  void move_slot(std::uint32_t from, std::uint32_t to) {
+    HotSlot& d = slots_[to];
+    const auto stamp = static_cast<std::uint8_t>(d.stamp + 1);
+    d = slots_[from];
+    d.stamp = stamp;
+    slots_[from].flags = 0;
+    if (generation_active_) generations_[to] = generations_[from];
+    if (budget_ticks_ != 0) ticks_[to] = ticks_[from];
+    if (wheel_active()) wheel_.schedule(wheel_item(to), epoch_ + kHorizon);
+    for (auto& j : batch_jobs_)
+      if (j.slot == from) j.slot = to;
+  }
+
+  /// Free a slot in one of the two candidate (full) buckets by relocating a
+  /// resident to its alternate bucket. One level only; kNoSlot on failure.
+  [[nodiscard]] std::uint32_t kick_for_room(std::uint32_t b1, std::uint32_t b2) {
+    const std::uint32_t cand[2] = {b1, b2};
+    for (const std::uint32_t c : cand) {
+      for (std::uint32_t i = c * kBucketWidth; i < (c + 1) * kBucketWidth; ++i) {
+        const auto [rb1, rb2] = buckets_of(FlowKeyHash{}(slots_[i].key));
+        const std::uint32_t alt = c == rb1 ? rb2 : rb1;
+        if (alt == c) continue;
+        const std::uint32_t f = free_in_bucket(alt);
+        if (f != kNoSlot) {
+          move_slot(i, f);
+          return i;
+        }
+      }
+    }
+    return kNoSlot;
+  }
+
+  [[nodiscard]] std::uint32_t rehash_kick(std::uint32_t b1, std::uint32_t b2) {
+    const std::uint32_t cand[2] = {b1, b2};
+    for (const std::uint32_t c : cand) {
+      for (std::uint32_t i = c * kBucketWidth; i < (c + 1) * kBucketWidth; ++i) {
+        const auto [rb1, rb2] = buckets_of(FlowKeyHash{}(slots_[i].key));
+        const std::uint32_t alt = c == rb1 ? rb2 : rb1;
+        if (alt == c) continue;
+        const std::uint32_t f = free_in_bucket(alt);
+        if (f != kNoSlot) {
+          slots_[f] = slots_[i];
+          if (generation_active_) generations_[f] = generations_[i];
+          if (budget_ticks_ != 0) ticks_[f] = ticks_[i];
+          slots_[i].flags = 0;
+          return i;
+        }
+      }
+    }
+    return kNoSlot;
+  }
+
+  [[nodiscard]] bool rehash_place(const std::vector<HotSlot>& old,
+                                  const std::vector<std::uint64_t>& oldg,
+                                  const std::vector<std::uint64_t>& oldt) {
+    for (std::size_t i = 0; i < old.size(); ++i) {
+      if ((old[i].flags & kOccupied) == 0) continue;
+      const auto [b1, b2] = buckets_of(FlowKeyHash{}(old[i].key));
+      std::uint32_t f = free_in_bucket(b1);
+      if (f == kNoSlot) f = free_in_bucket(b2);
+      if (f == kNoSlot) f = rehash_kick(b1, b2);
+      if (f == kNoSlot) return false;
+      slots_[f] = old[i];
+      slots_[f].stamp = 0;  // pre-grow wheel entries were cleared wholesale
+      if (generation_active_) generations_[f] = oldg[i];
+      if (budget_ticks_ != 0) ticks_[f] = oldt[i];
+    }
+    return true;
+  }
+
+  /// Rehash into a bigger table (>= max(2x, min_buckets) buckets). Queued
+  /// batch jobs are re-resolved by key afterwards; the wheel is rebuilt
+  /// with one fresh entry per live flow.
+  void grow_table(std::size_t min_buckets = 0) {
+    grow_keys_.clear();
+    for (const auto& j : batch_jobs_) grow_keys_.push_back(slots_[j.slot].key);
+    const std::vector<HotSlot> old = std::move(slots_);
+    const std::vector<std::uint64_t> oldg = std::move(generations_);
+    const std::vector<std::uint64_t> oldt = std::move(ticks_);
+    std::size_t nb = nbuckets_ == 0 ? kMinBuckets : nbuckets_ * 2;
+    if (min_buckets > nb) nb = min_buckets;
+    for (;;) {
+      nbuckets_ = nb;
+      assert(nbuckets_ * kBucketWidth <= (std::size_t{1} << 24) &&
+             "per-shard hot-table cap (wheel items encode slot in 24 bits)");
+      slots_.assign(nbuckets_ * kBucketWidth, HotSlot{});
+      if (generation_active_) generations_.assign(slots_.size(), 0);
+      if (budget_ticks_ != 0) ticks_.assign(slots_.size(), 0);
+      if (rehash_place(old, oldg, oldt)) break;
+      nb *= 2;  // pathological bucket pile-up: double again and retry
+    }
+    wheel_.clear();
+    if (wheel_active()) reschedule_all();
+    for (std::size_t i = 0; i < batch_jobs_.size(); ++i)
+      batch_jobs_[i].slot = find_slot(grow_keys_[i], FlowKeyHash{}(grow_keys_[i]));
+  }
+
+  void reschedule_all() {
+    for (std::uint32_t si = 0; si < slots_.size(); ++si)
+      if ((slots_[si].flags & kOccupied) != 0)
+        wheel_.schedule(wheel_item(si), epoch_ + kHorizon);
+  }
+
+  /// A free slot for `key`, growing/kicking as needed. Caller occupies it.
+  [[nodiscard]] std::uint32_t insert_slot(std::uint64_t h) {
+    for (;;) {
+      if ((live_ + 1) * 20 > slot_count() * 17) {  // keep load under ~85%
+        grow_table();
+        continue;
+      }
+      const auto [b1, b2] = buckets_of(h);
+      std::uint32_t f = free_in_bucket(b1);
+      if (f == kNoSlot) f = free_in_bucket(b2);
+      if (f == kNoSlot) f = kick_for_room(b1, b2);
+      if (f != kNoSlot) return f;
+      grow_table();
+    }
+  }
+
+  // --- flow lifecycle ---
+
+  std::uint32_t create_flow(const FlowKey& key, std::uint64_t h) {
+    const std::uint32_t si = insert_slot(h);
+    HotSlot& s = slots_[si];
+    s.key = key;
+    s.off_lo = 0;
+    s.off_hi = 0;
+    s.last_epoch = epoch_;
+    s.cold = kNoRecord;
+    s.batch_stamp = 0;  // wave ids skip 0, so a fresh slot never defers
+    ++s.stamp;          // invalidates any ghost wheel entry for this slot
+    s.flags = kOccupied;
+    if constexpr (InlineScanEngine<EngineT>) {
+      if (inline_ok_) {
+        s.flags |= kInline;
+        s.ictx = engine_->make_inline_context();
+      }
+    }
+    if ((s.flags & kInline) == 0) {
+      const std::uint32_t c = cold_.alloc();
+      cold_[c].ctx.emplace(engine_->make_context());
+      s.cold = c;
+    }
+    if (generation_active_) generations_[si] = current_generation_;
+    if (budget_ticks_ != 0) ticks_[si] = 0;
+    if (wheel_active()) wheel_.schedule(wheel_item(si), epoch_ + kHorizon);
+    ++live_;
+    return si;
+  }
+
+  /// Remove a flow (evict/quarantine/TTL/explicit). Frees its cold record,
+  /// releases its generation claim, leaves its wheel entry as a ghost.
+  void evict_slot_core(std::uint32_t si) {
+    HotSlot& s = slots_[si];
+    if (generation_active_ && generations_[si] != current_generation_)
+      release_generation(generations_[si]);
+    if (s.cold != kNoRecord) {
+      total_pending_ -= cold_[s.cold].pending_bytes;
+      cold_.free(s.cold);
+      s.cold = kNoRecord;
+    }
+    s.flags = 0;
+    --live_;
+  }
+
+  /// Capacity eviction (max_flows): exactly one flow leaves. Victim choice:
+  /// the oldest-surfacing valid wheel entry (longest untouched, to wheel
+  /// precision); falls back to a full stalest-slot scan when the first
+  /// entries offered are all ghosts (rare).
+  void evict_for_capacity() {
+    if (wheel_.pending() > 0) {
+      const bool done = wheel_.pop_oldest(16, [&](std::uint32_t item) -> std::int64_t {
+        const std::uint32_t si = wheel_slot(item);
+        if (si == kNoSlot) return TimingWheel::kDrop;
+        // Never evict a flow touched at the current epoch (it may be the
+        // packet being delivered, or hold a queued batch job).
+        if (slots_[si].last_epoch == epoch_)
+          return static_cast<std::int64_t>(
+              static_cast<std::uint32_t>(slots_[si].last_epoch + kHorizon));
+        evict_slot_core(si);
+        ++evicted_;
+        return TimingWheel::kConsume;
+      });
+      if (done) return;
+    }
+    std::uint32_t victim = kNoSlot;
+    std::uint32_t best_age = 0;
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      if ((slots_[i].flags & kOccupied) == 0) continue;
+      const std::uint32_t age = epoch_ - slots_[i].last_epoch;
+      if (victim == kNoSlot || age > best_age) {
+        victim = i;
+        best_age = age;
+      }
+    }
+    if (victim != kNoSlot) {
+      evict_slot_core(victim);
+      ++evicted_;
+    }
+  }
+
+  /// Advance the packet epoch; the wheel lazily validates surfaced entries,
+  /// evicting idle-past-TTL flows and rescheduling live ones.
+  void bump_epoch() {
+    ++epoch_;
+    if (!wheel_active()) return;
+    wheel_.advance(epoch_, [&](std::uint32_t item) -> std::int64_t {
+      const std::uint32_t si = wheel_slot(item);
+      if (si == kNoSlot) return TimingWheel::kDrop;
+      HotSlot& s = slots_[si];
+      const std::uint32_t idle = epoch_ - s.last_epoch;
+      if (idle_ttl_ != 0 && idle >= idle_ttl_) {
+        // Mid-burst, a flow with a queued job must not be torn down (its
+        // job references this slot); defer a few epochs instead.
+        if (!batch_jobs_.empty() && s.batch_stamp == wave_)
+          return static_cast<std::int64_t>(epoch_ + 4);
+        evict_slot_core(si);
+        ++idle_evicted_;
+        return TimingWheel::kDrop;
+      }
+      return static_cast<std::int64_t>(
+          static_cast<std::uint32_t>(s.last_epoch + kHorizon));
+    });
+  }
+
+  // --- engine-generation bookkeeping (mirrors FlowInspector) ---
+
+  struct Retired {
+    std::uint64_t generation = 0;
+    const EngineT* engine = nullptr;
+    std::shared_ptr<const void> pin;
+    std::size_t live_flows = 0;
+    bool drain = false;  ///< SwapPolicy::kDrainOld
+  };
+
+  [[nodiscard]] const Retired* find_retired(std::uint64_t generation) const {
+    for (const auto& r : retired_)
+      if (r.generation == generation) return &r;
+    return nullptr;
+  }
+
+  [[nodiscard]] const EngineT& engine_for_generation(std::uint64_t generation) const {
+    if (generation == current_generation_) return *engine_;
+    const Retired* r = find_retired(generation);
+    return r != nullptr ? *r->engine : *engine_;
+  }
+
+  void release_generation(std::uint64_t generation) {
+    for (std::size_t i = 0; i < retired_.size(); ++i) {
+      if (retired_[i].generation != generation) continue;
+      if (--retired_[i].live_flows == 0) retired_.erase(retired_.begin() + i);
+      return;
+    }
+  }
+
+  /// kResetOnNextPacket re-adoption: the flow's scan state restarts on the
+  /// current engine — switching tier if the new ruleset's inline
+  /// eligibility differs — while the stream offset and any buffered
+  /// segments are kept, exactly as in the flat inspector.
+  void adopt_flow(std::uint32_t si) {
+    const Retired* r = find_retired(generations_[si]);
+    if (r != nullptr && r->drain) return;
+    const std::uint64_t old_generation = generations_[si];
+    HotSlot& s = slots_[si];
+    if constexpr (InlineScanEngine<EngineT>) {
+      if (inline_ok_) {
+        if ((s.flags & kInline) == 0 && s.cold != kNoRecord) {
+          ColdRecord& rec = cold_[s.cold];
+          rec.ctx.reset();
+          if (rec.pending.empty()) {
+            cold_.free(s.cold);
+            s.cold = kNoRecord;
+          }
+        }
+        s.flags |= kInline;
+        s.ictx = engine_->make_inline_context();
+        finish_adopt(si, old_generation);
+        return;
+      }
+    }
+    s.flags &= static_cast<std::uint8_t>(~kInline);
+    if (s.cold == kNoRecord) s.cold = cold_.alloc();
+    cold_[s.cold].ctx.emplace(engine_->make_context());
+    finish_adopt(si, old_generation);
+  }
+
+  void finish_adopt(std::uint32_t si, std::uint64_t old_generation) {
+    generations_[si] = current_generation_;
+    if (budget_ticks_ != 0) ticks_[si] = 0;  // fresh context, fresh account
+    release_generation(old_generation);
+  }
+
+  // --- quarantine (mirrors FlowInspector) ---
+
+  void maybe_quarantine(std::uint32_t si) {
+    if (budget_ticks_ == 0 || ticks_[si] < budget_ticks_) return;
+    HotSlot& s = slots_[si];
+    ++flows_quarantined_;
+    if (registry_ != nullptr) {
+      metrics_->flows_quarantined.fetch_add(1, std::memory_order_relaxed);
+      registry_->trace().record(s.key.src_ip, s.key.dst_ip, s.key.src_port,
+                                s.key.dst_port, s.key.proto,
+                                obs::kFlowQuarantinedEventId, slot_off(s),
+                                util::rdtsc_now());
+    }
+    static constexpr std::size_t kMaxQuarantineRemembered = 65536;
+    if (quarantine_order_.size() >= kMaxQuarantineRemembered) {
+      quarantined_.erase(quarantine_order_.front());
+      quarantine_order_.pop_front();
+    }
+    quarantined_.insert(s.key);
+    quarantine_order_.push_back(s.key);
+    evict_slot_core(si);
+  }
+
+  // --- scanning ---
+
+  /// Feed bytes through a flow's scan state, wherever it lives.
+  template <typename Sink>
+  void feed_slot(std::uint32_t si, const std::uint8_t* data, std::size_t size,
+                 std::uint64_t base, Sink&& sink) {
+    HotSlot& s = slots_[si];
+    const EngineT& eng = engine_for_generation(generation_of(si));
+    if constexpr (InlineScanEngine<EngineT>) {
+      if ((s.flags & kInline) != 0) {
+        eng.feed(s.ictx, data, size, base, sink);
+        return;
+      }
+    }
+    eng.feed(*cold_[s.cold].ctx, data, size, base, sink);
+  }
+
+  template <typename FlowSink>
+  void deliver(const Packet& p, FlowSink&& fsink) {
+    bump_epoch();
+    const std::uint64_t h = FlowKeyHash{}(p.key);
+    std::uint32_t si = find_slot(p.key, h);
+    if (si == kNoSlot) {
+      if (max_flows_ != 0 && live_ >= max_flows_) evict_for_capacity();
+      util::fault_maybe_bad_alloc("flow.table.alloc");
+      si = create_flow(p.key, h);
+    } else {
+      slots_[si].last_epoch = epoch_;
+      if (generation_active_ && generations_[si] != current_generation_)
+        adopt_flow(si);
+    }
+    HotSlot& s = slots_[si];
+    if (p.seq > slot_off(s)) {
+      buffer_segment(si, p);  // out of order: hold until the gap fills
+      return;
+    }
+    const auto sink = [&](std::uint32_t id, std::uint64_t end) { fsink(si, id, end); };
+    const std::uint64_t skip = slot_off(s) - p.seq;
+    if (budget_ticks_ == 0) {
+      if (skip < p.length) {
+        const std::uint64_t base = slot_off(s);
+        feed_slot(si, p.payload + skip, p.length - skip, base, sink);
+        set_slot_off(s, base + (p.length - skip));
+      }
+      drain(si, sink);
+      return;
+    }
+    const std::uint64_t t0 = util::rdtsc_now();
+    if (skip < p.length) {
+      const std::uint64_t base = slot_off(s);
+      feed_slot(si, p.payload + skip, p.length - skip, base, sink);
+      set_slot_off(s, base + (p.length - skip));
+    }
+    drain(si, sink);
+    ticks_[si] += util::rdtsc_now() - t0;
+    maybe_quarantine(si);  // may erase the flow — nothing touches it afterwards
+  }
+
+  /// Batch delivery: same wave discipline as the flat inspector (at most
+  /// one in-order feed per flow per wave; cross-flow work interleaves,
+  /// same-flow work never does). Jobs are queued as slot references and the
+  /// engine-facing pointer arrays are materialized at flush time, because
+  /// inline contexts live in slots that can move while the wave runs.
+  template <typename FlowSink, typename DropSink>
+  void deliver_batch(const Packet* pkts, std::size_t count, FlowSink&& fsink,
+                     DropSink&& dsink) {
+    auto& cur = batch_cur_;
+    auto& deferred = batch_deferred_;
+    cur.clear();
+    for (std::size_t i = 0; i < count; ++i) cur.push_back(static_cast<std::uint32_t>(i));
+
+    const auto flush = [&] { flush_jobs(fsink); };
+
+    while (!cur.empty()) {
+      ++wave_;
+      if (wave_ == 0) wave_ = 1;  // 0 is the fresh-slot sentinel
+      deferred.clear();
+      for (const std::uint32_t idx : cur) {
+        const Packet& p = pkts[idx];
+        if (is_quarantined(p.key)) {
+          ++quarantined_packets_;
+          dsink(p);
+          continue;
+        }
+        bump_epoch();
+        const std::uint64_t h = FlowKeyHash{}(p.key);
+        std::uint32_t si = find_slot(p.key, h);
+        if (si == kNoSlot) {
+          // A capacity eviction can tear down a flow that still has a
+          // queued job: flush queued work first (kick/grow moves are safe —
+          // they patch the queue — but eviction destroys state).
+          if (max_flows_ != 0 && live_ >= max_flows_) {
+            if (!batch_jobs_.empty()) flush();
+            evict_for_capacity();
+          }
+          util::fault_maybe_bad_alloc("flow.table.alloc");
+          si = create_flow(p.key, h);
+        } else {
+          slots_[si].last_epoch = epoch_;
+          if (generation_active_ && generations_[si] != current_generation_)
+            adopt_flow(si);
+        }
+        HotSlot& s = slots_[si];
+        if (s.batch_stamp == wave_) {
+          deferred.push_back(idx);  // same flow already fed this wave
+          continue;
+        }
+        if (p.seq > slot_off(s)) {
+          buffer_segment(si, p);
+          continue;
+        }
+        const std::uint64_t skip = slot_off(s) - p.seq;
+        if (skip >= p.length) continue;  // fully retransmitted bytes
+        s.batch_stamp = wave_;
+        batch_jobs_.push_back(BatchJob{si, p.payload + skip,
+                                       p.length - skip, slot_off(s)});
+        set_slot_off(s, slot_off(s) + (p.length - skip));
+      }
+      flush();
+      cur.swap(deferred);
+    }
+  }
+
+  /// Materialize the queued jobs into engine feed jobs — inline-state jobs
+  /// and heap-context jobs separately, since they advance through different
+  /// feed_many instantiations — run them, then drain and (when budgeted)
+  /// settle per-flow CPU accounts. Right after a kDrainOld swap a burst can
+  /// mix engine generations; those transient bursts run per-flow sequential
+  /// feeds on each flow's own engine rather than the interleaved kernel.
+  template <typename FlowSink>
+  void flush_jobs(FlowSink& fsink) {
+    if (batch_jobs_.empty()) return;
+    inline_jobs_.clear();
+    inline_job_slots_.clear();
+    ctx_jobs_.clear();
+    ctx_job_slots_.clear();
+    bool mixed = false;
+    const std::uint64_t g0 = generation_of(batch_jobs_[0].slot);
+    for (const auto& j : batch_jobs_) {
+      if (generation_active_ && generation_of(j.slot) != g0) mixed = true;
+      HotSlot& s = slots_[j.slot];
+      if constexpr (InlineScanEngine<EngineT>) {
+        if ((s.flags & kInline) != 0) {
+          inline_jobs_.push_back({&s.ictx, j.data, j.size, j.base});
+          inline_job_slots_.push_back(j.slot);
+          continue;
+        }
+      }
+      ctx_jobs_.push_back({&*cold_[s.cold].ctx, j.data, j.size, j.base});
+      ctx_job_slots_.push_back(j.slot);
+    }
+
+    const auto feed_all = [&] {
+      if (mixed) {
+        if constexpr (InlineScanEngine<EngineT>) {
+          for (std::size_t i = 0; i < inline_jobs_.size(); ++i) {
+            const std::uint32_t si = inline_job_slots_[i];
+            engine_for_generation(generation_of(si))
+                .feed(*inline_jobs_[i].ctx, inline_jobs_[i].data, inline_jobs_[i].size,
+                      inline_jobs_[i].base,
+                      [&](std::uint32_t id, std::uint64_t end) { fsink(si, id, end); });
+          }
+        }
+        for (std::size_t i = 0; i < ctx_jobs_.size(); ++i) {
+          const std::uint32_t si = ctx_job_slots_[i];
+          engine_for_generation(generation_of(si))
+              .feed(*ctx_jobs_[i].ctx, ctx_jobs_[i].data, ctx_jobs_[i].size,
+                    ctx_jobs_[i].base,
+                    [&](std::uint32_t id, std::uint64_t end) { fsink(si, id, end); });
+        }
+        return;
+      }
+      const EngineT& eng = engine_for_generation(g0);
+      if (!inline_jobs_.empty()) {
+        if constexpr (InlineBatchScanEngine<EngineT>) {
+          eng.feed_many(
+              inline_jobs_.data(), inline_jobs_.size(),
+              [&](std::size_t j, std::uint32_t id, std::uint64_t end) {
+                fsink(inline_job_slots_[j], id, end);
+              },
+              batch_lanes_);
+        } else if constexpr (InlineScanEngine<EngineT>) {
+          for (std::size_t i = 0; i < inline_jobs_.size(); ++i) {
+            const std::uint32_t si = inline_job_slots_[i];
+            eng.feed(*inline_jobs_[i].ctx, inline_jobs_[i].data, inline_jobs_[i].size,
+                     inline_jobs_[i].base,
+                     [&](std::uint32_t id, std::uint64_t end) { fsink(si, id, end); });
+          }
+        }
+      }
+      if (!ctx_jobs_.empty()) {
+        if constexpr (BatchScanEngine<EngineT>) {
+          eng.feed_many(
+              ctx_jobs_.data(), ctx_jobs_.size(),
+              [&](std::size_t j, std::uint32_t id, std::uint64_t end) {
+                fsink(ctx_job_slots_[j], id, end);
+              },
+              batch_lanes_);
+        } else {
+          for (std::size_t i = 0; i < ctx_jobs_.size(); ++i) {
+            const std::uint32_t si = ctx_job_slots_[i];
+            eng.feed(*ctx_jobs_[i].ctx, ctx_jobs_[i].data, ctx_jobs_[i].size,
+                     ctx_jobs_[i].base,
+                     [&](std::uint32_t id, std::uint64_t end) { fsink(si, id, end); });
+          }
+        }
+      }
+    };
+
+    if (budget_ticks_ == 0) {
+      feed_all();
+      for (const auto& j : batch_jobs_)
+        drain(j.slot, [&, si = j.slot](std::uint32_t id, std::uint64_t end) {
+          fsink(si, id, end);
+        });
+    } else {
+      // Budgeted: the interleaved kernel runs many flows at once, so its
+      // time is apportioned to flows by bytes fed; drains are per-flow and
+      // timed exactly. Quarantine checks run last because they erase flows
+      // the job list still references.
+      std::uint64_t total_bytes = 0;
+      for (const auto& j : batch_jobs_) total_bytes += j.size;
+      const std::uint64_t t0 = util::rdtsc_now();
+      feed_all();
+      const std::uint64_t feed_ticks = util::rdtsc_now() - t0;
+      for (const auto& j : batch_jobs_)
+        ticks_[j.slot] +=
+            total_bytes == 0 ? 0 : feed_ticks * j.size / total_bytes;
+      for (const auto& j : batch_jobs_) {
+        const std::uint64_t d0 = util::rdtsc_now();
+        drain(j.slot, [&, si = j.slot](std::uint32_t id, std::uint64_t end) {
+          fsink(si, id, end);
+        });
+        ticks_[j.slot] += util::rdtsc_now() - d0;
+      }
+      for (const auto& j : batch_jobs_) maybe_quarantine(j.slot);
+    }
+    batch_jobs_.clear();
+  }
+
+  // --- bounded out-of-order reassembly (mirrors FlowInspector) ---
+
+  void buffer_segment(std::uint32_t si, const Packet& p) {
+    if (p.length == 0) return;
+    util::fault_maybe_bad_alloc("flow.reassembly.alloc");
+    HotSlot& s = slots_[si];
+    if (s.cold == kNoRecord) s.cold = cold_.alloc();  // pending-only record
+    ColdRecord& rec = cold_[s.cold];
+    auto it = pending_lower_bound(rec.pending, p.seq);
+    if (it != rec.pending.end() && it->seq == p.seq) {
+      // Duplicate sequence number: keep whichever segment carries more
+      // data; only the net growth counts against the budget.
+      if (it->bytes.size() >= p.length) return;
+      const std::uint64_t growth = p.length - it->bytes.size();
+      while (max_pending_ != 0 && rec.pending_bytes + growth > max_pending_ &&
+             rec.pending.size() > 1) {
+        drop_oldest_pending(rec, p.seq);
+        it = pending_lower_bound(rec.pending, p.seq);  // drops shift the vector
+      }
+      if (max_pending_ != 0 && rec.pending_bytes + growth > max_pending_) {
+        ++reassembly_dropped_;
+        return;
+      }
+      it->bytes.assign(p.payload, p.payload + p.length);
+      it->arrival = ++arrival_tick_;
+      rec.pending_bytes += growth;
+      total_pending_ += growth;
+      return;
+    }
+    if (max_pending_ != 0 && p.length > max_pending_) {
+      // A single segment larger than the whole budget can never be held.
+      ++reassembly_dropped_;
+      release_cold_if_empty(s);
+      return;
+    }
+    while (max_pending_ != 0 && rec.pending_bytes + p.length > max_pending_) {
+      drop_oldest_pending(rec);
+      it = pending_lower_bound(rec.pending, p.seq);
+    }
+    it = rec.pending.emplace(it, PendingSegment{p.seq, ++arrival_tick_, {}});
+    it->bytes.assign(p.payload, p.payload + p.length);
+    rec.pending_bytes += p.length;
+    total_pending_ += p.length;
+  }
+
+  void drop_oldest_pending(ColdRecord& rec,
+                           std::uint64_t keep_seq = ~std::uint64_t{0}) {
+    auto oldest = rec.pending.end();
+    for (auto it = rec.pending.begin(); it != rec.pending.end(); ++it) {
+      if (it->seq == keep_seq) continue;
+      if (oldest == rec.pending.end() || it->arrival < oldest->arrival) oldest = it;
+    }
+    if (oldest == rec.pending.end()) return;
+    rec.pending_bytes -= oldest->bytes.size();
+    total_pending_ -= oldest->bytes.size();
+    rec.pending.erase(oldest);
+    ++reassembly_dropped_;
+  }
+
+  /// A reorder-only record whose buffer just emptied goes back to the slab:
+  /// the flow is pure-hot again.
+  void release_cold_if_empty(HotSlot& s) {
+    if (s.cold == kNoRecord) return;
+    ColdRecord& rec = cold_[s.cold];
+    if (rec.pending.empty() && !rec.ctx.has_value()) {
+      cold_.free(s.cold);
+      s.cold = kNoRecord;
+    }
+  }
+
+  template <typename Sink>
+  void drain(std::uint32_t si, Sink&& sink) {
+    HotSlot& s = slots_[si];
+    if (s.cold == kNoRecord) return;
+    ColdRecord& rec = cold_[s.cold];
+    std::size_t consumed = 0;
+    while (consumed < rec.pending.size()) {
+      PendingSegment& seg = rec.pending[consumed];
+      const std::uint64_t off = slot_off(s);
+      if (seg.seq > off) break;
+      const std::uint64_t skip = off - seg.seq;
+      if (skip < seg.bytes.size()) {
+        feed_slot(si, seg.bytes.data() + skip, seg.bytes.size() - skip, off, sink);
+        set_slot_off(s, off + (seg.bytes.size() - skip));
+      }
+      rec.pending_bytes -= seg.bytes.size();
+      total_pending_ -= seg.bytes.size();
+      ++consumed;
+    }
+    if (consumed != 0)
+      rec.pending.erase(rec.pending.begin(),
+                        rec.pending.begin() + static_cast<std::ptrdiff_t>(consumed));
+    release_cold_if_empty(s);
+  }
+
+  // --- telemetry ---
+
+  void store_gauges(obs::ShardMetrics& m) {
+    m.flows.store(live_, std::memory_order_relaxed);
+    m.evictions.store(evicted_, std::memory_order_relaxed);
+    m.reassembly_drops.store(reassembly_dropped_, std::memory_order_relaxed);
+    m.reassembly_pending_bytes.store(total_pending_, std::memory_order_relaxed);
+    m.flow_hot_slots.store(slots_.size(), std::memory_order_relaxed);
+    m.flow_cold_bytes.store(cold_bytes(), std::memory_order_relaxed);
+    if (live_ != 0) m.bytes_per_flow.record((hot_bytes() + cold_bytes()) / live_);
+  }
+
+  const EngineT* engine_;  ///< ONE engine for all flows (never per-flow)
+  std::uint64_t current_generation_ = 0;
+  bool generation_active_ = false;  ///< adopt_engine() was called at least once
+  bool inline_ok_ = false;  ///< current engine keeps new flows' state inline
+  std::shared_ptr<const void> current_pin_;
+  std::vector<Retired> retired_;
+  std::size_t max_flows_ = 0;
+  std::size_t max_pending_ = kDefaultMaxPendingBytes;
+  std::uint32_t idle_ttl_ = 0;  ///< 0 = idle eviction off
+  std::uint64_t evicted_ = 0;       ///< capacity evictions (max_flows)
+  std::uint64_t idle_evicted_ = 0;  ///< TTL evictions
+  std::uint64_t reassembly_dropped_ = 0;
+  std::uint64_t total_pending_ = 0;
+  std::uint64_t arrival_tick_ = 0;
+  std::uint32_t epoch_ = 0;  ///< per-shard packet epoch (wraps)
+  std::uint64_t cpu_budget_ns_ = 0;
+  std::uint64_t budget_ticks_ = 0;
+  std::uint64_t flows_quarantined_ = 0;
+  std::uint64_t quarantined_packets_ = 0;
+  std::unordered_set<FlowKey, FlowKeyHash> quarantined_;
+  std::deque<FlowKey> quarantine_order_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::ShardMetrics* metrics_ = nullptr;
+  double ns_per_tick_ = 0.0;
+  std::size_t batch_lanes_ = scan::kDefaultLanes;
+  std::uint16_t wave_ = 0;
+
+  // Hot tier.
+  std::size_t nbuckets_ = 0;
+  std::size_t live_ = 0;
+  std::vector<HotSlot> slots_;  ///< nbuckets_ * kBucketWidth
+  /// Per-slot engine generation; allocated lazily at the first
+  /// adopt_engine() so single-ruleset deployments pay zero bytes for it.
+  std::vector<std::uint64_t> generations_;
+  /// Per-slot cumulative scan ticks; allocated only when a CPU budget is set.
+  std::vector<std::uint64_t> ticks_;
+  TimingWheel wheel_;
+
+  // Cold tier.
+  SlabArena<ColdRecord> cold_;
+
+  // Scratch reused across packet_batch() calls (inspector is one-thread).
+  std::vector<BatchJob> batch_jobs_;
+  std::vector<std::uint32_t> batch_cur_;
+  std::vector<std::uint32_t> batch_deferred_;
+  std::vector<scan::FeedJob<InlineState>> inline_jobs_;
+  std::vector<std::uint32_t> inline_job_slots_;
+  std::vector<scan::FeedJob<Context>> ctx_jobs_;
+  std::vector<std::uint32_t> ctx_job_slots_;
+  std::vector<FlowKey> grow_keys_;
+};
+
+}  // namespace mfa::flow

@@ -84,6 +84,9 @@ class Hfa {
   }
 
   // --- Engine/Context split (uniform API across all six engines) ---
+  // No InlineContext API: HFA history memory is sized per ruleset and not
+  // guaranteed word-small, so the tiered flow table keeps HFA contexts in
+  // its cold tier (see flow/tiered.h).
 
   using Context = filter::ScanContext;
 

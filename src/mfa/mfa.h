@@ -109,6 +109,93 @@ class Mfa {
     ctx.state = s;
   }
 
+  // --- optional InlineContext small-state API (tiered flow table) ---
+  // When the filter program's whole memory fits one 64-bit word and uses no
+  // counters or position slots, the per-flow (q, m) can live inline in a
+  // 12-byte hot-table slot instead of a heap ScanContext. The two 32-bit
+  // memory halves keep the struct 4-byte aligned at any slot offset.
+
+  struct InlineContext {
+    std::uint32_t state = 0;
+    std::uint32_t mem_lo = 0;
+    std::uint32_t mem_hi = 0;
+  };
+  static_assert(sizeof(InlineContext) == 12 && alignof(InlineContext) == 4);
+
+  /// True when this program's per-flow state fits an InlineContext.
+  [[nodiscard]] bool inline_contexts_ok() const {
+    return program_.memory_bits <= 64 && program_.counters == 0 &&
+           program_.position_slots == 0;
+  }
+
+  [[nodiscard]] InlineContext make_inline_context() const {
+    return InlineContext{dfa_.start(), 0, 0};
+  }
+
+  /// Widen an inline (q, m) into a full heap Context — exact, so a flow can
+  /// migrate hot-slot state into the cold tier (e.g. when a hot-swapped
+  /// ruleset no longer qualifies for inline contexts) without losing
+  /// in-progress match state.
+  [[nodiscard]] Context expand_inline(const InlineContext& ic) const {
+    Context ctx = make_context();
+    ctx.state = ic.state;
+    const std::uint64_t m =
+        (std::uint64_t{ic.mem_hi} << 32) | std::uint64_t{ic.mem_lo};
+    for (std::int32_t i = 0; i < 64; ++i)
+      if ((m >> i) & 1ULL) ctx.memory.set_bit(i);
+    return ctx;
+  }
+
+  /// feed() against an inline context: identical scan loop, with filter
+  /// actions running on the 64-bit inline memory view.
+  template <typename Sink>
+  void feed(InlineContext& ctx, const std::uint8_t* data, std::size_t size,
+            std::uint64_t base, Sink&& sink) const {
+    const filter::Engine engine(program_);
+    filter::InlineMemory64 memory(ctx.mem_lo, ctx.mem_hi);
+    const std::uint32_t* table = dfa_.table_data();
+    const std::uint8_t* cols = dfa_.byte_columns();
+    const std::uint32_t ncols = dfa_.column_count();
+    const std::uint32_t naccept = dfa_.accepting_state_count();
+    std::uint32_t s = ctx.state;
+    for (std::size_t i = 0; i < size; ++i) {
+      s = table[static_cast<std::size_t>(s) * ncols + cols[data[i]]];
+      if (s < naccept) {
+        const auto [first, last] = ordered_actions(s);
+        for (const auto* it = first; it != last; ++it)
+          engine.on_match(*it, base + i, memory, sink);
+      }
+    }
+    ctx.state = s;
+  }
+
+  /// feed_many() over inline contexts: the interleaved kernel only touches
+  /// ctx->state, so the same K-way scan drives hot-slot flows directly.
+  template <typename Sink>
+  void feed_many(scan::FeedJob<InlineContext>* jobs, std::size_t count, Sink&& sink,
+                 std::size_t lanes = scan::kDefaultLanes) const {
+    const filter::Engine engine(program_);
+    const std::uint32_t* table = dfa_.table_data();
+    const std::uint8_t* cols = dfa_.byte_columns();
+    const std::uint32_t ncols = dfa_.column_count();
+    scan::interleaved_scan(
+        jobs, count, lanes, dfa_.accepting_state_count(),
+        [=](std::uint32_t s, std::uint8_t b) {
+          return table[static_cast<std::size_t>(s) * ncols + cols[b]];
+        },
+        [=](std::uint32_t s) {
+          scan::prefetch_ro(table + static_cast<std::size_t>(s) * ncols);
+        },
+        [&](std::size_t job, std::uint32_t s, std::uint64_t end) {
+          InlineContext& c = *jobs[job].ctx;
+          filter::InlineMemory64 memory(c.mem_lo, c.mem_hi);
+          const auto [first, last] = ordered_actions(s);
+          for (const auto* it = first; it != last; ++it)
+            engine.on_match(*it, end, memory,
+                            [&](std::uint32_t id, std::uint64_t e) { sink(job, id, e); });
+        });
+  }
+
   using FeedJob = scan::FeedJob<Context>;
 
   /// K-way interleaved scan (see Dfa::feed_many): the character-DFA inner

@@ -62,6 +62,9 @@ class Nfa {
   // simulation step — it lives in the Context (not the Engine) so one Nfa
   // can serve many threads without interior mutability.
 
+  // No InlineContext API: the active-state bitset is proportional to the
+  // automaton, never hot-slot sized, so the tiered flow table keeps NFA
+  // contexts in its cold tier (see flow/tiered.h).
   struct Context {
     std::vector<std::uint64_t> current;
     std::vector<std::uint64_t> next;        ///< scratch for the step

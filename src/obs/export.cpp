@@ -73,14 +73,17 @@ void json_shard(std::string& out, const ShardSnapshot& s) {
          ",\"queue_full_spins\":%" PRIu64 ",\"max_queue_depth\":%" PRIu64
          ",\"shed_packets\":%" PRIu64 ",\"shed_bytes\":%" PRIu64
          ",\"flows_quarantined\":%" PRIu64 ",\"worker_restarts\":%" PRIu64
-         ",\"worker_stalls\":%" PRIu64 ",",
+         ",\"worker_stalls\":%" PRIu64 ",\"flow_hot_slots\":%" PRIu64
+         ",\"flow_cold_bytes\":%" PRIu64 ",",
          s.packets, s.bytes, s.matches, s.flows, s.evictions, s.reassembly_drops,
          s.reassembly_pending_bytes, s.queue_full_spins, s.max_queue_depth,
          s.shed_packets, s.shed_bytes, s.flows_quarantined, s.worker_restarts,
-         s.worker_stalls);
+         s.worker_stalls, s.flow_hot_slots, s.flow_cold_bytes);
   json_histogram(out, "scan_ns", s.scan_ns);
   out += ",";
   json_histogram(out, "packet_bytes", s.packet_bytes);
+  out += ",";
+  json_histogram(out, "bytes_per_flow", s.bytes_per_flow);
   out += ",";
   json_histogram(out, "queue_depth", s.queue_depth);
   out += "}";
@@ -144,6 +147,12 @@ std::string to_prometheus(const RegistrySnapshot& snap) {
   prom_counter(out, "mfa_reassembly_pending_bytes",
                "Buffered out-of-order bytes awaiting gaps", snap,
                &ShardSnapshot::reassembly_pending_bytes, "gauge");
+  prom_counter(out, "mfa_flow_hot_slots",
+               "Hot-tier flow-table slot capacity (tiered inspector)", snap,
+               &ShardSnapshot::flow_hot_slots, "gauge");
+  prom_counter(out, "mfa_flow_cold_bytes",
+               "Cold-tier slab bytes for reordering/big-state flows", snap,
+               &ShardSnapshot::flow_cold_bytes, "gauge");
   prom_counter(out, "mfa_queue_full_spins_total",
                "Producer spins while a shard queue was full", snap,
                &ShardSnapshot::queue_full_spins, "counter");
@@ -167,6 +176,9 @@ std::string to_prometheus(const RegistrySnapshot& snap) {
                  snap, &ShardSnapshot::scan_ns);
   prom_histogram(out, "mfa_packet_bytes", "Per-packet payload size in bytes", snap,
                  &ShardSnapshot::packet_bytes);
+  prom_histogram(out, "mfa_bytes_per_flow",
+                 "Flow-table bytes per resident flow", snap,
+                 &ShardSnapshot::bytes_per_flow);
   prom_histogram(out, "mfa_queue_depth", "Shard queue depth at submit", snap,
                  &ShardSnapshot::queue_depth);
   append(out, "# HELP mfa_match_hits_total Confirmed matches per pattern id\n"

@@ -118,6 +118,8 @@ struct ShardSnapshot {
   std::uint64_t evictions = 0;
   std::uint64_t reassembly_drops = 0;
   std::uint64_t reassembly_pending_bytes = 0;  ///< gauge: buffered OOO bytes
+  std::uint64_t flow_hot_slots = 0;  ///< gauge: tiered hot-table slot capacity
+  std::uint64_t flow_cold_bytes = 0; ///< gauge: tiered cold-tier slab bytes
   std::uint64_t queue_full_spins = 0;          ///< producer full-spin count
   std::uint64_t max_queue_depth = 0;           ///< gauge: high-water mark
   std::uint64_t shed_packets = 0;       ///< packets shed instead of scanned
@@ -127,6 +129,7 @@ struct ShardSnapshot {
   std::uint64_t worker_stalls = 0;      ///< watchdog stall detections
   HistogramSnapshot scan_ns;      ///< per-packet scan latency, nanoseconds
   HistogramSnapshot packet_bytes; ///< per-packet payload size
+  HistogramSnapshot bytes_per_flow;  ///< flow-table bytes / resident flow
   HistogramSnapshot queue_depth;  ///< SPSC depth sampled at each submit()
 
   ShardSnapshot& operator+=(const ShardSnapshot& o) {
@@ -137,6 +140,8 @@ struct ShardSnapshot {
     evictions += o.evictions;
     reassembly_drops += o.reassembly_drops;
     reassembly_pending_bytes += o.reassembly_pending_bytes;
+    flow_hot_slots += o.flow_hot_slots;
+    flow_cold_bytes += o.flow_cold_bytes;
     queue_full_spins += o.queue_full_spins;
     shed_packets += o.shed_packets;
     shed_bytes += o.shed_bytes;
@@ -147,6 +152,7 @@ struct ShardSnapshot {
                                                           : o.max_queue_depth;
     scan_ns += o.scan_ns;
     packet_bytes += o.packet_bytes;
+    bytes_per_flow += o.bytes_per_flow;
     queue_depth += o.queue_depth;
     return *this;
   }
@@ -165,9 +171,12 @@ struct alignas(64) ShardMetrics {
   std::atomic<std::uint64_t> evictions{0};
   std::atomic<std::uint64_t> reassembly_drops{0};
   std::atomic<std::uint64_t> reassembly_pending_bytes{0};  // gauge
+  std::atomic<std::uint64_t> flow_hot_slots{0};            // gauge
+  std::atomic<std::uint64_t> flow_cold_bytes{0};           // gauge
   std::atomic<std::uint64_t> flows_quarantined{0};
   Histogram scan_ns;
   Histogram packet_bytes;
+  Histogram bytes_per_flow;
   // --- queue side (the submit() producer thread) ---
   std::atomic<std::uint64_t> queue_full_spins{0};
   std::atomic<std::uint64_t> max_queue_depth{0};           // gauge
@@ -188,6 +197,8 @@ struct alignas(64) ShardMetrics {
     s.reassembly_drops = reassembly_drops.load(std::memory_order_relaxed);
     s.reassembly_pending_bytes =
         reassembly_pending_bytes.load(std::memory_order_relaxed);
+    s.flow_hot_slots = flow_hot_slots.load(std::memory_order_relaxed);
+    s.flow_cold_bytes = flow_cold_bytes.load(std::memory_order_relaxed);
     s.queue_full_spins = queue_full_spins.load(std::memory_order_relaxed);
     s.max_queue_depth = max_queue_depth.load(std::memory_order_relaxed);
     s.shed_packets = shed_packets.load(std::memory_order_relaxed);
@@ -197,6 +208,7 @@ struct alignas(64) ShardMetrics {
     s.worker_stalls = worker_stalls.load(std::memory_order_relaxed);
     s.scan_ns = scan_ns.snapshot();
     s.packet_bytes = packet_bytes.snapshot();
+    s.bytes_per_flow = bytes_per_flow.snapshot();
     s.queue_depth = queue_depth.snapshot();
     return s;
   }

@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "flow/flow.h"
+#include "flow/tiered.h"
 #include "obs/metrics.h"
 #include "pipeline/spsc_queue.h"
 #include "util/faultpoint.h"
@@ -754,7 +755,7 @@ class ShardedInspector {
     }
 
     SpscQueue<flow::Packet> queue;
-    flow::FlowInspector<EngineT> inspector;
+    flow::TieredFlowInspector<EngineT> inspector;
     std::size_t batch_size;
     bool collect;
     bool collect_flows;

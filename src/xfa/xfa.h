@@ -81,6 +81,9 @@ class Xfa {
   }
 
   // --- Engine/Context split (uniform API across all six engines) ---
+  // No InlineContext API: XFA scratch memory routinely uses counters, which
+  // never fit the 64-bit inline word, so the tiered flow table keeps XFA
+  // contexts in its cold tier (see flow/tiered.h).
 
   using Context = filter::ScanContext;
 

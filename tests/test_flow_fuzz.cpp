@@ -6,7 +6,6 @@
 // and the per-flow storage contract of the Engine/Context split.
 #include <gtest/gtest.h>
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -253,7 +252,7 @@ TEST(FlowStorage, PerFlowStateIsContextPlusBookkeepingOnly) {
     std::uint64_t batch_stamp;
     std::uint64_t scan_ticks;
     std::uint64_t context_generation;
-    std::map<std::uint64_t, Insp::FlowState::PendingSegment> pending;
+    std::vector<Insp::FlowState::PendingSegment> pending;  // sorted by seq
     Insp::FlowState* lru_prev;
     Insp::FlowState* lru_next;
     FlowKey key;

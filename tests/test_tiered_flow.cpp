@@ -1,0 +1,520 @@
+// Tiered flow-state tests (DESIGN.md Sec. 11): the hashed timing wheel,
+// the cold-tier slab arena, and the TieredFlowInspector — including a
+// randomized parity fuzz against the flat FlowInspector, which is the
+// ground truth for delivery semantics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfa/dfa.h"
+#include "engine_test_util.h"
+#include "flow/flow.h"
+#include "flow/slab.h"
+#include "flow/tiered.h"
+#include "flow/timing_wheel.h"
+#include "hfa/hfa.h"
+#include "mfa/mfa.h"
+#include "nfa/nfa.h"
+#include "util/rng.h"
+
+namespace mfa::flow {
+namespace {
+
+using mfa::testing::compile_patterns;
+using mfa::testing::sorted;
+
+core::Mfa build(const std::vector<std::string>& sources) {
+  auto m = core::build_mfa(compile_patterns(sources));
+  EXPECT_TRUE(m.has_value());
+  return *std::move(m);
+}
+
+Packet make_packet(const FlowKey& key, std::uint64_t seq, const std::string& bytes) {
+  return Packet{key, seq, reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                static_cast<std::uint32_t>(bytes.size())};
+}
+
+// --- TimingWheel ---
+
+TEST(TimingWheel, AdvanceSurfacesEntriesInExpiryOrder) {
+  TimingWheel w;
+  w.schedule(1, 100);
+  w.schedule(2, 40);
+  w.schedule(3, 400);
+  std::vector<std::uint32_t> surfaced;
+  w.advance(500, [&](std::uint32_t item) -> std::int64_t {
+    surfaced.push_back(item);
+    return TimingWheel::kConsume;
+  });
+  ASSERT_EQ(surfaced.size(), 3u);
+  EXPECT_EQ(surfaced[0], 2u);  // expiry 40 surfaces first
+  EXPECT_EQ(surfaced[1], 1u);
+  EXPECT_EQ(surfaced[2], 3u);
+  EXPECT_EQ(w.pending(), 0u);
+}
+
+TEST(TimingWheel, RetouchReschedulingDefersEviction) {
+  // An entry whose callback returns a future epoch is NOT removed: it
+  // surfaces again once the cursor reaches the new expiry. This is the
+  // re-touched-flow path — one reschedule per wheel turn, not per packet.
+  TimingWheel w;
+  w.schedule(7, 10);
+  int surfacings = 0;
+  w.advance(100, [&](std::uint32_t) -> std::int64_t {
+    ++surfacings;
+    return 300;  // flow was touched recently: push the entry out
+  });
+  EXPECT_EQ(surfacings, 1);
+  EXPECT_EQ(w.pending(), 1u);
+  w.advance(200, [&](std::uint32_t) -> std::int64_t {
+    ADD_FAILURE() << "entry rescheduled to 300 must not surface at 200";
+    return TimingWheel::kConsume;
+  });
+  w.advance(400, [&](std::uint32_t) -> std::int64_t {
+    ++surfacings;
+    return TimingWheel::kConsume;
+  });
+  EXPECT_EQ(surfacings, 2);
+  EXPECT_EQ(w.pending(), 0u);
+}
+
+TEST(TimingWheel, EpochRolloverWrapsCleanly) {
+  // Epochs are modular u32: schedule entries across the wrap boundary and
+  // verify they surface exactly once, in order, as the cursor wraps.
+  TimingWheel w;
+  const std::uint32_t near_wrap = 0xffffff00U;
+  w.advance(near_wrap, [](std::uint32_t) -> std::int64_t {
+    return TimingWheel::kConsume;
+  });
+  w.schedule(1, 0xfffffff0U);                       // before the wrap
+  w.schedule(2, static_cast<std::uint32_t>(0xfffffff0U + 0x40));  // after it
+  std::vector<std::uint32_t> surfaced;
+  w.advance(0x80, [&](std::uint32_t item) -> std::int64_t {
+    surfaced.push_back(item);
+    return TimingWheel::kConsume;
+  });
+  ASSERT_EQ(surfaced.size(), 2u);
+  EXPECT_EQ(surfaced[0], 1u);
+  EXPECT_EQ(surfaced[1], 2u);
+  EXPECT_EQ(w.pending(), 0u);
+}
+
+TEST(TimingWheel, PopOldestSkipsGhostsAndStopsOnConsume) {
+  TimingWheel w;
+  w.schedule(1, 10);   // ghost (caller will kDrop it)
+  w.schedule(2, 20);   // victim
+  w.schedule(3, 500);  // must stay untouched
+  std::vector<std::uint32_t> offered;
+  const bool took = w.pop_oldest(16, [&](std::uint32_t item) -> std::int64_t {
+    offered.push_back(item);
+    if (item == 1) return TimingWheel::kDrop;  // stale ghost: keep searching
+    return TimingWheel::kConsume;
+  });
+  EXPECT_TRUE(took);
+  ASSERT_EQ(offered.size(), 2u);
+  EXPECT_EQ(offered[0], 1u);
+  EXPECT_EQ(offered[1], 2u);
+  EXPECT_EQ(w.pending(), 1u);  // ghost removed, victim consumed, 3 remains
+}
+
+TEST(TimingWheel, PopOldestRespectsRescheduleVerdicts) {
+  TimingWheel w;
+  w.schedule(1, 10);
+  const bool took = w.pop_oldest(4, [&](std::uint32_t) -> std::int64_t {
+    return 900;  // "recently touched" — not a victim
+  });
+  EXPECT_FALSE(took);
+  EXPECT_EQ(w.pending(), 1u);  // rescheduled, not lost
+}
+
+// --- SlabArena ---
+
+TEST(SlabArena, HandlesAreStableAcrossUnrelatedAllocFree) {
+  SlabArena<std::string> arena;
+  const std::uint32_t a = arena.alloc("alpha");
+  const std::uint32_t b = arena.alloc("beta");
+  for (int i = 0; i < 1000; ++i) arena.free(arena.alloc("churn"));
+  EXPECT_EQ(arena[a], "alpha");
+  EXPECT_EQ(arena[b], "beta");
+  EXPECT_EQ(arena.live(), 2u);
+  arena.free(a);
+  arena.free(b);
+  EXPECT_EQ(arena.live(), 0u);
+  EXPECT_GT(arena.allocated_bytes(), 0u);  // slabs are retained for reuse
+}
+
+TEST(SlabArena, RecyclesFreedStorageBeforeGrowing) {
+  SlabArena<int, 4> arena;  // tiny slabs to force growth
+  std::vector<std::uint32_t> handles;
+  for (int i = 0; i < 9; ++i) handles.push_back(arena.alloc(i));  // 3 slabs
+  const std::size_t grown = arena.allocated_bytes();
+  for (const std::uint32_t h : handles) arena.free(h);
+  for (int i = 0; i < 9; ++i) arena.alloc(i);
+  EXPECT_EQ(arena.allocated_bytes(), grown);  // no new slabs needed
+  arena.clear();
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+// --- TieredFlowInspector: delivery semantics ---
+
+TEST(TieredFlow, SingleFlowInOrderAcrossPackets) {
+  const core::Mfa m = build({".*abc.*xyz"});
+  TieredFlowInspector<core::Mfa> insp{m};
+  CollectingSink sink;
+  const FlowKey key{10, 20, 1000, 80, 6};
+  insp.packet(make_packet(key, 0, "ab"), sink);
+  insp.packet(make_packet(key, 2, "c..x"), sink);
+  insp.packet(make_packet(key, 6, "yz"), sink);
+  ASSERT_EQ(sink.matches.size(), 1u);
+  EXPECT_EQ(sink.matches[0].end, 7u);
+  EXPECT_EQ(insp.flow_count(), 1u);
+}
+
+TEST(TieredFlow, OutOfOrderSegmentsReassembled) {
+  const core::Mfa m = build({".*abcxyz"});
+  TieredFlowInspector<core::Mfa> insp{m};
+  CollectingSink sink;
+  const FlowKey key{1, 2, 3, 4, 6};
+  insp.packet(make_packet(key, 3, "xyz"), sink);
+  EXPECT_TRUE(sink.matches.empty());
+  insp.packet(make_packet(key, 0, "abc"), sink);
+  ASSERT_EQ(sink.matches.size(), 1u);
+  EXPECT_EQ(sink.matches[0].end, 5u);
+}
+
+TEST(TieredFlow, RetransmissionOverlapSkipped) {
+  const core::Mfa m = build({".*abcd"});
+  TieredFlowInspector<core::Mfa> insp{m};
+  CollectingSink sink;
+  const FlowKey key{1, 2, 3, 4, 6};
+  insp.packet(make_packet(key, 0, "abc"), sink);
+  insp.packet(make_packet(key, 1, "bcd"), sink);
+  ASSERT_EQ(sink.matches.size(), 1u);
+  insp.packet(make_packet(key, 0, "abcd"), sink);  // full duplicate
+  EXPECT_EQ(sink.matches.size(), 1u);
+}
+
+TEST(TieredFlow, CrossFlowIsolation) {
+  const core::Mfa m = build({".*abc.*xyz"});
+  TieredFlowInspector<core::Mfa> insp{m};
+  CollectingSink sink;
+  const FlowKey a{1, 2, 3, 4, 6};
+  const FlowKey b{5, 6, 7, 8, 6};
+  insp.packet(make_packet(a, 0, "abc..."), sink);
+  insp.packet(make_packet(b, 0, "...xyz"), sink);
+  EXPECT_TRUE(sink.matches.empty());
+  insp.packet(make_packet(a, 6, "xyz"), sink);
+  ASSERT_EQ(sink.matches.size(), 1u);
+}
+
+TEST(TieredFlow, EvictDropsContext) {
+  const core::Mfa m = build({".*abc.*xyz"});
+  TieredFlowInspector<core::Mfa> insp{m};
+  CollectingSink sink;
+  const FlowKey key{1, 2, 3, 4, 6};
+  insp.packet(make_packet(key, 0, "abc"), sink);
+  insp.evict(key);
+  EXPECT_EQ(insp.flow_count(), 0u);
+  EXPECT_EQ(insp.evicted_count(), 0u);  // explicit evict is not an eviction
+  insp.packet(make_packet(key, 0, "xyz"), sink);
+  EXPECT_TRUE(sink.matches.empty());  // fresh context forgot the abc
+}
+
+// --- TieredFlowInspector: tier placement ---
+
+TEST(TieredFlow, InOrderMfaFlowsNeverTouchTheColdTier) {
+  const core::Mfa m = build({".*needle"});
+  ASSERT_TRUE(m.inline_contexts_ok());
+  TieredFlowInspector<core::Mfa> insp{m};
+  EXPECT_TRUE(insp.inline_eligible());
+  CountingSink sink;
+  for (std::uint32_t f = 0; f < 500; ++f)
+    insp.packet(make_packet(FlowKey{f, 0, 0, 0, 6}, 0, "a needle here"), sink);
+  EXPECT_EQ(insp.flow_count(), 500u);
+  EXPECT_EQ(insp.cold_record_count(), 0u);  // all state inline in hot slots
+  EXPECT_EQ(sink.count, 500u);
+}
+
+TEST(TieredFlow, ReorderingFlowBorrowsAndReturnsAColdRecord) {
+  const core::Mfa m = build({".*abcxyz"});
+  TieredFlowInspector<core::Mfa> insp{m};
+  CollectingSink sink;
+  const FlowKey key{1, 2, 3, 4, 6};
+  insp.packet(make_packet(key, 3, "xyz"), sink);  // gap: needs a pending list
+  EXPECT_EQ(insp.cold_record_count(), 1u);
+  EXPECT_GT(insp.reassembly_pending_bytes(), 0u);
+  insp.packet(make_packet(key, 0, "abc"), sink);  // gap fills, buffer drains
+  ASSERT_EQ(sink.matches.size(), 1u);
+  EXPECT_EQ(insp.cold_record_count(), 0u);  // record returned to the slab
+  EXPECT_EQ(insp.reassembly_pending_bytes(), 0u);
+}
+
+TEST(TieredFlow, BigStateEnginesFallBackToTheColdTier) {
+  const auto h = hfa::build_hfa(compile_patterns({".*abc.*xyz"}));
+  ASSERT_TRUE(h.has_value());
+  TieredFlowInspector<hfa::Hfa> insp{*h};
+  EXPECT_FALSE(insp.inline_eligible());  // Hfa has no InlineContext API
+  CollectingSink sink;
+  insp.packet(make_packet(FlowKey{1, 2, 3, 4, 6}, 0, "abc then xyz"), sink);
+  insp.packet(make_packet(FlowKey{5, 6, 7, 8, 6}, 0, "nothing"), sink);
+  EXPECT_EQ(insp.cold_record_count(), 2u);  // one heap context per flow
+  ASSERT_EQ(sink.matches.size(), 1u);
+}
+
+TEST(TieredFlow, HotSlotStaysCompact) {
+  // The tentpole storage claim: an in-order MFA flow costs one fixed-size
+  // slot — key, offset, epoch, slab handle, the 12-byte (q, m) inline
+  // context, and stamps — with no pointers and no heap node.
+  using Slot = TieredFlowInspector<core::Mfa>::HotSlot;
+  EXPECT_LE(sizeof(Slot), 48u);
+}
+
+// --- TieredFlowInspector: eviction ---
+
+TEST(TieredFlow, CapacityEvictionConservesAccounting) {
+  const core::Mfa m = build({".*needle"});
+  TieredFlowInspector<core::Mfa> insp{m, /*max_flows=*/8};
+  CountingSink sink;
+  for (std::uint32_t f = 0; f < 100; ++f)
+    insp.packet(make_packet(FlowKey{f + 1, 0, 0, 0, 6}, 0, "x"), sink);
+  EXPECT_LE(insp.flow_count(), 8u);
+  // Conservation: every insert beyond the cap evicted exactly one flow.
+  EXPECT_EQ(insp.flow_count() + insp.evicted_count(), 100u);
+}
+
+TEST(TieredFlow, CapacityEvictionPrefersStaleOverActive) {
+  const core::Mfa m = build({".*needle"});
+  TieredFlowInspector<core::Mfa> insp{m, /*max_flows=*/4};
+  CountingSink sink;
+  const auto touch = [&](std::uint32_t id) {
+    insp.packet(make_packet(FlowKey{id, 0, 0, 0, 6}, 0, "x"), sink);
+  };
+  touch(1);
+  touch(2);
+  touch(3);
+  touch(4);
+  // Keep flow 1 hot while churning new flows through the other slots.
+  for (std::uint32_t id = 5; id < 40; ++id) {
+    touch(1);
+    touch(id);
+  }
+  EXPECT_EQ(insp.flow_count(), 4u);
+  // Flow 1 must have survived: touching it again must not change state
+  // visible through eviction counters (it is resident, not re-inserted).
+  const std::uint64_t evicted_before = insp.evicted_count();
+  touch(1);
+  EXPECT_EQ(insp.evicted_count(), evicted_before);
+}
+
+TEST(TieredFlow, IdleTtlEvictsOnlyIdleFlows) {
+  const core::Mfa m = build({".*needle"});
+  TieredFlowInspector<core::Mfa> insp{m};
+  insp.set_idle_ttl(64);
+  CountingSink sink;
+  const FlowKey idle_key{1, 0, 0, 0, 6};
+  const FlowKey hot_key{2, 0, 0, 0, 6};
+  insp.packet(make_packet(idle_key, 0, "x"), sink);
+  // Drive the epoch far past the TTL and a full wheel turn while keeping
+  // one flow active; the idle flow's wheel entry must surface and evict it.
+  for (int i = 0; i < 3000; ++i)
+    insp.packet(make_packet(hot_key, 0, "x"), sink);
+  EXPECT_EQ(insp.flow_count(), 1u);
+  EXPECT_EQ(insp.idle_evicted_count(), 1u);
+  EXPECT_EQ(insp.evicted_count(), 0u);  // TTL is not a capacity eviction
+}
+
+// --- TieredFlowInspector: lifecycle ---
+
+TEST(TieredFlow, ClearDropsFlowsKeepsMonotoneTotals) {
+  const core::Mfa m = build({".*needle"});
+  TieredFlowInspector<core::Mfa> insp{m, /*max_flows=*/4};
+  CountingSink sink;
+  for (std::uint32_t f = 0; f < 10; ++f)
+    insp.packet(make_packet(FlowKey{f + 1, 0, 0, 0, 6}, 0, "x"), sink);
+  const std::uint64_t evicted = insp.evicted_count();
+  EXPECT_GT(evicted, 0u);
+  insp.clear();
+  EXPECT_EQ(insp.flow_count(), 0u);
+  EXPECT_EQ(insp.cold_record_count(), 0u);
+  EXPECT_EQ(insp.reassembly_pending_bytes(), 0u);
+  EXPECT_EQ(insp.evicted_count(), evicted);  // totals survive the reset
+  // And the inspector keeps working afterwards.
+  insp.packet(make_packet(FlowKey{1, 0, 0, 0, 6}, 0, "a needle"), sink);
+  EXPECT_EQ(insp.flow_count(), 1u);
+}
+
+TEST(TieredFlow, QuarantineSurvivesClear) {
+  const core::Mfa m = build({".*needle"});
+  TieredFlowInspector<core::Mfa> insp{m};
+  insp.set_cpu_budget_ns(1);  // any scan work exceeds the budget
+  CountingSink sink;
+  const FlowKey key{1, 2, 3, 4, 6};
+  const std::string big(16384, 'a');
+  insp.packet(make_packet(key, 0, big), sink);
+  ASSERT_TRUE(insp.is_quarantined(key));
+  EXPECT_EQ(insp.quarantined_flow_count(), 1u);
+  EXPECT_EQ(insp.flow_count(), 0u);  // quarantine evicts the flow's state
+  insp.clear();
+  EXPECT_TRUE(insp.is_quarantined(key));  // memory survives worker resets
+  insp.packet(make_packet(key, big.size(), big), sink);
+  EXPECT_EQ(insp.quarantined_packet_count(), 1u);
+  EXPECT_EQ(insp.flow_count(), 0u);
+}
+
+TEST(TieredFlow, AdoptEngineResetRestartsFlowsOnTheNewRuleset) {
+  const core::Mfa m1 = build({".*abc.*xyz"});
+  const core::Mfa m2 = build({".*needle"});
+  TieredFlowInspector<core::Mfa> insp{m1};
+  CollectingSink sink;
+  const FlowKey key{1, 2, 3, 4, 6};
+  insp.packet(make_packet(key, 0, "abc"), sink);
+  insp.adopt_engine(m2, 1, SwapPolicy::kResetOnNextPacket);
+  EXPECT_EQ(insp.current_generation(), 1u);
+  // The old partial progress (abc) is gone; the new ruleset applies from
+  // the flow's next byte onward, stream offsets preserved.
+  insp.packet(make_packet(key, 3, "xyz a needle"), sink);
+  ASSERT_EQ(sink.matches.size(), 1u);
+  EXPECT_EQ(insp.flows_on_generation(1), 1u);
+  EXPECT_EQ(insp.retired_generation_count(), 0u);
+}
+
+// --- parity fuzz: tiered vs flat under hostile delivery ---
+
+struct Delivery {
+  FlowKey key;
+  std::uint64_t seq = 0;
+  std::string bytes;  // owned: Packet payloads point here
+};
+
+std::string make_content(util::Rng& rng) {
+  std::string s;
+  const std::size_t chunks = 2 + rng.below(5);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    s += rng.lower_string(3 + rng.below(20));
+    switch (rng.below(5)) {
+      case 0: s += "ab12"; break;
+      case 1: s += "cd34"; break;
+      case 2: s += "wxyz"; break;
+      case 3: s += "ha7ck"; break;
+      default: break;
+    }
+  }
+  return s;
+}
+
+std::vector<Delivery> plan_flow(const FlowKey& key, const std::string& content,
+                                util::Rng& rng) {
+  std::vector<Delivery> plan;
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const std::size_t len = std::min(content.size() - off, 1 + rng.below(9));
+    plan.push_back({key, off, content.substr(off, len)});
+    off += len;
+  }
+  const std::size_t extras = rng.below(3);
+  for (std::size_t i = 0; i < extras && !content.empty(); ++i) {
+    const std::size_t start = rng.below(content.size());
+    const std::size_t len = std::min(content.size() - start, 1 + rng.below(12));
+    plan.push_back({key, start, content.substr(start, len)});
+  }
+  for (std::size_t i = 0; i + 1 < plan.size(); ++i) {
+    const std::size_t j =
+        i + 1 + rng.below(std::min<std::size_t>(4, plan.size() - i - 1));
+    if (rng.chance(0.5)) std::swap(plan[i], plan[j]);
+  }
+  const std::size_t dups = rng.below(3);
+  for (std::size_t i = 0; i < dups; ++i)
+    plan.push_back(plan[rng.below(plan.size())]);
+  return plan;
+}
+
+template <typename InspT>
+MatchVec run_plan(InspT& insp, const std::vector<Delivery>& plan) {
+  CollectingSink sink;
+  for (const auto& d : plan)
+    insp.packet(make_packet(d.key, d.seq, d.bytes), sink);
+  return sorted(std::move(sink.matches));
+}
+
+template <typename InspT>
+MatchVec run_plan_batched(InspT& insp, const std::vector<Delivery>& plan,
+                          std::size_t burst) {
+  std::vector<Packet> packets;
+  packets.reserve(plan.size());
+  for (const auto& d : plan) packets.push_back(make_packet(d.key, d.seq, d.bytes));
+  CollectingSink sink;
+  for (std::size_t i = 0; i < packets.size(); i += burst)
+    insp.packet_batch(packets.data() + i, std::min(burst, packets.size() - i), sink);
+  return sorted(std::move(sink.matches));
+}
+
+TEST(TieredFlowFuzz, AgreesWithFlatInspectorUnderHostileDelivery) {
+  const std::vector<std::string> sources = {".*ab12.*cd34", ".*wxyz", ".*ha[0-9]ck"};
+  const auto inputs = compile_patterns(sources);
+  const auto m = core::build_mfa(inputs);
+  ASSERT_TRUE(m.has_value());
+  const auto d = dfa::build_dfa(nfa::build_nfa(inputs));
+  ASSERT_TRUE(d.has_value());
+
+  for (std::uint64_t round = 0; round < 25; ++round) {
+    util::Rng rng(4200 + round);
+    std::vector<Delivery> plan;
+    const std::size_t nflows = 1 + rng.below(6);
+    for (std::uint32_t f = 0; f < nflows; ++f) {
+      const FlowKey key{f + 1, 99, 1000, 80, 6};
+      auto flow_plan = plan_flow(key, make_content(rng), rng);
+      plan.insert(plan.end(), flow_plan.begin(), flow_plan.end());
+    }
+    util::Rng mix(1234 + round);
+    for (std::size_t i = 0; i + 1 < plan.size(); ++i)
+      if (mix.chance(0.5)) std::swap(plan[i], plan[i + 1]);
+
+    // The flat inspector is the semantic reference.
+    FlowInspector<core::Mfa> flat{*m};
+    const MatchVec expected = run_plan(flat, plan);
+
+    TieredFlowInspector<core::Mfa> tiered{*m};
+    EXPECT_EQ(run_plan(tiered, plan), expected) << "round " << round;
+
+    // Batched delivery, same plan, must be byte-for-byte equivalent.
+    TieredFlowInspector<core::Mfa> batched{*m};
+    EXPECT_EQ(run_plan_batched(batched, plan, 7), expected) << "round " << round;
+
+    // DFA under tiering (inline 4-byte state) agrees with MFA under tiering.
+    TieredFlowInspector<dfa::Dfa> tiered_dfa{*d};
+    EXPECT_EQ(run_plan(tiered_dfa, plan), expected) << "round " << round;
+
+    // A tiny bounded table forces constant eviction churn through the wheel
+    // and cuckoo kicks; accounting must stay conserved (matches may differ
+    // since evicted flows forget state — that is the documented semantics).
+    TieredFlowInspector<core::Mfa> bounded{*m, /*max_flows=*/3};
+    run_plan(bounded, plan);
+    EXPECT_LE(bounded.flow_count(), 3u) << "round " << round;
+  }
+}
+
+TEST(TieredFlowFuzz, GrowUnderBatchedInsertBurstKeepsDeliveryExact) {
+  // Many brand-new flows inside single packet_batch bursts force table
+  // growth (and job re-resolution) while jobs are queued.
+  const core::Mfa m = build({".*needle"});
+  FlowInspector<core::Mfa> flat{m};
+  TieredFlowInspector<core::Mfa> tiered{m};
+  std::vector<Delivery> plan;
+  util::Rng rng(77);
+  for (std::uint32_t f = 0; f < 400; ++f) {
+    const FlowKey key{f + 1, 7, 7, 7, 6};
+    plan.push_back({key, 0, "a nee"});
+    plan.push_back({key, 5, "dle!"});
+  }
+  for (std::size_t i = 0; i + 1 < plan.size(); ++i)
+    if (rng.chance(0.5)) std::swap(plan[i], plan[i + 1]);
+  const MatchVec expected = run_plan(flat, plan);
+  EXPECT_EQ(expected.size(), 400u);
+  EXPECT_EQ(run_plan_batched(tiered, plan, 64), expected);
+  EXPECT_EQ(tiered.flow_count(), 400u);
+}
+
+}  // namespace
+}  // namespace mfa::flow
