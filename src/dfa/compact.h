@@ -81,6 +81,11 @@ class CompactDfa {
   void reset(Context& ctx) const { ctx.state = start_; }
   [[nodiscard]] std::size_t context_bytes() const { return sizeof(std::uint32_t); }
 
+  /// The flow's current automaton state (profiler state-visit sampling).
+  [[nodiscard]] std::uint32_t context_state(const Context& ctx) const {
+    return ctx.state;
+  }
+
   // InlineContext small-state API (tiered flow table): one state word is
   // already hot-slot sized, so the inline context IS the context.
   using InlineContext = Context;

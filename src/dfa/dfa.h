@@ -84,6 +84,12 @@ class Dfa {
   [[nodiscard]] Context make_context() const { return Context{start_}; }
   void reset(Context& ctx) const { ctx.state = start_; }
 
+  /// The flow's current automaton state, for profiler state-visit sampling
+  /// (uniform hook across all six engines).
+  [[nodiscard]] std::uint32_t context_state(const Context& ctx) const {
+    return ctx.state;
+  }
+
   /// Per-flow context is a single DFA state (paper Sec. III-B).
   [[nodiscard]] std::size_t context_bytes() const { return sizeof(std::uint32_t); }
 

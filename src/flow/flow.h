@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "util/faultpoint.h"
 #include "util/interleave.h"
 #include "util/timing.h"
@@ -59,6 +60,11 @@ struct Packet {
   std::uint64_t seq = 0;  ///< byte offset of payload[0] within the flow
   const std::uint8_t* payload = nullptr;
   std::uint32_t length = 0;
+  /// Latency-span stamp (DESIGN.md Sec. 12): TSC at pipeline submit for
+  /// the sampled 1-in-N packets, 0 for the rest. Trails the aggregate
+  /// fields so existing {key, seq, payload, length} initializers compile
+  /// unchanged.
+  std::uint64_t submit_tsc = 0;
 };
 
 /// Default per-flow cap on buffered out-of-order bytes: a hostile trace
@@ -182,6 +188,17 @@ class FlowInspector {
     if (registry != nullptr) ns_per_tick_ = 1e9 / util::tsc_ticks_per_second();
   }
 
+  /// Attach the sampled cost profiler (DESIGN.md Sec. 12). Requires
+  /// set_metrics() to also be attached — profiling rides the instrumented
+  /// path and reuses its precise scan timing. 1-in-2^shift scan units
+  /// (packets on the packet() path, bursts on the batch path) attribute
+  /// their nanoseconds and bytes to the match-ids they produced and sample
+  /// the automaton state of the flows they touched. Pass nullptr to detach.
+  void set_profiler(obs::Profiler* profiler) {
+    profiler_ = profiler;
+    profile_mask_ = profiler != nullptr ? profiler->sample_mask() : 0;
+  }
+
   /// Per-flow CPU budget (DESIGN.md Sec. 9): cumulative scan time charged
   /// to each flow's context; a flow whose total crosses `ns` nanoseconds is
   /// quarantined — its state evicted with an obs::kFlowQuarantinedEventId
@@ -234,6 +251,9 @@ class FlowInspector {
     m.packets.fetch_add(1, std::memory_order_relaxed);
     m.bytes.fetch_add(p.length, std::memory_order_relaxed);
     m.packet_bytes.record(p.length);
+    const bool sampled =
+        profiler_ != nullptr && (++profile_tick_ & profile_mask_) == 0;
+    if (sampled) profile_ids_.clear();
     const std::uint64_t t0 = util::rdtsc_now();
     deliver(p, [&](FlowState& fs, std::uint32_t id, std::uint64_t end) {
       m.matches.fetch_add(1, std::memory_order_relaxed);
@@ -242,10 +262,21 @@ class FlowInspector {
       registry_->trace().record(p.key.src_ip, p.key.dst_ip, p.key.src_port,
                                 p.key.dst_port, p.key.proto, id, end,
                                 util::rdtsc_now());
+      if (sampled) profile_ids_.push_back(id);
       sink(id, end);
     });
     const double ticks = static_cast<double>(util::rdtsc_now() - t0);
-    m.scan_ns.record(static_cast<std::uint64_t>(ticks * ns_per_tick_));
+    const auto scan_ns = static_cast<std::uint64_t>(ticks * ns_per_tick_);
+    m.scan_ns.record(scan_ns);
+    if (sampled) {
+      profiler_->record_rules(profile_ids_.data(), profile_ids_.size(), scan_ns,
+                              p.length);
+      // The flow may be gone (quarantined mid-deliver), hence the lookup.
+      const auto it = flows_.find(p.key);
+      if (it != flows_.end())
+        profiler_->record_state(
+            engine_for(it->second).context_state(it->second.ctx));
+    }
     // Gauges/counters mirrored every packet so mid-run snapshots are live.
     m.flows.store(flows_.size(), std::memory_order_relaxed);
     m.evictions.store(evicted_, std::memory_order_relaxed);
@@ -316,6 +347,9 @@ class FlowInspector {
       m.packet_bytes.record(pkts[i].length);
     }
     m.bytes.fetch_add(burst_bytes, std::memory_order_relaxed);
+    const bool sampled =
+        profiler_ != nullptr && (++profile_tick_ & profile_mask_) == 0;
+    if (sampled) profile_ids_.clear();
     const std::uint64_t t0 = util::rdtsc_now();
     deliver_batch(
         pkts, count,
@@ -326,6 +360,7 @@ class FlowInspector {
           registry_->trace().record(fs.key.src_ip, fs.key.dst_ip, fs.key.src_port,
                                     fs.key.dst_port, fs.key.proto, id, end,
                                     util::rdtsc_now());
+          if (sampled) profile_ids_.push_back(id);
           sink(fs.key, fs.context_generation, id, end);
         },
         dsink);
@@ -335,6 +370,19 @@ class FlowInspector {
     const auto per_packet = static_cast<std::uint64_t>(
         ticks * ns_per_tick_ / static_cast<double>(count));
     for (std::size_t i = 0; i < count; ++i) m.scan_ns.record(per_packet);
+    if (sampled) {
+      // Burst-granular sample: the whole burst's ns/bytes split across the
+      // match-ids it produced, states sampled per packet of the burst.
+      profiler_->record_rules(profile_ids_.data(), profile_ids_.size(),
+                              static_cast<std::uint64_t>(ticks * ns_per_tick_),
+                              burst_bytes);
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto it = flows_.find(pkts[i].key);
+        if (it != flows_.end())
+          profiler_->record_state(
+              engine_for(it->second).context_state(it->second.ctx));
+      }
+    }
     m.packets.fetch_add(count, std::memory_order_relaxed);
     m.flows.store(flows_.size(), std::memory_order_relaxed);
     m.evictions.store(evicted_, std::memory_order_relaxed);
@@ -867,6 +915,10 @@ class FlowInspector {
   obs::MetricsRegistry* registry_ = nullptr;  ///< telemetry root (optional)
   obs::ShardMetrics* metrics_ = nullptr;      ///< this inspector's shard slot
   double ns_per_tick_ = 0.0;
+  obs::Profiler* profiler_ = nullptr;  ///< sampled cost profiler (optional)
+  std::uint64_t profile_mask_ = 0;     ///< profiler_->sample_mask(), cached
+  std::uint64_t profile_tick_ = 0;     ///< scan units since attach
+  std::vector<std::uint32_t> profile_ids_;  ///< sampled unit's match ids
   std::size_t batch_lanes_ = scan::kDefaultLanes;
   std::uint64_t batch_wave_ = 0;
   // Scratch reused across packet_batch() calls (inspector is one-thread).

@@ -161,6 +161,15 @@ class TieredFlowInspector {
     if (registry != nullptr) ns_per_tick_ = 1e9 / util::tsc_ticks_per_second();
   }
 
+  /// Sampled cost profiler, contract identical to FlowInspector: requires
+  /// set_metrics(), samples 1-in-2^shift scan units, attributes ns/bytes to
+  /// match ids and samples automaton states (inline or cold, wherever the
+  /// flow's state lives).
+  void set_profiler(obs::Profiler* profiler) {
+    profiler_ = profiler;
+    profile_mask_ = profiler != nullptr ? profiler->sample_mask() : 0;
+  }
+
   void set_cpu_budget_ns(std::uint64_t ns) {
     cpu_budget_ns_ = ns;
     budget_ticks_ = 0;
@@ -229,6 +238,9 @@ class TieredFlowInspector {
     m.packets.fetch_add(1, std::memory_order_relaxed);
     m.bytes.fetch_add(p.length, std::memory_order_relaxed);
     m.packet_bytes.record(p.length);
+    const bool sampled =
+        profiler_ != nullptr && (++profile_tick_ & profile_mask_) == 0;
+    if (sampled) profile_ids_.clear();
     const std::uint64_t t0 = util::rdtsc_now();
     deliver(p, [&](std::uint32_t si, std::uint32_t id, std::uint64_t end) {
       m.matches.fetch_add(1, std::memory_order_relaxed);
@@ -237,10 +249,19 @@ class TieredFlowInspector {
       registry_->trace().record(p.key.src_ip, p.key.dst_ip, p.key.src_port,
                                 p.key.dst_port, p.key.proto, id, end,
                                 util::rdtsc_now());
+      if (sampled) profile_ids_.push_back(id);
       sink(id, end);
     });
     const double ticks = static_cast<double>(util::rdtsc_now() - t0);
-    m.scan_ns.record(static_cast<std::uint64_t>(ticks * ns_per_tick_));
+    const auto scan_ns = static_cast<std::uint64_t>(ticks * ns_per_tick_);
+    m.scan_ns.record(scan_ns);
+    if (sampled) {
+      profiler_->record_rules(profile_ids_.data(), profile_ids_.size(), scan_ns,
+                              p.length);
+      // Re-find: the flow may be gone (quarantined mid-deliver).
+      const std::uint32_t si = find_slot(p.key, FlowKeyHash{}(p.key));
+      if (si != kNoSlot) profiler_->record_state(slot_state(si));
+    }
     store_gauges(m);
   }
 
@@ -283,6 +304,9 @@ class TieredFlowInspector {
       m.packet_bytes.record(pkts[i].length);
     }
     m.bytes.fetch_add(burst_bytes, std::memory_order_relaxed);
+    const bool sampled =
+        profiler_ != nullptr && (++profile_tick_ & profile_mask_) == 0;
+    if (sampled) profile_ids_.clear();
     const std::uint64_t t0 = util::rdtsc_now();
     deliver_batch(
         pkts, count,
@@ -294,6 +318,7 @@ class TieredFlowInspector {
           registry_->trace().record(s.key.src_ip, s.key.dst_ip, s.key.src_port,
                                     s.key.dst_port, s.key.proto, id, end,
                                     util::rdtsc_now());
+          if (sampled) profile_ids_.push_back(id);
           sink(s.key, generation_of(si), id, end);
         },
         dsink);
@@ -301,6 +326,18 @@ class TieredFlowInspector {
     const auto per_packet = static_cast<std::uint64_t>(
         ticks * ns_per_tick_ / static_cast<double>(count));
     for (std::size_t i = 0; i < count; ++i) m.scan_ns.record(per_packet);
+    if (sampled) {
+      // Burst-granular sample, matching FlowInspector: the burst's ns/bytes
+      // split across its match ids, states sampled per packet of the burst.
+      profiler_->record_rules(profile_ids_.data(), profile_ids_.size(),
+                              static_cast<std::uint64_t>(ticks * ns_per_tick_),
+                              burst_bytes);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::uint32_t si =
+            find_slot(pkts[i].key, FlowKeyHash{}(pkts[i].key));
+        if (si != kNoSlot) profiler_->record_state(slot_state(si));
+      }
+    }
     m.packets.fetch_add(count, std::memory_order_relaxed);
     store_gauges(m);
   }
@@ -838,6 +875,18 @@ class TieredFlowInspector {
     eng.feed(*cold_[s.cold].ctx, data, size, base, sink);
   }
 
+  /// A flow's current automaton state, wherever it lives (profiler
+  /// state-visit sampling). Occupied slots without kInline always own an
+  /// engaged cold Context — the invariant feed_slot relies on too.
+  [[nodiscard]] std::uint32_t slot_state(std::uint32_t si) const {
+    const HotSlot& s = slots_[si];
+    const EngineT& eng = engine_for_generation(generation_of(si));
+    if constexpr (InlineScanEngine<EngineT>) {
+      if ((s.flags & kInline) != 0) return eng.context_state(s.ictx);
+    }
+    return eng.context_state(*cold_[s.cold].ctx);
+  }
+
   template <typename FlowSink>
   void deliver(const Packet& p, FlowSink&& fsink) {
     bump_epoch();
@@ -1192,6 +1241,10 @@ class TieredFlowInspector {
   obs::MetricsRegistry* registry_ = nullptr;
   obs::ShardMetrics* metrics_ = nullptr;
   double ns_per_tick_ = 0.0;
+  obs::Profiler* profiler_ = nullptr;  ///< sampled cost profiler (optional)
+  std::uint64_t profile_mask_ = 0;     ///< profiler_->sample_mask(), cached
+  std::uint64_t profile_tick_ = 0;     ///< scan units since attach
+  std::vector<std::uint32_t> profile_ids_;  ///< sampled unit's match ids
   std::size_t batch_lanes_ = scan::kDefaultLanes;
   std::uint16_t wave_ = 0;
 

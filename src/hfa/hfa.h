@@ -99,6 +99,11 @@ class Hfa {
     ctx.memory.reset();
   }
 
+  /// The flow's current automaton state (profiler state-visit sampling).
+  [[nodiscard]] std::uint32_t context_state(const Context& ctx) const {
+    return ctx.state;
+  }
+
   /// Feed a chunk through `ctx`. Thread-safe with distinct contexts.
   template <typename Sink>
   void feed(Context& ctx, const std::uint8_t* data, std::size_t size, std::uint64_t base,

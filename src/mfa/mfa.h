@@ -87,6 +87,15 @@ class Mfa {
     ctx.memory.reset();
   }
 
+  /// The flow's current automaton state (profiler state-visit sampling).
+  [[nodiscard]] std::uint32_t context_state(const Context& ctx) const {
+    return ctx.state;
+  }
+
+  /// States of the underlying character DFA (the space context_state()
+  /// indexes into).
+  [[nodiscard]] std::uint32_t state_count() const { return dfa_.state_count(); }
+
   /// Feed a chunk through `ctx`: DFA inner loop plus filter post-processing
   /// on match events only. Thread-safe with distinct contexts.
   template <typename Sink>
@@ -121,6 +130,10 @@ class Mfa {
     std::uint32_t mem_hi = 0;
   };
   static_assert(sizeof(InlineContext) == 12 && alignof(InlineContext) == 4);
+
+  [[nodiscard]] std::uint32_t context_state(const InlineContext& ic) const {
+    return ic.state;
+  }
 
   /// True when this program's per-flow state fits an InlineContext.
   [[nodiscard]] bool inline_contexts_ok() const {

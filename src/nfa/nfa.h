@@ -74,6 +74,17 @@ class Nfa {
   [[nodiscard]] Context make_context() const;
   void reset(Context& ctx) const;
 
+  /// Lowest active NFA state, or state_count() when the set is empty —
+  /// a representative single state so the profiler's state-visit sampling
+  /// has a uniform hook even though NFA flow state is a whole bitset.
+  [[nodiscard]] std::uint32_t context_state(const Context& ctx) const {
+    for (std::size_t w = 0; w < ctx.current.size(); ++w)
+      if (ctx.current[w] != 0)
+        return static_cast<std::uint32_t>(
+            w * 64 + static_cast<std::size_t>(__builtin_ctzll(ctx.current[w])));
+    return state_count();
+  }
+
   /// Bytes of per-flow state (the active-state bitset) — the NFA's weakness
   /// for flow multiplexing that Sec. II-C discusses for FPGA solutions.
   [[nodiscard]] std::size_t context_bytes() const {

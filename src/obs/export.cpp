@@ -12,12 +12,25 @@ void append(std::string& out, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
 
 void append(std::string& out, const char* fmt, ...) {
-  char buf[256];
+  char buf[512];
   va_list args;
   va_start(args, fmt);
   const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
   va_end(args);
-  if (n > 0) out.append(buf, static_cast<std::size_t>(n < 256 ? n : 255));
+  if (n < 0) return;
+  if (static_cast<std::size_t>(n) < sizeof buf) {
+    out.append(buf, static_cast<std::size_t>(n));
+    return;
+  }
+  // Rare slow path: the formatted row outgrew the stack buffer (long rule
+  // names, wide format strings). Redo at exact size — truncating instead
+  // would corrupt the surrounding JSON/Prometheus document.
+  std::string big(static_cast<std::size_t>(n) + 1, '\0');
+  va_start(args, fmt);
+  std::vsnprintf(big.data(), big.size(), fmt, args);
+  va_end(args);
+  big.resize(static_cast<std::size_t>(n));
+  out += big;
 }
 
 // --- Prometheus ---
@@ -25,6 +38,7 @@ void append(std::string& out, const char* fmt, ...) {
 void prom_counter(std::string& out, const char* name, const char* help,
                   const RegistrySnapshot& snap,
                   std::uint64_t ShardSnapshot::*field, const char* type) {
+  if (!prom_metric_name_valid(name)) return;
   append(out, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, type);
   for (std::size_t i = 0; i < snap.shards.size(); ++i)
     append(out, "%s{shard=\"%zu\"} %" PRIu64 "\n", name, i, snap.shards[i].*field);
@@ -33,6 +47,7 @@ void prom_counter(std::string& out, const char* name, const char* help,
 void prom_histogram(std::string& out, const char* name, const char* help,
                     const RegistrySnapshot& snap,
                     HistogramSnapshot ShardSnapshot::*field) {
+  if (!prom_metric_name_valid(name)) return;
   append(out, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name);
   for (std::size_t i = 0; i < snap.shards.size(); ++i) {
     const HistogramSnapshot& h = snap.shards[i].*field;
@@ -79,6 +94,7 @@ void json_shard(std::string& out, const ShardSnapshot& s) {
          s.reassembly_pending_bytes, s.queue_full_spins, s.max_queue_depth,
          s.shed_packets, s.shed_bytes, s.flows_quarantined, s.worker_restarts,
          s.worker_stalls, s.flow_hot_slots, s.flow_cold_bytes);
+  append(out, "\"spans_sampled\":%" PRIu64 ",", s.spans_sampled);
   json_histogram(out, "scan_ns", s.scan_ns);
   out += ",";
   json_histogram(out, "packet_bytes", s.packet_bytes);
@@ -86,6 +102,12 @@ void json_shard(std::string& out, const ShardSnapshot& s) {
   json_histogram(out, "bytes_per_flow", s.bytes_per_flow);
   out += ",";
   json_histogram(out, "queue_depth", s.queue_depth);
+  out += ",";
+  json_histogram(out, "queue_wait_ns", s.queue_wait_ns);
+  out += ",";
+  json_histogram(out, "span_scan_ns", s.span_scan_ns);
+  out += ",";
+  json_histogram(out, "e2e_ns", s.e2e_ns);
   out += "}";
 }
 
@@ -113,6 +135,18 @@ std::string snapshot_json(const RegistrySnapshot& snap) {
            i != 0 ? "," : "", e.src_ip, e.dst_ip, e.src_port, e.dst_port, e.proto,
            e.match_id, e.offset, e.tsc);
   }
+  append(out, "]},\"spans\":{\"recorded\":%" PRIu64 ",\"events\":[",
+         snap.span_recorded);
+  for (std::size_t i = 0; i < snap.span_events.size(); ++i) {
+    const auto& e = snap.span_events[i];
+    append(out,
+           "%s{\"src_ip\":%" PRIu32 ",\"dst_ip\":%" PRIu32
+           ",\"src_port\":%u,\"dst_port\":%u,\"proto\":%u,\"shard\":%" PRIu32
+           ",\"submit_tsc\":%" PRIu64 ",\"dequeue_tsc\":%" PRIu64
+           ",\"scan_start_tsc\":%" PRIu64 ",\"scan_end_tsc\":%" PRIu64 "}",
+           i != 0 ? "," : "", e.src_ip, e.dst_ip, e.src_port, e.dst_port, e.proto,
+           e.shard, e.submit_tsc, e.dequeue_tsc, e.scan_start_tsc, e.scan_end_tsc);
+  }
   out += "]},\"ruleset\":{";
   append(out, "\"generation\":%" PRIu64 ",\"swaps\":%" PRIu64 ",",
          snap.ruleset_generation, snap.ruleset_swaps);
@@ -129,7 +163,55 @@ std::string snapshot_json(const RegistrySnapshot& snap) {
 
 }  // namespace
 
-std::string to_prometheus(const RegistrySnapshot& snap) {
+std::string prom_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+bool prom_metric_name_valid(std::string_view name) {
+  if (name.empty()) return false;
+  const auto ok = [](char c, bool first) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':' || (!first && c >= '0' && c <= '9');
+  };
+  if (!ok(name[0], true)) return false;
+  for (std::size_t i = 1; i < name.size(); ++i)
+    if (!ok(name[i], false)) return false;
+  return true;
+}
+
+std::string json_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          append(out, "\\u%04x", static_cast<unsigned>(c) & 0xff);
+        else
+          out += c;
+        break;
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus(const RegistrySnapshot& snap,
+                          const std::vector<std::string>* rule_names) {
   std::string out;
   prom_counter(out, "mfa_packets_total", "Packets scanned", snap,
                &ShardSnapshot::packets, "counter");
@@ -181,10 +263,36 @@ std::string to_prometheus(const RegistrySnapshot& snap) {
                  &ShardSnapshot::bytes_per_flow);
   prom_histogram(out, "mfa_queue_depth", "Shard queue depth at submit", snap,
                  &ShardSnapshot::queue_depth);
+  prom_counter(out, "mfa_spans_sampled_total",
+               "Sampled latency spans recorded by the shard worker", snap,
+               &ShardSnapshot::spans_sampled, "counter");
+  prom_histogram(out, "mfa_queue_wait_ns",
+                 "Sampled submit-to-dequeue queue wait in nanoseconds", snap,
+                 &ShardSnapshot::queue_wait_ns);
+  prom_histogram(out, "mfa_span_scan_ns",
+                 "Sampled burst scan latency in nanoseconds", snap,
+                 &ShardSnapshot::span_scan_ns);
+  prom_histogram(out, "mfa_e2e_ns",
+                 "Sampled submit-to-scan-end latency in nanoseconds", snap,
+                 &ShardSnapshot::e2e_ns);
+  append(out, "# HELP mfa_span_events_total Latency spans recorded to the span ring\n"
+              "# TYPE mfa_span_events_total counter\n"
+              "mfa_span_events_total %" PRIu64 "\n",
+         snap.span_recorded);
   append(out, "# HELP mfa_match_hits_total Confirmed matches per pattern id\n"
               "# TYPE mfa_match_hits_total counter\n");
-  for (const auto& [id, count] : snap.match_counts)
-    append(out, "mfa_match_hits_total{id=\"%" PRIu32 "\"} %" PRIu64 "\n", id, count);
+  for (const auto& [id, count] : snap.match_counts) {
+    if (rule_names != nullptr && id < rule_names->size()) {
+      // Label values are escaped, so hostile rule names (quotes, newlines,
+      // backslashes) cannot corrupt the exposition format.
+      out += "mfa_match_hits_total{id=\"" + std::to_string(id) + "\",rule=\"" +
+             prom_escape_label((*rule_names)[id]) + "\"}";
+      append(out, " %" PRIu64 "\n", count);
+    } else {
+      append(out, "mfa_match_hits_total{id=\"%" PRIu32 "\"} %" PRIu64 "\n", id,
+             count);
+    }
+  }
   append(out, "# HELP mfa_match_id_overflow_total Matches beyond the id counter table\n"
               "# TYPE mfa_match_id_overflow_total counter\n"
               "mfa_match_id_overflow_total %" PRIu64 "\n",
@@ -233,14 +341,16 @@ std::string to_prometheus(const RegistrySnapshot& snap) {
 std::string to_json(const RegistrySnapshot& snap) { return snapshot_json(snap); }
 
 std::string BenchReport::to_json() const {
-  std::string out = "{\"schema\":\"mfa.bench.v1\",\"bench\":\"" + bench_ + "\",";
+  std::string out =
+      "{\"schema\":\"mfa.bench.v1\",\"bench\":\"" + json_escape(bench_) + "\",";
   append(out, "\"hardware_threads\":%u,\"results\":[",
          std::thread::hardware_concurrency());
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     const Row& r = rows_[i];
     append(out, "%s{\"set\":\"%s\",\"trace\":\"%s\",\"engine\":\"%s\","
                 "\"shards\":%zu,\"cycles_per_byte\":%.6g,\"matches\":%" PRIu64 "}",
-           i != 0 ? "," : "", r.set.c_str(), r.trace.c_str(), r.engine.c_str(),
+           i != 0 ? "," : "", json_escape(r.set).c_str(),
+           json_escape(r.trace).c_str(), json_escape(r.engine).c_str(),
            r.shards, r.cycles_per_byte, r.matches);
   }
   out += "]";

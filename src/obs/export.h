@@ -10,15 +10,31 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.h"
 
 namespace mfa::obs {
 
+/// Escape a label value for the Prometheus text exposition format:
+/// backslash, double quote, and newline become \\, \", and \n.
+std::string prom_escape_label(std::string_view value);
+
+/// True when `name` is a valid Prometheus metric name:
+/// [a-zA-Z_:][a-zA-Z0-9_:]*. The exporter refuses to emit invalid names.
+bool prom_metric_name_valid(std::string_view name);
+
+/// Escape a string for embedding in a JSON string literal (quote,
+/// backslash, and control characters).
+std::string json_escape(std::string_view value);
+
 /// Prometheus text exposition format (one series per shard, cumulative
-/// histogram buckets with log2 "le" bounds).
-std::string to_prometheus(const RegistrySnapshot& snap);
+/// histogram buckets with log2 "le" bounds). `rule_names` (optional,
+/// id -> name) adds an escaped rule="<name>" label to per-id match
+/// counters; hostile names (quotes, backslashes, newlines) are safe.
+std::string to_prometheus(const RegistrySnapshot& snap,
+                          const std::vector<std::string>* rule_names = nullptr);
 
 /// Compact single-line JSON ({"schema":"mfa.telemetry.v1",...}), suitable
 /// both for dashboards and for appending as JSON lines.

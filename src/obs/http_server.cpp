@@ -1,0 +1,153 @@
+#include "obs/http_server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace mfa::obs {
+namespace {
+
+/// Largest request we are willing to read; observability GETs are tiny,
+/// so anything bigger is garbage or abuse and the connection is dropped.
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+/// How long the accept loop sleeps in poll() before re-checking stop_.
+constexpr int kPollTimeoutMs = 100;
+
+void write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void respond(int fd, int status, const char* reason, const char* content_type,
+             const std::string& body) {
+  char header[256];
+  const int n = std::snprintf(
+      header, sizeof header,
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      status, reason, content_type, body.size());
+  if (n > 0) write_all(fd, header, static_cast<std::size_t>(n));
+  write_all(fd, body.data(), body.size());
+}
+
+/// Read until the end of the request head ("\r\n\r\n"), the size bound, or
+/// a short poll timeout. Returns the bytes read (possibly a partial head on
+/// slow peers — the request line is all we route on anyway).
+std::string read_request(int fd) {
+  std::string req;
+  char buf[1024];
+  while (req.size() < kMaxRequestBytes) {
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, 500) <= 0) break;  // slowloris guard
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+    if (req.find("\r\n\r\n") != std::string::npos) break;
+  }
+  return req;
+}
+
+}  // namespace
+
+bool HttpServer::start(std::uint16_t port, Handlers handlers) {
+  if (fd_ >= 0) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+  handlers_ = std::move(handlers);
+  stop_.store(false, std::memory_order_relaxed);
+  fd_ = fd;
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void HttpServer::run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd p{fd_, POLLIN, 0};
+    const int ready = ::poll(&p, 1, kPollTimeoutMs);
+    if (ready <= 0) continue;
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    serve(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::serve(int client) {
+  const std::string req = read_request(client);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // A request whose headers never terminated within the size bound is
+  // rejected outright — serving a truncated request would let a client
+  // smuggle arbitrary-length headers past the bound one read at a time.
+  if (req.find("\r\n\r\n") == std::string::npos) {
+    respond(client, 413, "Payload Too Large", "text/plain",
+            "request too large or incomplete\n");
+    return;
+  }
+  // Route on the request line only: METHOD SP PATH SP VERSION.
+  const std::size_t method_end = req.find(' ');
+  if (method_end == std::string::npos) {
+    respond(client, 400, "Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  const std::string method = req.substr(0, method_end);
+  std::size_t path_end = req.find(' ', method_end + 1);
+  if (path_end == std::string::npos) path_end = req.find('\r', method_end + 1);
+  std::string path = req.substr(method_end + 1, path_end - method_end - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (method != "GET") {
+    respond(client, 405, "Method Not Allowed", "text/plain",
+            "GET only\n");
+    return;
+  }
+  if (path == "/metrics" && handlers_.metrics) {
+    respond(client, 200, "OK", "text/plain; version=0.0.4",
+            handlers_.metrics());
+  } else if (path == "/telemetry.json" && handlers_.telemetry) {
+    respond(client, 200, "OK", "application/json", handlers_.telemetry());
+  } else if (path == "/profile.json" && handlers_.profile) {
+    respond(client, 200, "OK", "application/json", handlers_.profile());
+  } else if (path == "/healthz" && handlers_.health) {
+    const Health h = handlers_.health();
+    respond(client, h.ok ? 200 : 503, h.ok ? "OK" : "Service Unavailable",
+            "application/json", h.body);
+  } else {
+    respond(client, 404, "Not Found", "text/plain",
+            "try /metrics /telemetry.json /profile.json /healthz\n");
+  }
+}
+
+}  // namespace mfa::obs

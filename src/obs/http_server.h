@@ -1,0 +1,79 @@
+// Minimal observability HTTP endpoint (DESIGN.md Sec. 12).
+//
+// A dependency-free, loopback-only HTTP/1.0 server that serves the four
+// observability views of a running pipeline:
+//
+//   GET /metrics         Prometheus text exposition (to_prometheus)
+//   GET /telemetry.json  mfa.telemetry.v1 snapshot   (to_json)
+//   GET /profile.json    mfa.profile.v1 report       (to_profile_json)
+//   GET /healthz         overload verdict: 200 "ok" or 503 + reasons
+//
+// Deliberately small: one blocking accept loop on its own thread (poll()
+// with a short timeout so stop() is prompt), one request per connection,
+// bounded request size, GET only. Content is produced by caller-supplied
+// handlers so the server knows nothing about registries or profilers —
+// ShardedInspector wires them up when Options::http_port is set.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace mfa::obs {
+
+class HttpServer {
+ public:
+  /// /healthz verdict. `ok` picks 200 vs 503; `body` is served either way
+  /// (conventionally a one-line JSON object naming the failing signals).
+  struct Health {
+    bool ok = true;
+    std::string body = "{\"ok\":true}";
+  };
+
+  /// Content providers, called on the server thread per request. A null
+  /// handler 404s its route. Handlers must be safe to call concurrently
+  /// with the pipeline (registry snapshots already are).
+  struct Handlers {
+    std::function<std::string()> metrics;
+    std::function<std::string()> telemetry;
+    std::function<std::string()> profile;
+    std::function<Health()> health;
+  };
+
+  HttpServer() = default;
+  ~HttpServer() { stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind 127.0.0.1:port (0 = kernel-assigned, see port()) and start the
+  /// accept thread. False if the socket could not be bound or the server
+  /// is already running.
+  bool start(std::uint16_t port, Handlers handlers);
+
+  /// Stop the accept loop and join the thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return fd_ >= 0; }
+  /// The bound port (resolves kernel-assigned ports after start(0)).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// Requests answered so far (any status), for tests and smoke checks.
+  [[nodiscard]] std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void serve(int client);
+
+  Handlers handlers_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace mfa::obs

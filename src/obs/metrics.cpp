@@ -70,13 +70,70 @@ std::vector<MatchTraceRing::Event> MatchTraceRing::drain() const {
   return out;
 }
 
+SpanTraceRing::SpanTraceRing(std::size_t capacity) {
+  std::size_t cap = 2;
+  while (cap < capacity) cap <<= 1;
+  slots_ = std::make_unique<Slot[]>(cap);
+  mask_ = cap - 1;
+}
+
+void SpanTraceRing::record(std::uint32_t src_ip, std::uint32_t dst_ip,
+                           std::uint16_t src_port, std::uint16_t dst_port,
+                           std::uint8_t proto, std::uint32_t shard,
+                           std::uint64_t submit_tsc, std::uint64_t dequeue_tsc,
+                           std::uint64_t scan_start_tsc,
+                           std::uint64_t scan_end_tsc) {
+  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[ticket & mask_];
+  s.seq.store(2 * ticket + 1, std::memory_order_relaxed);  // mark in-progress
+  s.src_ip.store(src_ip, std::memory_order_relaxed);
+  s.dst_ip.store(dst_ip, std::memory_order_relaxed);
+  s.ports_proto.store((std::uint64_t{src_port} << 32) |
+                          (std::uint64_t{dst_port} << 16) | proto,
+                      std::memory_order_relaxed);
+  s.shard.store(shard, std::memory_order_relaxed);
+  s.submit_tsc.store(submit_tsc, std::memory_order_relaxed);
+  s.dequeue_tsc.store(dequeue_tsc, std::memory_order_relaxed);
+  s.scan_start_tsc.store(scan_start_tsc, std::memory_order_relaxed);
+  s.scan_end_tsc.store(scan_end_tsc, std::memory_order_relaxed);
+  s.seq.store(2 * ticket + 2, std::memory_order_release);  // publish
+}
+
+std::vector<SpanTraceRing::Event> SpanTraceRing::drain() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t n = head < mask_ + 1 ? head : mask_ + 1;
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t ticket = head - n; ticket < head; ++ticket) {
+    const Slot& s = slots_[ticket & mask_];
+    const std::uint64_t want = 2 * ticket + 2;
+    if (s.seq.load(std::memory_order_acquire) != want) continue;  // mid-overwrite
+    Event e;
+    e.src_ip = s.src_ip.load(std::memory_order_relaxed);
+    e.dst_ip = s.dst_ip.load(std::memory_order_relaxed);
+    const std::uint64_t pp = s.ports_proto.load(std::memory_order_relaxed);
+    e.src_port = static_cast<std::uint16_t>(pp >> 32);
+    e.dst_port = static_cast<std::uint16_t>(pp >> 16);
+    e.proto = static_cast<std::uint8_t>(pp);
+    e.shard = s.shard.load(std::memory_order_relaxed);
+    e.submit_tsc = s.submit_tsc.load(std::memory_order_relaxed);
+    e.dequeue_tsc = s.dequeue_tsc.load(std::memory_order_relaxed);
+    e.scan_start_tsc = s.scan_start_tsc.load(std::memory_order_relaxed);
+    e.scan_end_tsc = s.scan_end_tsc.load(std::memory_order_relaxed);
+    if (s.seq.load(std::memory_order_acquire) != want) continue;  // re-check
+    out.push_back(e);
+  }
+  return out;
+}
+
 MetricsRegistry::MetricsRegistry(Options opt)
     : shard_count_(opt.shards == 0 ? 1 : opt.shards),
       match_id_capacity_(opt.match_id_capacity),
       shards_(std::make_unique<ShardMetrics[]>(shard_count_)),
       match_counts_(
           std::make_unique<std::atomic<std::uint64_t>[]>(match_id_capacity_)),
-      trace_(opt.trace_capacity) {
+      trace_(opt.trace_capacity),
+      spans_(opt.span_capacity) {
   for (std::size_t i = 0; i < match_id_capacity_; ++i)
     match_counts_[i].store(0, std::memory_order_relaxed);
 }
@@ -93,6 +150,8 @@ RegistrySnapshot MetricsRegistry::snapshot() const {
   snap.match_id_overflow = match_id_overflow_.load(std::memory_order_relaxed);
   snap.trace_events = trace_.drain();
   snap.trace_recorded = trace_.recorded();
+  snap.span_events = spans_.drain();
+  snap.span_recorded = spans_.recorded();
   snap.ruleset_generation = ruleset_generation_.load(std::memory_order_relaxed);
   snap.ruleset_swaps = ruleset_swaps_.load(std::memory_order_relaxed);
   snap.ruleset_swap_ns = ruleset_swap_ns_.snapshot();

@@ -127,10 +127,15 @@ struct ShardSnapshot {
   std::uint64_t flows_quarantined = 0;  ///< flows evicted for CPU over-budget
   std::uint64_t worker_restarts = 0;    ///< crashed shard workers restarted
   std::uint64_t worker_stalls = 0;      ///< watchdog stall detections
+  std::uint64_t spans_sampled = 0;      ///< packets carrying a latency span
   HistogramSnapshot scan_ns;      ///< per-packet scan latency, nanoseconds
   HistogramSnapshot packet_bytes; ///< per-packet payload size
   HistogramSnapshot bytes_per_flow;  ///< flow-table bytes / resident flow
   HistogramSnapshot queue_depth;  ///< SPSC depth sampled at each submit()
+  // Latency spans (sampled 1-in-N; see pipeline::Options::trace_sample_shift):
+  HistogramSnapshot queue_wait_ns;  ///< submit() -> worker dequeue
+  HistogramSnapshot span_scan_ns;   ///< scan-start -> scan-end of the burst
+  HistogramSnapshot e2e_ns;         ///< submit() -> scan-end (end to end)
 
   ShardSnapshot& operator+=(const ShardSnapshot& o) {
     packets += o.packets;
@@ -148,12 +153,16 @@ struct ShardSnapshot {
     flows_quarantined += o.flows_quarantined;
     worker_restarts += o.worker_restarts;
     worker_stalls += o.worker_stalls;
+    spans_sampled += o.spans_sampled;
     max_queue_depth = max_queue_depth > o.max_queue_depth ? max_queue_depth
                                                           : o.max_queue_depth;
     scan_ns += o.scan_ns;
     packet_bytes += o.packet_bytes;
     bytes_per_flow += o.bytes_per_flow;
     queue_depth += o.queue_depth;
+    queue_wait_ns += o.queue_wait_ns;
+    span_scan_ns += o.span_scan_ns;
+    e2e_ns += o.e2e_ns;
     return *this;
   }
 };
@@ -174,9 +183,14 @@ struct alignas(64) ShardMetrics {
   std::atomic<std::uint64_t> flow_hot_slots{0};            // gauge
   std::atomic<std::uint64_t> flow_cold_bytes{0};           // gauge
   std::atomic<std::uint64_t> flows_quarantined{0};
+  std::atomic<std::uint64_t> spans_sampled{0};
   Histogram scan_ns;
   Histogram packet_bytes;
   Histogram bytes_per_flow;
+  // Latency spans, recorded by the shard worker for sampled packets only.
+  Histogram queue_wait_ns;
+  Histogram span_scan_ns;
+  Histogram e2e_ns;
   // --- queue side (the submit() producer thread) ---
   std::atomic<std::uint64_t> queue_full_spins{0};
   std::atomic<std::uint64_t> max_queue_depth{0};           // gauge
@@ -206,10 +220,14 @@ struct alignas(64) ShardMetrics {
     s.flows_quarantined = flows_quarantined.load(std::memory_order_relaxed);
     s.worker_restarts = worker_restarts.load(std::memory_order_relaxed);
     s.worker_stalls = worker_stalls.load(std::memory_order_relaxed);
+    s.spans_sampled = spans_sampled.load(std::memory_order_relaxed);
     s.scan_ns = scan_ns.snapshot();
     s.packet_bytes = packet_bytes.snapshot();
     s.bytes_per_flow = bytes_per_flow.snapshot();
     s.queue_depth = queue_depth.snapshot();
+    s.queue_wait_ns = queue_wait_ns.snapshot();
+    s.span_scan_ns = span_scan_ns.snapshot();
+    s.e2e_ns = e2e_ns.snapshot();
     return s;
   }
 };
@@ -266,6 +284,64 @@ class MatchTraceRing {
   std::atomic<std::uint64_t> head_{0};  ///< next ticket to claim
 };
 
+/// Fixed-capacity ring of per-packet latency spans (submit / dequeue /
+/// scan-start / scan-end TSC stamps), drainable while workers keep
+/// recording. Same slot protocol as MatchTraceRing: ticket-claimed slots,
+/// release-published sequence numbers, best-effort drain that skips
+/// mid-overwrite slots and never reads a torn record. Spans are sampled
+/// 1-in-N on the pipeline hot path (pipeline::Options::trace_sample_shift),
+/// so the ring sees a trickle, not the packet rate.
+class SpanTraceRing {
+ public:
+  struct Event {
+    std::uint32_t src_ip = 0;
+    std::uint32_t dst_ip = 0;
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::uint8_t proto = 0;
+    std::uint32_t shard = 0;          ///< shard slot that scanned the packet
+    std::uint64_t submit_tsc = 0;     ///< producer stamp at submit()
+    std::uint64_t dequeue_tsc = 0;    ///< worker stamp when the burst popped
+    std::uint64_t scan_start_tsc = 0; ///< just before engine delivery
+    std::uint64_t scan_end_tsc = 0;   ///< just after engine delivery
+  };
+
+  /// Capacity rounds up to a power of two (minimum 2).
+  explicit SpanTraceRing(std::size_t capacity);
+
+  void record(std::uint32_t src_ip, std::uint32_t dst_ip, std::uint16_t src_port,
+              std::uint16_t dst_port, std::uint8_t proto, std::uint32_t shard,
+              std::uint64_t submit_tsc, std::uint64_t dequeue_tsc,
+              std::uint64_t scan_start_tsc, std::uint64_t scan_end_tsc);
+
+  /// The newest (up to capacity) published spans, oldest first.
+  [[nodiscard]] std::vector<Event> drain() const;
+
+  /// Total spans ever recorded, including overwritten ones.
+  [[nodiscard]] std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< 0 empty, 2t+1 writing, 2t+2 published
+    std::atomic<std::uint32_t> src_ip{0};
+    std::atomic<std::uint32_t> dst_ip{0};
+    std::atomic<std::uint64_t> ports_proto{0};  ///< sp<<32 | dp<<16 | proto
+    std::atomic<std::uint32_t> shard{0};
+    std::atomic<std::uint64_t> submit_tsc{0};
+    std::atomic<std::uint64_t> dequeue_tsc{0};
+    std::atomic<std::uint64_t> scan_start_tsc{0};
+    std::atomic<std::uint64_t> scan_end_tsc{0};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};  ///< next ticket to claim
+};
+
 /// Whole-registry read-side copy: per-shard snapshots, per-match-id hit
 /// counts, and the drained trace ring.
 struct RegistrySnapshot {
@@ -274,6 +350,8 @@ struct RegistrySnapshot {
   std::uint64_t match_id_overflow = 0;  ///< hits whose id exceeded the counter table
   std::vector<MatchTraceRing::Event> trace_events;
   std::uint64_t trace_recorded = 0;
+  std::vector<SpanTraceRing::Event> span_events;
+  std::uint64_t span_recorded = 0;
   // --- ruleset lifecycle (DESIGN.md Sec. 10) ---
   std::uint64_t ruleset_generation = 0;  ///< gauge: newest published generation
   std::uint64_t ruleset_swaps = 0;       ///< completed hot swaps
@@ -300,6 +378,7 @@ class MetricsRegistry {
     std::size_t shards = 1;
     std::size_t match_id_capacity = 1024;  ///< ids >= this count as overflow
     std::size_t trace_capacity = 1024;     ///< match-event ring slots
+    std::size_t span_capacity = 1024;      ///< latency-span ring slots
   };
 
   MetricsRegistry() : MetricsRegistry(Options{}) {}
@@ -329,6 +408,9 @@ class MetricsRegistry {
 
   [[nodiscard]] MatchTraceRing& trace() { return trace_; }
   [[nodiscard]] const MatchTraceRing& trace() const { return trace_; }
+
+  [[nodiscard]] SpanTraceRing& spans() { return spans_; }
+  [[nodiscard]] const SpanTraceRing& spans() const { return spans_; }
 
   // --- ruleset lifecycle (DESIGN.md Sec. 10) ---
 
@@ -388,6 +470,7 @@ class MetricsRegistry {
   std::unique_ptr<std::atomic<std::uint64_t>[]> match_counts_;
   std::atomic<std::uint64_t> match_id_overflow_{0};
   MatchTraceRing trace_;
+  SpanTraceRing spans_;
   std::atomic<std::uint64_t> ruleset_generation_{0};
   std::atomic<std::uint64_t> ruleset_swaps_{0};
   Histogram ruleset_swap_ns_;

@@ -1,0 +1,209 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/export.h"
+
+namespace mfa::obs {
+
+std::size_t ProfileSnapshot::hot_states() const {
+  std::size_t n = 0;
+  for (const std::uint64_t v : state_visits)
+    if (v != 0) ++n;
+  return n;
+}
+
+HistogramSnapshot ProfileSnapshot::visit_histogram() const {
+  HistogramSnapshot h;
+  for (const std::uint64_t v : state_visits) {
+    ++h.counts[Histogram::bucket_index(v)];
+    ++h.count;
+    h.sum += v;
+  }
+  return h;
+}
+
+Profiler::Profiler(Options opt)
+    : sample_shift_(opt.sample_shift > 63 ? 63 : opt.sample_shift),
+      rule_capacity_(opt.rule_capacity),
+      state_capacity_(opt.state_capacity),
+      rules_(std::make_unique<RuleSlot[]>(rule_capacity_ == 0 ? 1 : rule_capacity_)) {
+  if (state_capacity_ != 0) {
+    state_visits_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(state_capacity_);
+    for (std::uint32_t i = 0; i < state_capacity_; ++i)
+      state_visits_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Profiler::record_rules(const std::uint32_t* ids, std::size_t count,
+                            std::uint64_t ns, std::uint64_t bytes) {
+  sampled_packets_.fetch_add(1, std::memory_order_relaxed);
+  sampled_ns_.fetch_add(ns, std::memory_order_relaxed);
+  sampled_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (count == 0) {
+    charge(unmatched_, ns, bytes);
+    return;
+  }
+  // Equal shares conserve the sampled totals: sum over rules (+ unmatched)
+  // of attributed ns equals sampled_ns, so the top-K table's percentages
+  // are honest. The remainder of the division goes to the first id.
+  const std::uint64_t ns_share = ns / count;
+  const std::uint64_t bytes_share = bytes / count;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t n = i == 0 ? ns - ns_share * (count - 1) : ns_share;
+    const std::uint64_t b =
+        i == 0 ? bytes - bytes_share * (count - 1) : bytes_share;
+    if (ids[i] < rule_capacity_) {
+      charge(rules_[ids[i]], n, b);
+    } else {
+      rule_overflow_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Profiler::record_unmatched(std::uint64_t ns, std::uint64_t bytes) {
+  sampled_packets_.fetch_add(1, std::memory_order_relaxed);
+  sampled_ns_.fetch_add(ns, std::memory_order_relaxed);
+  sampled_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  charge(unmatched_, ns, bytes);
+}
+
+ProfileSnapshot Profiler::snapshot() const {
+  ProfileSnapshot s;
+  s.sample_shift = sample_shift_;
+  s.sampled_packets = sampled_packets_.load(std::memory_order_relaxed);
+  s.sampled_ns = sampled_ns_.load(std::memory_order_relaxed);
+  s.sampled_bytes = sampled_bytes_.load(std::memory_order_relaxed);
+  for (std::size_t id = 0; id < rule_capacity_; ++id) {
+    const std::uint64_t samples =
+        rules_[id].samples.load(std::memory_order_relaxed);
+    if (samples == 0) continue;
+    s.rules.push_back(RuleCost{static_cast<std::uint32_t>(id), samples,
+                               rules_[id].ns.load(std::memory_order_relaxed),
+                               rules_[id].bytes.load(std::memory_order_relaxed)});
+  }
+  s.unmatched.samples = unmatched_.samples.load(std::memory_order_relaxed);
+  s.unmatched.ns = unmatched_.ns.load(std::memory_order_relaxed);
+  s.unmatched.bytes = unmatched_.bytes.load(std::memory_order_relaxed);
+  s.rule_overflow = rule_overflow_.load(std::memory_order_relaxed);
+  s.state_visits.resize(state_capacity_);
+  for (std::uint32_t i = 0; i < state_capacity_; ++i)
+    s.state_visits[i] = state_visits_[i].load(std::memory_order_relaxed);
+  s.state_overflow = state_overflow_.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace {
+
+void append(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n < 256 ? n : 255));
+}
+
+/// Rules sorted by attributed ns, descending; ties by id for determinism.
+std::vector<RuleCost> ranked(const ProfileSnapshot& snap) {
+  std::vector<RuleCost> rules = snap.rules;
+  std::sort(rules.begin(), rules.end(), [](const RuleCost& a, const RuleCost& b) {
+    return a.ns != b.ns ? a.ns > b.ns : a.id < b.id;
+  });
+  return rules;
+}
+
+const char* name_of(const std::vector<std::string>* names, std::uint32_t id) {
+  if (names == nullptr || id >= names->size()) return nullptr;
+  return (*names)[id].c_str();
+}
+
+}  // namespace
+
+std::string to_profile_json(const ProfileSnapshot& snap, std::size_t top_k,
+                            const std::vector<std::string>* rule_names) {
+  std::string out = "{\"schema\":\"mfa.profile.v1\",";
+  append(out,
+         "\"sample_shift\":%" PRIu32 ",\"sampled_packets\":%" PRIu64
+         ",\"sampled_ns\":%" PRIu64 ",\"sampled_bytes\":%" PRIu64
+         ",\"rule_overflow\":%" PRIu64 ",\"top_rules\":[",
+         snap.sample_shift, snap.sampled_packets, snap.sampled_ns,
+         snap.sampled_bytes, snap.rule_overflow);
+  const std::vector<RuleCost> rules = ranked(snap);
+  const std::size_t k = std::min(top_k, rules.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    const RuleCost& r = rules[i];
+    append(out, "%s{\"id\":%" PRIu32 ",", i != 0 ? "," : "", r.id);
+    if (const char* name = name_of(rule_names, r.id))
+      out += "\"name\":\"" + json_escape(name) + "\",";
+    append(out,
+           "\"samples\":%" PRIu64 ",\"ns\":%" PRIu64 ",\"bytes\":%" PRIu64
+           ",\"ns_share\":%.4f}",
+           r.samples, r.ns, r.bytes,
+           snap.sampled_ns > 0
+               ? static_cast<double>(r.ns) / static_cast<double>(snap.sampled_ns)
+               : 0.0);
+  }
+  append(out,
+         "],\"rules_total\":%zu,\"unmatched\":{\"samples\":%" PRIu64
+         ",\"ns\":%" PRIu64 ",\"bytes\":%" PRIu64 "},\"states\":{",
+         snap.rules.size(), snap.unmatched.samples, snap.unmatched.ns,
+         snap.unmatched.bytes);
+  const std::size_t hot = snap.hot_states();
+  append(out,
+         "\"tracked\":%zu,\"hot\":%zu,\"cold\":%zu,\"overflow\":%" PRIu64
+         ",\"visit_histogram\":[",
+         snap.state_visits.size(), hot, snap.state_visits.size() - hot,
+         snap.state_overflow);
+  // Log2 histogram over per-state visit counts: [bucket upper bound,
+  // states], zero buckets elided — bucket 0 is the cold-state count.
+  const HistogramSnapshot h = snap.visit_histogram();
+  bool first = true;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (h.counts[b] == 0) continue;
+    append(out, "%s[%" PRIu64 ",%" PRIu64 "]", first ? "" : ",",
+           Histogram::bucket_upper_bound(b), h.counts[b]);
+    first = false;
+  }
+  out += "]}}";
+  return out;
+}
+
+std::string profile_table(const ProfileSnapshot& snap, std::size_t top_k,
+                          const std::vector<std::string>* rule_names) {
+  std::string out;
+  append(out, "top-%zu rules by sampled scan cost (1-in-%" PRIu64 " sampling):\n",
+         top_k, std::uint64_t{1} << snap.sample_shift);
+  append(out, "%6s  %10s  %12s  %12s  %7s  %s\n", "id", "samples", "ns", "bytes",
+         "ns%", "name");
+  const std::vector<RuleCost> rules = ranked(snap);
+  const std::size_t k = std::min(top_k, rules.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    const RuleCost& r = rules[i];
+    const char* name = name_of(rule_names, r.id);
+    append(out,
+           "%6" PRIu32 "  %10" PRIu64 "  %12" PRIu64 "  %12" PRIu64
+           "  %6.2f%%  %s\n",
+           r.id, r.samples, r.ns, r.bytes,
+           snap.sampled_ns > 0
+               ? 100.0 * static_cast<double>(r.ns) /
+                     static_cast<double>(snap.sampled_ns)
+               : 0.0,
+           name != nullptr ? name : "-");
+  }
+  append(out,
+         "unmatched: %" PRIu64 " samples, %" PRIu64 " ns; states hot/tracked: "
+         "%zu/%zu\n",
+         snap.unmatched.samples, snap.unmatched.ns, snap.hot_states(),
+         snap.state_visits.size());
+  return out;
+}
+
+}  // namespace mfa::obs

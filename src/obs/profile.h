@@ -1,0 +1,134 @@
+// Sampled cost profiler (DESIGN.md Sec. 12): where do the cycles and the
+// automaton actually go?
+//
+// The telemetry core (obs/metrics.h) answers "how much"; the profiler
+// answers "which rules are expensive" and "which automaton states are hot"
+// — the direct inputs for SIMD-prefilter selection and approximate state
+// reduction (ROADMAP items 1 and 4). Inspectors sample 1-in-2^shift
+// delivered packets; each sample attributes the packet's precise scan
+// nanoseconds and payload bytes to the match-ids it produced (split evenly
+// across multiple ids so sampled totals are conserved) or to the "unmatched"
+// bucket, and bumps a state-visit counter for the flow's current automaton
+// state (every engine exposes context_state()). All hot-path updates are
+// relaxed atomics into fixed preallocated tables: the sampled-off cost is
+// one branch per packet, the sampled cost is a handful of increments.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mfa::obs {
+
+/// Read-side copy of one rule's sampled cost.
+struct RuleCost {
+  std::uint32_t id = 0;
+  std::uint64_t samples = 0;  ///< sampled packets that matched this rule
+  std::uint64_t ns = 0;       ///< scan nanoseconds attributed to the rule
+  std::uint64_t bytes = 0;    ///< payload bytes attributed to the rule
+};
+
+/// Read-side copy of the whole profiler, mergeable into mfa.profile.v1.
+struct ProfileSnapshot {
+  std::uint32_t sample_shift = 0;  ///< 1-in-2^shift packets sampled
+  std::uint64_t sampled_packets = 0;
+  std::uint64_t sampled_ns = 0;
+  std::uint64_t sampled_bytes = 0;
+  std::vector<RuleCost> rules;  ///< ids with nonzero samples, ascending id
+  RuleCost unmatched;           ///< cost of sampled packets with no match
+  std::uint64_t rule_overflow = 0;  ///< attributions beyond the id table
+  /// Sampled automaton-state visits, indexed by state id (empty when state
+  /// sampling is off). visits[s] > 0 marks state s hot under this traffic.
+  std::vector<std::uint64_t> state_visits;
+  std::uint64_t state_overflow = 0;  ///< visits beyond the state table
+
+  /// States with at least one sampled visit.
+  [[nodiscard]] std::size_t hot_states() const;
+  /// Log2 histogram over per-state visit counts (bucket 0 = never visited).
+  [[nodiscard]] HistogramSnapshot visit_histogram() const;
+};
+
+/// Lock-free sampled profiler shared by every inspector of a pipeline.
+/// Construct once (rule table sized like the registry's match-id table,
+/// state table sized engine.state_count()), attach to inspectors via
+/// set_profiler(), snapshot from any thread at any time.
+class Profiler {
+ public:
+  struct Options {
+    std::size_t rule_capacity = 1024;   ///< ids >= this count as overflow
+    std::uint32_t state_capacity = 0;   ///< automaton states tracked (0 = off)
+    std::uint32_t sample_shift = 6;     ///< sample 1-in-2^shift packets
+  };
+
+  explicit Profiler(Options opt);
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  [[nodiscard]] std::uint32_t sample_shift() const { return sample_shift_; }
+  /// Inspector-side sampling mask: sample when (++tick & mask) == 0.
+  [[nodiscard]] std::uint64_t sample_mask() const {
+    return (std::uint64_t{1} << sample_shift_) - 1;
+  }
+
+  /// One sampled packet's cost split across the `count` match ids it
+  /// produced (ids may repeat; each occurrence gets an equal share).
+  void record_rules(const std::uint32_t* ids, std::size_t count,
+                    std::uint64_t ns, std::uint64_t bytes);
+
+  /// One sampled packet that produced no match.
+  void record_unmatched(std::uint64_t ns, std::uint64_t bytes);
+
+  /// The sampled flow's current automaton state after the scan.
+  void record_state(std::uint32_t state) {
+    if (state < state_capacity_)
+      state_visits_[state].fetch_add(1, std::memory_order_relaxed);
+    else if (state_capacity_ != 0)
+      state_overflow_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] ProfileSnapshot snapshot() const;
+
+ private:
+  struct RuleSlot {
+    std::atomic<std::uint64_t> samples{0};
+    std::atomic<std::uint64_t> ns{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
+
+  void charge(RuleSlot& slot, std::uint64_t ns, std::uint64_t bytes) {
+    slot.samples.fetch_add(1, std::memory_order_relaxed);
+    slot.ns.fetch_add(ns, std::memory_order_relaxed);
+    slot.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  std::uint32_t sample_shift_;
+  std::size_t rule_capacity_;
+  std::uint32_t state_capacity_;
+  std::unique_ptr<RuleSlot[]> rules_;
+  RuleSlot unmatched_;
+  std::atomic<std::uint64_t> rule_overflow_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> state_visits_;
+  std::atomic<std::uint64_t> state_overflow_{0};
+  std::atomic<std::uint64_t> sampled_packets_{0};
+  std::atomic<std::uint64_t> sampled_ns_{0};
+  std::atomic<std::uint64_t> sampled_bytes_{0};
+};
+
+/// Render a snapshot as the mfa.profile.v1 JSON schema: a top-K table of
+/// the most expensive rules (by attributed ns, descending) plus the
+/// hot/cold state-visit histogram. `rule_names` (optional, id -> name)
+/// labels the top-K rows; names are JSON-escaped.
+std::string to_profile_json(const ProfileSnapshot& snap, std::size_t top_k = 10,
+                            const std::vector<std::string>* rule_names = nullptr);
+
+/// Human-readable top-K rule-cost table (the README quick-start rendering).
+std::string profile_table(const ProfileSnapshot& snap, std::size_t top_k = 10,
+                          const std::vector<std::string>* rule_names = nullptr);
+
+}  // namespace mfa::obs

@@ -36,12 +36,22 @@ void StatsWriter::run() {
 
 void StatsWriter::write_line() {
   std::FILE* f = std::fopen(path_.c_str(), "a");
-  if (f == nullptr) return;
+  if (f == nullptr) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const std::string line = to_json(registry_->snapshot());
-  std::fwrite(line.data(), 1, line.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
-  ++lines_;
+  // A telemetry line is all-or-nothing: a short write or failed flush makes
+  // the whole line suspect (a truncated JSON object would poison any reader
+  // tailing the file), so count it as one error, never a partial success.
+  bool ok = std::fwrite(line.data(), 1, line.size(), f) == line.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fflush(f) == 0 && ok;  // reach the OS before we report success
+  ok = std::fclose(f) == 0 && ok;
+  if (ok)
+    lines_.fetch_add(1, std::memory_order_relaxed);
+  else
+    errors_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace mfa::obs

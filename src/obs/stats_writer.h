@@ -26,10 +26,18 @@ class StatsWriter {
   StatsWriter(const StatsWriter&) = delete;
   StatsWriter& operator=(const StatsWriter&) = delete;
 
-  /// Stop the thread and append one final snapshot line. Idempotent.
+  /// Stop the thread and append one final snapshot line. The final line is
+  /// written unconditionally (even if the thread already wrote this period)
+  /// and flushed to the OS before stop() returns, so a caller that reads the
+  /// file right after stop() always sees the end-of-run snapshot. Idempotent.
   void stop();
 
   [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+
+  /// Lines that failed to reach the file (open, write, or flush error).
+  /// Failed lines are dropped, never retried: telemetry must not wedge the
+  /// data path behind a full disk.
+  [[nodiscard]] std::uint64_t write_errors() const { return errors_; }
 
  private:
   void run();
@@ -42,6 +50,7 @@ class StatsWriter {
   std::condition_variable cv_;
   bool stopping_ = false;
   std::atomic<std::uint64_t> lines_{0};
+  std::atomic<std::uint64_t> errors_{0};
   std::thread thread_;
 };
 

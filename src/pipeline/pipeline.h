@@ -45,6 +45,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <list>
 #include <map>
@@ -58,7 +59,10 @@
 
 #include "flow/flow.h"
 #include "flow/tiered.h"
+#include "obs/export.h"
+#include "obs/http_server.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "pipeline/spsc_queue.h"
 #include "util/faultpoint.h"
 #include "util/match.h"
@@ -203,6 +207,37 @@ struct Options {
   /// releases the old generation fastest.
   flow::SwapPolicy swap_policy = flow::SwapPolicy::kDrainOld;
 
+  // --- Tracing, profiling & live endpoint (DESIGN.md Sec. 12) ---
+  /// Latency spans: 1-in-2^trace_sample_shift submitted packets carry a
+  /// submit TSC stamp; the shard worker adds dequeue/scan-start/scan-end
+  /// and records queue-wait, scan and end-to-end latency histograms plus a
+  /// SpanTraceRing event. Only effective with `metrics` attached. Default
+  /// 6 = 1 in 64 packets.
+  std::uint32_t trace_sample_shift = 6;
+  /// Optional sampled cost profiler (externally owned, must outlive the
+  /// inspector): per-rule scan ns/bytes attribution and automaton
+  /// state-visit sampling inside every shard's flow inspector. Requires
+  /// `metrics` — profiling rides the instrumented path.
+  obs::Profiler* profiler = nullptr;
+  /// Serve GET /metrics, /telemetry.json, /profile.json and /healthz on
+  /// 127.0.0.1:<http_port> between start() and finish(). -1 = disabled
+  /// (the default); 0 = kernel-assigned, read back via http_port().
+  /// Requires `metrics`.
+  int http_port = -1;
+  /// /healthz thresholds: the overload verdict flips to 503 when any
+  /// signal crosses its line (or a shard has failed over).
+  struct HealthThresholds {
+    /// Shed packets / submitted packets above this is unhealthy.
+    double max_shed_ratio = 0.05;
+    /// Live queue depth above this is unhealthy. 0 = 7/8 of queue_capacity.
+    std::uint64_t max_queue_depth = 0;
+    /// Cumulative watchdog restarts above this are unhealthy.
+    /// 0 = shards * max_worker_restarts (the failover budget).
+    std::uint64_t max_worker_restarts = 0;
+    /// Quarantined flows above this are unhealthy.
+    std::uint64_t max_quarantined_flows = 1024;
+  } health;
+
   // --- Overload & robustness (DESIGN.md Sec. 9) ---
   ShedPolicy shed_policy = ShedPolicy::kBackpressure;
   /// Queue backlog (ring + producer buffer) at which shedding engages.
@@ -275,6 +310,11 @@ class ShardedInspector {
         for (auto& shard : shards_)
           shard->stage_swap(engine_pin_, current_generation_);
     }
+    // All-ones disables spans: (tick & mask) == 0 then never fires (shift 0
+    // = mask 0 = every packet, so 0 can't double as the off value).
+    span_mask_ = ~std::uint64_t{0};
+    if (options_.metrics != nullptr && options_.trace_sample_shift < 64)
+      span_mask_ = (std::uint64_t{1} << options_.trace_sample_shift) - 1;
     for (auto& shard : shards_) {
       shard->alive.store(true, std::memory_order_release);
       shard->thread = std::thread([s = shard.get()] { s->run(); });
@@ -282,6 +322,85 @@ class ShardedInspector {
     if (options_.watchdog)
       watchdog_thread_ = std::thread([this] { watchdog_run(); });
     running_ = true;
+    if (options_.http_port >= 0 && options_.metrics != nullptr) {
+      obs::HttpServer::Handlers h;
+      obs::MetricsRegistry* reg = options_.metrics;
+      h.metrics = [reg] { return obs::to_prometheus(reg->snapshot()); };
+      h.telemetry = [reg] { return obs::to_json(reg->snapshot()); };
+      if (options_.profiler != nullptr) {
+        obs::Profiler* prof = options_.profiler;
+        h.profile = [prof] { return obs::to_profile_json(prof->snapshot()); };
+      }
+      h.health = [this] { return health(); };
+      http_.start(static_cast<std::uint16_t>(options_.http_port), std::move(h));
+    }
+  }
+
+  /// Port the observability endpoint is bound to (0 when not running).
+  /// With Options::http_port = 0 this is the kernel-assigned port.
+  [[nodiscard]] std::uint16_t http_port() const { return http_.port(); }
+
+  /// True while the observability HTTP endpoint is serving.
+  [[nodiscard]] bool http_running() const { return http_.running(); }
+
+  /// The /healthz verdict: 200-ok unless a shard failed over or a signal
+  /// (shed ratio, live queue depth, watchdog restarts, quarantined flows)
+  /// crosses its Options::health threshold. Safe from any thread while the
+  /// pipeline is running; the body names every signal either way.
+  [[nodiscard]] obs::HttpServer::Health health() const {
+    obs::HttpServer::Health out;
+    const obs::RegistrySnapshot snap =
+        options_.metrics != nullptr ? options_.metrics->snapshot()
+                                    : obs::RegistrySnapshot{};
+    const obs::ShardSnapshot t = snap.totals();
+    const std::uint64_t submitted = t.packets + t.shed_packets;
+    const double shed_ratio =
+        submitted == 0 ? 0.0
+                       : static_cast<double>(t.shed_packets) /
+                             static_cast<double>(submitted);
+    std::uint64_t depth = 0;
+    std::size_t failed = 0;
+    for (const auto& shard : shards_) {
+      const std::size_t d = shard->queue.depth();
+      depth = d > depth ? d : depth;
+      if (shard->failed.load(std::memory_order_acquire)) ++failed;
+    }
+    const std::uint64_t depth_limit =
+        options_.health.max_queue_depth != 0
+            ? options_.health.max_queue_depth
+            : options_.queue_capacity * 7 / 8;
+    const std::uint64_t restart_limit =
+        options_.health.max_worker_restarts != 0
+            ? options_.health.max_worker_restarts
+            : static_cast<std::uint64_t>(options_.shards) *
+                  options_.max_worker_restarts;
+    const bool shed_ok = shed_ratio <= options_.health.max_shed_ratio;
+    const bool depth_ok = depth <= depth_limit;
+    const bool restarts_ok = t.worker_restarts <= restart_limit;
+    const bool quarantine_ok =
+        t.flows_quarantined <= options_.health.max_quarantined_flows;
+    out.ok = failed == 0 && shed_ok && depth_ok && restarts_ok && quarantine_ok;
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "{\"ok\":%s,\"failed_shards\":%zu,"
+                  "\"shed_ratio\":{\"value\":%.6f,\"limit\":%.6f,\"ok\":%s},"
+                  "\"queue_depth\":{\"value\":%llu,\"limit\":%llu,\"ok\":%s},"
+                  "\"worker_restarts\":{\"value\":%llu,\"limit\":%llu,\"ok\":%s},"
+                  "\"quarantined_flows\":{\"value\":%llu,\"limit\":%llu,\"ok\":%s}}",
+                  out.ok ? "true" : "false", failed, shed_ratio,
+                  options_.health.max_shed_ratio, shed_ok ? "true" : "false",
+                  static_cast<unsigned long long>(depth),
+                  static_cast<unsigned long long>(depth_limit),
+                  depth_ok ? "true" : "false",
+                  static_cast<unsigned long long>(t.worker_restarts),
+                  static_cast<unsigned long long>(restart_limit),
+                  restarts_ok ? "true" : "false",
+                  static_cast<unsigned long long>(t.flows_quarantined),
+                  static_cast<unsigned long long>(
+                      options_.health.max_quarantined_flows),
+                  quarantine_ok ? "true" : "false");
+    out.body = buf;
+    return out;
   }
 
   /// Atomically publish a new engine generation to the running pipeline
@@ -355,6 +474,11 @@ class ShardedInspector {
     if (options_.shed_policy != ShedPolicy::kBackpressure && try_shed(s, p))
       return;
     s.pending.push_back(p);
+    // Latency-span sampling (DESIGN.md Sec. 12): 1-in-2^trace_sample_shift
+    // admitted packets get the submit stamp; the shard worker completes the
+    // span at dequeue/scan time. Detached telemetry costs one branch.
+    if (s.metrics != nullptr && (++s.producer_span_tick & span_mask_) == 0)
+      s.pending.back().submit_tsc = util::rdtsc_now();
     if (s.pending.size() >= options_.batch_size) flush_shard(s);
     const std::size_t depth = s.queue.depth();
     if (depth > s.producer_max_depth) s.producer_max_depth = depth;
@@ -539,6 +663,9 @@ class ShardedInspector {
 
   bool finish_until(bool bounded, std::chrono::milliseconds timeout) {
     if (!running_) return true;
+    // The endpoint's handlers read the live shards; stop serving before the
+    // shard vector is torn down.
+    http_.stop();
     bool clean = true;
     for (auto& shard : shards_) flush_shard(*shard, true);
     // Drain before stopping: while the watchdog is still running it can
@@ -750,7 +877,11 @@ class ShardedInspector {
       if (o.metrics != nullptr) {
         const std::size_t slot = index % o.metrics->shard_count();
         metrics = &o.metrics->shard(slot);
+        registry = o.metrics;
+        shard_slot = static_cast<std::uint32_t>(slot);
+        ns_per_tick = 1e9 / util::tsc_ticks_per_second();
         inspector.set_metrics(o.metrics, slot);
+        if (o.profiler != nullptr) inspector.set_profiler(o.profiler);
       }
     }
 
@@ -830,6 +961,11 @@ class ShardedInspector {
     std::atomic<std::uint64_t> flows_quarantined_a{0};
 
     obs::ShardMetrics* metrics = nullptr;  // shared relaxed-atomic telemetry
+    obs::MetricsRegistry* registry = nullptr;  // span ring lives here
+    std::uint32_t shard_slot = 0;          // metrics slot (span attribution)
+    double ns_per_tick = 0.0;              // for span tick→ns conversion
+    std::uint64_t producer_span_tick = 0;  // producer-owned sampling counter
+    std::uint64_t span_scan_start = 0;     // worker-owned scan-start stamp
     MatchVec matches;                      // worker-owned until join
     std::vector<FlowMatch> flow_matches;   // worker-owned until join
     std::map<std::uint64_t, std::uint64_t> gen_matches;  // worker-owned until join
@@ -955,8 +1091,14 @@ class ShardedInspector {
     void process_burst(std::size_t n) {
       packets_a.fetch_add(n, std::memory_order_relaxed);
       std::uint64_t burst_bytes = 0;
-      for (std::size_t i = 0; i < n; ++i) burst_bytes += burst[i].length;
+      bool any_span = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        burst_bytes += burst[i].length;
+        any_span |= burst[i].submit_tsc != 0;
+      }
       bytes_a.fetch_add(burst_bytes, std::memory_order_relaxed);
+      const std::uint64_t dequeue_tsc =
+          any_span && registry != nullptr ? util::rdtsc_now() : 0;
       if (abort_drain.load(std::memory_order_relaxed)) {
         // Bounded shutdown passed its deadline: drain without scanning.
         for (std::size_t i = 0; i < n; ++i)
@@ -991,6 +1133,7 @@ class ShardedInspector {
         // hands distinct-flow runs to the engine's K-way interleaved
         // feed_many; same-flow packets stay strictly sequential. The drop
         // sink fires for packets of quarantined flows.
+        if (dequeue_tsc != 0) span_scan_start = util::rdtsc_now();
         inspector.packet_batch_attributed(
             burst.data(), kept,
             [this](const flow::FlowKey& key, std::uint64_t generation,
@@ -1026,7 +1169,37 @@ class ShardedInspector {
         throw;
       }
       scanned_a.fetch_add(kept - burst_qdrops, std::memory_order_relaxed);
+      if (dequeue_tsc != 0) record_spans(kept, dequeue_tsc);
       sync_gauges();
+    }
+
+    /// Publish latency spans for the sampled packets of a scanned burst.
+    /// Scan latency is burst-granular: the whole burst shares one
+    /// scan-start/scan-end window (the engine interleaves flows within
+    /// it), which is exactly the latency a packet in that burst observed.
+    /// Corrupt-filtered packets were compacted out of burst[0..kept) and
+    /// carry no span; TSC skew across cores clamps to zero, never wraps.
+    void record_spans(std::size_t kept, std::uint64_t dequeue_tsc) {
+      const std::uint64_t scan_end_tsc = util::rdtsc_now();
+      const auto to_ns = [&](std::uint64_t from, std::uint64_t to) {
+        if (to <= from) return std::uint64_t{0};
+        return static_cast<std::uint64_t>(
+            static_cast<double>(to - from) * ns_per_tick);
+      };
+      for (std::size_t i = 0; i < kept; ++i) {
+        const flow::Packet& p = burst[i];
+        if (p.submit_tsc == 0) continue;
+        if (metrics != nullptr) {
+          metrics->spans_sampled.fetch_add(1, std::memory_order_relaxed);
+          metrics->queue_wait_ns.record(to_ns(p.submit_tsc, dequeue_tsc));
+          metrics->span_scan_ns.record(to_ns(span_scan_start, scan_end_tsc));
+          metrics->e2e_ns.record(to_ns(p.submit_tsc, scan_end_tsc));
+        }
+        registry->spans().record(p.key.src_ip, p.key.dst_ip, p.key.src_port,
+                                 p.key.dst_port, p.key.proto, shard_slot,
+                                 p.submit_tsc, dequeue_tsc, span_scan_start,
+                                 scan_end_tsc);
+      }
     }
 
     /// Refreshed every burst (not only at worker exit) so the merged
@@ -1059,6 +1232,8 @@ class ShardedInspector {
   bool running_ = false;
   std::size_t shed_high_ = 0;
   std::size_t shed_low_ = 0;
+  std::uint64_t span_mask_ = ~std::uint64_t{0};  ///< span sampling mask (all-ones = off)
+  obs::HttpServer http_;         ///< live endpoint; idle unless http_port >= 0
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<ShardStats> stats_;
   MatchVec matches_;

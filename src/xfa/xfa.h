@@ -97,6 +97,15 @@ class Xfa {
     ctx.memory.reset();
   }
 
+  /// The flow's current automaton state (profiler state-visit sampling).
+  [[nodiscard]] std::uint32_t context_state(const Context& ctx) const {
+    return ctx.state;
+  }
+
+  /// States of the underlying character DFA (the space context_state()
+  /// indexes into).
+  [[nodiscard]] std::uint32_t state_count() const { return dfa_.state_count(); }
+
   /// Feed a chunk through `ctx`. Thread-safe with distinct contexts.
   template <typename Sink>
   void feed(Context& ctx, const std::uint8_t* data, std::size_t size, std::uint64_t base,

@@ -1,0 +1,225 @@
+// Live observability endpoint (obs/http_server.h): routing, status codes,
+// bounded requests, and the ShardedInspector wiring — all four endpoints
+// served from a running pipeline, shut down with finish().
+#include "obs/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "engine_test_util.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "pipeline/pipeline.h"
+#include "trace/trace.h"
+
+namespace mfa::obs {
+namespace {
+
+using mfa::testing::compile_patterns;
+
+/// Minimal loopback HTTP/1.0 client: send `request` verbatim, return the
+/// whole response (status line + headers + body). Empty string on error.
+std::string http_request(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+    response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& path) {
+  return http_request(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+HttpServer::Handlers test_handlers(bool healthy = true) {
+  HttpServer::Handlers h;
+  h.metrics = [] { return std::string("# metrics body\n"); };
+  h.telemetry = [] { return std::string("{\"telemetry\":true}"); };
+  h.profile = [] { return std::string("{\"profile\":true}"); };
+  h.health = [healthy] {
+    HttpServer::Health v;
+    v.ok = healthy;
+    v.body = healthy ? "{\"ok\":true}" : "{\"ok\":false}";
+    return v;
+  };
+  return h;
+}
+
+TEST(HttpServer, ServesAllFourEndpoints) {
+  HttpServer server;
+  ASSERT_TRUE(server.start(0, test_handlers()));  // kernel-assigned port
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  std::string r = get(server.port(), "/metrics");
+  EXPECT_NE(r.find("200 OK"), std::string::npos);
+  EXPECT_NE(r.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_EQ(body_of(r), "# metrics body\n");
+
+  r = get(server.port(), "/telemetry.json");
+  EXPECT_NE(r.find("200 OK"), std::string::npos);
+  EXPECT_NE(r.find("application/json"), std::string::npos);
+  EXPECT_EQ(body_of(r), "{\"telemetry\":true}");
+
+  r = get(server.port(), "/profile.json");
+  EXPECT_EQ(body_of(r), "{\"profile\":true}");
+
+  r = get(server.port(), "/healthz");
+  EXPECT_NE(r.find("200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(r), "{\"ok\":true}");
+
+  EXPECT_EQ(server.requests(), 4u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServer, UnhealthyVerdictIs503) {
+  HttpServer server;
+  ASSERT_TRUE(server.start(0, test_handlers(/*healthy=*/false)));
+  const std::string r = get(server.port(), "/healthz");
+  EXPECT_NE(r.find("503"), std::string::npos);
+  EXPECT_EQ(body_of(r), "{\"ok\":false}");
+}
+
+TEST(HttpServer, UnknownPathIs404MethodIs405BadRequestIs400) {
+  HttpServer server;
+  ASSERT_TRUE(server.start(0, test_handlers()));
+  EXPECT_NE(get(server.port(), "/nope").find("404"), std::string::npos);
+  EXPECT_NE(http_request(server.port(), "POST /metrics HTTP/1.0\r\n\r\n")
+                .find("405"),
+            std::string::npos);
+  EXPECT_NE(http_request(server.port(), "garbage\r\n\r\n").find("400"),
+            std::string::npos);
+}
+
+TEST(HttpServer, QueryStringsAreStripped) {
+  HttpServer server;
+  ASSERT_TRUE(server.start(0, test_handlers()));
+  const std::string r = get(server.port(), "/healthz?verbose=1");
+  EXPECT_NE(r.find("200 OK"), std::string::npos);
+}
+
+TEST(HttpServer, NullProfileHandlerIs404) {
+  HttpServer::Handlers h = test_handlers();
+  h.profile = nullptr;  // pipeline without a profiler attached
+  HttpServer server;
+  ASSERT_TRUE(server.start(0, std::move(h)));
+  EXPECT_NE(get(server.port(), "/profile.json").find("404"), std::string::npos);
+  EXPECT_NE(get(server.port(), "/metrics").find("200"), std::string::npos);
+}
+
+TEST(HttpServer, OversizedRequestIsRejected) {
+  HttpServer server;
+  ASSERT_TRUE(server.start(0, test_handlers()));
+  // 8 KB of headers blows the 4 KB request bound; server must answer (or
+  // drop) without reading forever.
+  std::string request = "GET /metrics HTTP/1.0\r\n";
+  while (request.size() < 8192) request += "X-Pad: aaaaaaaaaaaaaaaa\r\n";
+  request += "\r\n";
+  const std::string r = http_request(server.port(), request);
+  EXPECT_EQ(r.find("200 OK"), std::string::npos);
+}
+
+TEST(HttpServer, StopIsIdempotentAndRestartable) {
+  HttpServer server;
+  ASSERT_TRUE(server.start(0, test_handlers()));
+  const std::uint16_t old_port = server.port();
+  server.stop();
+  server.stop();  // second stop is a no-op
+  EXPECT_EQ(http_request(old_port, "GET /healthz HTTP/1.0\r\n\r\n"), "");
+  ASSERT_TRUE(server.start(0, test_handlers()));
+  EXPECT_NE(get(server.port(), "/healthz").find("200"), std::string::npos);
+}
+
+// --- wired into the sharded pipeline ---
+
+TEST(PipelineHttp, ServesLiveDataBetweenStartAndFinish) {
+  auto m = core::build_mfa(compile_patterns({".*worm77", ".*atk1.*vec2"}));
+  ASSERT_TRUE(m.has_value());
+  const trace::Trace t = trace::make_real_life(
+      trace::RealLifeProfile::kCyberDefense, 100000, 11, {"worm77"});
+  MetricsRegistry reg({.shards = 2});
+  Profiler prof({.rule_capacity = 8,
+                 .state_capacity = m->state_count(),
+                 .sample_shift = 0});
+  pipeline::Options opt;
+  opt.shards = 2;
+  opt.metrics = &reg;
+  opt.profiler = &prof;
+  opt.trace_sample_shift = 0;
+  opt.http_port = 0;  // kernel-assigned
+  pipeline::ShardedInspector<core::Mfa> pipe(*m, opt);
+  pipe.start();
+  ASSERT_TRUE(pipe.http_running());
+  const std::uint16_t port = pipe.http_port();
+  ASSERT_NE(port, 0);
+
+  t.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+
+  const std::string health = get(port, "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(body_of(health).find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(body_of(health).find("shed_ratio"), std::string::npos);
+
+  const std::string metrics = body_of(get(port, "/metrics"));
+  EXPECT_NE(metrics.find("mfa_packets_total"), std::string::npos);
+  EXPECT_NE(metrics.find("mfa_spans_sampled_total"), std::string::npos);
+
+  const std::string telemetry = body_of(get(port, "/telemetry.json"));
+  EXPECT_EQ(telemetry.find("{\"schema\":\"mfa.telemetry.v1\""), 0u);
+
+  const std::string profile = body_of(get(port, "/profile.json"));
+  EXPECT_EQ(profile.find("{\"schema\":\"mfa.profile.v1\""), 0u);
+
+  pipe.finish();
+  EXPECT_FALSE(pipe.http_running());
+  // The socket is gone with the pipeline.
+  EXPECT_EQ(get(port, "/healthz"), "");
+}
+
+TEST(PipelineHttp, DisabledByDefault) {
+  auto m = core::build_mfa(compile_patterns({".*x"}));
+  ASSERT_TRUE(m.has_value());
+  MetricsRegistry reg(1);
+  pipeline::Options opt;
+  opt.shards = 1;
+  opt.metrics = &reg;  // http_port stays -1
+  pipeline::ShardedInspector<core::Mfa> pipe(*m, opt);
+  pipe.start();
+  EXPECT_FALSE(pipe.http_running());
+  pipe.finish();
+}
+
+}  // namespace
+}  // namespace mfa::obs

@@ -12,8 +12,12 @@
 
 #include "engine_test_util.h"
 #include "flow/flow.h"
+#include "flow/tiered.h"
 #include "obs/export.h"
+#include "obs/profile.h"
 #include "obs/stats_writer.h"
+#include "pipeline/pipeline.h"
+#include "trace/trace.h"
 
 namespace mfa::obs {
 namespace {
@@ -417,6 +421,406 @@ TEST(StatsWriter, AppendsJsonLines) {
   EXPECT_GE(lines, 2u);  // several periods elapsed plus the final line
   EXPECT_EQ(contents.find("{\"schema\":\"mfa.telemetry.v1\""), 0u);
   EXPECT_NE(contents.find("\"packets\":11"), std::string::npos);
+}
+
+TEST(StatsWriter, FinalLineIsFlushedOnStop) {
+  const std::string path = ::testing::TempDir() + "mfa_stats_final_line.jsonl";
+  std::remove(path.c_str());
+  MetricsRegistry reg(1);
+  StatsWriter writer(reg, path, std::chrono::hours(1));  // period never fires
+  reg.shard(0).packets.fetch_add(42);
+  writer.stop();
+  // stop() must leave exactly the end-of-run snapshot, already durable.
+  EXPECT_EQ(writer.lines_written(), 1u);
+  EXPECT_EQ(writer.write_errors(), 0u);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[8192];
+  const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  const std::string contents(buf, n);
+  EXPECT_NE(contents.find("\"packets\":42"), std::string::npos);
+  EXPECT_EQ(contents.back(), '\n');  // complete line, not a torn write
+  writer.stop();  // idempotent: no second final line
+  EXPECT_EQ(writer.lines_written(), 1u);
+}
+
+TEST(StatsWriter, CountsWriteErrorsInsteadOfWedging) {
+  MetricsRegistry reg(1);
+  StatsWriter writer(reg, "/nonexistent-dir-mfa-test/stats.jsonl",
+                     std::chrono::hours(1));
+  writer.stop();  // final line fails to open; must not hang or crash
+  EXPECT_EQ(writer.lines_written(), 0u);
+  EXPECT_GE(writer.write_errors(), 1u);
+}
+
+// --- Histogram edge cases ---
+
+TEST(Histogram, EmptyHistogramQuantilesAreZero) {
+  const HistogramSnapshot s = Histogram().snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.quantile(0.0), 0u);
+  EXPECT_EQ(s.quantile(0.5), 0u);
+  EXPECT_EQ(s.quantile(0.99), 0u);
+  EXPECT_EQ(s.quantile(1.0), 0u);
+}
+
+TEST(Histogram, SingleBucketAnswersEveryQuantile) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(5);  // all land in bucket 3 (4-7)
+  const HistogramSnapshot s = h.snapshot();
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0})
+    EXPECT_EQ(s.quantile(q), 7u) << q;
+}
+
+TEST(Histogram, SaturatingTopBucketHoldsMaxValues) {
+  Histogram h;
+  h.record(~std::uint64_t{0});
+  h.record(~std::uint64_t{0} - 1);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.counts[kHistogramBuckets - 1], 2u);
+  EXPECT_EQ(s.quantile(1.0), ~std::uint64_t{0});
+  EXPECT_EQ(s.max_bucket(), kHistogramBuckets - 1);
+}
+
+// --- SpanTraceRing ---
+
+TEST(SpanTraceRing, RecordsAndDrainsOldestFirst) {
+  SpanTraceRing ring(4);
+  for (std::uint32_t i = 1; i <= 3; ++i)
+    ring.record(i, i + 100, 1, 2, 6, /*shard=*/i, /*submit=*/10 * i,
+                10 * i + 1, 10 * i + 2, 10 * i + 3);
+  EXPECT_EQ(ring.recorded(), 3u);
+  const auto events = ring.drain();
+  ASSERT_EQ(events.size(), 3u);
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    const SpanTraceRing::Event& e = events[i - 1];
+    EXPECT_EQ(e.src_ip, i);
+    EXPECT_EQ(e.dst_ip, i + 100);
+    EXPECT_EQ(e.shard, i);
+    EXPECT_EQ(e.submit_tsc, 10u * i);
+    EXPECT_EQ(e.dequeue_tsc, 10u * i + 1);
+    EXPECT_EQ(e.scan_start_tsc, 10u * i + 2);
+    EXPECT_EQ(e.scan_end_tsc, 10u * i + 3);
+  }
+}
+
+TEST(SpanTraceRing, OverwritesOldestKeepsNewest) {
+  SpanTraceRing ring(4);
+  for (std::uint32_t i = 0; i < 10; ++i)
+    ring.record(i, i, 0, 0, 6, 0, i, i, i, i);
+  EXPECT_EQ(ring.recorded(), 10u);
+  const auto events = ring.drain();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_EQ(events[k].src_ip, 6u + k);
+}
+
+// Concurrent drain is best-effort but must never tear an event: every
+// drained record carries one writer's self-consistent field pattern.
+TEST(SpanTraceRing, ConcurrentWritersNeverTearEvents) {
+  SpanTraceRing ring(64);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (std::uint32_t w = 0; w < 3; ++w) {
+    writers.emplace_back([&ring, &stop, w] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ++i;
+        ring.record(w, static_cast<std::uint32_t>(i), 1, 2, 6, w, i, i + 1,
+                    i + 2, i + 3);
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    for (const SpanTraceRing::Event& e : ring.drain()) {
+      EXPECT_LT(e.src_ip, 3u);
+      EXPECT_EQ(e.shard, e.src_ip);
+      EXPECT_EQ(e.dequeue_tsc, e.submit_tsc + 1);
+      EXPECT_EQ(e.scan_start_tsc, e.submit_tsc + 2);
+      EXPECT_EQ(e.scan_end_tsc, e.submit_tsc + 3);
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+}
+
+TEST(MatchTraceRing, ConcurrentWritersNeverTearEvents) {
+  MatchTraceRing ring(64);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (std::uint32_t w = 0; w < 3; ++w) {
+    writers.emplace_back([&ring, &stop, w] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ++i;
+        ring.record(w, static_cast<std::uint32_t>(i), 1, 2, 6, w, i, i + 7);
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    for (const MatchTraceRing::Event& e : ring.drain()) {
+      EXPECT_LT(e.src_ip, 3u);
+      EXPECT_EQ(e.match_id, e.src_ip);
+      EXPECT_EQ(e.tsc, e.offset + 7);
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+}
+
+// --- Exporter conformance ---
+
+TEST(Exporters, PromEscapeLabelHandlesHostileValues) {
+  EXPECT_EQ(prom_escape_label("plain"), "plain");
+  EXPECT_EQ(prom_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(prom_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_label("a\nb"), "a\\nb");
+  EXPECT_EQ(prom_escape_label("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(Exporters, PromMetricNameValidity) {
+  EXPECT_TRUE(prom_metric_name_valid("mfa_packets_total"));
+  EXPECT_TRUE(prom_metric_name_valid("a:b_c9"));
+  EXPECT_TRUE(prom_metric_name_valid("_x"));
+  EXPECT_FALSE(prom_metric_name_valid(""));
+  EXPECT_FALSE(prom_metric_name_valid("9starts_with_digit"));
+  EXPECT_FALSE(prom_metric_name_valid("has-dash"));
+  EXPECT_FALSE(prom_metric_name_valid("has space"));
+  EXPECT_FALSE(prom_metric_name_valid("has\nnewline"));
+}
+
+TEST(Exporters, JsonEscapeControlChars) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Exporters, HostileRuleNamesStayConformant) {
+  MetricsRegistry reg({.shards = 1, .match_id_capacity = 8});
+  reg.shard(0).packets.fetch_add(1);
+  reg.count_match(1);
+  reg.count_match(2);
+  // Names a malicious or merely unlucky ruleset could carry.
+  const std::vector<std::string> names = {"", "ok",
+                                          "evil\"quote\\back\nline"};
+  const RegistrySnapshot snap = reg.snapshot();
+  const std::string prom = to_prometheus(snap, &names);
+  // The hostile name appears escaped; no raw newline may survive inside a
+  // label value (that would split the exposition line).
+  EXPECT_NE(prom.find("rule=\"evil\\\"quote\\\\back\\nline\""),
+            std::string::npos);
+  EXPECT_EQ(prom.find("back\nline"), std::string::npos);
+  // Every non-comment line is `name{...} value` or `name value`.
+  std::size_t start = 0;
+  while (start < prom.size()) {
+    std::size_t end = prom.find('\n', start);
+    if (end == std::string::npos) end = prom.size();
+    const std::string line = prom.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    EXPECT_TRUE(prom_metric_name_valid(line.substr(0, name_end))) << line;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+  // The JSON exporter escapes the same names.
+  const std::string json = to_json(snap);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+// --- Profiler ---
+
+TEST(Profiler, EvenSplitConservesTotals) {
+  Profiler prof({.rule_capacity = 8, .state_capacity = 0, .sample_shift = 0});
+  const std::uint32_t ids[] = {1, 1, 2};
+  prof.record_rules(ids, 3, /*ns=*/10, /*bytes=*/8);
+  prof.record_unmatched(5, 100);
+  const ProfileSnapshot s = prof.snapshot();
+  EXPECT_EQ(s.sampled_packets, 2u);
+  EXPECT_EQ(s.sampled_ns, 15u);
+  EXPECT_EQ(s.sampled_bytes, 108u);
+  std::uint64_t rule_ns = 0, rule_bytes = 0, rule_samples = 0;
+  for (const RuleCost& r : s.rules) {
+    rule_ns += r.ns;
+    rule_bytes += r.bytes;
+    rule_samples += r.samples;
+  }
+  // Attribution conserves the packet's totals exactly (remainder included).
+  EXPECT_EQ(rule_ns + s.unmatched.ns, s.sampled_ns);
+  EXPECT_EQ(rule_bytes + s.unmatched.bytes, s.sampled_bytes);
+  EXPECT_EQ(rule_samples, 3u);  // one per id occurrence
+  ASSERT_EQ(s.rules.size(), 2u);
+  EXPECT_EQ(s.rules[0].id, 1u);
+  EXPECT_EQ(s.rules[0].samples, 2u);
+  EXPECT_EQ(s.rules[1].id, 2u);
+  EXPECT_EQ(s.rules[1].ns, 10u / 3);
+}
+
+TEST(Profiler, NoMatchIdsChargeUnmatched) {
+  Profiler prof({.rule_capacity = 4, .state_capacity = 0, .sample_shift = 0});
+  prof.record_rules(nullptr, 0, 7, 70);
+  const ProfileSnapshot s = prof.snapshot();
+  EXPECT_TRUE(s.rules.empty());
+  EXPECT_EQ(s.unmatched.samples, 1u);
+  EXPECT_EQ(s.unmatched.ns, 7u);
+  EXPECT_EQ(s.unmatched.bytes, 70u);
+}
+
+TEST(Profiler, IdsBeyondCapacityCountOverflow) {
+  Profiler prof({.rule_capacity = 2, .state_capacity = 4, .sample_shift = 0});
+  const std::uint32_t ids[] = {1, 99};
+  prof.record_rules(ids, 2, 10, 10);
+  prof.record_state(3);
+  prof.record_state(100);
+  const ProfileSnapshot s = prof.snapshot();
+  EXPECT_EQ(s.rule_overflow, 1u);
+  EXPECT_EQ(s.state_overflow, 1u);
+  ASSERT_EQ(s.state_visits.size(), 4u);
+  EXPECT_EQ(s.state_visits[3], 1u);
+  EXPECT_EQ(s.hot_states(), 1u);
+}
+
+TEST(Profiler, ProfileJsonAndTableRender) {
+  Profiler prof({.rule_capacity = 8, .state_capacity = 4, .sample_shift = 2});
+  const std::uint32_t ids[] = {1};
+  prof.record_rules(ids, 1, 1000, 500);
+  prof.record_state(2);
+  const std::vector<std::string> names = {"", "alpha\"quote"};
+  const ProfileSnapshot s = prof.snapshot();
+  const std::string json = to_profile_json(s, 5, &names);
+  EXPECT_EQ(json.find("{\"schema\":\"mfa.profile.v1\""), 0u);
+  EXPECT_NE(json.find("\"sample_shift\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":1"), std::string::npos);
+  EXPECT_NE(json.find("alpha\\\"quote"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  const std::string table = profile_table(s, 5, &names);
+  EXPECT_NE(table.find("alpha\"quote"), std::string::npos);
+  EXPECT_NE(table.find("hot/tracked: 1/4"), std::string::npos);
+}
+
+// --- Profiler wired through both flow inspectors (tiered parity) ---
+
+template <typename InspectorT>
+void expect_profiler_attribution() {
+  auto m = core::build_mfa(compile_patterns({".*needle"}));
+  ASSERT_TRUE(m.has_value());
+  MetricsRegistry reg(1);
+  Profiler prof({.rule_capacity = 8,
+                 .state_capacity = m->state_count(),
+                 .sample_shift = 0});  // sample every scan unit
+  InspectorT insp(*m);
+  insp.set_metrics(&reg, 0);
+  insp.set_profiler(&prof);
+  const std::string hit = "xx needle yy";
+  const std::string miss = "nothing here";
+  CollectingSink sink;
+  insp.packet(flow::Packet{flow::FlowKey{1, 2, 3, 4, 6}, 0,
+                           reinterpret_cast<const std::uint8_t*>(hit.data()),
+                           static_cast<std::uint32_t>(hit.size())},
+              sink);
+  insp.packet(flow::Packet{flow::FlowKey{5, 6, 7, 8, 6}, 0,
+                           reinterpret_cast<const std::uint8_t*>(miss.data()),
+                           static_cast<std::uint32_t>(miss.size())},
+              sink);
+  EXPECT_EQ(sink.matches.size(), 1u);
+  const ProfileSnapshot s = prof.snapshot();
+  EXPECT_EQ(s.sampled_packets, 2u);
+  EXPECT_EQ(s.sampled_bytes, hit.size() + miss.size());
+  ASSERT_EQ(s.rules.size(), 1u);
+  EXPECT_EQ(s.rules[0].id, 1u);
+  EXPECT_EQ(s.rules[0].bytes, hit.size());
+  EXPECT_EQ(s.unmatched.samples, 1u);
+  EXPECT_EQ(s.unmatched.bytes, miss.size());
+  // Both live flows' automaton states were sampled.
+  std::uint64_t visits = 0;
+  for (const std::uint64_t v : s.state_visits) visits += v;
+  EXPECT_EQ(visits + s.state_overflow, 2u);
+}
+
+TEST(FlowInspectorProfiler, AttributesCostToRulesAndStates) {
+  expect_profiler_attribution<flow::FlowInspector<core::Mfa>>();
+}
+
+TEST(TieredFlowInspectorProfiler, AttributesCostToRulesAndStates) {
+  expect_profiler_attribution<flow::TieredFlowInspector<core::Mfa>>();
+}
+
+// --- Latency spans through the sharded pipeline ---
+
+TEST(PipelineSpans, EveryPacketSampledAtShiftZero) {
+  auto m = core::build_mfa(compile_patterns({".*atk1.*vec2", ".*worm77"}));
+  ASSERT_TRUE(m.has_value());
+  const trace::Trace t = trace::make_real_life(
+      trace::RealLifeProfile::kCyberDefense, 100000, 7, {"atk1 and vec2"});
+  MetricsRegistry reg({.shards = 2, .span_capacity = 64});
+  pipeline::Options opt;
+  opt.shards = 2;
+  opt.metrics = &reg;
+  opt.trace_sample_shift = 0;  // stamp every submitted packet
+  pipeline::ShardedInspector<core::Mfa> pipe(*m, opt);
+  pipe.start();
+  std::uint64_t packets = 0;
+  t.for_each_packet([&](const flow::Packet& p) {
+    ++packets;
+    pipe.submit(p);
+  });
+  pipe.finish();
+
+  const RegistrySnapshot snap = reg.snapshot();
+  const ShardSnapshot totals = snap.totals();
+  EXPECT_EQ(totals.spans_sampled, packets);
+  EXPECT_EQ(totals.queue_wait_ns.count, packets);
+  EXPECT_EQ(totals.span_scan_ns.count, packets);
+  EXPECT_EQ(totals.e2e_ns.count, packets);
+  EXPECT_EQ(snap.span_recorded, packets);
+  ASSERT_FALSE(snap.span_events.empty());
+  for (const SpanTraceRing::Event& e : snap.span_events) {
+    EXPECT_LT(e.shard, 2u);
+    EXPECT_NE(e.submit_tsc, 0u);
+    EXPECT_GE(e.scan_end_tsc, e.scan_start_tsc);  // same worker thread
+    EXPECT_GE(e.scan_start_tsc, e.dequeue_tsc);
+  }
+  // Both exporters carry the span data.
+  const std::string prom = to_prometheus(snap);
+  EXPECT_NE(prom.find("mfa_spans_sampled_total"), std::string::npos);
+  EXPECT_NE(prom.find("mfa_queue_wait_ns_bucket"), std::string::npos);
+  EXPECT_NE(prom.find("mfa_e2e_ns_count"), std::string::npos);
+  const std::string json = to_json(snap);
+  EXPECT_NE(json.find("\"spans\":"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait_ns\""), std::string::npos);
+}
+
+TEST(PipelineSpans, DefaultShiftSamplesSparselyAndOffDisables) {
+  auto m = core::build_mfa(compile_patterns({".*worm77"}));
+  ASSERT_TRUE(m.has_value());
+  const trace::Trace t = trace::make_real_life(
+      trace::RealLifeProfile::kCyberDefense, 200000, 9, {"worm77"});
+  std::uint64_t packets = 0;
+  t.for_each_packet([&](const flow::Packet&) { ++packets; });
+
+  MetricsRegistry sparse_reg({.shards = 1});
+  pipeline::Options opt;
+  opt.shards = 1;
+  opt.metrics = &sparse_reg;  // default shift 6 = 1 in 64
+  pipeline::ShardedInspector<core::Mfa> sparse(*m, opt);
+  sparse.start();
+  t.for_each_packet([&](const flow::Packet& p) { sparse.submit(p); });
+  sparse.finish();
+  const std::uint64_t sampled = sparse_reg.snapshot().totals().spans_sampled;
+  EXPECT_GT(sampled, 0u);
+  EXPECT_LE(sampled, packets / 32);  // ~1/64 expected; allow 2x jitter
+
+  MetricsRegistry off_reg({.shards = 1});
+  opt.metrics = &off_reg;
+  opt.trace_sample_shift = 64;  // spans disabled entirely
+  pipeline::ShardedInspector<core::Mfa> off(*m, opt);
+  off.start();
+  t.for_each_packet([&](const flow::Packet& p) { off.submit(p); });
+  off.finish();
+  EXPECT_EQ(off_reg.snapshot().totals().spans_sampled, 0u);
+  EXPECT_EQ(off_reg.snapshot().span_recorded, 0u);
 }
 
 }  // namespace

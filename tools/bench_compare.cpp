@@ -1,0 +1,420 @@
+// CI perf gate over mfa.bench.v1 reports (DESIGN.md Sec. 12).
+//
+// Two modes:
+//
+//   bench_compare --merge OUT.json IN.json...
+//     Bundle individual bench reports into the checked-in baseline file
+//     (schema mfa.bench-baseline.v1). Inputs are embedded verbatim so the
+//     baseline diffs cleanly when regenerated.
+//
+//   bench_compare BASELINE.json CURRENT.json... [--tolerance PCT]
+//     Compare fresh reports against the baseline: every (bench, set, trace,
+//     engine, shards) row's cycles-per-byte, plus each bench's scan-latency
+//     p99 derived from the embedded telemetry histograms. Exit 1 when any
+//     metric regresses by more than the tolerance (default 15%) — generous
+//     because CI machines are noisy; the gate is for order-of-magnitude
+//     mistakes (an accidental O(n^2), a disabled fast path), not micro-drift.
+//     Rows without a baseline counterpart pass (new benches aren't gated).
+//     Pass several runs of the same bench (both when building the baseline
+//     and when comparing): duplicate rows keep the fastest measurement,
+//     because scheduler noise is strictly one-sided.
+//
+// Dependency-free: ships its own minimal JSON reader (objects, arrays,
+// strings, numbers, bools, null — the subset mfa.bench.v1 uses).
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+// --- minimal JSON value + recursive-descent reader ---
+
+struct Json {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::vector<std::pair<std::string, Json>> obj;
+
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  [[nodiscard]] double num_or(double fallback) const {
+    return kind == kNumber ? number : fallback;
+  }
+  [[nodiscard]] std::string str_or(const std::string& fallback) const {
+    return kind == kString ? str : fallback;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  bool parse(Json& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool value(Json& out) {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out.kind = Json::kString; return string(out.str);
+      case 't': out.kind = Json::kBool; out.boolean = true; return literal("true");
+      case 'f': out.kind = Json::kBool; out.boolean = false; return literal("false");
+      case 'n': out.kind = Json::kNull; return literal("null");
+      default: return number(out);
+    }
+  }
+  bool number(Json& out) {
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    out.number = std::strtod(start, &end);
+    if (end == start) return false;
+    out.kind = Json::kNumber;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+  bool string(std::string& out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {  // keep it simple: decode Latin-1 range, else '?'
+          if (pos_ + 4 > s_.size()) return false;
+          const unsigned long cp = std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          out += cp < 256 ? static_cast<char>(cp) : '?';
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+  bool array(Json& out) {
+    out.kind = Json::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      Json v;
+      skip_ws();
+      if (!value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool object(Json& out) {
+    out.kind = Json::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || !string(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      Json v;
+      if (!value(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n;
+  out.clear();
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool parse_file(const std::string& path, Json& out) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    return false;
+  }
+  if (!Parser(text).parse(out)) {
+    std::fprintf(stderr, "bench_compare: %s is not valid JSON\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// --- report model ---
+
+struct RowKey {
+  std::string bench, set, trace, engine;
+  long shards = 0;
+  bool operator<(const RowKey& o) const {
+    return std::tie(bench, set, trace, engine, shards) <
+           std::tie(o.bench, o.set, o.trace, o.engine, o.shards);
+  }
+  [[nodiscard]] std::string label() const {
+    return bench + "/" + set + "/" + trace + "/" + engine + "@" +
+           std::to_string(shards);
+  }
+};
+
+struct Extract {
+  std::map<RowKey, double> cpb;        ///< per-row cycles per byte
+  std::map<std::string, double> p99;   ///< per-bench scan-latency p99, ns
+};
+
+/// scan_ns p99 across all shards of an embedded telemetry snapshot:
+/// merge the [upper_bound, count] bucket pairs, walk the cumulative count.
+double telemetry_scan_p99(const Json& telemetry) {
+  const Json* shards = telemetry.find("shards");
+  if (shards == nullptr || shards->kind != Json::kArray) return 0.0;
+  std::map<double, double> buckets;  // upper bound -> count
+  double total = 0.0;
+  for (const Json& shard : shards->arr) {
+    const Json* h = shard.find("scan_ns");
+    if (h == nullptr) continue;
+    const Json* bs = h->find("buckets");
+    if (bs == nullptr) continue;
+    for (const Json& pair : bs->arr) {
+      if (pair.arr.size() != 2) continue;
+      buckets[pair.arr[0].num_or(0.0)] += pair.arr[1].num_or(0.0);
+      total += pair.arr[1].num_or(0.0);
+    }
+  }
+  if (total <= 0.0) return 0.0;
+  const double target = 0.99 * total;
+  double cumulative = 0.0;
+  for (const auto& [bound, count] : buckets) {
+    cumulative += count;
+    if (cumulative >= target) return bound;
+  }
+  return buckets.rbegin()->first;
+}
+
+/// Pull gateable metrics out of one mfa.bench.v1 report.
+bool extract_report(const Json& report, Extract& out, const char* path) {
+  const Json* schema = report.find("schema");
+  if (schema == nullptr || schema->str_or("") != "mfa.bench.v1") {
+    std::fprintf(stderr, "bench_compare: %s lacks schema mfa.bench.v1\n", path);
+    return false;
+  }
+  const std::string bench = report.find("bench") != nullptr
+                                ? report.find("bench")->str_or("?")
+                                : "?";
+  if (const Json* results = report.find("results");
+      results != nullptr && results->kind == Json::kArray) {
+    for (const Json& row : results->arr) {
+      RowKey key;
+      key.bench = bench;
+      if (const Json* v = row.find("set")) key.set = v->str_or("");
+      if (const Json* v = row.find("trace")) key.trace = v->str_or("");
+      if (const Json* v = row.find("engine")) key.engine = v->str_or("");
+      if (const Json* v = row.find("shards"))
+        key.shards = static_cast<long>(v->num_or(0));
+      if (const Json* v = row.find("cycles_per_byte")) {
+        // Duplicate keys (several runs of the same bench) keep the fastest:
+        // scheduler noise only ever slows a run down, so min-of-N is the
+        // best estimate of the true cost on both sides of the comparison.
+        const auto [it, inserted] = out.cpb.emplace(key, v->num_or(0.0));
+        if (!inserted && v->num_or(0.0) < it->second)
+          it->second = v->num_or(0.0);
+      }
+    }
+  }
+  if (const Json* telemetry = report.find("telemetry")) {
+    const double p99 = telemetry_scan_p99(*telemetry);
+    if (p99 > 0.0) {
+      const auto [it, inserted] = out.p99.emplace(bench, p99);
+      if (!inserted && p99 < it->second) it->second = p99;
+    }
+  }
+  return true;
+}
+
+/// Baseline file: either one report or the mfa.bench-baseline.v1 bundle.
+bool extract_baseline(const Json& root, Extract& out, const char* path) {
+  const Json* schema = root.find("schema");
+  if (schema != nullptr && schema->str_or("") == "mfa.bench-baseline.v1") {
+    const Json* reports = root.find("reports");
+    if (reports == nullptr || reports->kind != Json::kArray) {
+      std::fprintf(stderr, "bench_compare: %s has no reports array\n", path);
+      return false;
+    }
+    for (const Json& r : reports->arr)
+      if (!extract_report(r, out, path)) return false;
+    return true;
+  }
+  return extract_report(root, out, path);
+}
+
+int merge(const std::string& out_path, const std::vector<std::string>& inputs) {
+  std::string bundle = "{\"schema\":\"mfa.bench-baseline.v1\",\"reports\":[";
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    std::string text;
+    if (!read_file(inputs[i], text)) {
+      std::fprintf(stderr, "bench_compare: cannot read %s\n", inputs[i].c_str());
+      return 2;
+    }
+    Json parsed;
+    Extract probe;  // validate schema + shape before embedding
+    if (!Parser(text).parse(parsed) ||
+        !extract_report(parsed, probe, inputs[i].c_str()))
+      return 2;
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+      text.pop_back();
+    if (i != 0) bundle += ",";
+    bundle += text;
+  }
+  bundle += "]}\n";
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr ||
+      std::fwrite(bundle.data(), 1, bundle.size(), f) != bundle.size() ||
+      std::fclose(f) != 0) {
+    std::fprintf(stderr, "bench_compare: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("bench_compare: merged %zu reports into %s\n", inputs.size(),
+              out_path.c_str());
+  return 0;
+}
+
+int compare(const std::string& baseline_path,
+            const std::vector<std::string>& current_paths, double tolerance_pct) {
+  Json baseline_json;
+  if (!parse_file(baseline_path, baseline_json)) return 2;
+  Extract baseline;
+  if (!extract_baseline(baseline_json, baseline, baseline_path.c_str())) return 2;
+
+  Extract current;
+  for (const std::string& path : current_paths) {
+    Json j;
+    if (!parse_file(path, j)) return 2;
+    if (!extract_report(j, current, path.c_str())) return 2;
+  }
+
+  const double limit = 1.0 + tolerance_pct / 100.0;
+  int regressions = 0, checked = 0, fresh = 0;
+  const auto verdict = [&](const std::string& label, const char* metric,
+                           double base, double cur) {
+    const double delta_pct = base > 0.0 ? (cur - base) / base * 100.0 : 0.0;
+    const bool bad = base > 0.0 && cur > base * limit;
+    std::printf("%-4s %-48s %-8s base %10.2f  now %10.2f  %+7.2f%%\n",
+                bad ? "FAIL" : "ok", label.c_str(), metric, base, cur,
+                delta_pct);
+    ++checked;
+    if (bad) ++regressions;
+  };
+
+  for (const auto& [key, cur_cpb] : current.cpb) {
+    const auto it = baseline.cpb.find(key);
+    if (it == baseline.cpb.end()) {
+      ++fresh;
+      continue;  // new row: nothing to gate against
+    }
+    verdict(key.label(), "CpB", it->second, cur_cpb);
+  }
+  for (const auto& [bench, cur_p99] : current.p99) {
+    const auto it = baseline.p99.find(bench);
+    if (it == baseline.p99.end()) {
+      ++fresh;
+      continue;
+    }
+    verdict(bench, "p99ns", it->second, cur_p99);
+  }
+
+  std::printf("bench_compare: %d checked, %d new (ungated), %d regressions "
+              "(tolerance %.0f%%)\n",
+              checked, fresh, regressions, tolerance_pct);
+  return regressions == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance_pct = 15.0;
+  bool merge_mode = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--merge") merge_mode = true;
+    else if (a == "--tolerance") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --tolerance\n");
+        return 2;
+      }
+      tolerance_pct = std::atof(argv[++i]);
+    } else if (a == "--help") {
+      std::printf("usage:\n"
+                  "  bench_compare --merge OUT.json IN.json...\n"
+                  "  bench_compare BASELINE.json CURRENT.json..."
+                  " [--tolerance PCT]\n");
+      return 0;
+    } else paths.push_back(a);
+  }
+  if (paths.size() < 2) {
+    std::fprintf(stderr, "bench_compare: need at least two files (--help)\n");
+    return 2;
+  }
+  if (merge_mode)
+    return merge(paths.front(), {paths.begin() + 1, paths.end()});
+  return compare(paths.front(), {paths.begin() + 1, paths.end()}, tolerance_pct);
+}
