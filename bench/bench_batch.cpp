@@ -21,6 +21,10 @@
 
 namespace {
 
+/// --assert-compact-batched-pct violations (batched compact DFA slower than
+/// its own sequential loop beyond the tolerance). Non-zero fails the run.
+int g_compact_violations = 0;
+
 template <typename EngineT>
 void sweep_engine(const char* engine_name, const EngineT& engine,
                   const mfa::trace::Trace& t, const mfa::bench::Args& args,
@@ -47,6 +51,21 @@ void sweep_engine(const char* engine_name, const EngineT& engine,
       std::fprintf(stderr, "WARNING: %s K=%zu matches %llu != single-packet %llu\n",
                    engine_name, lanes, static_cast<unsigned long long>(tp.matches),
                    static_cast<unsigned long long>(single.matches));
+    // The compact DFA clamps feed_many to lanes=1, so batched delivery must
+    // cost the same as the sequential loop (plus burst-assembly noise the
+    // tolerance absorbs). A real gap here means the clamp regressed.
+    if (args.assert_compact_batched_pct >= 0 && lanes > 1 &&
+        std::string(engine_name) == dfa::CompactDfa::kEngineName && k1_cpb > 0) {
+      const double limit = k1_cpb * (1.0 + args.assert_compact_batched_pct / 100.0);
+      if (tp.cycles_per_byte > limit) {
+        std::fprintf(stderr,
+                     "ASSERT FAIL: %s/%s K=%zu CpB %.2f exceeds K=1 CpB %.2f "
+                     "by more than %.0f%%\n",
+                     set_name.c_str(), engine_name, lanes, tp.cycles_per_byte,
+                     k1_cpb, args.assert_compact_batched_pct);
+        ++g_compact_violations;
+      }
+    }
   }
 }
 
@@ -107,5 +126,10 @@ int main(int argc, char** argv) {
               "identical down the column — batching is a schedule, not a\n"
               "semantic change.\n");
   bench::write_report(args, report);
+  if (g_compact_violations != 0) {
+    std::fprintf(stderr, "%d compact-batched assertion failure(s)\n",
+                 g_compact_violations);
+    return 1;
+  }
   return 0;
 }

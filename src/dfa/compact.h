@@ -111,18 +111,23 @@ class CompactDfa {
 
   using FeedJob = scan::FeedJob<Context>;
 
-  /// K-way interleaved scan over the sparse layout (see Dfa::feed_many).
-  /// Each lane's byte costs one row-index load plus a short exception scan;
-  /// interleaving overlaps the row-index loads of distinct flows. The
-  /// prefetch targets the row-offset pair — the entry block itself is a
-  /// dependent second hop the prefetcher cannot reach ahead of time.
+  /// Batch scan over the sparse layout (see Dfa::feed_many for the
+  /// contract). Deliberately clamped to ONE lane, i.e. sequential per-job
+  /// scanning: the banded row's exception scan is a short data-dependent
+  /// *branchy* loop, and interleaving K of them multiplies the live branch
+  /// state the predictor must carry — measured on the PR 3 bench, K=8 was
+  /// honestly SLOWER than K=1 here (the "compact DFA regresses" note). The
+  /// dense table's straight-line step profits from lane interleaving; this
+  /// layout does not, so batched and sequential are now the same code path
+  /// and bench_batch asserts batched-never-slower (--assert-compact-batched-pct).
   /// sink(job_index, id, end_offset).
   template <typename Sink>
   void feed_many(FeedJob* jobs, std::size_t count, Sink&& sink,
                  std::size_t lanes = scan::kDefaultLanes) const {
+    (void)lanes;
     const std::uint32_t* offsets = row_offsets_.data();
     scan::interleaved_scan(
-        jobs, count, lanes, accept_states_,
+        jobs, count, /*lanes=*/1, accept_states_,
         [this](std::uint32_t s, std::uint8_t b) { return next(s, b); },
         [=](std::uint32_t s) { scan::prefetch_ro(offsets + s); },
         [&](std::size_t job, std::uint32_t s, std::uint64_t end) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "nfa/nfa.h"
+#include "simd/dense_scan.h"
 #include "util/binio.h"
 #include "util/interleave.h"
 #include "util/match.h"
@@ -133,18 +134,12 @@ class Dfa {
   template <typename Sink>
   void feed_many(FeedJob* jobs, std::size_t count, Sink&& sink,
                  std::size_t lanes = scan::kDefaultLanes) const {
-    const std::uint32_t* table = table_.data();
-    const std::uint8_t* cols = byte_to_col_.data();
-    const std::uint32_t ncols = ncols_;
-    scan::interleaved_scan(
-        jobs, count, lanes, accept_states_,
-        [=](std::uint32_t s, std::uint8_t b) {
-          return table[static_cast<std::size_t>(s) * ncols + cols[b]];
-        },
-        [=](std::uint32_t s) {
-          scan::prefetch_ro(table + static_cast<std::size_t>(s) * ncols);
-        },
-        [&](std::size_t job, std::uint32_t s, std::uint64_t end) {
+    // Routed through the runtime-dispatched dense kernel: AVX2 gathers when
+    // the CPU has them (8 next-state loads per instruction), the scalar
+    // interleaved kernel otherwise — same semantics either way.
+    simd::dense_interleaved_scan(
+        table_.data(), ncols_, byte_to_col_.data(), accept_states_, jobs, count,
+        lanes, [&](std::size_t job, std::uint32_t s, std::uint64_t end) {
           const auto [first, last] = accepts(s);
           for (const auto* it = first; it != last; ++it) sink(job, *it, end);
         });

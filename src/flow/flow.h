@@ -24,6 +24,7 @@
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "simd/prefilter.h"
 #include "util/faultpoint.h"
 #include "util/interleave.h"
 #include "util/timing.h"
@@ -117,6 +118,19 @@ concept BatchScanEngine =
     requires(const EngineT& e, scan::FeedJob<typename EngineT::Context>* jobs) {
       e.feed_many(jobs, std::size_t{0},
                   [](std::size_t, std::uint32_t, std::uint64_t) {}, std::size_t{1});
+    };
+
+/// Engines exposing the SIMD literal-prefilter gate (today the Mfa,
+/// DESIGN.md §13): prefilter_gate() may prove a chunk literal-free and
+/// advance the context past it without a full scan (simd::Gate::kSkip).
+/// The inspectors consult it before every in-order feed and count the
+/// outcomes (mfa_prefilter_{pass,skip}_total).
+template <typename EngineT>
+concept PrefilterEngine =
+    ScanEngine<EngineT> &&
+    requires(const EngineT& e, typename EngineT::Context& ctx,
+             const std::uint8_t* data) {
+      { e.prefilter_gate(ctx, data, std::size_t{0}) } -> std::same_as<simd::Gate>;
     };
 
 /// What happens to flows whose context was built by a previous engine
@@ -234,6 +248,18 @@ class FlowInspector {
     return quarantined_packets_;
   }
 
+  /// Chunks the literal prefilter proved clean and skipped (full scan
+  /// avoided, tail replay only). Always 0 unless the engine's gate is armed.
+  [[nodiscard]] std::uint64_t prefilter_skip_count() const {
+    return prefilter_skips_;
+  }
+
+  /// Gate-eligible chunks that carried a literal candidate, so the full
+  /// scan ran ("pass" = passed through the gate into the automaton).
+  [[nodiscard]] std::uint64_t prefilter_pass_count() const {
+    return prefilter_passes_;
+  }
+
   /// Deliver one packet. sink(match_id, flow_offset) fires for confirmed
   /// matches; positions are byte offsets within the flow's stream. Packets
   /// of quarantined flows are dropped (counted, never scanned).
@@ -288,6 +314,13 @@ class FlowInspector {
   /// feed_many (ignored otherwise). See DESIGN.md Sec. 7 on K selection.
   void set_batch_lanes(std::size_t lanes) { batch_lanes_ = lanes == 0 ? 1 : lanes; }
   [[nodiscard]] std::size_t batch_lanes() const { return batch_lanes_; }
+
+  /// Per-inspector kill-switch for the literal-prefilter gate (A/B runs,
+  /// bench overhead measurement). `MFA_PREFILTER=off` disarms the gate
+  /// process-wide at engine build time; this toggles it per inspector at
+  /// runtime. Off means every chunk takes the plain feed path.
+  void set_prefilter(bool on) { prefilter_on_ = on; }
+  [[nodiscard]] bool prefilter_enabled() const { return prefilter_on_; }
 
   /// Deliver a burst of packets (any mix of flows) with exact per-flow
   /// in-order semantics: packets of the same flow are applied in burst
@@ -515,7 +548,7 @@ class FlowInspector {
     const std::uint64_t skip = fs.next_offset - p.seq;
     if (budget_ticks_ == 0) {
       if (skip < p.length) {
-        eng.feed(fs.ctx, p.payload + skip, p.length - skip, fs.next_offset, sink);
+        feed_or_skip(eng, fs, p.payload + skip, p.length - skip, fs.next_offset, sink);
         fs.next_offset += p.length - skip;
       }
       drain(fs, sink);
@@ -523,12 +556,39 @@ class FlowInspector {
     }
     const std::uint64_t t0 = util::rdtsc_now();
     if (skip < p.length) {
-      eng.feed(fs.ctx, p.payload + skip, p.length - skip, fs.next_offset, sink);
+      feed_or_skip(eng, fs, p.payload + skip, p.length - skip, fs.next_offset, sink);
       fs.next_offset += p.length - skip;
     }
     drain(fs, sink);
     fs.scan_ticks += util::rdtsc_now() - t0;
     maybe_quarantine(fs);  // may erase fs — nothing touches it afterwards
+  }
+
+  /// Gate-aware feed: consult the engine's prefilter gate (when it has one)
+  /// before paying for the full scan. On kSkip the context is already
+  /// advanced past the chunk and nothing else runs.
+  template <typename Sink>
+  void feed_or_skip(const EngineT& eng, FlowState& fs, const std::uint8_t* data,
+                    std::size_t size, std::uint64_t base, Sink&& sink) {
+    if constexpr (PrefilterEngine<EngineT>) {
+      if (prefilter_on_) {
+        const simd::Gate g = eng.prefilter_gate(fs.ctx, data, size);
+        if (g != simd::Gate::kNone) note_prefilter(g == simd::Gate::kSkip);
+        if (g == simd::Gate::kSkip) return;
+      }
+    }
+    eng.feed(fs.ctx, data, size, base, sink);
+  }
+
+  void note_prefilter(bool skipped) {
+    if (skipped)
+      ++prefilter_skips_;
+    else
+      ++prefilter_passes_;
+    if (metrics_ != nullptr) {
+      auto& counter = skipped ? metrics_->prefilter_skip : metrics_->prefilter_pass;
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   /// Batch delivery core. fsink(flow_state, id, end) so the instrumented
@@ -612,9 +672,38 @@ class FlowInspector {
         // all start past next_offset (drain invariant), so nothing drains.
         if (skip >= p.length) continue;
         fs.batch_stamp = wave;
-        jobs.push_back({&fs.ctx, p.payload + skip, p.length - skip, fs.next_offset});
+        const std::uint8_t* data = p.payload + skip;
+        const std::size_t len = p.length - skip;
+        const std::uint64_t base = fs.next_offset;
+        if constexpr (PrefilterEngine<EngineT>) {
+          // Gate at job-materialization time: a proven-clean chunk never
+          // becomes a job (its context is already advanced), so the
+          // interleaved kernel's lanes carry only chunks that need scanning.
+          const simd::Gate g = prefilter_on_
+                                   ? engine_for(fs).prefilter_gate(fs.ctx, data, len)
+                                   : simd::Gate::kNone;
+          if (g != simd::Gate::kNone) note_prefilter(g == simd::Gate::kSkip);
+          if (g == simd::Gate::kSkip) {
+            fs.next_offset += len;
+            // No job this wave, so flush() won't drain this flow — but the
+            // skipped bytes may have filled a gap; drain here instead.
+            const auto sink = [&](std::uint32_t id, std::uint64_t end) {
+              fsink(fs, id, end);
+            };
+            if (budget_ticks_ == 0) {
+              drain(fs, sink);
+            } else {
+              const std::uint64_t t0 = util::rdtsc_now();
+              drain(fs, sink);
+              fs.scan_ticks += util::rdtsc_now() - t0;
+              maybe_quarantine(fs);  // may erase fs — nothing touches it after
+            }
+            continue;
+          }
+        }
+        jobs.push_back({&fs.ctx, data, len, base});
         jflows.push_back(&fs);
-        fs.next_offset += p.length - skip;
+        fs.next_offset += len;
       }
       flush();
       cur.swap(deferred);
@@ -882,8 +971,8 @@ class FlowInspector {
       if (seg.seq > fs.next_offset) break;
       const std::uint64_t skip = fs.next_offset - seg.seq;
       if (skip < seg.bytes.size()) {
-        engine_for(fs).feed(fs.ctx, seg.bytes.data() + skip,
-                            seg.bytes.size() - skip, fs.next_offset, sink);
+        feed_or_skip(engine_for(fs), fs, seg.bytes.data() + skip,
+                     seg.bytes.size() - skip, fs.next_offset, sink);
         fs.next_offset += seg.bytes.size() - skip;
       }
       fs.pending_bytes -= seg.bytes.size();
@@ -910,6 +999,9 @@ class FlowInspector {
   std::uint64_t budget_ticks_ = 0;    ///< cpu_budget_ns_ in TSC ticks
   std::uint64_t flows_quarantined_ = 0;
   std::uint64_t quarantined_packets_ = 0;
+  std::uint64_t prefilter_skips_ = 0;   ///< gated chunks, scan avoided
+  std::uint64_t prefilter_passes_ = 0;  ///< gate-eligible chunks scanned
+  bool prefilter_on_ = true;            ///< set_prefilter() runtime switch
   std::unordered_set<FlowKey, FlowKeyHash> quarantined_;
   std::deque<FlowKey> quarantine_order_;  ///< FIFO aging of quarantined_
   obs::MetricsRegistry* registry_ = nullptr;  ///< telemetry root (optional)

@@ -194,7 +194,22 @@ class TieredFlowInspector {
     return quarantined_packets_;
   }
 
+  /// Prefilter gate outcomes, contract identical to FlowInspector: skips
+  /// are chunks proven clean (scan avoided), passes are gate-eligible
+  /// chunks that carried a literal candidate and were scanned in full.
+  [[nodiscard]] std::uint64_t prefilter_skip_count() const {
+    return prefilter_skips_;
+  }
+  [[nodiscard]] std::uint64_t prefilter_pass_count() const {
+    return prefilter_passes_;
+  }
+
   void set_batch_lanes(std::size_t lanes) { batch_lanes_ = lanes == 0 ? 1 : lanes; }
+
+  /// Per-inspector kill-switch for the literal-prefilter gate (see
+  /// FlowInspector::set_prefilter).
+  void set_prefilter(bool on) { prefilter_on_ = on; }
+  [[nodiscard]] bool prefilter_enabled() const { return prefilter_on_; }
   [[nodiscard]] std::size_t batch_lanes() const { return batch_lanes_; }
 
   // --- tiering knobs ---
@@ -875,6 +890,53 @@ class TieredFlowInspector {
     eng.feed(*cold_[s.cold].ctx, data, size, base, sink);
   }
 
+  /// Consult the engine's prefilter gate for a flow's chunk, wherever its
+  /// state lives; kNone when the engine has no gate (the call folds away)
+  /// or the set_prefilter() runtime switch is off.
+  [[nodiscard]] simd::Gate gate_slot(std::uint32_t si, const std::uint8_t* data,
+                                     std::size_t size) {
+    if (!prefilter_on_) return simd::Gate::kNone;
+    HotSlot& s = slots_[si];
+    const EngineT& eng = engine_for_generation(generation_of(si));
+    if constexpr (InlineScanEngine<EngineT>) {
+      if ((s.flags & kInline) != 0) {
+        if constexpr (requires {
+                        { eng.prefilter_gate(s.ictx, data, size) }
+                          -> std::same_as<simd::Gate>;
+                      })
+          return eng.prefilter_gate(s.ictx, data, size);
+        else
+          return simd::Gate::kNone;
+      }
+    }
+    if constexpr (PrefilterEngine<EngineT>)
+      return eng.prefilter_gate(*cold_[s.cold].ctx, data, size);
+    else
+      return simd::Gate::kNone;
+  }
+
+  /// Gate-aware feed_slot: a proven-clean chunk advances the flow's state
+  /// without a scan (contract identical to FlowInspector::feed_or_skip).
+  template <typename Sink>
+  void feed_or_skip_slot(std::uint32_t si, const std::uint8_t* data,
+                         std::size_t size, std::uint64_t base, Sink&& sink) {
+    const simd::Gate g = gate_slot(si, data, size);
+    if (g != simd::Gate::kNone) note_prefilter(g == simd::Gate::kSkip);
+    if (g == simd::Gate::kSkip) return;
+    feed_slot(si, data, size, base, sink);
+  }
+
+  void note_prefilter(bool skipped) {
+    if (skipped)
+      ++prefilter_skips_;
+    else
+      ++prefilter_passes_;
+    if (metrics_ != nullptr) {
+      auto& counter = skipped ? metrics_->prefilter_skip : metrics_->prefilter_pass;
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   /// A flow's current automaton state, wherever it lives (profiler
   /// state-visit sampling). Occupied slots without kInline always own an
   /// engaged cold Context — the invariant feed_slot relies on too.
@@ -911,7 +973,7 @@ class TieredFlowInspector {
     if (budget_ticks_ == 0) {
       if (skip < p.length) {
         const std::uint64_t base = slot_off(s);
-        feed_slot(si, p.payload + skip, p.length - skip, base, sink);
+        feed_or_skip_slot(si, p.payload + skip, p.length - skip, base, sink);
         set_slot_off(s, base + (p.length - skip));
       }
       drain(si, sink);
@@ -920,7 +982,7 @@ class TieredFlowInspector {
     const std::uint64_t t0 = util::rdtsc_now();
     if (skip < p.length) {
       const std::uint64_t base = slot_off(s);
-      feed_slot(si, p.payload + skip, p.length - skip, base, sink);
+      feed_or_skip_slot(si, p.payload + skip, p.length - skip, base, sink);
       set_slot_off(s, base + (p.length - skip));
     }
     drain(si, sink);
@@ -984,9 +1046,32 @@ class TieredFlowInspector {
         const std::uint64_t skip = slot_off(s) - p.seq;
         if (skip >= p.length) continue;  // fully retransmitted bytes
         s.batch_stamp = wave_;
-        batch_jobs_.push_back(BatchJob{si, p.payload + skip,
-                                       p.length - skip, slot_off(s)});
-        set_slot_off(s, slot_off(s) + (p.length - skip));
+        const std::uint8_t* data = p.payload + skip;
+        const std::size_t len = p.length - skip;
+        const std::uint64_t base = slot_off(s);
+        // Gate at job-materialization time (same rationale as the flat
+        // inspector): a proven-clean chunk never becomes a job.
+        const simd::Gate g = gate_slot(si, data, len);
+        if (g != simd::Gate::kNone) note_prefilter(g == simd::Gate::kSkip);
+        if (g == simd::Gate::kSkip) {
+          set_slot_off(s, base + len);
+          // No job this wave, so flush() won't drain this flow — but the
+          // skipped bytes may have filled a gap; drain here instead.
+          const auto sink = [&](std::uint32_t id, std::uint64_t end) {
+            fsink(si, id, end);
+          };
+          if (budget_ticks_ == 0) {
+            drain(si, sink);
+          } else {
+            const std::uint64_t t0 = util::rdtsc_now();
+            drain(si, sink);
+            ticks_[si] += util::rdtsc_now() - t0;
+            maybe_quarantine(si);  // may erase the flow — nothing touches it after
+          }
+          continue;
+        }
+        batch_jobs_.push_back(BatchJob{si, data, len, base});
+        set_slot_off(s, base + len);
       }
       flush();
       cur.swap(deferred);
@@ -1192,7 +1277,8 @@ class TieredFlowInspector {
       if (seg.seq > off) break;
       const std::uint64_t skip = off - seg.seq;
       if (skip < seg.bytes.size()) {
-        feed_slot(si, seg.bytes.data() + skip, seg.bytes.size() - skip, off, sink);
+        feed_or_skip_slot(si, seg.bytes.data() + skip, seg.bytes.size() - skip,
+                          off, sink);
         set_slot_off(s, off + (seg.bytes.size() - skip));
       }
       rec.pending_bytes -= seg.bytes.size();
@@ -1236,6 +1322,9 @@ class TieredFlowInspector {
   std::uint64_t budget_ticks_ = 0;
   std::uint64_t flows_quarantined_ = 0;
   std::uint64_t quarantined_packets_ = 0;
+  std::uint64_t prefilter_skips_ = 0;   ///< gated chunks, scan avoided
+  std::uint64_t prefilter_passes_ = 0;  ///< gate-eligible chunks scanned
+  bool prefilter_on_ = true;            ///< set_prefilter() runtime switch
   std::unordered_set<FlowKey, FlowKeyHash> quarantined_;
   std::deque<FlowKey> quarantine_order_;
   obs::MetricsRegistry* registry_ = nullptr;

@@ -62,6 +62,12 @@ std::optional<Mfa> build_mfa(const std::vector<nfa::PatternInput>& patterns,
               filter::ActionOrderLess{&mfa.program_.actions});
   }
 
+  // 4. Compile the literal prefilter (Teddy masks + DFA-verified skip
+  //    gate). Purely derived from (dfa, pieces, parse options): load()
+  //    rebuilds it the same way, so MFAC artifacts need no new fields.
+  mfa.prefilter_ =
+      simd::Prefilter::build(mfa.dfa_, mfa.pieces_, mfa.parse_options_.icase);
+
   st.seconds = timer.seconds();
   return mfa;
 }

@@ -9,6 +9,7 @@
 // actions against the flow's w-bit memory and confirms or drops matches.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -17,6 +18,7 @@
 #include "dfa/dfa.h"
 #include "filter/engine.h"
 #include "regex/parser.h"
+#include "simd/prefilter.h"
 #include "split/splitter.h"
 
 namespace mfa::core {
@@ -45,6 +47,10 @@ class Mfa {
   [[nodiscard]] const filter::Program& program() const { return program_; }
   [[nodiscard]] const std::vector<split::Piece>& pieces() const { return pieces_; }
   [[nodiscard]] const regex::ParseOptions& parse_options() const { return parse_options_; }
+
+  /// The SIMD literal prefilter compiled from the pieces (DESIGN.md §13).
+  /// Derived data: rebuilt by build_mfa() and load(), never serialized.
+  [[nodiscard]] const simd::Prefilter& prefilter() const { return prefilter_; }
 
   /// Engine match ids of accepting state `s`, pre-sorted into filter
   /// execution order (clears, then tests/reports, then sets).
@@ -118,6 +124,40 @@ class Mfa {
     ctx.state = s;
   }
 
+  /// Prefilter gate probe (works on Context and InlineContext alike): when
+  /// the gate's DFA-level proof is armed, the flow sits in a skippable DFA
+  /// state, no literal can complete across the chunk seam (boundary walk
+  /// over the first window bytes), and the chunk body contains no literal
+  /// occurrence (Teddy), the full scan may be skipped — on kSkip the
+  /// context is already advanced past the chunk: only the last
+  /// prefilter().window() bytes were replayed from the start state, which
+  /// property (ii) of the proof makes land in the *exact* post-chunk
+  /// state, and the taint check (property (i)) makes fire no match or
+  /// filter action (so ctx memory is untouched, byte-identical to feed()).
+  /// The replayed state is itself skippable for literal-rich sets, so a
+  /// clean flow keeps skipping chunk after chunk. On kScan/kNone the
+  /// context is untouched and the caller must feed().
+  template <typename Ctx>
+  [[nodiscard]] simd::Gate prefilter_gate(Ctx& ctx, const std::uint8_t* data,
+                                          std::size_t size) const {
+    if (!prefilter_.should_gate(ctx.state, size)) return simd::Gate::kNone;
+    if (!prefilter_.boundary_quiet(ctx.state, data, size))
+      return simd::Gate::kScan;
+    if (prefilter_.matches(data, size)) return simd::Gate::kScan;
+    ctx.state = replay_tail(data, size);
+    return simd::Gate::kSkip;
+  }
+
+  /// Prefilter-gated feed: prefilter_gate() then a normal feed() unless the
+  /// chunk was skipped. Returns true when the chunk was skipped.
+  template <typename Ctx, typename Sink>
+  bool feed_gated(Ctx& ctx, const std::uint8_t* data, std::size_t size,
+                  std::uint64_t base, Sink&& sink) const {
+    if (prefilter_gate(ctx, data, size) == simd::Gate::kSkip) return true;
+    feed(ctx, data, size, base, sink);
+    return false;
+  }
+
   // --- optional InlineContext small-state API (tiered flow table) ---
   // When the filter program's whole memory fits one 64-bit word and uses no
   // counters or position slots, the per-flow (q, m) can live inline in a
@@ -188,17 +228,9 @@ class Mfa {
   void feed_many(scan::FeedJob<InlineContext>* jobs, std::size_t count, Sink&& sink,
                  std::size_t lanes = scan::kDefaultLanes) const {
     const filter::Engine engine(program_);
-    const std::uint32_t* table = dfa_.table_data();
-    const std::uint8_t* cols = dfa_.byte_columns();
-    const std::uint32_t ncols = dfa_.column_count();
-    scan::interleaved_scan(
-        jobs, count, lanes, dfa_.accepting_state_count(),
-        [=](std::uint32_t s, std::uint8_t b) {
-          return table[static_cast<std::size_t>(s) * ncols + cols[b]];
-        },
-        [=](std::uint32_t s) {
-          scan::prefetch_ro(table + static_cast<std::size_t>(s) * ncols);
-        },
+    simd::dense_interleaved_scan(
+        dfa_.table_data(), dfa_.column_count(), dfa_.byte_columns(),
+        dfa_.accepting_state_count(), jobs, count, lanes,
         [&](std::size_t job, std::uint32_t s, std::uint64_t end) {
           InlineContext& c = *jobs[job].ctx;
           filter::InlineMemory64 memory(c.mem_lo, c.mem_hi);
@@ -219,17 +251,9 @@ class Mfa {
   void feed_many(FeedJob* jobs, std::size_t count, Sink&& sink,
                  std::size_t lanes = scan::kDefaultLanes) const {
     const filter::Engine engine(program_);
-    const std::uint32_t* table = dfa_.table_data();
-    const std::uint8_t* cols = dfa_.byte_columns();
-    const std::uint32_t ncols = dfa_.column_count();
-    scan::interleaved_scan(
-        jobs, count, lanes, dfa_.accepting_state_count(),
-        [=](std::uint32_t s, std::uint8_t b) {
-          return table[static_cast<std::size_t>(s) * ncols + cols[b]];
-        },
-        [=](std::uint32_t s) {
-          scan::prefetch_ro(table + static_cast<std::size_t>(s) * ncols);
-        },
+    simd::dense_interleaved_scan(
+        dfa_.table_data(), dfa_.column_count(), dfa_.byte_columns(),
+        dfa_.accepting_state_count(), jobs, count, lanes,
         [&](std::size_t job, std::uint32_t s, std::uint64_t end) {
           const auto [first, last] = ordered_actions(s);
           for (const auto* it = first; it != last; ++it)
@@ -247,7 +271,29 @@ class Mfa {
  private:
   friend std::optional<Mfa> build_mfa(const std::vector<nfa::PatternInput>&,
                                       const BuildOptions&, BuildStats*);
+
+  /// Skipped-chunk state reconstruction: run the last window() bytes from
+  /// the start state. Sound only under the gate proof (prefilter_gate
+  /// checks it first): the ψ-determinism property makes this land in the
+  /// exact state the full chunk would have produced, and the taint check
+  /// guarantees the real flow fires no match or filter action inside the
+  /// chunk. The replay itself reports nothing — it only computes a state —
+  /// so a fictional accept on the start-to-tail walk (possible when the
+  /// skip happened from a mid-flow state) is harmless.
+  [[nodiscard]] std::uint32_t replay_tail(const std::uint8_t* data,
+                                          std::size_t size) const {
+    const std::size_t w = std::min(prefilter_.window(), size);
+    const std::uint32_t* table = dfa_.table_data();
+    const std::uint8_t* cols = dfa_.byte_columns();
+    const std::uint32_t ncols = dfa_.column_count();
+    std::uint32_t s = dfa_.start();
+    for (const std::uint8_t* p = data + (size - w); p != data + size; ++p)
+      s = table[static_cast<std::size_t>(s) * ncols + cols[*p]];
+    return s;
+  }
+
   dfa::Dfa dfa_;
+  simd::Prefilter prefilter_;
   filter::Program program_;
   std::vector<split::Piece> pieces_;
   std::vector<std::uint32_t> ordered_offsets_;  // accept_states + 1

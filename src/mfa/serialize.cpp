@@ -142,6 +142,12 @@ std::optional<Mfa> Mfa::load(const std::string& path) {
     if (action.min_gap > 0 && (action.test == filter::kNone || action.test_slot == filter::kNone))
       return std::nullopt;
   }
+
+  // The prefilter is derived data (Teddy masks + the DFA-verified gate):
+  // rebuild it from the validated pieces exactly as build_mfa() does, so an
+  // artifact round-trip scans identically to a fresh compile.
+  mfa.prefilter_ =
+      simd::Prefilter::build(mfa.dfa_, mfa.pieces_, mfa.parse_options_.icase);
   return mfa;
 }
 

@@ -89,11 +89,13 @@ void json_shard(std::string& out, const ShardSnapshot& s) {
          ",\"shed_packets\":%" PRIu64 ",\"shed_bytes\":%" PRIu64
          ",\"flows_quarantined\":%" PRIu64 ",\"worker_restarts\":%" PRIu64
          ",\"worker_stalls\":%" PRIu64 ",\"flow_hot_slots\":%" PRIu64
-         ",\"flow_cold_bytes\":%" PRIu64 ",",
+         ",\"flow_cold_bytes\":%" PRIu64 ",\"prefilter_pass\":%" PRIu64
+         ",\"prefilter_skip\":%" PRIu64 ",",
          s.packets, s.bytes, s.matches, s.flows, s.evictions, s.reassembly_drops,
          s.reassembly_pending_bytes, s.queue_full_spins, s.max_queue_depth,
          s.shed_packets, s.shed_bytes, s.flows_quarantined, s.worker_restarts,
-         s.worker_stalls, s.flow_hot_slots, s.flow_cold_bytes);
+         s.worker_stalls, s.flow_hot_slots, s.flow_cold_bytes, s.prefilter_pass,
+         s.prefilter_skip);
   append(out, "\"spans_sampled\":%" PRIu64 ",", s.spans_sampled);
   json_histogram(out, "scan_ns", s.scan_ns);
   out += ",";
@@ -248,6 +250,12 @@ std::string to_prometheus(const RegistrySnapshot& snap,
   prom_counter(out, "mfa_flows_quarantined_total",
                "Flows evicted for exceeding their per-flow CPU budget", snap,
                &ShardSnapshot::flows_quarantined, "counter");
+  prom_counter(out, "mfa_prefilter_pass_total",
+               "Gate-eligible chunks with a literal candidate (scanned in full)",
+               snap, &ShardSnapshot::prefilter_pass, "counter");
+  prom_counter(out, "mfa_prefilter_skip_total",
+               "Chunks the literal prefilter proved clean (scan skipped)", snap,
+               &ShardSnapshot::prefilter_skip, "counter");
   prom_counter(out, "mfa_worker_restarts_total",
                "Crashed shard workers restarted by the watchdog", snap,
                &ShardSnapshot::worker_restarts, "counter");

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -18,12 +19,31 @@ constexpr std::size_t kMaxRequestBytes = 4096;
 /// How long the accept loop sleeps in poll() before re-checking stop_.
 constexpr int kPollTimeoutMs = 100;
 
+/// How long write_all waits for the peer to drain its socket buffer before
+/// giving up on the response (a stuck reader must not wedge the server).
+constexpr int kSendTimeoutMs = 5000;
+
+/// Send the whole buffer. send() is allowed to take only part of a large
+/// body (socket buffers are far smaller than a /metrics payload), and can
+/// fail transiently with EINTR or — if the fd ever goes non-blocking —
+/// EAGAIN; none of those mean the peer is gone, so loop: retry EINTR
+/// immediately, poll for writability on EAGAIN/EWOULDBLOCK, and bail only
+/// on real errors (peer reset) or the poll timeout.
 void write_all(int fd, const char* data, std::size_t len) {
   while (len > 0) {
     const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer went away; nothing useful to do
-    data += n;
-    len -= static_cast<std::size_t>(n);
+    if (n > 0) {
+      data += n;
+      len -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd, POLLOUT, 0};
+      if (::poll(&p, 1, kSendTimeoutMs) <= 0) return;  // stuck peer
+      continue;
+    }
+    return;  // peer went away; nothing useful to do
   }
 }
 

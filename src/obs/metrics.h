@@ -125,6 +125,8 @@ struct ShardSnapshot {
   std::uint64_t shed_packets = 0;       ///< packets shed instead of scanned
   std::uint64_t shed_bytes = 0;         ///< payload bytes of shed packets
   std::uint64_t flows_quarantined = 0;  ///< flows evicted for CPU over-budget
+  std::uint64_t prefilter_pass = 0;  ///< gate-eligible chunks scanned in full
+  std::uint64_t prefilter_skip = 0;  ///< chunks proven clean, scan skipped
   std::uint64_t worker_restarts = 0;    ///< crashed shard workers restarted
   std::uint64_t worker_stalls = 0;      ///< watchdog stall detections
   std::uint64_t spans_sampled = 0;      ///< packets carrying a latency span
@@ -151,6 +153,8 @@ struct ShardSnapshot {
     shed_packets += o.shed_packets;
     shed_bytes += o.shed_bytes;
     flows_quarantined += o.flows_quarantined;
+    prefilter_pass += o.prefilter_pass;
+    prefilter_skip += o.prefilter_skip;
     worker_restarts += o.worker_restarts;
     worker_stalls += o.worker_stalls;
     spans_sampled += o.spans_sampled;
@@ -183,6 +187,8 @@ struct alignas(64) ShardMetrics {
   std::atomic<std::uint64_t> flow_hot_slots{0};            // gauge
   std::atomic<std::uint64_t> flow_cold_bytes{0};           // gauge
   std::atomic<std::uint64_t> flows_quarantined{0};
+  std::atomic<std::uint64_t> prefilter_pass{0};
+  std::atomic<std::uint64_t> prefilter_skip{0};
   std::atomic<std::uint64_t> spans_sampled{0};
   Histogram scan_ns;
   Histogram packet_bytes;
@@ -218,6 +224,8 @@ struct alignas(64) ShardMetrics {
     s.shed_packets = shed_packets.load(std::memory_order_relaxed);
     s.shed_bytes = shed_bytes.load(std::memory_order_relaxed);
     s.flows_quarantined = flows_quarantined.load(std::memory_order_relaxed);
+    s.prefilter_pass = prefilter_pass.load(std::memory_order_relaxed);
+    s.prefilter_skip = prefilter_skip.load(std::memory_order_relaxed);
     s.worker_restarts = worker_restarts.load(std::memory_order_relaxed);
     s.worker_stalls = worker_stalls.load(std::memory_order_relaxed);
     s.spans_sampled = spans_sampled.load(std::memory_order_relaxed);

@@ -141,6 +141,8 @@ struct ShardStats {
   std::uint64_t shed_failover = 0;     ///< ShedReason::kFailover
   std::uint64_t shed_bytes = 0;        ///< payload bytes of shed packets
   std::uint64_t flows_quarantined = 0; ///< flows evicted for busting CPU budget
+  std::uint64_t prefilter_pass = 0;    ///< gate-eligible chunks scanned in full
+  std::uint64_t prefilter_skip = 0;    ///< chunks proven clean, scan skipped
   std::uint64_t worker_restarts = 0;   ///< crashed workers revived by watchdog
   std::uint64_t worker_stalls = 0;     ///< stall episodes flagged by watchdog
   /// Matches keyed by the engine generation that produced them (generation
@@ -172,6 +174,8 @@ struct ShardStats {
     shed_failover += o.shed_failover;
     shed_bytes += o.shed_bytes;
     flows_quarantined += o.flows_quarantined;
+    prefilter_pass += o.prefilter_pass;
+    prefilter_skip += o.prefilter_skip;
     worker_restarts += o.worker_restarts;
     worker_stalls += o.worker_stalls;
     for (const auto& [gen, count] : o.matches_by_generation)
@@ -959,6 +963,8 @@ class ShardedInspector {
     std::atomic<std::uint64_t> evictions_a{0};
     std::atomic<std::uint64_t> reassembly_drops_a{0};
     std::atomic<std::uint64_t> flows_quarantined_a{0};
+    std::atomic<std::uint64_t> prefilter_pass_a{0};
+    std::atomic<std::uint64_t> prefilter_skip_a{0};
 
     obs::ShardMetrics* metrics = nullptr;  // shared relaxed-atomic telemetry
     obs::MetricsRegistry* registry = nullptr;  // span ring lives here
@@ -1037,6 +1043,8 @@ class ShardedInspector {
       st.shed_failover = shed_failover_a.load(std::memory_order_relaxed);
       st.shed_bytes = shed_bytes_a.load(std::memory_order_relaxed);
       st.flows_quarantined = flows_quarantined_a.load(std::memory_order_relaxed);
+      st.prefilter_pass = prefilter_pass_a.load(std::memory_order_relaxed);
+      st.prefilter_skip = prefilter_skip_a.load(std::memory_order_relaxed);
       st.worker_restarts = restarts.load(std::memory_order_relaxed);
       st.worker_stalls = stalls.load(std::memory_order_relaxed);
       return st;
@@ -1213,6 +1221,10 @@ class ShardedInspector {
                                std::memory_order_relaxed);
       flows_quarantined_a.store(inspector.quarantined_flow_count(),
                                 std::memory_order_relaxed);
+      prefilter_pass_a.store(inspector.prefilter_pass_count(),
+                             std::memory_order_relaxed);
+      prefilter_skip_a.store(inspector.prefilter_skip_count(),
+                             std::memory_order_relaxed);
       if (reassembly_high != 0) {
         const std::uint64_t pend = inspector.reassembly_pending_bytes();
         if (pend >= reassembly_high)

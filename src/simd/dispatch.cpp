@@ -1,0 +1,48 @@
+#include "simd/dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mfa::simd {
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+Level detect() {
+  const char* env = std::getenv("MFA_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0)
+      return Level::kScalar;
+    if (std::strcmp(env, "avx2") == 0)
+      return cpu_has_avx2() ? Level::kAvx2 : Level::kScalar;
+    // Unknown value: fall through to auto-detection.
+  }
+  return cpu_has_avx2() ? Level::kAvx2 : Level::kScalar;
+}
+
+}  // namespace
+
+Level level() {
+  static const Level cached = detect();
+  return cached;
+}
+
+const char* level_name() { return level() == Level::kAvx2 ? "avx2" : "scalar"; }
+
+bool prefilter_env_disabled() {
+  static const bool off = [] {
+    const char* env = std::getenv("MFA_PREFILTER");
+    return env != nullptr &&
+           (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0);
+  }();
+  return off;
+}
+
+}  // namespace mfa::simd

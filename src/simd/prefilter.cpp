@@ -1,0 +1,320 @@
+#include "simd/prefilter.h"
+
+#include <array>
+#include <deque>
+#include <unordered_map>
+
+#include "dfa/dfa.h"
+#include "simd/dispatch.h"
+#include "split/literals.h"
+#include "split/splitter.h"
+
+namespace mfa::simd {
+
+namespace {
+
+inline std::uint8_t fold_byte(std::uint8_t c, bool icase) {
+  return icase && c >= 'A' && c <= 'Z' ? static_cast<std::uint8_t>(c + 32) : c;
+}
+
+/// Dense Aho-Corasick automaton over the (folded) literal set; small by
+/// construction (<= kMaxLiterals * max_len + 1 states), so a full 256-wide
+/// delta per state is cheap and keeps the verification walk branch-free.
+struct AhoCorasick {
+  std::vector<std::array<std::uint16_t, 256>> delta;
+  std::vector<bool> hit;  ///< a literal ends at (or on the fail path of) s
+
+  static std::optional<AhoCorasick> build(const std::vector<std::string>& lits) {
+    AhoCorasick ac;
+    std::vector<std::array<std::uint16_t, 256>> go(1);
+    go[0].fill(0);
+    std::vector<std::uint16_t> fail(1, 0);
+    std::vector<bool> term(1, false);
+    // Trie insertion; 0 doubles as "no edge" from non-root states (state 0
+    // is the root, which is never a trie child).
+    for (const std::string& lit : lits) {
+      std::uint16_t s = 0;
+      for (const char ch : lit) {
+        const auto c = static_cast<std::uint8_t>(ch);
+        std::uint16_t t = go[s][c];
+        if (t == 0) {
+          if (go.size() >= 0xffff) return std::nullopt;
+          t = static_cast<std::uint16_t>(go.size());
+          go.emplace_back();
+          go.back().fill(0);
+          fail.push_back(0);
+          term.push_back(false);
+          go[s][c] = t;
+        }
+        s = t;
+      }
+      term[s] = true;
+    }
+    // BFS fail links; convert goto into a total delta in place.
+    ac.delta = go;
+    ac.hit = term;
+    std::deque<std::uint16_t> queue;
+    for (int c = 0; c < 256; ++c) {
+      const std::uint16_t t = go[0][static_cast<std::size_t>(c)];
+      if (t != 0) {
+        fail[t] = 0;
+        queue.push_back(t);
+      }
+    }
+    while (!queue.empty()) {
+      const std::uint16_t s = queue.front();
+      queue.pop_front();
+      if (ac.hit[fail[s]]) ac.hit[s] = true;
+      for (int c = 0; c < 256; ++c) {
+        const std::uint16_t t = go[s][static_cast<std::size_t>(c)];
+        if (t != 0) {
+          fail[t] = ac.delta[fail[s]][static_cast<std::size_t>(c)];
+          queue.push_back(t);
+        } else {
+          ac.delta[s][static_cast<std::size_t>(c)] =
+              ac.delta[fail[s]][static_cast<std::size_t>(c)];
+        }
+      }
+    }
+    return ac;
+  }
+};
+
+/// Gate proof artifacts produced by verify(): which DFA states may skip,
+/// and which AC states each of them can be paired with (flattened lists).
+struct GateProof {
+  std::vector<bool> skippable;
+  std::vector<std::uint32_t> cand_off;
+  std::vector<std::uint16_t> cand;
+};
+
+/// The product-closure proof of gate properties (i)-(iii) — see the header
+/// comment. Builds the FULL closure F of (AC, DFA) pairs reachable from
+/// (root, start) over all bytes (loud edges included: real executions pass
+/// through literal hits, and the per-state candidate sets must cover every
+/// pair a flow can actually sit in at a chunk boundary). Then:
+///
+///   taint (property i): a pair with a quiet path to an accepting DFA
+///   state could accept inside a literal-free chunk; its DFA state must
+///   never skip. Computed by forward sweeps to a fixpoint.
+///
+///   ψ-determinism (property ii): over quiet edges walked from (root,
+///   start) — the tail-replay path — and from every pair of a skippable
+///   state — the gated-chunk paths — each target AC state must map to one
+///   target DFA state. Loud-history pairs outside this sub-closure may
+///   carry longer memory (e.g. progress past a mid-piece literal), which
+///   is fine: taint already bars their states from skipping, and quiet
+///   walks from skippable pairs can never reach them (that would take a
+///   literal hit).
+///
+/// Work is O(|F| * 256) per sweep; F is capped, and our literal sets keep
+/// it in the low thousands of pairs — microseconds at build time.
+bool verify(const dfa::Dfa& d, const AhoCorasick& ac, bool icase,
+            const char** why, GateProof* proof) {
+  if (d.is_accepting(d.start())) {
+    *why = "start-state-accepting";
+    return false;
+  }
+  struct Pair {
+    std::uint16_t a;
+    std::uint32_t s;
+  };
+  constexpr std::size_t kMaxPairs = std::size_t{1} << 17;
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  std::vector<Pair> pairs;
+  const auto key_of = [](std::uint16_t a, std::uint32_t s) {
+    return (static_cast<std::uint64_t>(a) << 32) | s;
+  };
+  const auto intern = [&](std::uint16_t a, std::uint32_t s) -> std::int64_t {
+    const auto [it, fresh] =
+        index.try_emplace(key_of(a, s), static_cast<std::uint32_t>(pairs.size()));
+    if (fresh) {
+      if (pairs.size() >= kMaxPairs) return -1;
+      pairs.push_back(Pair{a, s});
+    }
+    return it->second;
+  };
+  (void)intern(0, d.start());
+  for (std::size_t head = 0; head < pairs.size(); ++head) {
+    const Pair p = pairs[head];  // by value: pairs reallocates below
+    for (unsigned b = 0; b < 256; ++b) {
+      const std::uint16_t a2 =
+          ac.delta[p.a][fold_byte(static_cast<std::uint8_t>(b), icase)];
+      const std::uint32_t s2 = d.next(p.s, static_cast<unsigned char>(b));
+      if (intern(a2, s2) < 0) {
+        *why = "product-too-large";
+        return false;
+      }
+    }
+  }
+
+  // Taint: quiet-reachability of an accepting DFA state, swept forward to
+  // a fixpoint (each sweep extends known taint one quiet edge backwards).
+  std::vector<char> tainted(pairs.size(), 0);
+  constexpr int kMaxSweeps = 256;
+  int sweep = 0;
+  for (bool changed = true; changed; ++sweep) {
+    if (sweep == kMaxSweeps) {
+      *why = "taint-unconverged";
+      return false;
+    }
+    changed = false;
+    for (std::size_t i = pairs.size(); i-- > 0;) {
+      if (tainted[i]) continue;
+      const Pair p = pairs[i];
+      for (unsigned b = 0; b < 256; ++b) {
+        const std::uint16_t a2 =
+            ac.delta[p.a][fold_byte(static_cast<std::uint8_t>(b), icase)];
+        if (ac.hit[a2]) continue;  // a literal completes: edge is loud
+        const std::uint32_t s2 = d.next(p.s, static_cast<unsigned char>(b));
+        if (d.is_accepting(s2) || tainted[index.at(key_of(a2, s2))]) {
+          tainted[i] = 1;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Candidate AC states per DFA state; skippable = non-accepting, present
+  // in the closure, and no tainted pair.
+  std::vector<std::vector<std::uint16_t>> cands(d.state_count());
+  std::vector<bool> skippable(d.state_count(), false);
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    cands[pairs[i].s].push_back(pairs[i].a);
+  for (std::uint32_t s = 0; s < d.state_count(); ++s)
+    skippable[s] = !cands[s].empty() && !d.is_accepting(s);
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    if (tainted[i]) skippable[pairs[i].s] = false;
+
+  // ψ-determinism over the quiet sub-closure W from (root, start) plus all
+  // pairs of skippable states. Sources are exempt (the empty string pins
+  // (root, start) to the start state, which quiet bytes never revisit);
+  // every TARGET's DFA state must be a function of its AC state.
+  constexpr std::uint32_t kUnset = 0xffffffffu;
+  std::vector<std::uint32_t> psi(ac.delta.size(), kUnset);
+  std::vector<char> in_w(pairs.size(), 0);
+  std::deque<std::uint32_t> queue;
+  const auto seed = [&](std::uint32_t i) {
+    if (!in_w[i]) {
+      in_w[i] = 1;
+      queue.push_back(i);
+    }
+  };
+  seed(static_cast<std::uint32_t>(index.at(key_of(0, d.start()))));
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    if (skippable[pairs[i].s]) seed(static_cast<std::uint32_t>(i));
+  while (!queue.empty()) {
+    const Pair p = pairs[queue.front()];
+    queue.pop_front();
+    for (unsigned b = 0; b < 256; ++b) {
+      const std::uint16_t a2 =
+          ac.delta[p.a][fold_byte(static_cast<std::uint8_t>(b), icase)];
+      if (ac.hit[a2]) continue;
+      const std::uint32_t s2 = d.next(p.s, static_cast<unsigned char>(b));
+      if (psi[a2] == kUnset) {
+        psi[a2] = s2;
+      } else if (psi[a2] != s2) {
+        *why = "state-not-function-of-tail";  // property (ii) fails
+        return false;
+      }
+      seed(static_cast<std::uint32_t>(index.at(key_of(a2, s2))));
+    }
+  }
+
+  proof->skippable = std::move(skippable);
+  proof->cand_off.assign(d.state_count() + 1, 0);
+  for (std::uint32_t s = 0; s < d.state_count(); ++s) {
+    // Only skippable states need candidates at runtime (boundary walk).
+    if (proof->skippable[s])
+      for (const std::uint16_t a : cands[s]) proof->cand.push_back(a);
+    proof->cand_off[s + 1] = static_cast<std::uint32_t>(proof->cand.size());
+  }
+  return true;
+}
+
+}  // namespace
+
+Prefilter Prefilter::build(const dfa::Dfa& dfa,
+                           const std::vector<split::Piece>& pieces, bool icase) {
+  Prefilter p;
+  if (prefilter_env_disabled()) {
+    p.status_ = "env-off";
+    return p;
+  }
+  if (pieces.empty()) {
+    p.status_ = "no-pieces";
+    return p;
+  }
+  std::vector<std::string> literals;
+  for (const split::Piece& piece : pieces) {
+    std::vector<std::string> alts =
+        split::required_literal_factors(piece.regex.root);
+    if (alts.empty()) {
+      // Some piece has no required factor: a clean-looking chunk could
+      // still complete it, so no literal set covers the whole DFA.
+      p.status_ = "piece-without-literal";
+      return p;
+    }
+    for (std::string& a : alts) literals.push_back(std::move(a));
+    if (literals.size() > Teddy::kMaxLiterals) {
+      p.status_ = "too-many-literals";
+      return p;
+    }
+  }
+  p.teddy_ = Teddy::compile(std::move(literals), icase);
+  if (!p.teddy_.has_value()) {
+    p.status_ = "teddy-compile-failed";
+    return p;
+  }
+  p.window_ = p.teddy_->max_len() - 1;
+  if (p.window_ == 0) {
+    // Single-byte literals leave no tail to replay: the reconstructed
+    // state would be the raw start state, which quiet bytes never revisit.
+    p.status_ = "literals-too-short";
+    return p;
+  }
+
+  // The Teddy matcher alone is now usable; arm the skip gate only if the
+  // DFA-level proof succeeds (AC is built over the same folded literals
+  // Teddy confirms against, so "quiet" here is exactly "matches() == false"
+  // modulo Teddy's false positives, which only add scans).
+  std::optional<AhoCorasick> ac = AhoCorasick::build(p.teddy_->literals());
+  if (!ac.has_value()) {
+    p.status_ = "ac-too-large";
+    return p;
+  }
+  const char* why = nullptr;
+  GateProof proof;
+  if (!verify(dfa, *ac, icase, &why, &proof)) {
+    p.status_ = why;
+    return p;
+  }
+  p.ac_delta_ = std::move(ac->delta);
+  p.ac_hit_ = std::move(ac->hit);
+  p.skippable_ = std::move(proof.skippable);
+  p.cand_off_ = std::move(proof.cand_off);
+  p.cand_ = std::move(proof.cand);
+  p.icase_ = icase;
+  p.gate_ok_ = true;
+  p.status_ = "ok";
+  return p;
+}
+
+bool Prefilter::boundary_quiet(std::uint32_t dfa_state,
+                               const std::uint8_t* data,
+                               std::size_t size) const {
+  const std::size_t head = std::min(window_, size);
+  const std::uint32_t lo = cand_off_[dfa_state];
+  const std::uint32_t hi = cand_off_[dfa_state + 1];
+  for (std::uint32_t c = lo; c < hi; ++c) {
+    std::uint16_t a = cand_[c];
+    for (std::size_t i = 0; i < head; ++i) {
+      a = ac_delta_[a][fold_byte(data[i], icase_)];
+      if (ac_hit_[a]) return false;  // a literal completes across the seam
+    }
+  }
+  return true;
+}
+
+}  // namespace mfa::simd

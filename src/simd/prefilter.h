@@ -1,0 +1,145 @@
+// Literal prefilter with DFA-verified skip gating (DESIGN.md §13).
+//
+// Compiled from the splitter's pieces: each piece contributes an or-list of
+// required factors (split/literals.h); the union compiles into a Teddy
+// matcher. A chunk with no literal occurrence is a *candidate* for skipping
+// the full MFA scan — but candidate-ness alone is not sufficient in a
+// streaming scanner, so the skip gate is only armed after the properties
+// below are PROVEN on the compiled character DFA itself (never trusted
+// from the extraction heuristic).
+//
+// The proof object is the full product closure F of (AC state, DFA state)
+// pairs reachable from (root, start) over ALL byte transitions, where AC is
+// a dense Aho-Corasick automaton over the same folded literal set Teddy
+// confirms against. Every real execution's (AC, DFA) pair stays inside F by
+// induction, so per-DFA-state *candidate* AC states read straight off F.
+// An edge is "loud" when a literal completes on it (AC hit, including via
+// fail links) and "quiet" otherwise. Three facts are then checked:
+//
+//   (i)  taint: a pair that can reach an accepting DFA state along a quiet
+//        path could accept inside a literal-free chunk. Any state with a
+//        tainted pair is excluded from skipping (its chunks always scan).
+//   (ii) ψ-determinism: over the quiet sub-closure walked from (root,
+//        start) and from every pair of a skippable state, the target DFA
+//        state must be a function of the target AC state alone. The AC
+//        state after >= window quiet bytes depends only on the last
+//        window bytes, so replaying just the chunk's tail from the start
+//        state reconstructs the exact post-chunk state.
+//   (iii) boundary: a literal may span the previous/current chunk seam.
+//        Progress toward one is part of the candidate AC states, so the
+//        gate re-walks the first window bytes of each chunk from every
+//        candidate (boundary_quiet()) and falls back to a full scan on
+//        any hit. Together with Teddy over the chunk body this makes the
+//        whole chunk provably quiet before a skip.
+//
+// If any check fails — or extraction finds no literal for some piece — the
+// prefilter still compiles where possible but the gate stays disarmed:
+// always correct, at worst not faster. Teddy false positives only force a
+// normal scan; they can never change match output.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simd/teddy.h"
+
+namespace mfa::dfa {
+class Dfa;
+}
+namespace mfa::split {
+struct Piece;
+}
+
+namespace mfa::simd {
+
+/// Outcome of an engine's prefilter gate for one chunk (what the flow layer
+/// counts as mfa_prefilter_{pass,skip}_total).
+enum class Gate : std::uint8_t {
+  kNone,  ///< gate not armed / flow mid-pattern / chunk too small: plain feed
+  kScan,  ///< literal candidate present: full scan required ("pass")
+  kSkip,  ///< proven literal-free: scan skipped, tail replayed ("skip")
+};
+
+class Prefilter {
+ public:
+  Prefilter() = default;
+
+  /// Compile from the character DFA + decomposed pieces. Never fails hard:
+  /// enabled()/gate_enabled() report how far compilation got, status() says
+  /// why it stopped.
+  static Prefilter build(const dfa::Dfa& dfa,
+                         const std::vector<split::Piece>& pieces, bool icase);
+
+  /// Teddy masks compiled: matches() is meaningful.
+  [[nodiscard]] bool enabled() const { return teddy_.has_value(); }
+
+  /// The DFA-level proof went through (and MFA_PREFILTER isn't off): a
+  /// literal-free chunk may skip the full scan.
+  [[nodiscard]] bool gate_enabled() const { return gate_ok_ && enabled(); }
+
+  /// Lookback window (max literal length - 1): after a skipped chunk, the
+  /// last window() bytes replayed from the start state land in the exact
+  /// post-chunk DFA state (property (ii) above).
+  [[nodiscard]] std::size_t window() const { return window_; }
+
+  /// Should this chunk take the gated path? Requires the proof, the flow
+  /// sitting in a skippable DFA state (untainted, quiet-reachable), and a
+  /// chunk big enough that skipping beats feeding (the boundary check and
+  /// tail replay cost 2*window() bytes regardless).
+  [[nodiscard]] bool should_gate(std::uint32_t dfa_state,
+                                 std::size_t size) const {
+    return gate_ok_ && dfa_state < skippable_.size() &&
+           skippable_[dfa_state] && size >= kMinGateBytes &&
+           size > 2 * window_;
+  }
+
+  /// Boundary re-check (property (iii)): walk the AC from every candidate
+  /// AC state of `dfa_state` over the first window() bytes of the chunk.
+  /// Returns false if any literal could complete across the chunk seam —
+  /// the caller must then scan the chunk in full. Only meaningful after
+  /// should_gate() returned true.
+  [[nodiscard]] bool boundary_quiet(std::uint32_t dfa_state,
+                                    const std::uint8_t* data,
+                                    std::size_t size) const;
+
+  /// True iff some literal occurs fully inside the buffer (bounded false
+  /// positives, never false negatives).
+  [[nodiscard]] bool matches(const std::uint8_t* data, std::size_t len) const {
+    return teddy_->matches(data, len);
+  }
+
+  /// Why the gate (or the whole prefilter) is off; "ok" when fully armed.
+  [[nodiscard]] const char* status() const { return status_; }
+  [[nodiscard]] std::size_t literal_count() const {
+    return teddy_.has_value() ? teddy_->literal_count() : 0;
+  }
+  [[nodiscard]] const Teddy* teddy() const {
+    return teddy_.has_value() ? &*teddy_ : nullptr;
+  }
+
+  /// Below this chunk size the gate never triggers — Teddy setup plus tail
+  /// replay would eat the saving.
+  static constexpr std::size_t kMinGateBytes = 64;
+
+ private:
+  std::optional<Teddy> teddy_;
+  bool gate_ok_ = false;
+  bool icase_ = false;
+  std::size_t window_ = 0;
+  const char* status_ = "empty";
+  // Gate proof artifacts (verify() in prefilter.cpp). The AC is kept for
+  // the runtime boundary walk; candidates are the AC states each skippable
+  // DFA state can be paired with in the product closure, flattened as
+  // [cand_off_[s], cand_off_[s+1]) ranges into cand_.
+  std::vector<std::array<std::uint16_t, 256>> ac_delta_;
+  std::vector<bool> ac_hit_;
+  std::vector<bool> skippable_;          // indexed by DFA state
+  std::vector<std::uint32_t> cand_off_;  // dfa state_count + 1 entries
+  std::vector<std::uint16_t> cand_;
+};
+
+}  // namespace mfa::simd

@@ -1,0 +1,118 @@
+#include "simd/teddy.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "simd/dispatch.h"
+
+namespace mfa::simd {
+
+namespace {
+
+inline std::uint8_t fold(std::uint8_t c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<std::uint8_t>(c + 32) : c;
+}
+
+}  // namespace
+
+std::optional<Teddy> Teddy::compile(std::vector<std::string> literals, bool icase) {
+  if (literals.empty() || literals.size() > kMaxLiterals) return std::nullopt;
+  Teddy t;
+  t.icase_ = icase;
+  for (std::string& lit : literals) {
+    if (lit.empty()) return std::nullopt;
+    if (icase)
+      for (char& c : lit) c = static_cast<char>(fold(static_cast<std::uint8_t>(c)));
+  }
+  std::sort(literals.begin(), literals.end());
+  literals.erase(std::unique(literals.begin(), literals.end()), literals.end());
+  t.lits_ = std::move(literals);
+
+  t.min_len_ = t.lits_[0].size();
+  t.max_len_ = 0;
+  for (const std::string& lit : t.lits_) {
+    t.min_len_ = std::min(t.min_len_, lit.size());
+    t.max_len_ = std::max(t.max_len_, lit.size());
+  }
+  t.tables_.positions = static_cast<int>(std::min<std::size_t>(t.min_len_, 3));
+
+  // Bucket by sorted rank: literals sharing a prefix land in the same
+  // bucket, which keeps each bucket's nibble footprint tight.
+  const std::size_t n = t.lits_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto bucket = static_cast<std::uint8_t>(k * 8 / n);
+    t.buckets_[bucket].push_back(static_cast<std::uint32_t>(k));
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << bucket);
+    for (int j = 0; j < t.tables_.positions; ++j) {
+      const auto c = static_cast<std::uint8_t>(t.lits_[k][static_cast<std::size_t>(j)]);
+      std::uint8_t variants[2] = {c, c};
+      if (icase && c >= 'a' && c <= 'z')
+        variants[1] = static_cast<std::uint8_t>(c - 32);
+      for (const std::uint8_t v : variants) {
+        t.tables_.lo[j][v & 0x0f] |= bit;
+        t.tables_.hi[j][v >> 4] |= bit;
+      }
+    }
+  }
+  return t;
+}
+
+bool Teddy::confirm_at(const std::uint8_t* data, std::size_t len, std::size_t pos,
+                       std::uint8_t buckets) const {
+  while (buckets != 0) {
+    const int b = __builtin_ctz(buckets);
+    buckets = static_cast<std::uint8_t>(buckets & (buckets - 1));
+    for (const std::uint32_t k : buckets_[static_cast<std::size_t>(b)]) {
+      const std::string& lit = lits_[k];
+      if (pos + lit.size() > len) continue;
+      std::size_t q = 0;
+      for (; q < lit.size(); ++q) {
+        std::uint8_t d = data[pos + q];
+        if (icase_) d = fold(d);
+        if (d != static_cast<std::uint8_t>(lit[q])) break;
+      }
+      if (q == lit.size()) return true;
+    }
+  }
+  return false;
+}
+
+// Scalar sweep of candidate start positions in [from, len - positions]:
+// same nibble tables as the vector path, one position at a time.
+bool Teddy::matches_range(const std::uint8_t* data, std::size_t len,
+                          std::size_t from, std::size_t& budget) const {
+  const auto m = static_cast<std::size_t>(tables_.positions);
+  if (len < m) return false;
+  for (std::size_t i = from; i + m <= len; ++i) {
+    std::uint8_t acc = 0xff;
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint8_t c = data[i + j];
+      acc &= tables_.lo[j][c & 0x0f] & tables_.hi[j][c >> 4];
+      if (acc == 0) break;
+    }
+    if (acc != 0) {
+      if (budget-- == 0) return true;  // budget exhausted: report candidate
+      if (confirm_at(data, len, i, acc)) return true;
+    }
+  }
+  return false;
+}
+
+bool Teddy::matches(const std::uint8_t* data, std::size_t len) const {
+  if (len < min_len_) return false;
+  // Confirm budget: a clean buffer costs a handful of stray confirms; a
+  // hostile one degenerates into "assume dirty" instead of quadratic work.
+  std::size_t budget = 16 + len / 8;
+  std::size_t pos = 0;
+  if (level() == Level::kAvx2) {
+    std::uint8_t bucket = 0;
+    while (teddy_scan_avx2(tables_, data, len, &pos, &bucket)) {
+      if (budget-- == 0) return true;
+      if (confirm_at(data, len, pos, bucket)) return true;
+      ++pos;
+    }
+  }
+  return matches_range(data, len, pos, budget);
+}
+
+}  // namespace mfa::simd

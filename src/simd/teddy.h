@@ -1,0 +1,62 @@
+// Teddy-style shuffle-based multi-literal matcher (the Hyperscan prefilter
+// design; DESIGN.md §13). Literals are hashed into 8 buckets; per mask
+// position (up to 3 leading bytes) two 16-entry nibble tables map a byte to
+// the buckets it could belong to, so one shuffle+AND per position scores 32
+// candidate start positions at once under AVX2. Survivors are confirmed
+// against the bucket's literals; a bounded confirm budget turns pathological
+// inputs into "candidate found" (a false positive) rather than O(n*m) work.
+//
+// Guarantee: matches() never returns false when a literal occurs fully
+// inside the buffer — false negatives are impossible, false positives are
+// possible (and harmless: callers fall back to the full scan).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simd/kernel.h"
+
+namespace mfa::simd {
+
+class Teddy {
+ public:
+  /// Literal-set size cap: beyond this the nibble masks saturate and the
+  /// prefilter stops paying for itself.
+  static constexpr std::size_t kMaxLiterals = 128;
+
+  /// Compile a literal set; nullopt when the set is empty, contains an
+  /// empty literal, or exceeds kMaxLiterals. With `icase`, matching is
+  /// ASCII-case-insensitive — exact, not approximate: case variants differ
+  /// only in one high-nibble bit, so carrying both variants in the masks
+  /// admits exactly the two cased forms.
+  static std::optional<Teddy> compile(std::vector<std::string> literals, bool icase);
+
+  /// True iff some literal occurs fully inside [data, data+len) — modulo
+  /// bounded false positives (see header comment), never false negatives.
+  [[nodiscard]] bool matches(const std::uint8_t* data, std::size_t len) const;
+
+  [[nodiscard]] std::size_t min_len() const { return min_len_; }
+  [[nodiscard]] std::size_t max_len() const { return max_len_; }
+  [[nodiscard]] std::size_t literal_count() const { return lits_.size(); }
+  [[nodiscard]] bool icase() const { return icase_; }
+  [[nodiscard]] const std::vector<std::string>& literals() const { return lits_; }
+
+ private:
+  [[nodiscard]] bool confirm_at(const std::uint8_t* data, std::size_t len,
+                                std::size_t pos, std::uint8_t buckets) const;
+  [[nodiscard]] bool matches_range(const std::uint8_t* data, std::size_t len,
+                                   std::size_t from, std::size_t& budget) const;
+
+  TeddyTables tables_{};
+  bool icase_ = false;
+  std::size_t min_len_ = 0;
+  std::size_t max_len_ = 0;
+  std::vector<std::string> lits_;  ///< case-folded when icase_
+  std::array<std::vector<std::uint32_t>, 8> buckets_{};
+};
+
+}  // namespace mfa::simd

@@ -1,0 +1,213 @@
+#include "split/literals.h"
+
+#include <algorithm>
+
+namespace mfa::split {
+
+namespace {
+
+using regex::Node;
+using regex::NodeKind;
+using regex::NodePtr;
+
+using Alts = std::vector<std::string>;
+
+/// Extraction result for one node. `alts` is an or-list such that every
+/// match of the node contains >= 1 entry as a contiguous factor (empty =
+/// extraction failed). `exact` additionally promises every entry IS a
+/// complete match of the node and every match IS an entry — the property
+/// that makes cross-concatenation with an adjacent sibling sound. A factor
+/// that is merely *contained* (e.g. one repetition out of a Plus) must not
+/// be glued to its neighbors: in "a+x", the byte matched by `a+`'s factor
+/// is not necessarily adjacent to `x`.
+struct Extract {
+  Alts alts;
+  bool exact = false;
+};
+
+/// Score an or-list: longer guaranteed length wins (stronger prefilter),
+/// then fewer alternatives (cheaper Teddy masks).
+struct Score {
+  std::size_t min_len = 0;
+  std::size_t alts = 0;
+  [[nodiscard]] bool better_than(const Score& o) const {
+    if (min_len != o.min_len) return min_len > o.min_len;
+    return alts < o.alts;
+  }
+};
+
+Score score_of(const Alts& a) {
+  Score s;
+  if (a.empty()) return s;
+  s.min_len = a[0].size();
+  for (const std::string& x : a) s.min_len = std::min(s.min_len, x.size());
+  s.alts = a.size();
+  return s;
+}
+
+Extract extract(const Node& n, const LiteralOptions& opt);
+
+void dedupe(Alts& a) {
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+}
+
+/// Cross-concatenate two exact or-lists. Fails (empty) past the
+/// alternatives cap; sets `truncated` when any entry hit max_len (a
+/// truncated entry is a prefix, so the result is no longer exact and the
+/// run must stop growing).
+Alts cross(const Alts& a, const Alts& b, const LiteralOptions& opt, bool& truncated) {
+  if (a.size() * b.size() > opt.max_alternatives) return {};
+  Alts out;
+  out.reserve(a.size() * b.size());
+  for (const std::string& x : a)
+    for (const std::string& y : b) {
+      std::string s = x + y;
+      if (s.size() > opt.max_len) {
+        s.resize(opt.max_len);
+        truncated = true;
+      }
+      out.push_back(std::move(s));
+    }
+  dedupe(out);
+  return out;
+}
+
+/// Concat: every non-nullable child is traversed by every match, so any one
+/// child's or-list is a valid factor list for the whole Concat, and an
+/// adjacent run of children with *exact* lists cross-concatenates into
+/// longer factors. Build runs greedily, keep the best.
+Extract extract_concat(const Node& n, const LiteralOptions& opt) {
+  Alts best;
+  Score best_score;
+  bool best_is_whole = false;  // best run covers all children, exactly
+
+  Alts run;
+  bool run_exact = false;          // entries are complete matches of the run
+  std::size_t run_children = 0;    // children consumed into the run
+  const auto close_run = [&](std::size_t total_children) {
+    if (!run.empty()) {
+      const Score s = score_of(run);
+      if (best.empty() || s.better_than(best_score)) {
+        best = std::move(run);
+        best_score = s;
+        best_is_whole = run_exact && run_children == total_children;
+      }
+    }
+    run.clear();
+    run_exact = false;
+    run_children = 0;
+  };
+
+  const std::size_t total = n.children.size();
+  for (const NodePtr& child : n.children) {
+    // A nullable child may contribute epsilon: nothing inside it is
+    // required, and it breaks factor adjacency.
+    if (regex::nullable(*child)) {
+      close_run(total);
+      continue;
+    }
+    Extract e = extract(*child, opt);
+    if (e.alts.empty()) {
+      close_run(total);
+      continue;
+    }
+    if (!e.exact) {
+      // Contained-only factors stand alone: score as their own run.
+      close_run(total);
+      run = std::move(e.alts);
+      run_exact = false;
+      run_children = 1;
+      close_run(total);
+      continue;
+    }
+    if (run.empty()) {
+      run = std::move(e.alts);
+      run_exact = true;
+      run_children = 1;
+      continue;
+    }
+    if (!run_exact) {
+      close_run(total);
+      run = std::move(e.alts);
+      run_exact = true;
+      run_children = 1;
+      continue;
+    }
+    bool truncated = false;
+    Alts merged = cross(run, e.alts, opt, truncated);
+    if (merged.empty()) {
+      // Product too wide: keep the pieces as separate candidate runs.
+      close_run(total);
+      run = std::move(e.alts);
+      run_exact = true;
+      run_children = 1;
+      continue;
+    }
+    run = std::move(merged);
+    ++run_children;
+    if (truncated) run_exact = false;
+  }
+  close_run(total);
+  return Extract{std::move(best), best_is_whole};
+}
+
+Extract extract(const Node& n, const LiteralOptions& opt) {
+  switch (n.kind) {
+    case NodeKind::CharSet: {
+      if (n.cc.count() == 0 || n.cc.count() > opt.max_class_expand ||
+          n.cc.count() > opt.max_alternatives)
+        return {};
+      Alts out;
+      n.cc.for_each([&](unsigned char c) {
+        out.push_back(std::string(1, static_cast<char>(c)));
+      });
+      return Extract{std::move(out), true};
+    }
+    case NodeKind::Concat:
+      return extract_concat(n, opt);
+    case NodeKind::Alternate: {
+      // Every branch must yield a list; the union is required. Exact only
+      // if every branch's list is exact.
+      Alts out;
+      bool exact = true;
+      for (const NodePtr& child : n.children) {
+        Extract e = extract(*child, opt);
+        if (e.alts.empty()) return {};
+        exact = exact && e.exact;
+        out.insert(out.end(), e.alts.begin(), e.alts.end());
+        if (out.size() > opt.max_alternatives) return {};
+      }
+      dedupe(out);
+      return Extract{std::move(out), exact};
+    }
+    case NodeKind::Plus:
+      // child{1,}: one traversal is guaranteed, but its position inside the
+      // repetition is not — contained factor only.
+      if (n.children.empty()) return {};
+      return Extract{extract(*n.children[0], opt).alts, false};
+    case NodeKind::Repeat:
+      if (n.rep_min >= 1 && !n.children.empty()) {
+        Extract e = extract(*n.children[0], opt);
+        // {1,1} repeats exactly once: the child's exactness survives.
+        return Extract{std::move(e.alts),
+                       e.exact && n.rep_min == 1 && n.rep_max == 1};
+      }
+      return {};
+    case NodeKind::Empty:
+    case NodeKind::Star:
+    case NodeKind::Optional:
+      return {};
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::string> required_literal_factors(const regex::NodePtr& node,
+                                                  const LiteralOptions& opt) {
+  if (node == nullptr) return {};
+  return extract(*node, opt).alts;
+}
+
+}  // namespace mfa::split

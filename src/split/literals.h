@@ -1,0 +1,39 @@
+// Required-literal extraction from piece regexes (DESIGN.md §13).
+//
+// For the SIMD prefilter, each decomposed piece must contribute a small
+// "or-list" of byte strings such that EVERY match of the piece contains at
+// least one list entry as a contiguous factor. Then a payload chunk that
+// contains no entry of the union list cannot complete any piece inside the
+// chunk — the property the prefilter gate is built on. Extraction here is a
+// best-effort heuristic; the gate's soundness is NOT trusted to it: the
+// prefilter re-verifies the factor property directly on the compiled
+// character DFA (simd::Prefilter), so an extraction bug can only disable
+// the gate, never corrupt a match.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "regex/ast.h"
+
+namespace mfa::split {
+
+struct LiteralOptions {
+  /// Longest literal kept; longer factors are truncated (a prefix of a
+  /// required factor is still a required factor).
+  std::size_t max_len = 8;
+  /// Cap on or-list alternatives per piece; extraction fails beyond it.
+  std::size_t max_alternatives = 16;
+  /// Character classes with more members than this do not expand into
+  /// alternatives (but see max_alternatives: a small class can still blow
+  /// the product cap inside a run).
+  std::size_t max_class_expand = 8;
+};
+
+/// Extract an or-list of required factors for `node`. Empty result means
+/// no required factor could be established (the piece is unprefilterable
+/// and the whole MFA's prefilter is disabled).
+std::vector<std::string> required_literal_factors(const regex::NodePtr& node,
+                                                  const LiteralOptions& opt = {});
+
+}  // namespace mfa::split

@@ -151,6 +151,28 @@ TEST(HttpServer, OversizedRequestIsRejected) {
   EXPECT_EQ(r.find("200 OK"), std::string::npos);
 }
 
+TEST(HttpServer, LargeBodyArrivesComplete) {
+  // Regression: write_all() used to issue one send() and ignore short
+  // writes, so any body larger than the socket send buffer arrived
+  // truncated. A multi-megabyte /metrics payload must round-trip intact.
+  std::string big;
+  big.reserve(2 * 1024 * 1024);
+  for (std::uint32_t i = 0; big.size() < 2 * 1024 * 1024; ++i)
+    big += "mfa_test_counter{line=\"" + std::to_string(i) + "\"} 1\n";
+  HttpServer::Handlers h = test_handlers();
+  h.metrics = [big] { return big; };
+  HttpServer server;
+  ASSERT_TRUE(server.start(0, std::move(h)));
+  const std::string r = get(server.port(), "/metrics");
+  ASSERT_NE(r.find("200 OK"), std::string::npos);
+  const std::string body = body_of(r);
+  ASSERT_EQ(body.size(), big.size());
+  EXPECT_TRUE(body == big);  // EXPECT_EQ would print 2 MB on failure
+  // Content-Length matches what was actually delivered.
+  EXPECT_NE(r.find("Content-Length: " + std::to_string(big.size())),
+            std::string::npos);
+}
+
 TEST(HttpServer, StopIsIdempotentAndRestartable) {
   HttpServer server;
   ASSERT_TRUE(server.start(0, test_handlers()));

@@ -331,9 +331,14 @@ TEST_F(SoakTest, HostileFlowQuarantinedWhileSiblingsKeepMatching) {
   // One hostile flow pumps megabytes through the scanner; ten siblings send
   // one small matching packet each, interleaved. With a per-flow CPU budget
   // the hostile flow must be quarantined and the siblings must all match.
+  // The bulk payload embeds the literal so the SIMD prefilter cannot skip
+  // it — literal-free floods now cost next to nothing (DESIGN.md §13), so
+  // the adversarial case for the budget is prefilter-resistant traffic.
   trace::Trace t("quarantine");
   const flow::FlowKey hostile{0xbad, 0xbad, 666, 666, 6};
-  const std::string bulk(8192, 'x');
+  std::string bulk(8192, 'x');
+  for (std::size_t p = 256; p + 8 < bulk.size(); p += 512)
+    bulk.replace(p, 8, "needle77");
   std::uint64_t hoff = 0;
   int sibling = 0;
   for (int i = 0; i < 500; ++i) {

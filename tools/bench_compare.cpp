@@ -14,7 +14,10 @@
 //     metric regresses by more than the tolerance (default 15%) — generous
 //     because CI machines are noisy; the gate is for order-of-magnitude
 //     mistakes (an accidental O(n^2), a disabled fast path), not micro-drift.
-//     Rows without a baseline counterpart pass (new benches aren't gated).
+//     Rows without a baseline counterpart are warned about and make the run
+//     exit 2 (distinct from regression exit 1): an un-baselined row means
+//     the baseline is stale and that measurement is not being gated, so the
+//     fix is to regenerate BENCH_baseline.json, not to ignore the row.
 //     Pass several runs of the same bench (both when building the baseline
 //     and when comparing): duplicate rows keep the fastest measurement,
 //     because scheduler noise is strictly one-sided.
@@ -364,17 +367,31 @@ int compare(const std::string& baseline_path,
     if (bad) ++regressions;
   };
 
+  // A row with no baseline counterpart is NOT silently fine: it means the
+  // checked-in baseline is stale (a renamed bench, a new engine/trace axis,
+  // a bench added without regenerating BENCH_baseline.json) and every such
+  // row is a measurement CI is not gating. Warn per row and exit 2 —
+  // distinct from the regression exit 1 — so the pipeline surfaces
+  // "baseline needs regenerating" instead of green-lighting blind spots.
   for (const auto& [key, cur_cpb] : current.cpb) {
     const auto it = baseline.cpb.find(key);
     if (it == baseline.cpb.end()) {
+      std::fprintf(stderr,
+                   "bench_compare: WARN no baseline row for %s (CpB %.2f "
+                   "ungated; regenerate the baseline)\n",
+                   key.label().c_str(), cur_cpb);
       ++fresh;
-      continue;  // new row: nothing to gate against
+      continue;
     }
     verdict(key.label(), "CpB", it->second, cur_cpb);
   }
   for (const auto& [bench, cur_p99] : current.p99) {
     const auto it = baseline.p99.find(bench);
     if (it == baseline.p99.end()) {
+      std::fprintf(stderr,
+                   "bench_compare: WARN no baseline p99 for %s (%.0f ns "
+                   "ungated; regenerate the baseline)\n",
+                   bench.c_str(), cur_p99);
       ++fresh;
       continue;
     }
@@ -384,7 +401,8 @@ int compare(const std::string& baseline_path,
   std::printf("bench_compare: %d checked, %d new (ungated), %d regressions "
               "(tolerance %.0f%%)\n",
               checked, fresh, regressions, tolerance_pct);
-  return regressions == 0 ? 0 : 1;
+  if (regressions != 0) return 1;
+  return fresh != 0 ? 2 : 0;
 }
 
 }  // namespace
