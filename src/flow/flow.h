@@ -133,6 +133,37 @@ concept PrefilterEngine =
       { e.prefilter_gate(ctx, data, std::size_t{0}) } -> std::same_as<simd::Gate>;
     };
 
+/// Engines exposing a *stateless* literal probe (today the Mfa): "could
+/// this chunk contain a match?" with no per-flow context involved. The
+/// degraded scan modes below use it as their detection signal; engines
+/// without one degrade to full scanning (a probe that cannot prove absence
+/// reports everything suspicious).
+template <typename EngineT>
+concept ProbeEngine =
+    ScanEngine<EngineT> && requires(const EngineT& e, const std::uint8_t* data) {
+      { e.prefilter_probe(data, std::size_t{0}) } -> std::same_as<bool>;
+    };
+
+/// Scan-fidelity ladder rung an inspector runs at (DESIGN.md §14). The
+/// degradation controller moves inspectors down this ladder under overload
+/// and back up when pressure clears; L3 (count-and-bypass) lives above the
+/// inspector, in the pipeline's shed path.
+enum class ScanMode : std::uint8_t {
+  /// L0: every in-order chunk takes the exact scan path (prefilter gate
+  /// included) — the only mode with exact match semantics.
+  kFull,
+  /// L1: 1-in-2^k flows (by key hash) keep the exact path; the rest scan a
+  /// chunk only when the literal probe fires on it. Probe-quiet chunks are
+  /// skipped without tail replay, so non-sampled flows are approximate:
+  /// full fidelity on suspicious bytes, none spent proving clean bytes clean.
+  kSampled,
+  /// L2: no automaton advance at all — probe-positive chunks are recorded
+  /// as degraded detection hits (degraded_hit_count()), probe-quiet chunks
+  /// are dropped. Detection-only: tells the operator *that* suspicious
+  /// traffic exists, not which rule matched where.
+  kPrefilterOnly,
+};
+
 /// What happens to flows whose context was built by a previous engine
 /// generation when adopt_engine() publishes a new one (DESIGN.md Sec. 10).
 enum class SwapPolicy : std::uint8_t {
@@ -259,6 +290,22 @@ class FlowInspector {
   [[nodiscard]] std::uint64_t prefilter_pass_count() const {
     return prefilter_passes_;
   }
+
+  // --- degraded scan modes (DESIGN.md §14) ---
+
+  /// Set the fidelity rung this inspector scans at. `sample_shift` is the
+  /// L1 sampling exponent: 1-in-2^shift flows keep the exact path. Owned by
+  /// the shard worker (the degradation controller runs worker-side), so no
+  /// synchronization: mode changes apply from the next chunk on.
+  void set_scan_mode(ScanMode mode, std::uint32_t sample_shift = 3) {
+    mode_ = mode;
+    sample_mask_ = (std::uint64_t{1} << (sample_shift < 63 ? sample_shift : 63)) - 1;
+  }
+  [[nodiscard]] ScanMode scan_mode() const { return mode_; }
+
+  /// Probe-positive chunks seen in kPrefilterOnly mode: "suspicious traffic
+  /// was present" detections recorded while the automaton was parked.
+  [[nodiscard]] std::uint64_t degraded_hit_count() const { return degraded_hits_; }
 
   /// Deliver one packet. sink(match_id, flow_offset) fires for confirmed
   /// matches; positions are byte offsets within the flow's stream. Packets
@@ -501,6 +548,22 @@ class FlowInspector {
     flows_.erase(it);
   }
 
+  /// Crash-recovery reset (DESIGN.md §14): drop `key`'s state so its next
+  /// packet re-creates a fresh context. Distinct from evict() only in
+  /// intent and accounting — the flow is not leaving for capacity reasons,
+  /// its last burst never committed, so this does NOT count an eviction.
+  /// Returns true when a flow actually existed (callers count those in
+  /// flows_recovered).
+  bool reset_flow(const FlowKey& key) {
+    auto it = flows_.find(key);
+    if (it == flows_.end()) return false;
+    release_flow(it->second);
+    total_pending_ -= it->second.pending_bytes;
+    lru_unlink(&it->second);
+    flows_.erase(it);
+    return true;
+  }
+
   /// Drop every flow and reset all derived per-inspector bookkeeping in one
   /// place — the recency/arrival tick, the batch-wave counter, buffered
   /// reassembly accounting, and the live gauges mirrored into the metrics
@@ -564,12 +627,14 @@ class FlowInspector {
     maybe_quarantine(fs);  // may erase fs — nothing touches it afterwards
   }
 
-  /// Gate-aware feed: consult the engine's prefilter gate (when it has one)
-  /// before paying for the full scan. On kSkip the context is already
-  /// advanced past the chunk and nothing else runs.
+  /// Gate-aware feed: consult the degraded-mode admission first, then the
+  /// engine's prefilter gate (when it has one), before paying for the full
+  /// scan. On any skip the caller still advances next_offset (only the
+  /// prefilter gate's kSkip also advances the context, via tail replay).
   template <typename Sink>
   void feed_or_skip(const EngineT& eng, FlowState& fs, const std::uint8_t* data,
                     std::size_t size, std::uint64_t base, Sink&& sink) {
+    if (mode_ != ScanMode::kFull && !deep_scan_chunk(fs.key, data, size)) return;
     if constexpr (PrefilterEngine<EngineT>) {
       if (prefilter_on_) {
         const simd::Gate g = eng.prefilter_gate(fs.ctx, data, size);
@@ -578,6 +643,39 @@ class FlowInspector {
       }
     }
     eng.feed(fs.ctx, data, size, base, sink);
+  }
+
+  /// Degraded-mode admission (DESIGN.md §14): does this chunk get an
+  /// automaton feed? kSampled admits sampled flows unconditionally and the
+  /// rest only on a positive literal probe; kPrefilterOnly admits nothing
+  /// and records probe-positive chunks as degraded hits.
+  bool deep_scan_chunk(const FlowKey& key, const std::uint8_t* data,
+                       std::size_t size) {
+    if (mode_ == ScanMode::kSampled &&
+        (FlowKeyHash{}(key) & sample_mask_) == 0)
+      return true;
+    const bool hit = probe_chunk(data, size);
+    if (mode_ == ScanMode::kPrefilterOnly) {
+      if (hit) note_degraded_hit();
+      return false;
+    }
+    return hit;  // kSampled, non-sampled flow: scan only suspicious chunks
+  }
+
+  [[nodiscard]] bool probe_chunk(const std::uint8_t* data, std::size_t size) const {
+    if constexpr (ProbeEngine<EngineT>) {
+      return engine_->prefilter_probe(data, size);
+    } else {
+      (void)data;
+      (void)size;
+      return true;  // no probe: cannot prove absence, everything suspicious
+    }
+  }
+
+  void note_degraded_hit() {
+    ++degraded_hits_;
+    if (metrics_ != nullptr)
+      metrics_->degraded_hits.fetch_add(1, std::memory_order_relaxed);
   }
 
   void note_prefilter(bool skipped) {
@@ -675,6 +773,24 @@ class FlowInspector {
         const std::uint8_t* data = p.payload + skip;
         const std::size_t len = p.length - skip;
         const std::uint64_t base = fs.next_offset;
+        if (mode_ != ScanMode::kFull && !deep_scan_chunk(p.key, data, len)) {
+          // Degraded skip: no job, no context advance — but the offset moves
+          // and any gap the skipped bytes filled still drains (the drain's
+          // own feeds re-check the mode).
+          fs.next_offset += len;
+          const auto sink = [&](std::uint32_t id, std::uint64_t end) {
+            fsink(fs, id, end);
+          };
+          if (budget_ticks_ == 0) {
+            drain(fs, sink);
+          } else {
+            const std::uint64_t t0 = util::rdtsc_now();
+            drain(fs, sink);
+            fs.scan_ticks += util::rdtsc_now() - t0;
+            maybe_quarantine(fs);  // may erase fs — nothing touches it after
+          }
+          continue;
+        }
         if constexpr (PrefilterEngine<EngineT>) {
           // Gate at job-materialization time: a proven-clean chunk never
           // becomes a job (its context is already advanced), so the
@@ -1002,6 +1118,9 @@ class FlowInspector {
   std::uint64_t prefilter_skips_ = 0;   ///< gated chunks, scan avoided
   std::uint64_t prefilter_passes_ = 0;  ///< gate-eligible chunks scanned
   bool prefilter_on_ = true;            ///< set_prefilter() runtime switch
+  ScanMode mode_ = ScanMode::kFull;     ///< degradation-ladder rung (§14)
+  std::uint64_t sample_mask_ = 7;       ///< L1: 1-in-(mask+1) flows exact
+  std::uint64_t degraded_hits_ = 0;     ///< L2 probe-positive detections
   std::unordered_set<FlowKey, FlowKeyHash> quarantined_;
   std::deque<FlowKey> quarantine_order_;  ///< FIFO aging of quarantined_
   obs::MetricsRegistry* registry_ = nullptr;  ///< telemetry root (optional)

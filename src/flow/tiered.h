@@ -212,6 +212,16 @@ class TieredFlowInspector {
   [[nodiscard]] bool prefilter_enabled() const { return prefilter_on_; }
   [[nodiscard]] std::size_t batch_lanes() const { return batch_lanes_; }
 
+  /// Degraded scan modes, contract identical to FlowInspector (§14): the
+  /// shard worker owns this inspector, so the controller flips modes
+  /// without synchronization and they apply from the next chunk on.
+  void set_scan_mode(ScanMode mode, std::uint32_t sample_shift = 3) {
+    mode_ = mode;
+    sample_mask_ = (std::uint64_t{1} << (sample_shift < 63 ? sample_shift : 63)) - 1;
+  }
+  [[nodiscard]] ScanMode scan_mode() const { return mode_; }
+  [[nodiscard]] std::uint64_t degraded_hit_count() const { return degraded_hits_; }
+
   // --- tiering knobs ---
 
   /// Pre-size the hot table so `n` flows fit under the grow threshold
@@ -437,6 +447,16 @@ class TieredFlowInspector {
   void evict(const FlowKey& key) {
     const std::uint32_t si = find_slot(key, FlowKeyHash{}(key));
     if (si != kNoSlot) evict_slot_core(si);
+  }
+
+  /// Crash-recovery reset, contract identical to FlowInspector::reset_flow:
+  /// drop `key`'s state (fresh context on its next packet) without counting
+  /// an eviction; true when a flow actually existed.
+  bool reset_flow(const FlowKey& key) {
+    const std::uint32_t si = find_slot(key, FlowKeyHash{}(key));
+    if (si == kNoSlot) return false;
+    evict_slot_core(si);
+    return true;
   }
 
   /// Drop every flow and reset derived bookkeeping; monotone totals and the
@@ -915,15 +935,49 @@ class TieredFlowInspector {
       return simd::Gate::kNone;
   }
 
-  /// Gate-aware feed_slot: a proven-clean chunk advances the flow's state
-  /// without a scan (contract identical to FlowInspector::feed_or_skip).
+  /// Gate-aware feed_slot: degraded-mode admission first, then the
+  /// prefilter gate — a skipped chunk advances only the offset (gate skips
+  /// also advance the context via tail replay). Contract identical to
+  /// FlowInspector::feed_or_skip.
   template <typename Sink>
   void feed_or_skip_slot(std::uint32_t si, const std::uint8_t* data,
                          std::size_t size, std::uint64_t base, Sink&& sink) {
+    if (mode_ != ScanMode::kFull && !deep_scan_chunk(slots_[si].key, data, size))
+      return;
     const simd::Gate g = gate_slot(si, data, size);
     if (g != simd::Gate::kNone) note_prefilter(g == simd::Gate::kSkip);
     if (g == simd::Gate::kSkip) return;
     feed_slot(si, data, size, base, sink);
+  }
+
+  /// Degraded-mode admission, mirroring FlowInspector::deep_scan_chunk.
+  bool deep_scan_chunk(const FlowKey& key, const std::uint8_t* data,
+                       std::size_t size) {
+    if (mode_ == ScanMode::kSampled &&
+        (FlowKeyHash{}(key) & sample_mask_) == 0)
+      return true;
+    const bool hit = probe_chunk(data, size);
+    if (mode_ == ScanMode::kPrefilterOnly) {
+      if (hit) note_degraded_hit();
+      return false;
+    }
+    return hit;  // kSampled, non-sampled flow: scan only suspicious chunks
+  }
+
+  [[nodiscard]] bool probe_chunk(const std::uint8_t* data, std::size_t size) const {
+    if constexpr (ProbeEngine<EngineT>) {
+      return engine_->prefilter_probe(data, size);
+    } else {
+      (void)data;
+      (void)size;
+      return true;  // no probe: cannot prove absence, everything suspicious
+    }
+  }
+
+  void note_degraded_hit() {
+    ++degraded_hits_;
+    if (metrics_ != nullptr)
+      metrics_->degraded_hits.fetch_add(1, std::memory_order_relaxed);
   }
 
   void note_prefilter(bool skipped) {
@@ -1049,6 +1103,23 @@ class TieredFlowInspector {
         const std::uint8_t* data = p.payload + skip;
         const std::size_t len = p.length - skip;
         const std::uint64_t base = slot_off(s);
+        if (mode_ != ScanMode::kFull && !deep_scan_chunk(p.key, data, len)) {
+          // Degraded skip: no job, no context advance — the offset moves and
+          // any gap the skipped bytes filled still drains.
+          set_slot_off(s, base + len);
+          const auto sink = [&](std::uint32_t id, std::uint64_t end) {
+            fsink(si, id, end);
+          };
+          if (budget_ticks_ == 0) {
+            drain(si, sink);
+          } else {
+            const std::uint64_t t0 = util::rdtsc_now();
+            drain(si, sink);
+            ticks_[si] += util::rdtsc_now() - t0;
+            maybe_quarantine(si);  // may erase the flow — nothing touches it after
+          }
+          continue;
+        }
         // Gate at job-materialization time (same rationale as the flat
         // inspector): a proven-clean chunk never becomes a job.
         const simd::Gate g = gate_slot(si, data, len);
@@ -1325,6 +1396,9 @@ class TieredFlowInspector {
   std::uint64_t prefilter_skips_ = 0;   ///< gated chunks, scan avoided
   std::uint64_t prefilter_passes_ = 0;  ///< gate-eligible chunks scanned
   bool prefilter_on_ = true;            ///< set_prefilter() runtime switch
+  ScanMode mode_ = ScanMode::kFull;     ///< degradation-ladder rung (§14)
+  std::uint64_t sample_mask_ = 7;       ///< L1: 1-in-(mask+1) flows exact
+  std::uint64_t degraded_hits_ = 0;     ///< L2 probe-positive detections
   std::unordered_set<FlowKey, FlowKeyHash> quarantined_;
   std::deque<FlowKey> quarantine_order_;
   obs::MetricsRegistry* registry_ = nullptr;

@@ -148,6 +148,16 @@ class Mfa {
     return simd::Gate::kSkip;
   }
 
+  /// Stateless literal probe for degraded scan modes (flow::ScanMode): true
+  /// when the chunk *could* contain a match (literal present, or the
+  /// prefilter never compiled and cannot prove absence). Unlike
+  /// prefilter_gate() this consults no per-flow state and advances nothing —
+  /// it is a pure detection signal for L1 sampled / L2 prefilter-only scans.
+  [[nodiscard]] bool prefilter_probe(const std::uint8_t* data,
+                                     std::size_t size) const {
+    return prefilter_.probe(data, size);
+  }
+
   /// Prefilter-gated feed: prefilter_gate() then a normal feed() unless the
   /// chunk was skipped. Returns true when the chunk was skipped.
   template <typename Ctx, typename Sink>

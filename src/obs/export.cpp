@@ -90,12 +90,15 @@ void json_shard(std::string& out, const ShardSnapshot& s) {
          ",\"flows_quarantined\":%" PRIu64 ",\"worker_restarts\":%" PRIu64
          ",\"worker_stalls\":%" PRIu64 ",\"flow_hot_slots\":%" PRIu64
          ",\"flow_cold_bytes\":%" PRIu64 ",\"prefilter_pass\":%" PRIu64
-         ",\"prefilter_skip\":%" PRIu64 ",",
+         ",\"prefilter_skip\":%" PRIu64 ",\"degraded_hits\":%" PRIu64
+         ",\"degrade_level\":%" PRIu64 ",\"degrade_transitions\":%" PRIu64
+         ",\"flows_recovered\":%" PRIu64 ",",
          s.packets, s.bytes, s.matches, s.flows, s.evictions, s.reassembly_drops,
          s.reassembly_pending_bytes, s.queue_full_spins, s.max_queue_depth,
          s.shed_packets, s.shed_bytes, s.flows_quarantined, s.worker_restarts,
          s.worker_stalls, s.flow_hot_slots, s.flow_cold_bytes, s.prefilter_pass,
-         s.prefilter_skip);
+         s.prefilter_skip, s.degraded_hits, s.degrade_level,
+         s.degrade_transitions, s.flows_recovered);
   append(out, "\"spans_sampled\":%" PRIu64 ",", s.spans_sampled);
   json_histogram(out, "scan_ns", s.scan_ns);
   out += ",";
@@ -256,6 +259,19 @@ std::string to_prometheus(const RegistrySnapshot& snap,
   prom_counter(out, "mfa_prefilter_skip_total",
                "Chunks the literal prefilter proved clean (scan skipped)", snap,
                &ShardSnapshot::prefilter_skip, "counter");
+  prom_counter(out, "mfa_degraded_hits_total",
+               "Prefilter-positive chunks recorded (not scanned) while the "
+               "shard ran a degraded ladder level", snap,
+               &ShardSnapshot::degraded_hits, "counter");
+  prom_counter(out, "mfa_degrade_level",
+               "Current degradation ladder level (0=full ... 3=bypass)", snap,
+               &ShardSnapshot::degrade_level, "gauge");
+  prom_counter(out, "mfa_degrade_transitions_total",
+               "Degradation ladder level changes made by the controller", snap,
+               &ShardSnapshot::degrade_transitions, "counter");
+  prom_counter(out, "mfa_flows_recovered_total",
+               "Flows reset from the shard journal after a worker crash", snap,
+               &ShardSnapshot::flows_recovered, "counter");
   prom_counter(out, "mfa_worker_restarts_total",
                "Crashed shard workers restarted by the watchdog", snap,
                &ShardSnapshot::worker_restarts, "counter");

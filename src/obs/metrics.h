@@ -42,6 +42,11 @@ inline constexpr std::uint32_t kFlowQuarantinedEventId = 0xffffffffu;
 /// newly published engine generation.
 inline constexpr std::uint32_t kRulesetSwappedEventId = 0xfffffffeu;
 
+/// Reserved match-id used in the MatchTraceRing for degradation-ladder
+/// transitions (DESIGN.md §14): src_ip carries the shard index, `offset`
+/// the new ladder level (0-3). One event per controller transition.
+inline constexpr std::uint32_t kDegradeTransitionEventId = 0xfffffffdu;
+
 /// Read-side copy of a Histogram: plain integers, mergeable across shards.
 struct HistogramSnapshot {
   std::uint64_t counts[kHistogramBuckets] = {};
@@ -127,6 +132,10 @@ struct ShardSnapshot {
   std::uint64_t flows_quarantined = 0;  ///< flows evicted for CPU over-budget
   std::uint64_t prefilter_pass = 0;  ///< gate-eligible chunks scanned in full
   std::uint64_t prefilter_skip = 0;  ///< chunks proven clean, scan skipped
+  std::uint64_t degraded_hits = 0;   ///< L2 probe-positive detections
+  std::uint64_t degrade_level = 0;   ///< gauge: ladder level (merge takes max)
+  std::uint64_t degrade_transitions = 0;  ///< controller level changes
+  std::uint64_t flows_recovered = 0;  ///< journal-reset flows after crashes
   std::uint64_t worker_restarts = 0;    ///< crashed shard workers restarted
   std::uint64_t worker_stalls = 0;      ///< watchdog stall detections
   std::uint64_t spans_sampled = 0;      ///< packets carrying a latency span
@@ -155,11 +164,18 @@ struct ShardSnapshot {
     flows_quarantined += o.flows_quarantined;
     prefilter_pass += o.prefilter_pass;
     prefilter_skip += o.prefilter_skip;
+    degraded_hits += o.degraded_hits;
+    degrade_transitions += o.degrade_transitions;
+    flows_recovered += o.flows_recovered;
     worker_restarts += o.worker_restarts;
     worker_stalls += o.worker_stalls;
     spans_sampled += o.spans_sampled;
     max_queue_depth = max_queue_depth > o.max_queue_depth ? max_queue_depth
                                                           : o.max_queue_depth;
+    // The merged "level" is the worst shard's: one shard at L2 means the
+    // aggregate is degraded to L2, whatever the siblings are doing.
+    degrade_level = degrade_level > o.degrade_level ? degrade_level
+                                                    : o.degrade_level;
     scan_ns += o.scan_ns;
     packet_bytes += o.packet_bytes;
     bytes_per_flow += o.bytes_per_flow;
@@ -189,6 +205,9 @@ struct alignas(64) ShardMetrics {
   std::atomic<std::uint64_t> flows_quarantined{0};
   std::atomic<std::uint64_t> prefilter_pass{0};
   std::atomic<std::uint64_t> prefilter_skip{0};
+  std::atomic<std::uint64_t> degraded_hits{0};
+  std::atomic<std::uint64_t> degrade_level{0};        // gauge
+  std::atomic<std::uint64_t> degrade_transitions{0};
   std::atomic<std::uint64_t> spans_sampled{0};
   Histogram scan_ns;
   Histogram packet_bytes;
@@ -206,6 +225,7 @@ struct alignas(64) ShardMetrics {
   std::atomic<std::uint64_t> shed_bytes{0};
   std::atomic<std::uint64_t> worker_restarts{0};
   std::atomic<std::uint64_t> worker_stalls{0};
+  std::atomic<std::uint64_t> flows_recovered{0};  // journal resets (watchdog)
 
   [[nodiscard]] ShardSnapshot snapshot() const {
     ShardSnapshot s;
@@ -226,6 +246,10 @@ struct alignas(64) ShardMetrics {
     s.flows_quarantined = flows_quarantined.load(std::memory_order_relaxed);
     s.prefilter_pass = prefilter_pass.load(std::memory_order_relaxed);
     s.prefilter_skip = prefilter_skip.load(std::memory_order_relaxed);
+    s.degraded_hits = degraded_hits.load(std::memory_order_relaxed);
+    s.degrade_level = degrade_level.load(std::memory_order_relaxed);
+    s.degrade_transitions = degrade_transitions.load(std::memory_order_relaxed);
+    s.flows_recovered = flows_recovered.load(std::memory_order_relaxed);
     s.worker_restarts = worker_restarts.load(std::memory_order_relaxed);
     s.worker_stalls = worker_stalls.load(std::memory_order_relaxed);
     s.spans_sampled = spans_sampled.load(std::memory_order_relaxed);

@@ -1,0 +1,88 @@
+#include "pipeline/degrade.h"
+
+#include "util/faultpoint.h"
+
+namespace mfa::pipeline {
+
+const char* to_string(DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::kL0Full: return "L0-full";
+    case DegradeLevel::kL1Sampled: return "L1-sampled";
+    case DegradeLevel::kL2PrefilterOnly: return "L2-prefilter";
+    case DegradeLevel::kL3Bypass: return "L3-bypass";
+  }
+  return "?";
+}
+
+bool DegradeController::update(const DegradeSignals& signals,
+                               Clock::time_point now) {
+  if (knobs_.force_level >= 0) return false;  // pinned: loop bypassed
+  if (slo_.p99_ns == 0) return false;
+
+  // Pressure = worst constraint, each normalized so 1.0 means "exactly at
+  // the limit". Latency uses a queueing estimate rather than the measured
+  // histogram: depth packets ahead of a new arrival plus one burst in
+  // flight, each costing the EWMA scan time. This leads the measured p99
+  // (it reacts within one burst of queue growth) which is what lets the
+  // controller act before the SLO is already blown.
+  const double est_ns =
+      static_cast<double>(signals.queue_depth + signals.batch_size) *
+      signals.ns_per_packet;
+  double pressure = est_ns / static_cast<double>(slo_.p99_ns);
+  if (slo_.max_shed_ratio > 0.0)
+    pressure = std::max(pressure, signals.shed_ratio / slo_.max_shed_ratio);
+  if (signals.reassembly_limit != 0)
+    pressure = std::max(pressure,
+                        static_cast<double>(signals.reassembly_bytes) /
+                            static_cast<double>(signals.reassembly_limit));
+
+  // Deterministic overload for tests: the spike site overrides whatever the
+  // real signals say. param carries pressure x100 (so 400 => 4.0).
+  if (util::fault_fire("pipeline.overload.spike")) {
+    const std::uint64_t p =
+        util::FaultRegistry::instance().param("pipeline.overload.spike");
+    pressure = std::max(pressure, static_cast<double>(p == 0 ? 400 : p) / 100.0);
+  }
+  pressure_ = pressure;
+
+  if (!primed_) {
+    // First poll seeds the clocks; acting on a zero-length window would make
+    // the integral term depend on process start jitter.
+    primed_ = true;
+    last_update_ = now;
+    last_transition_ = now;
+    output_ = 0.0;
+    return false;
+  }
+
+  const double dt =
+      std::chrono::duration<double>(now - last_update_).count();
+  last_update_ = now;
+  const double err = pressure - 1.0;
+  integral_ += knobs_.ki * err * std::clamp(dt, 0.0, 1.0);
+  integral_ = std::clamp(integral_, -knobs_.integral_clamp, knobs_.integral_clamp);
+  output_ = knobs_.kp * err + integral_;
+
+  const auto dwell = std::chrono::milliseconds(knobs_.dwell_ms);
+  if (now - last_transition_ < dwell) return false;
+
+  if (output_ > knobs_.escalate_threshold &&
+      level_ != DegradeLevel::kL3Bypass) {
+    level_ = static_cast<DegradeLevel>(static_cast<std::uint8_t>(level_) + 1);
+    last_transition_ = now;
+    // Fresh rung, fresh history: accumulated windup from the old operating
+    // point would otherwise chain-escalate straight through the ladder.
+    integral_ = 0.0;
+    return true;
+  }
+  if (output_ < -knobs_.deescalate_threshold &&
+      level_ != DegradeLevel::kL0Full) {
+    level_ = static_cast<DegradeLevel>(static_cast<std::uint8_t>(level_) - 1);
+    last_transition_ = now;
+    integral_ = 0.0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mfa::pipeline

@@ -44,6 +44,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -60,6 +61,7 @@
 #include "flow/flow.h"
 #include "flow/tiered.h"
 #include "obs/export.h"
+#include "pipeline/degrade.h"
 #include "obs/http_server.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -145,6 +147,10 @@ struct ShardStats {
   std::uint64_t prefilter_skip = 0;    ///< chunks proven clean, scan skipped
   std::uint64_t worker_restarts = 0;   ///< crashed workers revived by watchdog
   std::uint64_t worker_stalls = 0;     ///< stall episodes flagged by watchdog
+  std::uint64_t degraded_hits = 0;     ///< probe-positive chunks at L1/L2
+  std::uint64_t degrade_level = 0;     ///< ladder rung at collection (gauge)
+  std::uint64_t degrade_transitions = 0;  ///< ladder moves by the controller
+  std::uint64_t flows_recovered = 0;   ///< journal resets after worker crashes
   /// Matches keyed by the engine generation that produced them (generation
   /// 0 before any swap_ruleset). Sums to `matches` for joined workers.
   std::map<std::uint64_t, std::uint64_t> matches_by_generation;
@@ -178,6 +184,13 @@ struct ShardStats {
     prefilter_skip += o.prefilter_skip;
     worker_restarts += o.worker_restarts;
     worker_stalls += o.worker_stalls;
+    degraded_hits += o.degraded_hits;
+    // Merged totals report the worst shard's rung: "how degraded is the
+    // pipeline" is a max question, not a sum.
+    degrade_level = degrade_level > o.degrade_level ? degrade_level
+                                                    : o.degrade_level;
+    degrade_transitions += o.degrade_transitions;
+    flows_recovered += o.flows_recovered;
     for (const auto& [gen, count] : o.matches_by_generation)
       matches_by_generation[gen] += count;
     return *this;
@@ -242,6 +255,18 @@ struct Options {
     std::uint64_t max_quarantined_flows = 1024;
   } health;
 
+  // --- Adaptive degradation (DESIGN.md Sec. 14) ---
+  /// Service-level objective the per-shard degradation controller defends.
+  /// slo.p99_ns == 0 (the default) disables the closed loop entirely: no
+  /// clock reads, no controller polls, identical hot path to earlier
+  /// versions. With a target set, each shard worker walks the fidelity
+  /// ladder L0 full -> L1 sampled -> L2 prefilter-only -> L3 bypass, one
+  /// rung per dwell period, to keep estimated p99 under the objective.
+  Slo slo;
+  /// Controller tuning (gains, dwell, hysteresis band, L1 sampling rate).
+  /// degrade.force_level >= 0 pins the ladder for bench sweeps.
+  DegradeKnobs degrade;
+
   // --- Overload & robustness (DESIGN.md Sec. 9) ---
   ShedPolicy shed_policy = ShedPolicy::kBackpressure;
   /// Queue backlog (ring + producer buffer) at which shedding engages.
@@ -298,6 +323,7 @@ class ShardedInspector {
     matches_.clear();
     flow_matches_.clear();
     stop_.store(false, std::memory_order_relaxed);
+    health_primed_ = false;  // fresh run, fresh health smoothing
     for (std::size_t i = 0; i < options_.shards; ++i)
       shards_.push_back(std::make_unique<Shard>(*engine_, options_, i));
     shed_high_ = options_.shed_high_water != 0
@@ -351,23 +377,70 @@ class ShardedInspector {
   /// (shed ratio, live queue depth, watchdog restarts, quarantined flows)
   /// crosses its Options::health threshold. Safe from any thread while the
   /// pipeline is running; the body names every signal either way.
+  ///
+  /// Shed ratio and queue depth are EWMA-smoothed across polls (tau ~2 s):
+  /// one probe landing inside a short burst can no longer flap the verdict
+  /// 200<->503 — the smoothed signal has to stay over the line for a
+  /// sustained window. With the degradation controller enabled, bypass
+  /// sheds are excluded from the ratio (degrading by design is the
+  /// controller doing its job, not the pipeline failing) and the body
+  /// reports the worst shard's ladder rung as degraded-but-alive state.
   [[nodiscard]] obs::HttpServer::Health health() const {
     obs::HttpServer::Health out;
-    const obs::RegistrySnapshot snap =
-        options_.metrics != nullptr ? options_.metrics->snapshot()
-                                    : obs::RegistrySnapshot{};
-    const obs::ShardSnapshot t = snap.totals();
-    const std::uint64_t submitted = t.packets + t.shed_packets;
-    const double shed_ratio =
-        submitted == 0 ? 0.0
-                       : static_cast<double>(t.shed_packets) /
-                             static_cast<double>(submitted);
-    std::uint64_t depth = 0;
+    // Everything comes from the shards' own relaxed atomics, so health is
+    // meaningful even without a MetricsRegistry attached.
+    std::uint64_t popped = 0, shed = 0, bypass = 0, restarts = 0, quar = 0;
+    std::uint64_t depth = 0, level = 0;
     std::size_t failed = 0;
     for (const auto& shard : shards_) {
-      const std::size_t d = shard->queue.depth();
+      const Shard& s = *shard;
+      shed += s.shed_admission_a.load(std::memory_order_relaxed) +
+              s.shed_bypass_a.load(std::memory_order_relaxed) +
+              s.shed_corrupt_a.load(std::memory_order_relaxed) +
+              s.shed_crash_a.load(std::memory_order_relaxed) +
+              s.shed_quarantine_a.load(std::memory_order_relaxed) +
+              s.shed_failover_a.load(std::memory_order_relaxed);
+      bypass += s.shed_bypass_a.load(std::memory_order_relaxed);
+      popped += s.packets_a.load(std::memory_order_relaxed);
+      restarts += s.restarts.load(std::memory_order_relaxed);
+      quar += s.flows_quarantined_a.load(std::memory_order_relaxed);
+      const std::size_t d = s.queue.depth();
       depth = d > depth ? d : depth;
-      if (shard->failed.load(std::memory_order_acquire)) ++failed;
+      const std::uint64_t lvl = s.degrade_level_a.load(std::memory_order_relaxed);
+      level = lvl > level ? lvl : level;
+      if (s.failed.load(std::memory_order_acquire)) ++failed;
+    }
+    const bool controller_on =
+        options_.slo.p99_ns != 0 || options_.degrade.force_level >= 0;
+    const std::uint64_t submitted = popped + shed;
+    const std::uint64_t shed_signal = controller_on ? shed - bypass : shed;
+    const double raw_ratio =
+        submitted == 0 ? 0.0
+                       : static_cast<double>(shed_signal) /
+                             static_cast<double>(submitted);
+    double shed_ratio = raw_ratio;
+    double depth_smoothed = static_cast<double>(depth);
+    {
+      // EWMA across polls. alpha = 1 - exp(-dt/tau) makes the smoothing
+      // poll-rate independent: back-to-back probes barely move the state,
+      // a probe after a long gap mostly adopts the fresh sample.
+      std::lock_guard<std::mutex> lock(health_mu_);
+      const auto now = std::chrono::steady_clock::now();
+      if (!health_primed_) {
+        health_primed_ = true;
+        health_shed_ewma_ = raw_ratio;
+        health_depth_ewma_ = static_cast<double>(depth);
+      } else {
+        const double dt =
+            std::chrono::duration<double>(now - health_last_).count();
+        const double alpha = 1.0 - std::exp(-std::max(dt, 0.0) / kHealthTauSec);
+        health_shed_ewma_ += alpha * (raw_ratio - health_shed_ewma_);
+        health_depth_ewma_ +=
+            alpha * (static_cast<double>(depth) - health_depth_ewma_);
+      }
+      health_last_ = now;
+      shed_ratio = health_shed_ewma_;
+      depth_smoothed = health_depth_ewma_;
     }
     const std::uint64_t depth_limit =
         options_.health.max_queue_depth != 0
@@ -379,27 +452,29 @@ class ShardedInspector {
             : static_cast<std::uint64_t>(options_.shards) *
                   options_.max_worker_restarts;
     const bool shed_ok = shed_ratio <= options_.health.max_shed_ratio;
-    const bool depth_ok = depth <= depth_limit;
-    const bool restarts_ok = t.worker_restarts <= restart_limit;
-    const bool quarantine_ok =
-        t.flows_quarantined <= options_.health.max_quarantined_flows;
+    const bool depth_ok = depth_smoothed <= static_cast<double>(depth_limit);
+    const bool restarts_ok = restarts <= restart_limit;
+    const bool quarantine_ok = quar <= options_.health.max_quarantined_flows;
     out.ok = failed == 0 && shed_ok && depth_ok && restarts_ok && quarantine_ok;
-    char buf[512];
+    char buf[768];
     std::snprintf(buf, sizeof buf,
                   "{\"ok\":%s,\"failed_shards\":%zu,"
+                  "\"degraded\":%s,\"degrade_level\":%llu,"
                   "\"shed_ratio\":{\"value\":%.6f,\"limit\":%.6f,\"ok\":%s},"
-                  "\"queue_depth\":{\"value\":%llu,\"limit\":%llu,\"ok\":%s},"
+                  "\"queue_depth\":{\"value\":%.1f,\"limit\":%llu,\"ok\":%s},"
                   "\"worker_restarts\":{\"value\":%llu,\"limit\":%llu,\"ok\":%s},"
                   "\"quarantined_flows\":{\"value\":%llu,\"limit\":%llu,\"ok\":%s}}",
-                  out.ok ? "true" : "false", failed, shed_ratio,
+                  out.ok ? "true" : "false", failed,
+                  level != 0 ? "true" : "false",
+                  static_cast<unsigned long long>(level), shed_ratio,
                   options_.health.max_shed_ratio, shed_ok ? "true" : "false",
-                  static_cast<unsigned long long>(depth),
+                  depth_smoothed,
                   static_cast<unsigned long long>(depth_limit),
                   depth_ok ? "true" : "false",
-                  static_cast<unsigned long long>(t.worker_restarts),
+                  static_cast<unsigned long long>(restarts),
                   static_cast<unsigned long long>(restart_limit),
                   restarts_ok ? "true" : "false",
-                  static_cast<unsigned long long>(t.flows_quarantined),
+                  static_cast<unsigned long long>(quar),
                   static_cast<unsigned long long>(
                       options_.health.max_quarantined_flows),
                   quarantine_ok ? "true" : "false");
@@ -783,14 +858,19 @@ class ShardedInspector {
   }
 
   /// Supervision loop: per-shard heartbeat aging for stall detection,
-  /// join+clear+respawn for crashed workers, failover past the restart
+  /// join+recover+respawn for crashed workers, failover past the restart
   /// budget. Runs every watchdog_interval_ms until finish() joins it.
+  ///
+  /// Stall detection ages the worker's own steady_clock heartbeat stamp —
+  /// the worker writes "when" it last made progress, the watchdog compares
+  /// against the same clock. (An earlier version aged a heartbeat counter
+  /// by the watchdog's observation times, which charged the watchdog's own
+  /// scheduling delay to the worker: an oversleeping watchdog under load
+  /// flagged healthy workers as stalled.)
   void watchdog_run() {
     const auto interval = std::chrono::milliseconds(options_.watchdog_interval_ms);
-    const auto stall_timeout = std::chrono::milliseconds(options_.stall_timeout_ms);
-    std::vector<std::uint64_t> last_hb(shards_.size(), 0);
-    std::vector<std::chrono::steady_clock::time_point> last_beat(
-        shards_.size(), std::chrono::steady_clock::now());
+    const std::int64_t stall_timeout_ns =
+        std::int64_t{options_.stall_timeout_ms} * 1'000'000;
     while (!stop_.load(std::memory_order_acquire)) {
       std::this_thread::sleep_for(interval);
       for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -801,11 +881,10 @@ class ShardedInspector {
         }
         if (!s.alive.load(std::memory_order_acquire)) {
           if (stop_.load(std::memory_order_acquire)) return;  // normal exit
-          // Crash recovery. The worker is dead: join it, then give the
-          // shard fresh per-flow contexts (a crash mid-scan may have left
-          // them in a torn state) and respawn. Past the restart budget the
-          // shard fails over: its queue is drained-and-shed here and all
-          // later submits shed at admission.
+          // Crash recovery. The worker is dead: join it, recover from the
+          // shard journal, and respawn. Past the restart budget the shard
+          // fails over: its queue is drained-and-shed here and all later
+          // submits shed at admission.
           if (s.thread.joinable()) s.thread.join();
           if (s.restarts.load(std::memory_order_relaxed) >=
               options_.max_worker_restarts) {
@@ -813,23 +892,23 @@ class ShardedInspector {
             drain_failed(s);
             continue;
           }
-          s.inspector.clear();
+          s.recover_from_journal();
           s.restarts.fetch_add(1, std::memory_order_relaxed);
           if (s.metrics != nullptr)
             s.metrics->worker_restarts.fetch_add(1, std::memory_order_relaxed);
-          last_hb[i] = s.heartbeat.load(std::memory_order_relaxed);
-          last_beat[i] = std::chrono::steady_clock::now();
+          // Fresh heartbeat before `alive` flips: the respawned worker must
+          // not inherit the dead one's stamp age.
+          s.heartbeat_ns.store(Shard::steady_now_ns(), std::memory_order_relaxed);
           s.alive.store(true, std::memory_order_release);
           s.thread = std::thread([sp = &s] { sp->run(); });
           continue;
         }
-        const std::uint64_t hb = s.heartbeat.load(std::memory_order_relaxed);
-        if (hb != last_hb[i]) {
-          last_hb[i] = hb;
-          last_beat[i] = std::chrono::steady_clock::now();
+        const std::int64_t age =
+            Shard::steady_now_ns() -
+            s.heartbeat_ns.load(std::memory_order_relaxed);
+        if (age < stall_timeout_ns) {
           s.stalled.store(false, std::memory_order_relaxed);
-        } else if (std::chrono::steady_clock::now() - last_beat[i] >=
-                   stall_timeout) {
+        } else {
           // Count each stall episode once; the flag clears on recovery.
           if (!s.stalled.exchange(true, std::memory_order_relaxed)) {
             s.stalls.fetch_add(1, std::memory_order_relaxed);
@@ -872,12 +951,16 @@ class ShardedInspector {
           collect_flows(o.collect_flow_matches),
           swap_policy(o.swap_policy),
           reassembly_high(o.reassembly_high_water_bytes),
-          shed_sink(o.shed_sink) {
+          shed_sink(o.shed_sink),
+          degrade(o.slo, o.degrade),
+          journal_on(o.watchdog) {
       inspector.set_batch_lanes(o.scan_lanes);
       if (o.flow_cpu_budget_ns != 0)
         inspector.set_cpu_budget_ns(o.flow_cpu_budget_ns);
       pending.reserve(batch_size);
       burst.resize(batch_size);
+      journal_keys.reserve(batch_size);
+      heartbeat_ns.store(steady_now_ns(), std::memory_order_relaxed);
       if (o.metrics != nullptr) {
         const std::size_t slot = index % o.metrics->shard_count();
         metrics = &o.metrics->shard(slot);
@@ -887,6 +970,9 @@ class ShardedInspector {
         inspector.set_metrics(o.metrics, slot);
         if (o.profiler != nullptr) inspector.set_profiler(o.profiler);
       }
+      // A pinned ladder (bench sweeps) starts at its forced rung; the gauge
+      // reflects it but no transition is recorded — nothing "moved".
+      if (degrade.enabled()) apply_level(degrade.level(), false);
     }
 
     SpscQueue<flow::Packet> queue;
@@ -897,6 +983,28 @@ class ShardedInspector {
     flow::SwapPolicy swap_policy;
     std::uint64_t reassembly_high;
     std::function<void(const flow::Packet&, ShedReason)> shed_sink;
+
+    // Degradation controller (DESIGN.md Sec. 14). Worker-owned: the worker
+    // polls it per burst (and periodically while idle, so an empty queue
+    // still walks the ladder back to L0); only the level gauge below is
+    // shared. ewma/window fields are worker-owned plain state.
+    DegradeController degrade;
+    double scan_ns_ewma = 0.0;      ///< EWMA scan cost per kept packet
+    double shed_ratio_ewma = 0.0;   ///< EWMA of per-poll shed-delta ratio
+    std::uint64_t dg_last_shed = 0; ///< baseline for the shed-ratio window
+    std::uint64_t dg_last_total = 0;
+
+    // Crash-consistency journal (DESIGN.md Sec. 14). The worker records the
+    // burst's flow keys and opens the journal (seq -> odd) before handing
+    // the burst to the inspector, then commits (seq -> even) after it
+    // returns. A crash mid-burst leaves seq odd; the watchdog — after
+    // joining the dead worker, so it is the sole accessor — resets exactly
+    // the journaled flows (their contexts may be torn) and keeps every
+    // other flow's state, then re-commits. Only active under a watchdog:
+    // without one there is no restart to recover for.
+    bool journal_on;
+    std::atomic<std::uint64_t> journal_seq{0};  ///< odd = burst in flight
+    std::vector<flow::FlowKey> journal_keys;    ///< worker-owned; read after join
 
     // Ruleset hot-swap staging: the swapper thread writes the staged fields
     // under swap_mu and bumps swap_seq; the worker notices the bump at a
@@ -941,9 +1049,19 @@ class ShardedInspector {
     std::atomic<bool> failed{false};       ///< failed over: shed at admission
     std::atomic<bool> stalled{false};      ///< heartbeat stale (watchdog view)
     std::atomic<bool> reassembly_overload{false};  ///< worker→producer signal
-    std::atomic<std::uint64_t> heartbeat{0};
+    /// Worker-progress stamp: steady_clock nanoseconds written by the
+    /// worker each loop iteration, aged by the watchdog against the SAME
+    /// clock. One timebase end to end — no counter aged by somebody else's
+    /// observation schedule, no TSC/wall-clock mixing.
+    std::atomic<std::int64_t> heartbeat_ns{0};
     std::atomic<std::uint32_t> restarts{0};
     std::atomic<std::uint32_t> stalls{0};
+
+    [[nodiscard]] static std::int64_t steady_now_ns() {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    }
 
     // Worker-side counters: relaxed atomics so final stats can be
     // synthesized without joining (abandoned workers) and mid-run reads
@@ -965,6 +1083,10 @@ class ShardedInspector {
     std::atomic<std::uint64_t> flows_quarantined_a{0};
     std::atomic<std::uint64_t> prefilter_pass_a{0};
     std::atomic<std::uint64_t> prefilter_skip_a{0};
+    std::atomic<std::uint64_t> degraded_hits_a{0};
+    std::atomic<std::uint64_t> degrade_level_a{0};     ///< current rung (gauge)
+    std::atomic<std::uint64_t> degrade_transitions_a{0};
+    std::atomic<std::uint64_t> flows_recovered_a{0};   ///< journal resets
 
     obs::ShardMetrics* metrics = nullptr;  // shared relaxed-atomic telemetry
     obs::MetricsRegistry* registry = nullptr;  // span ring lives here
@@ -1047,6 +1169,11 @@ class ShardedInspector {
       st.prefilter_skip = prefilter_skip_a.load(std::memory_order_relaxed);
       st.worker_restarts = restarts.load(std::memory_order_relaxed);
       st.worker_stalls = stalls.load(std::memory_order_relaxed);
+      st.degraded_hits = degraded_hits_a.load(std::memory_order_relaxed);
+      st.degrade_level = degrade_level_a.load(std::memory_order_relaxed);
+      st.degrade_transitions =
+          degrade_transitions_a.load(std::memory_order_relaxed);
+      st.flows_recovered = flows_recovered_a.load(std::memory_order_relaxed);
       return st;
     }
 
@@ -1063,10 +1190,14 @@ class ShardedInspector {
         std::uint64_t iter = 0;
         std::uint64_t adopted_seq = 0;
         for (;;) {
-          heartbeat.fetch_add(1, std::memory_order_relaxed);
+          heartbeat_ns.store(steady_now_ns(), std::memory_order_relaxed);
           if constexpr (util::faultpoints_enabled()) {
-            if ((iter++ & 63) == 0) util::fault_stall("pipeline.worker.stall");
+            if ((iter & 63) == 0) util::fault_stall("pipeline.worker.stall");
           }
+          // Idle controller poll: with no bursts arriving the ladder must
+          // still walk back toward L0 once pressure is gone (every 64
+          // iterations ~ a few microseconds of idle spinning).
+          if ((iter++ & 63) == 0) poll_degrade();
           // Batch boundary: adopt a staged ruleset generation before the
           // next burst. One acquire load when nothing is staged.
           const std::uint64_t seq = swap_seq.load(std::memory_order_acquire);
@@ -1132,9 +1263,34 @@ class ShardedInspector {
           }
         }
       }
+      // L3 count-and-bypass: the deepest ladder rung. The burst is counted
+      // (packets/bytes above) but never scanned; each packet is shed as
+      // kBypass so the accounting invariant holds exactly. The controller
+      // still polls below — that is what walks the shard back up once the
+      // queue drains.
+      if (degrade.level() == DegradeLevel::kL3Bypass) {
+        for (std::size_t i = 0; i < kept; ++i)
+          shed_one(burst[i], ShedReason::kBypass);
+        sync_gauges();
+        poll_degrade();
+        return;
+      }
       std::uint64_t burst_qdrops = 0;
       std::uint64_t burst_qbytes = 0;
+      const bool timed = degrade.enabled();
+      std::chrono::steady_clock::time_point scan_t0{};
+      if (timed) scan_t0 = std::chrono::steady_clock::now();
       try {
+        if (journal_on) {
+          // Journal open (seq -> odd): record which flows this burst may
+          // touch BEFORE the inspector can tear them. Commit follows the
+          // inspector call; a crash between the two leaves seq odd and the
+          // watchdog resets exactly these flows on restart.
+          journal_keys.clear();
+          for (std::size_t i = 0; i < kept; ++i)
+            journal_keys.push_back(burst[i].key);
+          journal_seq.fetch_add(1, std::memory_order_release);
+        }
         if (util::fault_fire("pipeline.worker.crash"))
           throw std::runtime_error("injected worker crash");
         // Batched delivery: the inspector groups the burst by flow and
@@ -1157,6 +1313,8 @@ class ShardedInspector {
               burst_qbytes += p.length;
               shed_one(p, ShedReason::kQuarantine);
             });
+        if (journal_on)
+          journal_seq.fetch_add(1, std::memory_order_release);  // commit
       } catch (...) {
         // Crash mid-burst (injected, allocation fault, or engine bug): the
         // rest of the burst can't be trusted as scanned. Count everything
@@ -1177,8 +1335,113 @@ class ShardedInspector {
         throw;
       }
       scanned_a.fetch_add(kept - burst_qdrops, std::memory_order_relaxed);
+      if (timed && kept > burst_qdrops) {
+        // EWMA per-packet scan cost feeds the controller's latency
+        // estimate. steady_clock (not TSC) so the controller and the
+        // watchdog share one timebase; only read when the controller is
+        // enabled, so a disabled controller costs no clock calls.
+        const double ns =
+            std::chrono::duration<double, std::nano>(
+                std::chrono::steady_clock::now() - scan_t0)
+                .count() /
+            static_cast<double>(kept - burst_qdrops);
+        scan_ns_ewma =
+            scan_ns_ewma == 0.0 ? ns : scan_ns_ewma + 0.2 * (ns - scan_ns_ewma);
+      }
       if (dequeue_tsc != 0) record_spans(kept, dequeue_tsc);
       sync_gauges();
+      poll_degrade();
+    }
+
+    /// Recover the inspector after a worker crash (watchdog-side, after the
+    /// dead worker is joined — the join makes this the sole accessor). An
+    /// odd journal_seq means the crash interrupted a burst: the journaled
+    /// flows' contexts cannot be trusted (reset-on-next-packet, counted
+    /// flows_recovered); every other flow keeps its state, preserving
+    /// match continuity across the restart. An even seq means the crash
+    /// happened between bursts and the whole table is consistent as-is.
+    void recover_from_journal() {
+      const std::uint64_t seq = journal_seq.load(std::memory_order_acquire);
+      if ((seq & 1) == 0) return;
+      std::uint64_t recovered = 0;
+      for (const flow::FlowKey& key : journal_keys)
+        if (inspector.reset_flow(key)) ++recovered;
+      flows_recovered_a.fetch_add(recovered, std::memory_order_relaxed);
+      if (metrics != nullptr)
+        metrics->flows_recovered.fetch_add(recovered, std::memory_order_relaxed);
+      journal_seq.store(seq + 1, std::memory_order_release);  // re-commit
+    }
+
+    /// Close the degradation loop once: assemble signals the worker already
+    /// owns (queue depth, EWMA scan cost, shed-delta ratio, reassembly
+    /// occupancy), update the controller, and re-program the inspector's
+    /// scan mode on a transition. No-op (one branch) when disabled.
+    void poll_degrade() {
+      if (!degrade.enabled()) return;
+      DegradeSignals sig;
+      sig.queue_depth = queue.depth();
+      sig.batch_size = batch_size;
+      sig.ns_per_packet = scan_ns_ewma;
+      // Windowed shed ratio from deltas of the shard's own counters.
+      // Bypass sheds are the controller's OWN action (L3, or the
+      // kBypassToCount policy) and deliberately excluded — feeding them
+      // back would latch the ladder at L3 forever.
+      const std::uint64_t shed_now =
+          shed_admission_a.load(std::memory_order_relaxed) +
+          shed_failover_a.load(std::memory_order_relaxed);
+      const std::uint64_t total_now =
+          packets_a.load(std::memory_order_relaxed) + shed_now;
+      if (total_now > dg_last_total) {
+        const double r = static_cast<double>(shed_now - dg_last_shed) /
+                         static_cast<double>(total_now - dg_last_total);
+        shed_ratio_ewma += 0.1 * (r - shed_ratio_ewma);
+        dg_last_shed = shed_now;
+        dg_last_total = total_now;
+      } else {
+        // Idle poll, no new packets: pressure from shedding decays.
+        shed_ratio_ewma *= 0.98;
+      }
+      sig.shed_ratio = shed_ratio_ewma;
+      sig.reassembly_bytes = inspector.reassembly_pending_bytes();
+      sig.reassembly_limit = reassembly_high;
+      if (degrade.update(sig, std::chrono::steady_clock::now()))
+        apply_level(degrade.level(), true);
+    }
+
+    /// Program the inspector for a ladder rung and publish it. Transitions
+    /// (not the initial pinned level) bump the counters and drop a
+    /// kDegradeTransitionEventId event in the trace ring: src_ip carries
+    /// the shard slot, offset the new level.
+    void apply_level(DegradeLevel level, bool is_transition) {
+      switch (level) {
+        case DegradeLevel::kL0Full:
+          inspector.set_scan_mode(flow::ScanMode::kFull);
+          break;
+        case DegradeLevel::kL1Sampled:
+          inspector.set_scan_mode(flow::ScanMode::kSampled,
+                                  degrade.knobs().sample_shift);
+          break;
+        case DegradeLevel::kL2PrefilterOnly:
+        case DegradeLevel::kL3Bypass:
+          // L3 bursts never reach the inspector; prefilter-only is the
+          // right mode for any straggler packets mid-transition.
+          inspector.set_scan_mode(flow::ScanMode::kPrefilterOnly);
+          break;
+      }
+      degrade_level_a.store(static_cast<std::uint64_t>(level),
+                            std::memory_order_relaxed);
+      if (metrics != nullptr)
+        metrics->degrade_level.store(static_cast<std::uint64_t>(level),
+                                     std::memory_order_relaxed);
+      if (!is_transition) return;
+      degrade_transitions_a.fetch_add(1, std::memory_order_relaxed);
+      if (metrics != nullptr)
+        metrics->degrade_transitions.fetch_add(1, std::memory_order_relaxed);
+      if (registry != nullptr)
+        registry->trace().record(shard_slot, 0, 0, 0, 0,
+                                 obs::kDegradeTransitionEventId,
+                                 static_cast<std::uint64_t>(level),
+                                 util::rdtsc_now());
     }
 
     /// Publish latency spans for the sampled packets of a scanned burst.
@@ -1225,6 +1488,8 @@ class ShardedInspector {
                              std::memory_order_relaxed);
       prefilter_skip_a.store(inspector.prefilter_skip_count(),
                              std::memory_order_relaxed);
+      degraded_hits_a.store(inspector.degraded_hit_count(),
+                            std::memory_order_relaxed);
       if (reassembly_high != 0) {
         const std::uint64_t pend = inspector.reassembly_pending_bytes();
         if (pend >= reassembly_high)
@@ -1244,6 +1509,14 @@ class ShardedInspector {
   bool running_ = false;
   std::size_t shed_high_ = 0;
   std::size_t shed_low_ = 0;
+  // /healthz EWMA state (satellite of DESIGN.md Sec. 14): smoothing lives
+  // with the poller, not the workers, so the hot path never touches it.
+  static constexpr double kHealthTauSec = 2.0;
+  mutable std::mutex health_mu_;
+  mutable bool health_primed_ = false;
+  mutable std::chrono::steady_clock::time_point health_last_{};
+  mutable double health_shed_ewma_ = 0.0;
+  mutable double health_depth_ewma_ = 0.0;
   std::uint64_t span_mask_ = ~std::uint64_t{0};  ///< span sampling mask (all-ones = off)
   obs::HttpServer http_;         ///< live endpoint; idle unless http_port >= 0
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -112,6 +112,15 @@ class Prefilter {
     return teddy_->matches(data, len);
   }
 
+  /// Detection-only probe for degraded scan modes (DESIGN.md §14): "could
+  /// this chunk contain a match?" with no DFA state involved. Conservative
+  /// when the Teddy masks never compiled — a prefilter that cannot prove
+  /// absence reports everything as suspicious, so degraded modes fall back
+  /// to scanning rather than silently dropping detections.
+  [[nodiscard]] bool probe(const std::uint8_t* data, std::size_t len) const {
+    return !enabled() || matches(data, len);
+  }
+
   /// Why the gate (or the whole prefilter) is off; "ok" when fully armed.
   [[nodiscard]] const char* status() const { return status_; }
   [[nodiscard]] std::size_t literal_count() const {

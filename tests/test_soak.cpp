@@ -17,6 +17,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -26,8 +28,10 @@
 
 #include "dfa/dfa.h"
 #include "engine_test_util.h"
+#include "flow/tiered.h"
 #include "mfa/mfa.h"
 #include "nfa/nfa.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "trace/trace.h"
 #include "util/faultpoint.h"
@@ -111,6 +115,7 @@ TEST_F(SoakTest, FaultSoakKeepsAccountingExactAndUndisturbedFlowsIdentical) {
   const trace::Trace t = make_soak_trace(23);
   const PerFlowMatches reference = per_flow_reference(*m, t);
 
+  std::size_t compared_across_seeds = 0;
   for (const std::uint64_t seed : {1u, 2u, 3u}) {
     auto& reg = util::FaultRegistry::instance();
     reg.disarm_all();
@@ -209,8 +214,14 @@ TEST_F(SoakTest, FaultSoakKeepsAccountingExactAndUndisturbedFlowsIdentical) {
                 (unsigned long long)total.shed_admission,
                 (unsigned long long)total.worker_restarts, compared,
                 reference.size());
-    EXPECT_GT(compared, 0u) << "soak excluded every flow — not a useful run";
+    compared_across_seeds += compared;
   }
+  // A single seed may legitimately compare nothing when the host is
+  // oversubscribed (starved workers push admission shedding across every
+  // flow), but all three seeds going vacuous means the rates are wrong
+  // and the parity check never ran.
+  EXPECT_GT(compared_across_seeds, 0u)
+      << "soak excluded every flow in every seed — not a useful run";
 }
 
 TEST_F(SoakTest, WatchdogRestartsCrashedWorkerAndRunContinues) {
@@ -447,6 +458,175 @@ TEST_F(SoakTest, WatchdogFlagsStalledWorker) {
   std::this_thread::sleep_for(std::chrono::milliseconds(150));
   pipe.finish();
   EXPECT_GE(pipe.totals().worker_stalls, 1u);
+}
+
+// Tiered-inspector soak under allocation faults: the hot-table growth path
+// ("flow.table.alloc") and the reassembly buffering path
+// ("flow.reassembly.alloc") both throw std::bad_alloc at a randomized rate
+// while realistic traffic streams through a bare TieredFlowInspector. The
+// contracts mirror the pipeline soak, at the inspector layer:
+//  1. Exact accounting — every packet either scans or surfaces as exactly
+//     one caught bad_alloc (scanned + dropped == total), and the inspector
+//     object stays usable after every throw.
+//  2. Parity on undisturbed flows — flows that never had a packet dropped
+//     produce byte-identical matches to the sequential reference.
+TEST_F(SoakTest, TieredInspectorSurvivesAllocFaultsWithExactAccounting) {
+  if (!util::faultpoints_enabled())
+    GTEST_SKIP() << "fault points compiled out (Release build)";
+  const auto m = core::build_mfa(compile_patterns(kPatterns));
+  ASSERT_TRUE(m.has_value());
+  const trace::Trace t = make_soak_trace(29);
+  const PerFlowMatches reference = per_flow_reference(*m, t);
+  ASSERT_FALSE(reference.empty());
+  // The table site is only reached on new-flow creation, so fire
+  // deterministically on a run of creations mid-trace; the reassembly site
+  // adds chaos whenever the trace actually buffers out-of-order bytes.
+  util::FaultRegistry::instance().arm(
+      "flow.table.alloc", {19, 1000000, /*after=*/50, /*max_fires=*/8, 0});
+  util::FaultRegistry::instance().arm(
+      "flow.reassembly.alloc", {23, 1000000, /*after=*/20, /*max_fires=*/8, 0});
+
+  flow::TieredFlowInspector<core::Mfa> insp{*m};
+  PerFlowMatches got;
+  std::unordered_set<flow::FlowKey, flow::FlowKeyHash> disturbed;
+  std::uint64_t scanned = 0, dropped = 0, total = 0;
+  t.for_each_packet([&](const flow::Packet& p) {
+    ++total;
+    try {
+      insp.packet(p, [&](std::uint32_t id, std::uint64_t end) {
+        got[p.key].push_back(Match{id, end});
+      });
+      ++scanned;
+    } catch (const std::bad_alloc&) {
+      // The inspector guarantees the throw happens before any state for the
+      // packet is committed: the flow just misses these bytes.
+      ++dropped;
+      disturbed.insert(p.key);
+    }
+  });
+  EXPECT_EQ(scanned + dropped, total) << "alloc-fault accounting leaked";
+  EXPECT_GT(dropped, 0u) << "fault schedule never fired — not a useful run";
+
+  // A dropped packet leaves a hole in that flow's byte stream, so later
+  // in-order bytes legitimately park in reassembly; only flows with no
+  // drops owe the reference an exact answer.
+  for (auto& [key, v] : got) std::sort(v.begin(), v.end());
+  std::size_t compared = 0;
+  for (const auto& [key, expected] : reference) {
+    if (disturbed.count(key) != 0) continue;
+    const auto it = got.find(key);
+    ASSERT_NE(it, got.end()) << "undisturbed flow lost its matches";
+    EXPECT_EQ(it->second, expected);
+    ++compared;
+  }
+  EXPECT_GT(compared, 0u) << "every flow disturbed — rates too hot to compare";
+
+  // The inspector must still be fully alive once the faults disarm.
+  util::FaultRegistry::instance().disarm_all();
+  const std::string payload = "post-fault worm77 traffic";
+  std::size_t post_matches = 0;
+  insp.packet(flow::Packet{flow::FlowKey{9999, 1, 2, 3, 6}, 0,
+                           reinterpret_cast<const std::uint8_t*>(payload.data()),
+                           static_cast<std::uint32_t>(payload.size())},
+              [&](std::uint32_t, std::uint64_t) { ++post_matches; });
+  EXPECT_EQ(post_matches, 1u) << "inspector wedged after alloc faults";
+  std::printf("tiered alloc soak: %llu scanned, %llu dropped, %zu flows "
+              "disturbed, %zu/%zu compared clean\n",
+              (unsigned long long)scanned, (unsigned long long)dropped,
+              disturbed.size(), compared, reference.size());
+}
+
+// CI chaos-matrix leg: the seed and fault intensity come from the
+// environment (MFA_SOAK_SEED, MFA_SOAK_FAULT_PPM) so one binary fans out
+// across a randomized multi-seed matrix. Every recovery path is armed at
+// once — a crash, stalls, corruption, queue pressure, alloc failures, and
+// a synthetic overload spike that drives the degradation ladder — and the
+// run gates only the two contracts that must hold under ANY schedule:
+// exact accounting and a bounded finish(timeout). MFA_SOAK_TELEMETRY
+// names a file that receives the run's mfa.telemetry.v1 snapshot so the
+// workflow can artifact one per seed.
+TEST_F(SoakTest, ChaosMatrixLegFromEnvironment) {
+  if (!util::faultpoints_enabled())
+    GTEST_SKIP() << "fault points compiled out (Release build)";
+  std::uint64_t seed = 1;
+  if (const char* e = std::getenv("MFA_SOAK_SEED"))
+    seed = std::strtoull(e, nullptr, 10);
+  std::uint32_t ppm = 120000;
+  if (const char* e = std::getenv("MFA_SOAK_FAULT_PPM"))
+    ppm = static_cast<std::uint32_t>(std::strtoul(e, nullptr, 10));
+  // Above ~40% per-packet chaos nothing flows and the run proves nothing.
+  ppm = std::min(ppm, 400000u);
+
+  const auto m = core::build_mfa(compile_patterns(kPatterns));
+  ASSERT_TRUE(m.has_value());
+  const trace::Trace t = make_soak_trace(seed * 7919 + 101);
+
+  auto& reg = util::FaultRegistry::instance();
+  reg.arm("pipeline.worker.crash",
+          {seed, 1000000, /*after=*/25, /*max_fires=*/1, 0});
+  reg.arm("pipeline.packet.corrupt", {seed + 1, ppm / 8, 0, ~std::uint64_t{0}, 0});
+  reg.arm("pipeline.queue.full", {seed + 2, ppm / 4, 0, ~std::uint64_t{0}, 0});
+  reg.arm("pipeline.worker.stall",
+          {seed + 3, ppm / 8, 0, /*max_fires=*/6, /*param=*/2});
+  reg.arm("flow.table.alloc",
+          {seed + 4, 1000000, /*after=*/300, /*max_fires=*/2, 0});
+  reg.arm("flow.reassembly.alloc",
+          {seed + 5, ppm / 8, 0, /*max_fires=*/4, 0});
+  reg.arm("pipeline.overload.spike",
+          {seed + 6, ppm, 0, ~std::uint64_t{0}, /*param=*/300});
+
+  obs::MetricsRegistry metrics(3);
+  std::atomic<std::uint64_t> sink_calls{0};
+  Options opt;
+  opt.shards = 3;
+  opt.queue_capacity = 256;
+  opt.batch_size = 16;
+  opt.metrics = &metrics;
+  opt.watchdog = true;
+  opt.watchdog_interval_ms = 1;
+  opt.stall_timeout_ms = 10;
+  opt.max_worker_restarts = 3;
+  opt.shed_policy = ShedPolicy::kDropNewest;
+  opt.shed_sink = [&](const flow::Packet&, ShedReason) {
+    sink_calls.fetch_add(1, std::memory_order_relaxed);
+  };
+  // Degradation live: the spike faultpoint forces controller pressure, so
+  // the ladder gets walked regardless of how fast this runner really is.
+  opt.slo.p99_ns = 5'000'000;
+  opt.slo.max_shed_ratio = 0.05;
+  opt.degrade.dwell_ms = 5;
+
+  ShardedInspector<core::Mfa> pipe(*m, opt);
+  pipe.start();
+  t.for_each_packet([&](const flow::Packet& p) { pipe.submit(p); });
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool clean = pipe.finish(std::chrono::milliseconds(60000));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(clean) << "finish(timeout) hit its deadline — a worker wedged";
+  EXPECT_LT(elapsed, std::chrono::seconds(60)) << "finish(timeout) hung";
+
+  const ShardStats total = pipe.totals();
+  EXPECT_EQ(total.submitted, t.packet_count()) << "seed " << seed;
+  check_invariant(total, "totals");
+  for (std::size_t i = 0; i < pipe.stats().size(); ++i)
+    check_invariant(pipe.stats()[i], "shard");
+  EXPECT_GT(total.scanned, 0u) << "chaos drowned all traffic; rates too hot";
+
+  if (const char* path = std::getenv("MFA_SOAK_TELEMETRY")) {
+    std::ofstream out(path);
+    out << obs::to_json(metrics.snapshot()) << '\n';
+    out.flush();
+    ASSERT_TRUE(out.good()) << "failed to write telemetry artifact " << path;
+  }
+  std::printf(
+      "chaos matrix leg: seed=%llu ppm=%u scanned=%llu shed=%llu "
+      "restarts=%llu recovered=%llu degrade_transitions=%llu sink=%llu\n",
+      (unsigned long long)seed, ppm, (unsigned long long)total.scanned,
+      (unsigned long long)total.shed_total(),
+      (unsigned long long)total.worker_restarts,
+      (unsigned long long)total.flows_recovered,
+      (unsigned long long)total.degrade_transitions,
+      (unsigned long long)sink_calls.load());
 }
 
 }  // namespace
