@@ -49,6 +49,24 @@ struct Args {
   /// exceeds the ungated scan's by more than this percentage (negative = no
   /// assertion). Bounds the gate's overhead when it never fires.
   double assert_overhead_pct = -1.0;
+  /// bench_ruleset only: single rule-count rung override (0 = default
+  /// ladder 1k/5k/10k, or a reduced ladder under --smoke).
+  std::size_t rules = 0;
+  /// bench_ruleset only: exit non-zero unless the delta table is at least
+  /// this many times smaller than the dense piece table at the largest
+  /// rung (0 = no assertion).
+  double assert_delta_ratio = 0.0;
+  /// bench_ruleset only: exit non-zero if the delta-mode MFA's CpB exceeds
+  /// the dense-mode MFA's by more than this percentage (negative = no
+  /// assertion). Bounds the cost of walking default chains.
+  double assert_delta_cpb_pct = -1.0;
+  /// bench_ruleset only: exit non-zero unless parallel subset construction
+  /// beats the 1-thread build by at least this factor on the DFA phase at
+  /// the largest rung (0 = no assertion).
+  double assert_parallel_speedup = 0.0;
+  /// bench_ruleset only: exit non-zero if compiling the largest rung (dense,
+  /// 1 thread) takes longer than this many seconds (0 = no assertion).
+  double assert_compile_seconds = 0.0;
 
   static Args parse(int argc, char** argv) {
     Args args;
@@ -80,10 +98,21 @@ struct Args {
         args.assert_compact_batched_pct = std::strtod(next(), nullptr);
       else if (a == "--assert-overhead-pct")
         args.assert_overhead_pct = std::strtod(next(), nullptr);
+      else if (a == "--rules") args.rules = std::strtoull(next(), nullptr, 10);
+      else if (a == "--assert-delta-ratio")
+        args.assert_delta_ratio = std::strtod(next(), nullptr);
+      else if (a == "--assert-delta-cpb-pct")
+        args.assert_delta_cpb_pct = std::strtod(next(), nullptr);
+      else if (a == "--assert-parallel-speedup")
+        args.assert_parallel_speedup = std::strtod(next(), nullptr);
+      else if (a == "--assert-compile-seconds")
+        args.assert_compile_seconds = std::strtod(next(), nullptr);
       else if (a == "--help") {
         std::printf("options: --bytes N  --dfa-cap N  --reps N  --csv  --smoke"
                     "  --json FILE  --flows N  --assert-bytes-per-flow N"
-                    "  --assert-compact-batched-pct P  --assert-overhead-pct P\n");
+                    "  --assert-compact-batched-pct P  --assert-overhead-pct P"
+                    "  --rules N  --assert-delta-ratio R  --assert-delta-cpb-pct P"
+                    "  --assert-parallel-speedup R  --assert-compile-seconds S\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown option %s\n", a.c_str());

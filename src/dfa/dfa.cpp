@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "util/timing.h"
@@ -121,42 +125,53 @@ std::pair<std::vector<std::uint32_t>, std::uint32_t> minimize_partition(
   return {std::move(block), block_count};
 }
 
-}  // namespace
-
-std::optional<Dfa> build_dfa(const nfa::Nfa& nfa, const BuildOptions& options,
-                             BuildStats* stats) {
-  util::WallTimer timer;
-  BuildStats local_stats;
-  BuildStats& st = stats != nullptr ? *stats : local_stats;
-
-  const auto [byte_to_col, ncls] = compute_byte_classes(nfa);
-  const ClassifiedNfa cn = classify(nfa, byte_to_col, ncls);
-
-  // Subset construction over sorted NFA-state vectors.
-  std::unordered_map<std::vector<std::uint32_t>, std::uint32_t, VecHash> subset_to_id;
+/// Output of the (sequential or parallel) reachable-subset exploration, in
+/// canonical numbering: state 0 is the start subset, successors numbered in
+/// discovery order walking byte classes 0..ncls-1 — exactly the order the
+/// sequential explorer interns them in.
+struct Explored {
   std::vector<std::vector<std::uint32_t>> subsets;
-  std::vector<std::uint32_t> table;  // growing state_count * ncls
+  std::vector<std::uint32_t> table;  // state_count * ncls
+  bool failed = false;
+  std::uint32_t discovered = 0;  ///< states found (== cap when failed)
+};
 
+/// Sequential explorer. The cap is enforced exactly at insertion: interning
+/// a subset that would make the count exceed max_states aborts right there
+/// instead of one processed state later.
+Explored explore_sequential(const nfa::Nfa& nfa, const ClassifiedNfa& cn,
+                            std::uint16_t ncls, std::uint32_t max_states) {
+  Explored out;
+  std::unordered_map<std::vector<std::uint32_t>, std::uint32_t, VecHash> subset_to_id;
+  auto& subsets = out.subsets;
+  auto& table = out.table;
+
+  bool overflow = false;
   const auto intern = [&](std::vector<std::uint32_t> subset) -> std::uint32_t {
     const auto [it, inserted] =
         subset_to_id.try_emplace(std::move(subset), static_cast<std::uint32_t>(subsets.size()));
-    if (inserted) subsets.push_back(it->first);
+    if (inserted) {
+      if (subsets.size() >= max_states) {
+        overflow = true;
+        return UINT32_MAX;
+      }
+      subsets.push_back(it->first);
+    }
     return it->second;
   };
 
   intern({nfa.start()});
+  if (overflow) {  // max_states == 0
+    out.failed = true;
+    out.discovered = 0;
+    return out;
+  }
 
   // Per-class target buckets, reused across states; dirty list for cheap reset.
   std::vector<std::vector<std::uint32_t>> buckets(ncls);
   std::vector<std::uint16_t> dirty;
 
-  for (std::uint32_t ds = 0; ds < subsets.size(); ++ds) {
-    if (subsets.size() > options.max_states) {
-      st.failed = true;
-      st.seconds = timer.seconds();
-      st.states = static_cast<std::uint32_t>(subsets.size());
-      return std::nullopt;
-    }
+  for (std::uint32_t ds = 0; ds < subsets.size() && !overflow; ++ds) {
     // Work on a copy: `subsets` may reallocate when interning successors.
     const std::vector<std::uint32_t> members = subsets[ds];
     for (const std::uint16_t c : dirty) buckets[c].clear();
@@ -178,9 +193,241 @@ std::optional<Dfa> build_dfa(const nfa::Nfa& nfa, const BuildOptions& options,
       std::sort(b.begin(), b.end());
       b.erase(std::unique(b.begin(), b.end()), b.end());
       const std::uint32_t id = intern(b);
+      if (overflow) break;
       table[static_cast<std::size_t>(ds) * ncls + c] = id;
     }
   }
+
+  out.discovered = static_cast<std::uint32_t>(subsets.size());
+  out.failed = overflow;
+  return out;
+}
+
+/// Parallel explorer: work-stealing over the discovery frontier.
+///
+/// Interning is striped over 64 mutex-guarded maps; every new subset gets a
+/// provisional id from one atomic counter and is published to a paged slot
+/// array (release store of the map node's stable key address). The work
+/// list needs no queue at all: provisional ids are dense, so workers CLAIM
+/// the next unprocessed id range off a second atomic cursor — stealing is
+/// just fetch-add on shared state, and a claimed id's subset is awaited via
+/// its published slot. Termination: processed == assigned, stable.
+///
+/// Provisional numbering is race order, so a canonical BFS renumbering
+/// afterwards (start first, successors in class order) makes the result
+/// byte-identical to the sequential explorer for any thread count.
+Explored explore_parallel(const nfa::Nfa& nfa, const ClassifiedNfa& cn,
+                          std::uint16_t ncls, std::uint32_t max_states,
+                          std::uint32_t threads) {
+  constexpr std::size_t kShardCount = 64;
+  constexpr std::uint32_t kPage = 1024;          // subset slots per page
+  constexpr std::uint64_t kClaimBatch = 8;       // ids claimed per steal
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::vector<std::uint32_t>, std::uint32_t, VecHash> map;
+  };
+  std::vector<Shard> shards(kShardCount);
+
+  // Paged publication slots: subset members by provisional id. Pages are
+  // allocated on demand (double-checked via atomic page pointers) so a tiny
+  // automaton under a huge cap does not pre-pay cap-sized storage.
+  using Slot = std::atomic<const std::vector<std::uint32_t>*>;
+  const std::size_t page_count = static_cast<std::size_t>(max_states) / kPage + 1;
+  std::vector<std::atomic<Slot*>> pages(page_count);
+  for (auto& p : pages) p.store(nullptr, std::memory_order_relaxed);
+  std::mutex page_mu;
+  const auto slot_of = [&](std::uint32_t id) -> Slot& {
+    const std::size_t pg = id / kPage;
+    Slot* page = pages[pg].load(std::memory_order_acquire);
+    if (page == nullptr) {
+      std::lock_guard<std::mutex> lock(page_mu);
+      page = pages[pg].load(std::memory_order_relaxed);
+      if (page == nullptr) {
+        page = new Slot[kPage];
+        for (std::uint32_t i = 0; i < kPage; ++i)
+          page[i].store(nullptr, std::memory_order_relaxed);
+        pages[pg].store(page, std::memory_order_release);
+      }
+    }
+    return page[id % kPage];
+  };
+
+  std::atomic<std::uint64_t> assigned{0};   // provisional ids handed out
+  std::atomic<std::uint64_t> next_claim{0};
+  std::atomic<std::uint64_t> processed{0};
+  std::atomic<bool> overflow{false};
+
+  const auto intern = [&](std::vector<std::uint32_t> subset) -> std::uint32_t {
+    const std::size_t h = VecHash{}(subset);
+    Shard& sh = shards[h % kShardCount];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const auto it = sh.map.find(subset);
+    if (it != sh.map.end()) return it->second;
+    const auto id =
+        static_cast<std::uint32_t>(assigned.fetch_add(1, std::memory_order_acq_rel));
+    if (id >= max_states) {
+      overflow.store(true, std::memory_order_release);
+      return UINT32_MAX;
+    }
+    const auto [node, fresh] = sh.map.emplace(std::move(subset), id);
+    (void)fresh;
+    slot_of(id).store(&node->first, std::memory_order_release);
+    return id;
+  };
+
+  intern({nfa.start()});
+
+  // Per-worker row output: (provisional id, row) pairs, scattered into the
+  // provisional table after the join. No cross-thread row sharing.
+  struct WorkerOut {
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> rows;
+  };
+  std::vector<WorkerOut> outs(threads);
+
+  const auto worker = [&](WorkerOut& out) {
+    std::vector<std::vector<std::uint32_t>> buckets(ncls);
+    std::vector<std::uint16_t> dirty;
+    for (;;) {
+      if (overflow.load(std::memory_order_acquire)) return;
+      std::uint64_t k = next_claim.load(std::memory_order_acquire);
+      const std::uint64_t n =
+          std::min<std::uint64_t>(assigned.load(std::memory_order_acquire), max_states);
+      if (k >= n) {
+        // Done only when every assigned id is processed AND no new ids
+        // appeared between the two reads (a processing worker is the only
+        // thing that can assign more).
+        if (processed.load(std::memory_order_acquire) == n &&
+            std::min<std::uint64_t>(assigned.load(std::memory_order_acquire),
+                                    max_states) == n)
+          return;
+        std::this_thread::yield();
+        continue;
+      }
+      const std::uint64_t take = std::min(kClaimBatch, n - k);
+      if (!next_claim.compare_exchange_weak(k, k + take, std::memory_order_acq_rel))
+        continue;
+      for (std::uint64_t id = k; id < k + take; ++id) {
+        // Await publication (the assigning thread stores the slot right
+        // after taking the id).
+        const std::vector<std::uint32_t>* members_ptr;
+        while ((members_ptr = slot_of(static_cast<std::uint32_t>(id))
+                    .load(std::memory_order_acquire)) == nullptr) {
+          if (overflow.load(std::memory_order_acquire)) return;
+          std::this_thread::yield();
+        }
+        const std::vector<std::uint32_t>& members = *members_ptr;
+        for (const std::uint16_t c : dirty) buckets[c].clear();
+        dirty.clear();
+        for (const std::uint32_t m : members) {
+          for (std::uint32_t e = cn.row_offsets[m]; e < cn.row_offsets[m + 1]; ++e) {
+            const auto [c, target] = cn.entries[e];
+            if (buckets[c].empty()) dirty.push_back(c);
+            buckets[c].push_back(target);
+          }
+        }
+        std::vector<std::uint32_t> row(ncls, UINT32_MAX);
+        for (std::uint16_t c = 0; c < ncls; ++c) {
+          auto& b = buckets[c];
+          std::sort(b.begin(), b.end());
+          b.erase(std::unique(b.begin(), b.end()), b.end());
+          row[c] = intern(b);
+          if (overflow.load(std::memory_order_relaxed)) return;
+        }
+        out.rows.emplace_back(static_cast<std::uint32_t>(id), std::move(row));
+        processed.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+  };
+
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t)
+      pool.emplace_back(worker, std::ref(outs[t]));
+    for (auto& th : pool) th.join();
+  }
+
+  Explored out;
+  if (overflow.load(std::memory_order_acquire)) {
+    out.failed = true;
+    out.discovered = max_states;
+    for (auto& p : pages) delete[] p.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  const auto n = static_cast<std::uint32_t>(assigned.load(std::memory_order_acquire));
+  // Scatter provisional rows and subset pointers into id-indexed arrays.
+  std::vector<const std::vector<std::uint32_t>*> prov_subset(n, nullptr);
+  std::vector<std::uint32_t> prov_table(static_cast<std::size_t>(n) * ncls, UINT32_MAX);
+  for (std::uint32_t id = 0; id < n; ++id)
+    prov_subset[id] = slot_of(id).load(std::memory_order_acquire);
+  for (const auto& w : outs) {
+    for (const auto& [id, row] : w.rows)
+      std::copy(row.begin(), row.end(),
+                prov_table.begin() + static_cast<std::size_t>(id) * ncls);
+  }
+
+  // Canonical renumbering: BFS from the start subset, successors in class
+  // order — the exact order the sequential explorer assigns.
+  std::vector<std::uint32_t> canon(n, UINT32_MAX);
+  std::vector<std::uint32_t> order;  // canonical id -> provisional id
+  order.reserve(n);
+  canon[0] = 0;  // start is always provisional id 0 (interned pre-spawn)
+  order.push_back(0);
+  for (std::uint32_t head = 0; head < order.size(); ++head) {
+    const std::uint32_t prov = order[head];
+    for (std::uint16_t c = 0; c < ncls; ++c) {
+      const std::uint32_t target = prov_table[static_cast<std::size_t>(prov) * ncls + c];
+      if (canon[target] == UINT32_MAX) {
+        canon[target] = static_cast<std::uint32_t>(order.size());
+        order.push_back(target);
+      }
+    }
+  }
+
+  out.subsets.resize(n);
+  out.table.assign(static_cast<std::size_t>(n) * ncls, UINT32_MAX);
+  for (std::uint32_t cid = 0; cid < n; ++cid) {
+    const std::uint32_t prov = order[cid];
+    out.subsets[cid] = *prov_subset[prov];
+    for (std::uint16_t c = 0; c < ncls; ++c)
+      out.table[static_cast<std::size_t>(cid) * ncls + c] =
+          canon[prov_table[static_cast<std::size_t>(prov) * ncls + c]];
+  }
+  out.discovered = n;
+  for (auto& p : pages) delete[] p.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace
+
+std::optional<Dfa> build_dfa(const nfa::Nfa& nfa, const BuildOptions& options,
+                             BuildStats* stats) {
+  util::WallTimer timer;
+  BuildStats local_stats;
+  BuildStats& st = stats != nullptr ? *stats : local_stats;
+
+  const auto [byte_to_col, ncls] = compute_byte_classes(nfa);
+  const ClassifiedNfa cn = classify(nfa, byte_to_col, ncls);
+
+  std::uint32_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min(threads, 64u);
+  }
+  Explored explored =
+      threads <= 1
+          ? explore_sequential(nfa, cn, ncls, options.max_states)
+          : explore_parallel(nfa, cn, ncls, options.max_states, threads);
+  if (explored.failed) {
+    st.failed = true;
+    st.seconds = timer.seconds();
+    st.states = explored.discovered;
+    return std::nullopt;
+  }
+  std::vector<std::vector<std::uint32_t>>& subsets = explored.subsets;
+  std::vector<std::uint32_t>& table = explored.table;
 
   const auto n = static_cast<std::uint32_t>(subsets.size());
 
@@ -294,7 +541,7 @@ void Dfa::serialize(util::BinWriter& w) const {
   w.pod_vec(accept_ids_);
 }
 
-bool Dfa::deserialize(util::BinReader& r, Dfa& out) {
+bool Dfa::deserialize(util::BinReader& r, Dfa& out, bool allow_empty_table) {
   out.state_count_ = r.u32();
   out.start_ = r.u32();
   out.accept_states_ = r.u32();
@@ -311,8 +558,9 @@ bool Dfa::deserialize(util::BinReader& r, Dfa& out) {
   if (out.ncols_ == 0 || out.ncols_ > 256) return false;
   if (out.state_count_ == 0 || out.start_ >= out.state_count_) return false;
   if (out.accept_states_ > out.state_count_) return false;
-  if (out.table_.size() !=
-      static_cast<std::size_t>(out.state_count_) * out.ncols_)
+  const bool headless = allow_empty_table && out.table_.empty();
+  if (!headless && out.table_.size() !=
+                       static_cast<std::size_t>(out.state_count_) * out.ncols_)
     return false;
   for (const std::uint8_t col : out.byte_to_col_)
     if (col >= out.ncols_) return false;

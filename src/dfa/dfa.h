@@ -23,10 +23,20 @@ namespace mfa::dfa {
 
 struct BuildOptions {
   /// Abort construction when more than this many DFA states are discovered.
+  /// Enforced exactly at insertion time: a build whose reachable subset
+  /// count is precisely max_states succeeds; interning the (max_states+1)th
+  /// subset fails immediately (the Fig. 3 "DFA fails to construct" outcome,
+  /// no longer one state late).
   std::uint32_t max_states = 1u << 20;
   /// Merge equivalent states (Moore partition refinement) after subset
   /// construction. Off by default to mirror standard DFA construction.
   bool minimize = false;
+  /// Worker threads for subset construction. 1 = the sequential explorer;
+  /// 0 = one per hardware thread. Any thread count produces byte-identical
+  /// automata: parallel exploration assigns provisional state ids in race
+  /// order, then a canonical BFS renumbering (start first, successors in
+  /// byte-class order) restores exactly the sequential numbering.
+  std::uint32_t threads = 1;
 };
 
 struct BuildStats {
@@ -147,9 +157,38 @@ class Dfa {
 
   /// Binary (de)serialization for compiled-automaton files. deserialize
   /// validates structural invariants (transition targets in range, CSR
-  /// monotone) and fails the reader on any violation.
+  /// monotone) and fails the reader on any violation. `allow_empty_table`
+  /// accepts a headless image (metadata + accept tables, zero-length
+  /// transition table) — the MFAC v3 delta-table layout, where transitions
+  /// live in a D2fa and the dense table is not persisted.
   void serialize(util::BinWriter& w) const;
-  static bool deserialize(util::BinReader& r, Dfa& out);
+  static bool deserialize(util::BinReader& r, Dfa& out, bool allow_empty_table = false);
+
+  // --- dense-table lifecycle for the delta-encoded (D2FA) workflow ---
+  // A delta-mode Mfa keeps this object only for its metadata (byte classes,
+  // start, accept geometry); the dense table is dropped after the D2fa and
+  // the prefilter proof are derived from it, and restored transiently when
+  // a loader needs to re-derive them.
+
+  /// Discard the dense transition table (frees state_count*ncols words).
+  /// After this, next()/feed()/feed_many()/table_data() are invalid; all
+  /// metadata and accept accessors remain usable.
+  void drop_table() {
+    table_.clear();
+    table_.shrink_to_fit();
+  }
+  [[nodiscard]] bool has_table() const { return !table_.empty(); }
+
+  /// Reinstall a dense table (state_count*ncols targets, each in range).
+  /// Returns false (leaving the object headless) on a geometry or range
+  /// violation.
+  bool restore_table(std::vector<std::uint32_t> table) {
+    if (table.size() != static_cast<std::size_t>(state_count_) * ncols_) return false;
+    for (const std::uint32_t t : table)
+      if (t >= state_count_) return false;
+    table_ = std::move(table);
+    return true;
+  }
 
  private:
   friend std::optional<Dfa> build_dfa(const nfa::Nfa&, const BuildOptions&, BuildStats*);

@@ -16,10 +16,17 @@ namespace mfa::filter {
 
 inline constexpr std::int32_t kNone = -1;
 
-/// Hard cap on per-flow bit memory: Memory backs `w` with a fixed
-/// 4-word array, so any Program declaring more bits would silently alias
-/// flags. Program::validate() enforces this at build time.
-inline constexpr std::uint32_t kMaxMemoryBits = 256;
+/// Bits backed by Memory's fixed inline words; programs up to this size
+/// never heap-allocate bit storage (the common small-ruleset case).
+inline constexpr std::uint32_t kInlineMemoryBits = 256;
+
+/// Sanity cap on per-flow bit memory, enforced by Program::validate().
+/// Memory grows its bit storage to the program's declared geometry
+/// (Snort-class rulesets decompose into thousands of guard bits), so this
+/// is a corruption guard against absurd declared geometry, not a design
+/// limit: 1M bits is ~128 KB of per-flow state, far past any deployable
+/// configuration.
+inline constexpr std::uint32_t kMaxMemoryBits = 1u << 20;
 
 struct Action {
   std::int32_t test = kNone;    ///< bit that must be 1 for this action to fire

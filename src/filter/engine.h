@@ -16,31 +16,33 @@
 
 namespace mfa::filter {
 
-/// Per-flow filter memory: up to 256 bit flags plus optional counters.
-/// Initialized to all zeros by convention (paper Sec. III-A).
+/// Per-flow filter memory: bit flags plus optional counters, zeroed by
+/// convention (paper Sec. III-A). The first kInlineMemoryBits flags live in
+/// a fixed inline array — programs that fit it (the common case) never
+/// heap-allocate bit storage. Larger programs (Snort-class rulesets
+/// decompose into thousands of guard bits) spill the rest into `ext_`,
+/// sized once at construction from the program's declared geometry.
 class Memory {
  public:
   Memory() = default;
-  explicit Memory(std::uint32_t counters, std::uint32_t position_slots = 0)
-      : counters_(counters, 0), positions_(position_slots, 0) {}
+  explicit Memory(std::uint32_t counters, std::uint32_t position_slots = 0,
+                  std::uint32_t bits = 0)
+      : counters_(counters, 0), positions_(position_slots, 0) {
+    if (bits > kInlineMemoryBits)
+      ext_.assign((bits - kInlineMemoryBits + 63) / 64, 0);
+  }
 
   void reset() {
     bits_.fill(0);
+    std::fill(ext_.begin(), ext_.end(), 0);
     std::fill(counters_.begin(), counters_.end(), 0);
     std::fill(positions_.begin(), positions_.end(), 0);
   }
 
-  void set_bit(std::int32_t i) {
-    assert(i >= 0 && static_cast<std::uint32_t>(i) < kMaxMemoryBits);
-    bits_[i >> 6] |= 1ULL << (i & 63);
-  }
-  void clear_bit(std::int32_t i) {
-    assert(i >= 0 && static_cast<std::uint32_t>(i) < kMaxMemoryBits);
-    bits_[i >> 6] &= ~(1ULL << (i & 63));
-  }
+  void set_bit(std::int32_t i) { word(i) |= 1ULL << (i & 63); }
+  void clear_bit(std::int32_t i) { word(i) &= ~(1ULL << (i & 63)); }
   [[nodiscard]] bool test_bit(std::int32_t i) const {
-    assert(i >= 0 && static_cast<std::uint32_t>(i) < kMaxMemoryBits);
-    return (bits_[i >> 6] >> (i & 63)) & 1ULL;
+    return (word(i) >> (i & 63)) & 1ULL;
   }
 
   void increment(std::int32_t c) { ++counters_[c]; }
@@ -60,7 +62,23 @@ class Memory {
   }
 
  private:
-  std::array<std::uint64_t, kMaxMemoryBits / 64> bits_{};
+  [[nodiscard]] std::uint64_t& word(std::int32_t i) {
+    assert(i >= 0 && static_cast<std::uint32_t>(i) <
+                         kInlineMemoryBits + ext_.size() * 64);
+    const auto u = static_cast<std::uint32_t>(i);
+    return u < kInlineMemoryBits ? bits_[u >> 6]
+                                 : ext_[(u - kInlineMemoryBits) >> 6];
+  }
+  [[nodiscard]] const std::uint64_t& word(std::int32_t i) const {
+    assert(i >= 0 && static_cast<std::uint32_t>(i) <
+                         kInlineMemoryBits + ext_.size() * 64);
+    const auto u = static_cast<std::uint32_t>(i);
+    return u < kInlineMemoryBits ? bits_[u >> 6]
+                                 : ext_[(u - kInlineMemoryBits) >> 6];
+  }
+
+  std::array<std::uint64_t, kInlineMemoryBits / 64> bits_{};
+  std::vector<std::uint64_t> ext_;  ///< overflow words for bits >= kInlineMemoryBits
   std::vector<std::uint32_t> counters_;
   std::vector<std::uint64_t> positions_;
 };

@@ -91,7 +91,8 @@ class Hfa {
   using Context = filter::ScanContext;
 
   [[nodiscard]] Context make_context() const {
-    return Context{start_, filter::Memory(program_.counters, program_.position_slots)};
+    return Context{start_, filter::Memory(program_.counters, program_.position_slots,
+                                  program_.memory_bits)};
   }
 
   void reset(Context& ctx) const {

@@ -65,8 +65,18 @@ std::optional<Mfa> build_mfa(const std::vector<nfa::PatternInput>& patterns,
   // 4. Compile the literal prefilter (Teddy masks + DFA-verified skip
   //    gate). Purely derived from (dfa, pieces, parse options): load()
   //    rebuilds it the same way, so MFAC artifacts need no new fields.
+  //    Must happen before delta compression — the gate proof walks the
+  //    dense table.
   mfa.prefilter_ =
       simd::Prefilter::build(mfa.dfa_, mfa.pieces_, mfa.parse_options_.icase);
+
+  // 5. Delta mode: compress the dense table into default-transition chains
+  //    with delta-encoded exceptions, then drop the dense table — at
+  //    Snort-ruleset scale the table is nearly the whole memory image.
+  if (options.delta) {
+    mfa.delta_.emplace(mfa.dfa_, options.d2fa, &st.d2fa);
+    mfa.dfa_.drop_table();
+  }
 
   st.seconds = timer.seconds();
   return mfa;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "dfa/d2fa.h"
 #include "dfa/dfa.h"
 #include "filter/engine.h"
 #include "regex/parser.h"
@@ -30,11 +31,20 @@ struct BuildOptions {
   /// artifact so load() re-parses piece sources under the same dialect
   /// (flags, caps) instead of silently assuming the defaults.
   regex::ParseOptions parse;
+  /// Delta mode (Snort-class ruleset scale): compress the character DFA
+  /// into a D2fa (default-transition chains + delta-encoded exceptions)
+  /// and drop the dense table. Several-fold smaller memory image at a
+  /// bounded per-byte chain cost; match semantics are identical. The
+  /// prefilter proof is still derived from the dense table before it is
+  /// dropped, so skip gating works unchanged.
+  bool delta = false;
+  dfa::D2faOptions d2fa;
 };
 
 struct BuildStats {
   split::Stats split;
   dfa::BuildStats dfa;
+  dfa::D2faStats d2fa;   ///< populated only when BuildOptions::delta
   double seconds = 0.0;  ///< total construction wall time
 };
 
@@ -44,6 +54,13 @@ class Mfa {
   static constexpr const char* kEngineName = "mfa";
 
   [[nodiscard]] const dfa::Dfa& character_dfa() const { return dfa_; }
+  /// True when the character DFA's transitions live in a delta-encoded
+  /// D2fa (BuildOptions::delta) and the dense table has been dropped.
+  [[nodiscard]] bool delta_mode() const { return delta_.has_value(); }
+  /// The delta table, or nullptr in dense mode.
+  [[nodiscard]] const dfa::D2fa* delta_table() const {
+    return delta_ ? &*delta_ : nullptr;
+  }
   [[nodiscard]] const filter::Program& program() const { return program_; }
   [[nodiscard]] const std::vector<split::Piece>& pieces() const { return pieces_; }
   [[nodiscard]] const regex::ParseOptions& parse_options() const { return parse_options_; }
@@ -64,8 +81,10 @@ class Mfa {
   /// (Sec. V-C: "almost all the memory image bytes used in MFA are for the
   /// DFA automaton, with filters taking ... less than 0.2%".)
   [[nodiscard]] std::size_t memory_image_bytes() const {
-    return dfa_.memory_image_bytes(/*full_alphabet=*/false) +
-           program_.memory_image_bytes() +
+    const std::size_t table_bytes =
+        delta_ ? delta_->memory_image_bytes()
+               : dfa_.memory_image_bytes(/*full_alphabet=*/false);
+    return table_bytes + program_.memory_image_bytes() +
            ordered_offsets_.size() * sizeof(std::uint32_t) +
            ordered_ids_.size() * sizeof(std::uint32_t);
   }
@@ -85,7 +104,8 @@ class Mfa {
 
   [[nodiscard]] Context make_context() const {
     return Context{dfa_.start(),
-                   filter::Memory(program_.counters, program_.position_slots)};
+                   filter::Memory(program_.counters, program_.position_slots,
+                                  program_.memory_bits)};
   }
 
   void reset(Context& ctx) const {
@@ -107,6 +127,10 @@ class Mfa {
   template <typename Sink>
   void feed(Context& ctx, const std::uint8_t* data, std::size_t size, std::uint64_t base,
             Sink&& sink) const {
+    if (delta_) {
+      feed_delta(ctx.state, ctx.memory, data, size, base, sink);
+      return;
+    }
     const filter::Engine engine(program_);
     const std::uint32_t* table = dfa_.table_data();
     const std::uint8_t* cols = dfa_.byte_columns();
@@ -216,6 +240,10 @@ class Mfa {
             std::uint64_t base, Sink&& sink) const {
     const filter::Engine engine(program_);
     filter::InlineMemory64 memory(ctx.mem_lo, ctx.mem_hi);
+    if (delta_) {
+      feed_delta(ctx.state, memory, data, size, base, sink);
+      return;
+    }
     const std::uint32_t* table = dfa_.table_data();
     const std::uint8_t* cols = dfa_.byte_columns();
     const std::uint32_t ncols = dfa_.column_count();
@@ -238,17 +266,30 @@ class Mfa {
   void feed_many(scan::FeedJob<InlineContext>* jobs, std::size_t count, Sink&& sink,
                  std::size_t lanes = scan::kDefaultLanes) const {
     const filter::Engine engine(program_);
-    simd::dense_interleaved_scan(
-        dfa_.table_data(), dfa_.column_count(), dfa_.byte_columns(),
-        dfa_.accepting_state_count(), jobs, count, lanes,
-        [&](std::size_t job, std::uint32_t s, std::uint64_t end) {
-          InlineContext& c = *jobs[job].ctx;
-          filter::InlineMemory64 memory(c.mem_lo, c.mem_hi);
-          const auto [first, last] = ordered_actions(s);
-          for (const auto* it = first; it != last; ++it)
-            engine.on_match(*it, end, memory,
-                            [&](std::uint32_t id, std::uint64_t e) { sink(job, id, e); });
-        });
+    const auto on_accept = [&](std::size_t job, std::uint32_t s, std::uint64_t end) {
+      InlineContext& c = *jobs[job].ctx;
+      filter::InlineMemory64 memory(c.mem_lo, c.mem_hi);
+      const auto [first, last] = ordered_actions(s);
+      for (const auto* it = first; it != last; ++it)
+        engine.on_match(*it, end, memory,
+                        [&](std::uint32_t id, std::uint64_t e) { sink(job, id, e); });
+    };
+    if (delta_) {
+      // One job at a time, same as D2fa::feed_many: interleaving the
+      // tagged chain walk regresses, and the per-job tagged loop keeps
+      // byte/match order exactly feed()'s.
+      for (std::size_t j = 0; j < count; ++j) {
+        if (jobs[j].size == 0) continue;
+        InlineContext& c = *jobs[j].ctx;
+        filter::InlineMemory64 memory(c.mem_lo, c.mem_hi);
+        feed_delta(c.state, memory, jobs[j].data, jobs[j].size, jobs[j].base,
+                   [&](std::uint32_t id, std::uint64_t e) { sink(j, id, e); });
+      }
+      return;
+    }
+    simd::dense_interleaved_scan(dfa_.table_data(), dfa_.column_count(),
+                                 dfa_.byte_columns(), dfa_.accepting_state_count(),
+                                 jobs, count, lanes, std::move(on_accept));
   }
 
   using FeedJob = scan::FeedJob<Context>;
@@ -261,15 +302,25 @@ class Mfa {
   void feed_many(FeedJob* jobs, std::size_t count, Sink&& sink,
                  std::size_t lanes = scan::kDefaultLanes) const {
     const filter::Engine engine(program_);
-    simd::dense_interleaved_scan(
-        dfa_.table_data(), dfa_.column_count(), dfa_.byte_columns(),
-        dfa_.accepting_state_count(), jobs, count, lanes,
-        [&](std::size_t job, std::uint32_t s, std::uint64_t end) {
-          const auto [first, last] = ordered_actions(s);
-          for (const auto* it = first; it != last; ++it)
-            engine.on_match(*it, end, jobs[job].ctx->memory,
-                            [&](std::uint32_t id, std::uint64_t e) { sink(job, id, e); });
-        });
+    const auto on_accept = [&](std::size_t job, std::uint32_t s, std::uint64_t end) {
+      const auto [first, last] = ordered_actions(s);
+      for (const auto* it = first; it != last; ++it)
+        engine.on_match(*it, end, jobs[job].ctx->memory,
+                        [&](std::uint32_t id, std::uint64_t e) { sink(job, id, e); });
+    };
+    if (delta_) {
+      // One job at a time (see the InlineContext overload above).
+      for (std::size_t j = 0; j < count; ++j) {
+        if (jobs[j].size == 0) continue;
+        feed_delta(jobs[j].ctx->state, jobs[j].ctx->memory, jobs[j].data,
+                   jobs[j].size, jobs[j].base,
+                   [&](std::uint32_t id, std::uint64_t e) { sink(j, id, e); });
+      }
+      return;
+    }
+    simd::dense_interleaved_scan(dfa_.table_data(), dfa_.column_count(),
+                                 dfa_.byte_columns(), dfa_.accepting_state_count(),
+                                 jobs, count, lanes, std::move(on_accept));
   }
 
   /// Persist the compiled automaton (character DFA + filter program +
@@ -293,16 +344,44 @@ class Mfa {
   [[nodiscard]] std::uint32_t replay_tail(const std::uint8_t* data,
                                           std::size_t size) const {
     const std::size_t w = std::min(prefilter_.window(), size);
+    std::uint32_t s = dfa_.start();
+    if (delta_) {
+      std::uint32_t v = delta_->tag_state(s);
+      for (const std::uint8_t* p = data + (size - w); p != data + size; ++p)
+        v = delta_->next_tagged(v, *p);
+      return delta_->untag(v);
+    }
     const std::uint32_t* table = dfa_.table_data();
     const std::uint8_t* cols = dfa_.byte_columns();
     const std::uint32_t ncols = dfa_.column_count();
-    std::uint32_t s = dfa_.start();
     for (const std::uint8_t* p = data + (size - w); p != data + size; ++p)
       s = table[static_cast<std::size_t>(s) * ncols + cols[*p]];
     return s;
   }
 
+  /// Delta-mode scan loop shared by both context flavors: identical match
+  /// semantics to the dense loop, stepping on D2fa tagged states so a
+  /// root-resident byte costs one dense load and the accept test is a bit
+  /// check (see the tagged-state comment in d2fa.h).
+  template <typename Memory, typename Sink>
+  void feed_delta(std::uint32_t& state, Memory& memory, const std::uint8_t* data,
+                  std::size_t size, std::uint64_t base, Sink&& sink) const {
+    const filter::Engine engine(program_);
+    const dfa::D2fa& d = *delta_;
+    std::uint32_t v = d.tag_state(state);
+    for (std::size_t i = 0; i < size; ++i) {
+      v = d.next_tagged(v, data[i]);
+      if (dfa::D2fa::tagged_accept(v)) [[unlikely]] {
+        const auto [first, last] = ordered_actions(d.untag(v));
+        for (const auto* it = first; it != last; ++it)
+          engine.on_match(*it, base + i, memory, sink);
+      }
+    }
+    state = d.untag(v);
+  }
+
   dfa::Dfa dfa_;
+  std::optional<dfa::D2fa> delta_;
   simd::Prefilter prefilter_;
   filter::Program program_;
   std::vector<split::Piece> pieces_;

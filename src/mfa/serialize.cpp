@@ -9,6 +9,12 @@
 // v2 additionally stores the regex::ParseOptions the sources were compiled
 // under (so load() re-parses pieces in the same dialect) and a trailing
 // FNV-1a digest of the whole payload; v1 files remain readable.
+//
+// v3 is the delta-table layout, written only for delta-mode automata: a
+// table-kind byte after the parse options, a headless character DFA
+// (metadata + accept geometry, zero-length transition table), and the
+// D2fa section carrying the transitions. Dense automata keep writing v2 so
+// their artifacts stay byte-identical across this change.
 #include <cstdio>
 #include <cstring>
 
@@ -22,6 +28,9 @@ namespace {
 constexpr char kMagic[4] = {'M', 'F', 'A', 'C'};
 constexpr std::uint32_t kVersionV1 = 1;
 constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersionV3 = 3;
+constexpr std::uint8_t kTableDense = 0;
+constexpr std::uint8_t kTableDelta = 1;
 }  // namespace
 
 bool Mfa::save(const std::string& path) const {
@@ -33,13 +42,15 @@ bool Mfa::save(const std::string& path) const {
   if (raw == nullptr) return false;
   util::BinWriter w(raw);
   w.bytes(kMagic, 4);
-  w.u32(kVersion);
+  w.u32(delta_ ? kVersionV3 : kVersion);
   // Parse dialect the piece sources round-trip under.
   w.u8(parse_options_.icase ? 1 : 0);
   w.u8(parse_options_.dotall ? 1 : 0);
   w.i32(parse_options_.max_counted_repeat);
   w.i32(parse_options_.max_nesting_depth);
-  dfa_.serialize(w);
+  if (delta_) w.u8(kTableDelta);
+  dfa_.serialize(w);  // headless in delta mode (table dropped at build)
+  if (delta_) delta_->serialize(w);
   // Filter program: actions are a trivially-copyable struct of int32s.
   w.pod_vec(program_.actions);
   w.u32(program_.memory_bits);
@@ -67,7 +78,8 @@ std::optional<Mfa> Mfa::load(const std::string& path) {
   r.bytes(magic, 4);
   if (!r.ok() || std::memcmp(magic, kMagic, 4) != 0) return std::nullopt;
   const std::uint32_t version = r.u32();
-  if (version != kVersionV1 && version != kVersion) return std::nullopt;
+  if (version != kVersionV1 && version != kVersion && version != kVersionV3)
+    return std::nullopt;
 
   Mfa mfa;
   if (version >= kVersion) {
@@ -79,7 +91,31 @@ std::optional<Mfa> Mfa::load(const std::string& path) {
         mfa.parse_options_.max_nesting_depth < 0)
       return std::nullopt;
   }
-  if (!dfa::Dfa::deserialize(r, mfa.dfa_)) return std::nullopt;
+  std::uint8_t table_kind = kTableDense;
+  if (version >= kVersionV3) {
+    table_kind = r.u8();
+    if (!r.ok() || (table_kind != kTableDense && table_kind != kTableDelta))
+      return std::nullopt;
+  }
+  const bool delta = table_kind == kTableDelta;
+  if (!dfa::Dfa::deserialize(r, mfa.dfa_, /*allow_empty_table=*/delta))
+    return std::nullopt;
+  if (delta) {
+    // The dense table must actually be absent in a delta artifact — a
+    // file carrying both would leave the two free to disagree.
+    if (mfa.dfa_.has_table()) return std::nullopt;
+    dfa::D2fa loaded;
+    if (!dfa::D2fa::deserialize(r, loaded)) return std::nullopt;
+    // The delta table must describe the same automaton as the headless
+    // DFA metadata it travels with.
+    if (loaded.state_count() != mfa.dfa_.state_count() ||
+        loaded.start() != mfa.dfa_.start() ||
+        loaded.column_count() != mfa.dfa_.column_count() ||
+        loaded.accepting_state_count() != mfa.dfa_.accepting_state_count() ||
+        loaded.max_match_id() != mfa.dfa_.max_match_id())
+      return std::nullopt;
+    mfa.delta_ = std::move(loaded);
+  }
   mfa.program_.actions = r.pod_vec<filter::Action>();
   mfa.program_.memory_bits = r.u32();
   mfa.program_.counters = r.u32();
@@ -111,7 +147,7 @@ std::optional<Mfa> Mfa::load(const std::string& path) {
   // counter indices must stay inside the declared memory.
   if (piece_count != mfa.program_.actions.size()) return std::nullopt;
   if (mfa.dfa_.max_match_id() >= mfa.program_.actions.size()) return std::nullopt;
-  if (mfa.program_.memory_bits > 256) return std::nullopt;
+  if (mfa.program_.memory_bits > filter::kMaxMemoryBits) return std::nullopt;
   if (mfa.ordered_offsets_.size() != mfa.dfa_.accepting_state_count() + 1u)
     return std::nullopt;
   if (!mfa.ordered_offsets_.empty() &&
@@ -145,9 +181,19 @@ std::optional<Mfa> Mfa::load(const std::string& path) {
 
   // The prefilter is derived data (Teddy masks + the DFA-verified gate):
   // rebuild it from the validated pieces exactly as build_mfa() does, so an
-  // artifact round-trip scans identically to a fresh compile.
-  mfa.prefilter_ =
-      simd::Prefilter::build(mfa.dfa_, mfa.pieces_, mfa.parse_options_.icase);
+  // artifact round-trip scans identically to a fresh compile. The gate
+  // proof walks the dense table, so in delta mode the table is expanded
+  // from the delta encoding transiently and dropped again after the build —
+  // steady-state memory stays at the compressed size.
+  if (mfa.delta_) {
+    if (!mfa.dfa_.restore_table(mfa.delta_->expand_table())) return std::nullopt;
+    mfa.prefilter_ =
+        simd::Prefilter::build(mfa.dfa_, mfa.pieces_, mfa.parse_options_.icase);
+    mfa.dfa_.drop_table();
+  } else {
+    mfa.prefilter_ =
+        simd::Prefilter::build(mfa.dfa_, mfa.pieces_, mfa.parse_options_.icase);
+  }
   return mfa;
 }
 

@@ -1,6 +1,5 @@
 #include "rules/rules.h"
 
-#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -11,8 +10,29 @@ namespace mfa::rules {
 
 namespace {
 
+// ASCII-only classification. The <cctype> functions consult the global
+// locale: under a non-"C" locale, bytes 0x80-0xff can classify as alpha or
+// space, which would let a raw high byte bypass escaping (and fold through
+// tolower/toupper) in content_to_regex. Rule-file semantics must not depend
+// on the host locale, so classify bytes explicitly.
+bool ascii_space(unsigned char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r';
+}
+
+bool ascii_alpha(unsigned char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z');
+}
+
+unsigned char ascii_lower(unsigned char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<unsigned char>(c + ('a' - 'A')) : c;
+}
+
+unsigned char ascii_upper(unsigned char c) {
+  return (c >= 'a' && c <= 'z') ? static_cast<unsigned char>(c - ('a' - 'A')) : c;
+}
+
 bool is_hex(char c) {
-  return std::isxdigit(static_cast<unsigned char>(c)) != 0;
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
 }
 
 int hex_val(char c) {
@@ -45,14 +65,14 @@ std::optional<std::vector<BodyOption>> split_body(std::string_view body) {
   std::vector<BodyOption> out;
   std::size_t i = 0;
   const auto skip_ws = [&] {
-    while (i < body.size() && std::isspace(static_cast<unsigned char>(body[i]))) ++i;
+    while (i < body.size() && ascii_space(static_cast<unsigned char>(body[i]))) ++i;
   };
   while (true) {
     skip_ws();
     if (i >= body.size()) break;
     BodyOption opt;
     while (i < body.size() && body[i] != ':' && body[i] != ';') opt.key += body[i++];
-    while (!opt.key.empty() && std::isspace(static_cast<unsigned char>(opt.key.back())))
+    while (!opt.key.empty() && ascii_space(static_cast<unsigned char>(opt.key.back())))
       opt.key.pop_back();
     if (i < body.size() && body[i] == ':') {
       ++i;
@@ -81,7 +101,7 @@ std::optional<std::vector<BodyOption>> split_body(std::string_view body) {
       if (!quoted) {
         while (i < body.size() && body[i] != ';') opt.value += body[i++];
         while (!opt.value.empty() &&
-               std::isspace(static_cast<unsigned char>(opt.value.back())))
+               ascii_space(static_cast<unsigned char>(opt.value.back())))
           opt.value.pop_back();
       }
     }
@@ -101,11 +121,14 @@ std::optional<std::string> content_to_regex(std::string_view content, bool nocas
   std::string out;
   const auto append = [&](unsigned char c) {
     // nocase contents fold per character ("[aA]") so the result composes
-    // with other regex fragments without whole-pattern flags.
-    if (nocase && std::isalpha(c)) {
+    // with other regex fragments without whole-pattern flags. Only ASCII
+    // letters fold — anything else (metacharacters, high bytes, bytes that
+    // arrived via |hex| sections) goes through escape_into so it always
+    // matches literally.
+    if (nocase && ascii_alpha(c)) {
       out += '[';
-      out += static_cast<char>(std::tolower(c));
-      out += static_cast<char>(std::toupper(c));
+      out += static_cast<char>(ascii_lower(c));
+      out += static_cast<char>(ascii_upper(c));
       out += ']';
       return;
     }
@@ -117,7 +140,7 @@ std::optional<std::string> content_to_regex(std::string_view content, bool nocas
       // Hex section: pairs of hex digits separated by spaces.
       ++i;
       while (i < content.size() && content[i] != '|') {
-        if (std::isspace(static_cast<unsigned char>(content[i]))) {
+        if (ascii_space(static_cast<unsigned char>(content[i]))) {
           ++i;
           continue;
         }
@@ -165,7 +188,7 @@ LoadResult parse_rules(std::string_view text) {
 
   for (const auto& [line_no, line] : lines) {
     std::size_t i = 0;
-    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    while (i < line.size() && ascii_space(static_cast<unsigned char>(line[i]))) ++i;
     if (i >= line.size() || line[i] == '#') continue;
 
     const auto fail = [&](std::string message) {
@@ -196,16 +219,36 @@ LoadResult parse_rules(std::string_view text) {
 
     std::string pcre;
     std::vector<std::pair<std::string, bool>> contents;  // (raw text, nocase)
+    bool body_ok = true;
     for (const auto& opt : *body) {
       if (opt.key == "msg") rule.msg = opt.value;
       else if (opt.key == "sid") rule.sid = static_cast<std::uint32_t>(
           std::strtoul(opt.value.c_str(), nullptr, 10));
-      else if (opt.key == "pcre") pcre = opt.value;
-      else if (opt.key == "content") contents.emplace_back(opt.value, false);
-      else if (opt.key == "nocase" && !contents.empty())
-        contents.back().second = true;  // nocase modifies the preceding content
+      else if (opt.key == "pcre") {
+        // A second pcre used to silently overwrite the first, changing
+        // match semantics; reject the rule with a diagnostic instead.
+        if (!pcre.empty()) {
+          fail("duplicate pcre option (previous value would be discarded)");
+          body_ok = false;
+          break;
+        }
+        pcre = opt.value;
+      } else if (opt.key == "content") {
+        contents.emplace_back(opt.value, false);
+      } else if (opt.key == "nocase") {
+        // nocase modifies the preceding content; with none to modify it
+        // used to be dropped silently, yielding a case-sensitive rule the
+        // author believed was case-insensitive.
+        if (contents.empty()) {
+          fail("nocase before any content has nothing to modify");
+          body_ok = false;
+          break;
+        }
+        contents.back().second = true;
+      }
       // everything else (rev, classtype, flow, depth, offset...) ignored
     }
+    if (!body_ok) continue;
 
     if (rule.sid == 0) {
       fail("rule has no sid");

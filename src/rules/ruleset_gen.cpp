@@ -1,0 +1,144 @@
+#include "rules/ruleset_gen.h"
+
+#include <array>
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace mfa::rules {
+namespace {
+
+// Small protocol-flavored vocabularies so generated rules look like (and
+// parse like) real signatures rather than uniform noise. Literal diversity
+// comes from the random suffix appended to each token.
+constexpr std::array<const char*, 12> kVerbs = {
+    "GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS",
+    "TRACE", "CONNECT", "PROPFIND", "SEARCH", "REPORT", "PATCH"};
+constexpr std::array<const char*, 16> kWords = {
+    "admin",  "login",   "shell",   "passwd", "config", "update",
+    "upload", "session", "token",   "query",  "index",  "export",
+    "backup", "debug",   "payload", "beacon"};
+constexpr std::array<const char*, 8> kExts = {
+    ".php", ".asp", ".cgi", ".jsp", ".exe", ".dll", ".bin", ".dat"};
+
+std::string word(util::Rng& rng) {
+  return std::string(kWords[rng.below(kWords.size())]) +
+         rng.lower_string(2 + rng.below(5));
+}
+
+// One content literal. Plain tokens stay in text form; occasionally a hex
+// section carrying bytes that would need escaping in regex form (the
+// content_to_regex hex path must keep them literal).
+std::string content_literal(util::Rng& rng) {
+  std::string lit = "/" + word(rng);
+  if (rng.chance(0.3)) lit += kExts[rng.below(kExts.size())];
+  return lit;
+}
+
+std::string hex_section(util::Rng& rng) {
+  static constexpr std::array<unsigned char, 8> kBytes = {
+      0x00, 0x01, 0x0d, 0x0a, 0x2e, 0x2a, 0x7c, 0xff};
+  std::string out = "|";
+  const std::size_t n = 2 + rng.below(4);
+  char buf[4];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), "%02x ", kBytes[rng.below(kBytes.size())]);
+    out += buf;
+  }
+  out.back() = '|';
+  return out;
+}
+
+std::string pcre_option(util::Rng& rng) {
+  // Bounded pcre bodies: literal-heavy with small classes and counted
+  // repeats, so per-rule piece DFAs stay linear in rule count. The loader
+  // uses the value verbatim (no PCRE delimiter stripping), matching the
+  // existing dialect where '/' is a literal.
+  switch (rng.below(4)) {
+    case 0:
+      return ".*" + word(rng) + "=[0-9]{1," + std::to_string(2 + rng.below(3)) +
+             "}";
+    case 1:
+      return ".*(" + word(rng) + "|" + word(rng) + ")" + rng.lower_string(3);
+    case 2:
+      return ".*" + word(rng) + "[a-f0-9]{4}";
+    default:
+      return std::string(kVerbs[rng.below(kVerbs.size())]) + "\\x20/" +
+             word(rng);
+  }
+}
+
+// True when some suffix of `a` equals a prefix of `b`, case-folded (nocase
+// contents compile to per-character classes, so overlap is case-blind).
+// Adjacent contents that overlap this way make `.*A.*B` undecomposable —
+// the splitter correctly rejects the boundary because B could begin inside
+// A's match — and every whole `.*A.*B` piece left in the union DFA
+// multiplies subset states by the "A seen" guard. A handful of such rules
+// is enough to blow a 10k-state fixture past millions of states, so the
+// generator redraws until chain neighbors are overlap-free (real rule
+// authors pick distinctive literals; boundary collisions are an artifact
+// of random drawing, not a property being benchmarked).
+bool boundary_overlap(const std::string& a, const std::string& b) {
+  const auto fold = [](char c) {
+    return c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c;
+  };
+  const std::size_t max_k = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    bool equal = true;
+    for (std::size_t i = 0; i < k && equal; ++i)
+      equal = fold(a[a.size() - k + i]) == fold(b[i]);
+    if (equal) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string generate_ruleset(const RulesetGenOptions& options) {
+  std::string out;
+  out.reserve(options.rules * 120);
+  for (std::size_t i = 0; i < options.rules; ++i) {
+    // Per-rule generator state depends only on (seed, i), never on how many
+    // rules precede it, so fixtures of different sizes share a common prefix.
+    std::uint64_t sm = options.seed + i;
+    util::Rng rng(util::splitmix64(sm));
+    const std::size_t sid = 100000 + i;
+
+    out += "alert tcp any any -> any any (msg:\"fixture rule ";
+    out += std::to_string(sid);
+    out += "\"; ";
+
+    const std::uint64_t shape = rng.below(100);
+    if (shape < 55) {
+      // Single literal content, sometimes case-insensitive.
+      out += "content:\"" + content_literal(rng) + "\"; ";
+      if (rng.chance(0.35)) out += "nocase; ";
+    } else if (shape < 70) {
+      // Multi-content chain (AND across the payload). Neighbors are redrawn
+      // until their boundary is overlap-free so the chain stays decomposable
+      // (see boundary_overlap above).
+      const std::size_t parts = 2 + rng.below(2);
+      std::string prev;
+      for (std::size_t p = 0; p < parts; ++p) {
+        std::string part = word(rng);
+        for (int retry = 0; retry < 32 && boundary_overlap(prev, part); ++retry)
+          part = word(rng);
+        out += "content:\"" + part + "\"; ";
+        if (rng.chance(0.25)) out += "nocase; ";
+        prev = std::move(part);
+      }
+    } else if (shape < 85) {
+      // Content with an embedded hex section.
+      out += "content:\"" + word(rng) + hex_section(rng) + word(rng) + "\"; ";
+    } else {
+      // pcre rule, usually qualified by a fast-pattern content.
+      if (rng.chance(0.7)) out += "content:\"" + word(rng) + "\"; ";
+      out += "pcre:\"" + pcre_option(rng) + "\"; ";
+    }
+
+    out += "sid:" + std::to_string(sid) + "; rev:1;)\n";
+  }
+  return out;
+}
+
+}  // namespace mfa::rules

@@ -1,0 +1,28 @@
+// Deterministic Snort-dialect ruleset fixture generator (ruleset scale).
+//
+// Real community rulesets (Snort community / ET-open) are thousands of
+// mostly-literal content rules with a minority of pcre and hex-section
+// rules. Shipping megabytes of third-party rule text in-tree is not an
+// option, so bench_ruleset and the scale tests generate a synthetic
+// analog: same option mix, same dialect (content with |hex| sections,
+// nocase, multi-content chains, pcre), deterministic under a seed so
+// compile artifacts are byte-reproducible across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mfa::rules {
+
+struct RulesetGenOptions {
+  std::size_t rules = 1000;
+  std::uint64_t seed = 42;
+};
+
+/// Generate `rules` parseable open-dialect rules, one per line, with
+/// unique sids starting at 100000. Deterministic in (rules, seed); a
+/// prefix of a larger ruleset equals the smaller ruleset with the same
+/// seed, so 1k/5k/10k fixtures nest.
+std::string generate_ruleset(const RulesetGenOptions& options = {});
+
+}  // namespace mfa::rules

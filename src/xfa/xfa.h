@@ -89,7 +89,8 @@ class Xfa {
 
   [[nodiscard]] Context make_context() const {
     return Context{dfa_.start(),
-                   filter::Memory(program_.counters, program_.position_slots)};
+                   filter::Memory(program_.counters, program_.position_slots,
+                                  program_.memory_bits)};
   }
 
   void reset(Context& ctx) const {

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "engine_test_util.h"
 #include "regex/sample.h"
+#include "util/binio.h"
 #include "util/rng.h"
 
 namespace mfa::dfa {
@@ -69,7 +72,122 @@ TEST(Dfa, StateCapFailsConstruction) {
   BuildStats stats;
   EXPECT_FALSE(build_dfa(n, opts, &stats).has_value());
   EXPECT_TRUE(stats.failed);
-  EXPECT_GT(stats.states, 50u);
+  // The cap is enforced at insertion: construction stops the moment the
+  // 51st subset would be interned, never discovering states past the cap.
+  EXPECT_EQ(stats.states, 50u);
+}
+
+TEST(Dfa, StateCapIsExact) {
+  // Regression for the off-by-one where the cap was checked only after
+  // inserting: an automaton with exactly N reachable subsets must build
+  // with max_states == N and fail with max_states == N - 1.
+  const std::vector<std::string> pats = {".*abc.*def"};
+  const nfa::Nfa n = nfa::build_nfa(compile_patterns(pats));
+  const auto unbounded = build_dfa(n);
+  ASSERT_TRUE(unbounded.has_value());
+  const std::uint32_t exact = unbounded->state_count();
+  ASSERT_GT(exact, 1u);
+
+  BuildOptions at_cap;
+  at_cap.max_states = exact;
+  BuildStats at_cap_stats;
+  const auto ok = build_dfa(n, at_cap, &at_cap_stats);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_FALSE(at_cap_stats.failed);
+  EXPECT_EQ(ok->state_count(), exact);
+
+  BuildOptions below_cap;
+  below_cap.max_states = exact - 1;
+  BuildStats below_stats;
+  EXPECT_FALSE(build_dfa(n, below_cap, &below_stats).has_value());
+  EXPECT_TRUE(below_stats.failed);
+  EXPECT_EQ(below_stats.states, exact - 1);
+}
+
+TEST(Dfa, ParallelConstructionIsByteIdentical) {
+  // Any thread count must yield the exact same automaton as the sequential
+  // explorer: same numbering, same table, same accept geometry.
+  const std::vector<std::string> pats = {".*abcd.*efgh", ".*ijkl.*mnop",
+                                         "x[0-9]{1,3}y", "a(b|c)+d", "^head"};
+  const nfa::Nfa n = nfa::build_nfa(compile_patterns(pats));
+  const auto seq = build_dfa(n);
+  ASSERT_TRUE(seq.has_value());
+  for (const std::uint32_t threads : {2u, 4u, 0u}) {
+    BuildOptions opts;
+    opts.threads = threads;
+    const auto par = build_dfa(n, opts);
+    ASSERT_TRUE(par.has_value()) << threads;
+    ASSERT_EQ(par->state_count(), seq->state_count()) << threads;
+    EXPECT_EQ(par->start(), seq->start());
+    EXPECT_EQ(par->column_count(), seq->column_count());
+    EXPECT_EQ(par->accepting_state_count(), seq->accepting_state_count());
+    const std::size_t words =
+        static_cast<std::size_t>(seq->state_count()) * seq->column_count();
+    EXPECT_TRUE(std::equal(seq->table_data(), seq->table_data() + words,
+                           par->table_data()))
+        << threads;
+    for (std::uint32_t s = 0; s < seq->accepting_state_count(); ++s) {
+      const auto [sf, sl] = seq->accepts(s);
+      const auto [pf, pl] = par->accepts(s);
+      ASSERT_EQ(sl - sf, pl - pf);
+      EXPECT_TRUE(std::equal(sf, sl, pf));
+    }
+  }
+}
+
+TEST(Dfa, ParallelConstructionHonorsCap) {
+  const std::vector<std::string> pats = {".*aaa.*bbb.*ccc", ".*ddd.*eee.*fff",
+                                         ".*ggg.*hhh.*iii"};
+  const nfa::Nfa n = nfa::build_nfa(compile_patterns(pats));
+  BuildOptions opts;
+  opts.max_states = 50;
+  opts.threads = 4;
+  BuildStats stats;
+  EXPECT_FALSE(build_dfa(n, opts, &stats).has_value());
+  EXPECT_TRUE(stats.failed);
+}
+
+TEST(Dfa, HeadlessSerializeRoundTrip) {
+  // A dense automaton saved without its table (the MFAC v3 delta layout)
+  // must load with allow_empty_table and accept a restored table.
+  const Dfa d = build({"abc", ".*xy"});
+  std::vector<std::uint32_t> table(
+      d.table_data(),
+      d.table_data() + static_cast<std::size_t>(d.state_count()) * d.column_count());
+
+  Dfa headless = d;
+  headless.drop_table();
+  EXPECT_FALSE(headless.has_table());
+  util::FilePtr f(std::tmpfile());
+  ASSERT_NE(f, nullptr);
+  {
+    util::BinWriter w(f.get());
+    headless.serialize(w);
+    ASSERT_TRUE(w.ok());
+  }
+
+  std::rewind(f.get());
+  Dfa strict;
+  util::BinReader strict_r(f.get());
+  EXPECT_FALSE(Dfa::deserialize(strict_r, strict));  // default rejects headless
+
+  std::rewind(f.get());
+  Dfa loaded;
+  util::BinReader r(f.get());
+  ASSERT_TRUE(Dfa::deserialize(r, loaded, /*allow_empty_table=*/true));
+  EXPECT_FALSE(loaded.has_table());
+  EXPECT_EQ(loaded.state_count(), d.state_count());
+
+  // Wrong-size or out-of-range tables are rejected; the real one installs.
+  EXPECT_FALSE(loaded.restore_table(std::vector<std::uint32_t>(3, 0)));
+  std::vector<std::uint32_t> bad = table;
+  bad[0] = d.state_count();
+  EXPECT_FALSE(loaded.restore_table(std::move(bad)));
+  ASSERT_TRUE(loaded.restore_table(table));
+  DfaScanner a(d);
+  DfaScanner b(loaded);
+  EXPECT_EQ(sorted(a.scan(std::string("zzabcxyzz"))),
+            sorted(b.scan(std::string("zzabcxyzz"))));
 }
 
 TEST(Dfa, MinimizationPreservesMatchesAndShrinks) {

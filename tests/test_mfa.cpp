@@ -173,15 +173,27 @@ std::vector<std::string> guard_bit_patterns(std::size_t n) {
   return sources;
 }
 
-TEST(MfaMemoryCap, BuildRejectsProgramsBeyondMaxMemoryBits) {
-  // 300 guard bits exceed the fixed 256-bit per-flow Memory; the builder
-  // must refuse instead of silently aliasing bits at scan time.
+TEST(MfaMemoryCap, BuildScalesPastInlineMemoryBits) {
+  // 300 guard bits exceed the 256-bit inline Memory words (Snort-class
+  // rulesets decompose into thousands); the per-flow memory spills into
+  // overflow words with unchanged match semantics. Pattern 280's guard bit
+  // lives above the inline boundary, so ordering through it exercises the
+  // spill path directly.
   const auto inputs = compile_patterns(guard_bit_patterns(300));
-  BuildStats stats;
   EXPECT_GT(split::split_patterns(inputs).program.memory_bits,
-            filter::kMaxMemoryBits);
-  EXPECT_FALSE(build_mfa(compile_patterns(guard_bit_patterns(300)), {}, &stats)
-                   .has_value());
+            filter::kInlineMemoryBits);
+  const Mfa m = build(guard_bit_patterns(300));
+  MfaScanner s(m);
+  EXPECT_EQ(s.scan("qa280z then qb280z").size(), 1u);
+  EXPECT_EQ(s.scan("qb280z without the prefix").size(), 0u);
+}
+
+TEST(MfaMemoryCap, BuildRejectsProgramsBeyondMaxMemoryBits) {
+  // The validate() ceiling still guards against absurd geometry: a program
+  // declaring more than kMaxMemoryBits is refused at build time.
+  auto sr = split::split_patterns(compile_patterns(guard_bit_patterns(2)));
+  sr.program.memory_bits = filter::kMaxMemoryBits + 1;
+  EXPECT_FALSE(sr.program.validate());
 }
 
 TEST(MfaMemoryCap, BuildAcceptsProgramsWithinMaxMemoryBits) {
@@ -190,6 +202,111 @@ TEST(MfaMemoryCap, BuildAcceptsProgramsWithinMaxMemoryBits) {
   EXPECT_TRUE(m.program().validate());
   MfaScanner s(m);
   EXPECT_EQ(s.scan("qa17z then qb17z").size(), 1u);
+}
+
+TEST(MfaDelta, DenseVsDeltaParityFuzz) {
+  // The delta-table Mfa must be observationally identical to the dense one:
+  // same matches from feed() across arbitrary chunk seams (carried contexts)
+  // and from feed_many() batches, with the prefilter gate armed on both
+  // sides. Patterns cover guard bits, almost-dot-star, counted gaps and
+  // anchors so the filter layer runs over the delta transitions too.
+  const std::vector<std::string> pats = {".*atk1.*vec2", ".*hd3[^\\n]*vl4",
+                                         ".*gp5.{2,6}gp6", "^anch7.*tail8",
+                                         ".*solo9"};
+  const auto inputs = compile_patterns(pats);
+  const auto dense = build_mfa(inputs);
+  BuildOptions del;
+  del.delta = true;
+  const auto delta = build_mfa(inputs, del);
+  ASSERT_TRUE(dense.has_value());
+  ASSERT_TRUE(delta.has_value());
+  ASSERT_TRUE(delta->delta_mode());
+
+  util::Rng rng(771);
+  for (int round = 0; round < 150; ++round) {
+    std::string input;
+    const int segs = 1 + static_cast<int>(rng.below(5));
+    for (int c = 0; c < segs; ++c) {
+      if (rng.chance(0.5)) {
+        input += regex::sample_match(
+            regex::parse_or_die(pats[rng.below(pats.size())]), rng);
+      } else {
+        for (int i = 4 + rng.below(40); i > 0; --i)
+          input += static_cast<char>(rng.chance(0.1) ? '\n' : rng.printable());
+      }
+    }
+    // feed() parity with random chunk seams; independent seams per engine
+    // would diverge at the gate, so both use the same cut points.
+    Mfa::Context cd = dense->make_context();
+    Mfa::Context ce = delta->make_context();
+    CollectingSink sd, se;
+    std::size_t pos = 0;
+    while (pos < input.size()) {
+      const std::size_t len =
+          std::min<std::size_t>(1 + rng.below(24), input.size() - pos);
+      const auto* p = reinterpret_cast<const std::uint8_t*>(input.data()) + pos;
+      dense->feed(cd, p, len, pos, sd);
+      delta->feed(ce, p, len, pos, se);
+      pos += len;
+    }
+    EXPECT_EQ(sorted(sd.matches), sorted(se.matches)) << input;
+    EXPECT_EQ(cd.state, ce.state) << input;
+
+    // feed_many() parity: the whole input as one batch job per engine.
+    Mfa::Context bd = dense->make_context();
+    Mfa::Context be = delta->make_context();
+    MatchVec md, me;
+    Mfa::FeedJob jd{&bd, reinterpret_cast<const std::uint8_t*>(input.data()),
+                    input.size(), 0};
+    Mfa::FeedJob je{&be, reinterpret_cast<const std::uint8_t*>(input.data()),
+                    input.size(), 0};
+    dense->feed_many(&jd, 1, [&](std::size_t, std::uint32_t id, std::uint64_t e) {
+      md.push_back({id, e});
+    });
+    delta->feed_many(&je, 1, [&](std::size_t, std::uint32_t id, std::uint64_t e) {
+      me.push_back({id, e});
+    });
+    EXPECT_EQ(sorted(md), sorted(me)) << input;
+    EXPECT_EQ(sorted(md), sorted(sd.matches)) << input;
+  }
+}
+
+TEST(MfaDelta, GatedFeedParityWithDenseOnCleanTraffic) {
+  // feed_gated() on a delta automaton: skips must reconstruct the same
+  // state the dense scan reaches, and gated scans must report the same
+  // matches. Clean chunks exercise the skip path; dirty ones the scan path.
+  const std::vector<std::string> pats = {".*needleone.*needletwo", ".*probe99"};
+  const auto inputs = compile_patterns(pats);
+  const auto dense = build_mfa(inputs);
+  BuildOptions del;
+  del.delta = true;
+  const auto delta = build_mfa(inputs, del);
+  ASSERT_TRUE(dense.has_value());
+  ASSERT_TRUE(delta.has_value());
+
+  util::Rng rng(882);
+  Mfa::Context cd = dense->make_context();
+  Mfa::Context ce = delta->make_context();
+  CollectingSink sd, se;
+  std::uint64_t base = 0;
+  for (int chunk = 0; chunk < 200; ++chunk) {
+    std::string data;
+    if (rng.chance(0.15)) {
+      data = chunk % 2 == 0 ? "xx needleone yy" : "zz needletwo probe99";
+    } else {
+      for (int i = 0; i < 64; ++i) {
+        char c = static_cast<char>(rng.printable());
+        data += c == 'n' || c == 'p' ? 'q' : c;  // keep clean chunks clean
+      }
+    }
+    const auto* p = reinterpret_cast<const std::uint8_t*>(data.data());
+    dense->feed_gated(cd, p, data.size(), base, sd);
+    delta->feed_gated(ce, p, data.size(), base, se);
+    base += data.size();
+    ASSERT_EQ(cd.state, ce.state) << "chunk " << chunk;
+  }
+  EXPECT_EQ(sorted(sd.matches), sorted(se.matches));
+  EXPECT_FALSE(sd.matches.empty());
 }
 
 TEST(MfaEngineContext, SharedEngineIndependentContexts) {

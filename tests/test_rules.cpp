@@ -74,6 +74,111 @@ TEST(Rules, BadRulesReportedAndSkipped) {
   for (const auto& e : r.errors) EXPECT_GT(e.line, 0u);
 }
 
+TEST(Rules, OrphanNocaseIsDiagnosed) {
+  // nocase before any content used to be dropped silently, leaving a
+  // case-sensitive rule the author believed was case-insensitive.
+  const LoadResult r = parse_rules(
+      "# leading comment\n"
+      "alert tcp any any -> any any (msg:\"orphan\"; nocase; content:\"x\"; sid:11;)\n"
+      "alert tcp any any -> any any (msg:\"fine\"; content:\"y\"; nocase; sid:12;)\n");
+  ASSERT_EQ(r.rules.size(), 1u);
+  EXPECT_EQ(r.rules[0].sid, 12u);
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_EQ(r.errors[0].line, 2u);
+  EXPECT_NE(r.errors[0].message.find("nocase"), std::string::npos);
+}
+
+TEST(Rules, DuplicatePcreIsDiagnosed) {
+  // A second pcre used to overwrite the first silently.
+  const LoadResult r = parse_rules(
+      "alert tcp any any -> any any (msg:\"dup\"; pcre:\"/abc/\"; "
+      "pcre:\"/def/\"; sid:21;)\n"
+      "alert tcp any any -> any any (msg:\"single\"; pcre:\"/ghi/\"; sid:22;)\n");
+  ASSERT_EQ(r.rules.size(), 1u);
+  EXPECT_EQ(r.rules[0].sid, 22u);
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_EQ(r.errors[0].line, 1u);
+  EXPECT_NE(r.errors[0].message.find("pcre"), std::string::npos);
+}
+
+// Compile `pattern` alone and scan `input`, returning the match count.
+std::size_t match_count(const std::string& pattern, const std::string& input) {
+  regex::ParseResult parsed = regex::parse(pattern);
+  if (!parsed.ok()) {
+    ADD_FAILURE() << "pattern does not parse: " << pattern;
+    return 0;
+  }
+  auto mfa = core::build_mfa({nfa::PatternInput{*parsed.regex, 1}});
+  if (!mfa) {
+    ADD_FAILURE() << "mfa build failed: " << pattern;
+    return 0;
+  }
+  core::MfaScanner scanner(*mfa);
+  return scanner.scan(input).size();
+}
+
+TEST(ContentToRegex, HexMetacharactersMatchLiterally) {
+  // |2e 2a| is the two literal bytes ".*", not "any run of anything".
+  const auto re = content_to_regex("|2e 2a|", false);
+  ASSERT_TRUE(re.has_value());
+  EXPECT_EQ(match_count(".*" + *re, "payload .* here"), 1u);
+  EXPECT_EQ(match_count(".*" + *re, "no dotstar bytes"), 0u);
+  // Same under nocase: folding must not unescape metacharacters.
+  const auto folded = content_to_regex("|2e 2a|", true);
+  ASSERT_TRUE(folded.has_value());
+  EXPECT_EQ(match_count(".*" + *folded, "payload .* here"), 1u);
+  EXPECT_EQ(match_count(".*" + *folded, "no dotstar bytes"), 0u);
+}
+
+TEST(ContentToRegex, AllByteValuesRoundTripThroughHexPath) {
+  // Every byte delivered via |hex| must compile and match exactly itself
+  // (its case pair under nocase, for ASCII letters only).
+  for (int b = 0; b < 256; ++b) {
+    char hex[16];
+    std::snprintf(hex, sizeof hex, "|%02x|", b);
+    for (const bool nocase : {false, true}) {
+      const auto re = content_to_regex(hex, nocase);
+      ASSERT_TRUE(re.has_value()) << b;
+      const std::string self(1, static_cast<char>(b));
+      EXPECT_EQ(match_count(*re, self), 1u) << "byte " << b << " nocase " << nocase;
+      const bool upper = b >= 'A' && b <= 'Z';
+      const bool lower = b >= 'a' && b <= 'z';
+      if (upper || lower) {
+        const std::string other(1, static_cast<char>(upper ? b + 32 : b - 32));
+        EXPECT_EQ(match_count(*re, other), nocase ? 1u : 0u)
+            << "byte " << b << " nocase " << nocase;
+      } else if (b != static_cast<int>(static_cast<unsigned char>('\n'))) {
+        // A different byte must never match (newline skipped: '.'-free
+        // single-byte patterns still never equal it anyway).
+        const std::string other(1, static_cast<char>(b ^ 1));
+        EXPECT_EQ(match_count(*re, other), 0u) << "byte " << b;
+      }
+    }
+  }
+}
+
+TEST(ContentToRegex, AllByteValuesRoundTripThroughTextPath) {
+  // Same sweep through the text path. '|' is excluded (it opens a hex
+  // section in the content syntax — deliver it as |7c| instead).
+  for (int b = 1; b < 256; ++b) {
+    if (b == '|') continue;
+    const std::string content(1, static_cast<char>(b));
+    for (const bool nocase : {false, true}) {
+      const auto re = content_to_regex(content, nocase);
+      ASSERT_TRUE(re.has_value()) << b;
+      const std::string self(1, static_cast<char>(b));
+      EXPECT_EQ(match_count(*re, self), 1u) << "byte " << b << " nocase " << nocase;
+      const bool upper = b >= 'A' && b <= 'Z';
+      const bool lower = b >= 'a' && b <= 'z';
+      if (upper || lower) {
+        const std::string other(1, static_cast<char>(upper ? b + 32 : b - 32));
+        EXPECT_EQ(match_count(*re, other), nocase ? 1u : 0u)
+            << "byte " << b << " nocase " << nocase;
+      }
+    }
+  }
+}
+
 TEST(Rules, CommentsAndBlankLinesIgnored) {
   const LoadResult r = parse_rules("\n# comment\n   \n#another\n");
   EXPECT_TRUE(r.rules.empty());

@@ -1,0 +1,79 @@
+// The bundled ruleset fixture generator: determinism, the prefix-nesting
+// property bench rungs rely on, and end-to-end compilability of the
+// generated dialect (parse -> split -> validated filter program).
+#include "rules/ruleset_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "nfa/nfa.h"
+#include "rules/rules.h"
+#include "split/splitter.h"
+
+namespace mfa::rules {
+namespace {
+
+TEST(RulesetGen, DeterministicForSameSeed) {
+  const std::string a = generate_ruleset({500, 42});
+  const std::string b = generate_ruleset({500, 42});
+  EXPECT_EQ(a, b);
+  const std::string c = generate_ruleset({500, 43});
+  EXPECT_NE(a, c);
+}
+
+TEST(RulesetGen, SmallerFixtureIsAPrefixOfLarger) {
+  // Rung N's fixture must be byte-for-byte the first N rules of rung M > N,
+  // so bench ladders measure growth, not a reshuffled rule population.
+  const std::string small = generate_ruleset({200, 42});
+  const std::string large = generate_ruleset({1000, 42});
+  ASSERT_LE(small.size(), large.size());
+  EXPECT_EQ(large.compare(0, small.size(), small), 0);
+}
+
+TEST(RulesetGen, ParsesCleanlyWithSequentialSids) {
+  const LoadResult loaded = parse_rules(generate_ruleset({500, 42}));
+  EXPECT_TRUE(loaded.ok());
+  for (const auto& err : loaded.errors)
+    ADD_FAILURE() << "line " << err.line << ": " << err.message;
+  ASSERT_EQ(loaded.rules.size(), 500u);
+  for (std::size_t i = 0; i < loaded.rules.size(); ++i)
+    EXPECT_EQ(loaded.rules[i].sid, 100000 + i);
+}
+
+TEST(RulesetGen, CoversEveryRuleShape) {
+  const LoadResult loaded = parse_rules(generate_ruleset({500, 42}));
+  std::size_t nocase = 0, hex = 0, pcre = 0, multi = 0;
+  for (const auto& rule : loaded.rules) {
+    if (rule.pattern.find('[') != std::string::npos) ++nocase;
+    if (rule.pattern.find("\\x") != std::string::npos) ++hex;
+    if (rule.pattern.find('{') != std::string::npos ||
+        rule.pattern.find(".*(") != std::string::npos)
+      ++pcre;
+    if (rule.pattern.find(".*", 2) != std::string::npos) ++multi;
+  }
+  EXPECT_GT(nocase, 0u);
+  EXPECT_GT(hex, 0u);
+  EXPECT_GT(pcre, 0u);
+  EXPECT_GT(multi, 0u);
+}
+
+TEST(RulesetGen, GeneratedPatternsCompileToValidatedProgram) {
+  const LoadResult loaded = parse_rules(generate_ruleset({300, 42}));
+  ASSERT_TRUE(loaded.ok());
+  const auto inputs = to_pattern_inputs(loaded.rules);
+  ASSERT_EQ(inputs.size(), 300u);
+  const auto sr = split::split_patterns(inputs);
+  EXPECT_TRUE(sr.program.validate());
+  EXPECT_GT(sr.stats.patterns_decomposed, 0u);
+  // Every piece must have survived regex compilation into the NFA builder's
+  // input form (split_patterns parses each; a piece that failed to parse
+  // would have been dropped and desynced engine ids).
+  const nfa::Nfa n = nfa::build_nfa([&] {
+    std::vector<nfa::PatternInput> pi;
+    for (const auto& piece : sr.pieces) pi.push_back({piece.regex, piece.engine_id});
+    return pi;
+  }());
+  EXPECT_GT(n.state_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mfa::rules

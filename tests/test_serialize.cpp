@@ -6,6 +6,8 @@
 
 #include "engine_test_util.h"
 #include "mfa/mfa.h"
+#include "rules/rules.h"
+#include "rules/ruleset_gen.h"
 #include "util/binio.h"
 
 namespace mfa::core {
@@ -281,6 +283,124 @@ TEST(Serialize, StompCorpusEveryMutationLoadsAsNullopt) {
     padded.push_back('\x00');
     write_mutant(padded.data(), padded.size());
     EXPECT_FALSE(Mfa::load(mpath).has_value()) << "trailing garbage";
+  }
+  std::remove(mpath.c_str());
+}
+
+std::vector<char> read_file_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  if (f == nullptr) return {};
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<char> bytes(static_cast<std::size_t>(size));
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+TEST(Serialize, ArtifactIsByteIdenticalAcrossCompileThreads) {
+  // Parallel subset construction must be a pure speedup: the deterministic
+  // state numbering means a 1-thread and an N-thread compile of the same
+  // ruleset serialize to byte-identical MFAC artifacts (deployments diff
+  // artifacts to decide whether sensors need a push).
+  const auto loaded = rules::parse_rules(rules::generate_ruleset({100, 42}));
+  ASSERT_TRUE(loaded.ok());
+  const auto inputs = rules::to_pattern_inputs(loaded.rules);
+
+  BuildOptions seq;
+  seq.dfa.threads = 1;
+  auto mfa_seq = build_mfa(inputs, seq);
+  ASSERT_TRUE(mfa_seq.has_value());
+  BuildOptions par;
+  par.dfa.threads = 4;
+  auto mfa_par = build_mfa(inputs, par);
+  ASSERT_TRUE(mfa_par.has_value());
+
+  const std::string path_seq = temp_path("threads1.mfac");
+  const std::string path_par = temp_path("threads4.mfac");
+  ASSERT_TRUE(mfa_seq->save(path_seq));
+  ASSERT_TRUE(mfa_par->save(path_par));
+  EXPECT_EQ(read_file_bytes(path_seq), read_file_bytes(path_par));
+
+  // Delta-mode artifacts inherit the same determinism: the D2fa is built
+  // from the (identical) dense table by a sequential pass.
+  BuildOptions del = par;
+  del.delta = true;
+  auto mfa_del_par = build_mfa(inputs, del);
+  del.dfa.threads = 1;
+  auto mfa_del_seq = build_mfa(inputs, del);
+  ASSERT_TRUE(mfa_del_seq.has_value());
+  ASSERT_TRUE(mfa_del_par.has_value());
+  ASSERT_TRUE(mfa_del_seq->save(path_seq));
+  ASSERT_TRUE(mfa_del_par->save(path_par));
+  EXPECT_EQ(read_file_bytes(path_seq), read_file_bytes(path_par));
+
+  std::remove(path_seq.c_str());
+  std::remove(path_par.c_str());
+}
+
+TEST(Serialize, DeltaArtifactRoundTripScansIdentically) {
+  // v3 (delta-table) artifacts: the loaded automaton must stay in delta
+  // mode (no dense table resurrected), report the same compressed footprint,
+  // and scan byte-identically — including through the prefilter gate, which
+  // load() re-proves against a transiently expanded table.
+  BuildOptions del;
+  del.delta = true;
+  auto built = build_mfa(compile_patterns(kPats), del);
+  ASSERT_TRUE(built.has_value());
+  ASSERT_TRUE(built->delta_mode());
+  const std::string path = temp_path("delta_roundtrip.mfac");
+  ASSERT_TRUE(built->save(path));
+
+  auto loaded = Mfa::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->delta_mode());
+  EXPECT_EQ(loaded->memory_image_bytes(), built->memory_image_bytes());
+
+  auto dense = build_mfa(compile_patterns(kPats));
+  ASSERT_TRUE(dense.has_value());
+  for (const std::string input :
+       {"atk1 then vec2", "hd3 vl4", "hd3\nvl4", "gp5...gp6", "gp5gp6",
+        "anch7 tail8", "x anch7 tail8", "solo9 solo9", "nothing"}) {
+    MfaScanner a(*dense);
+    MfaScanner b(*loaded);
+    EXPECT_EQ(sorted(a.scan(input)), sorted(b.scan(input))) << input;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, DeltaStompCorpusEveryMutationLoadsAsNullopt) {
+  // The v3 layout adds the table-kind byte and the whole D2fa section ahead
+  // of the digest; the corruption guarantee must hold there too (truncation
+  // inside the exception stream, stomped defaults, flipped kind byte, ...).
+  BuildOptions del;
+  del.delta = true;
+  auto built = build_mfa(compile_patterns({".*ab.*cd", "^ef.{2,5}gh"}), del);
+  ASSERT_TRUE(built.has_value());
+  ASSERT_TRUE(built->delta_mode());
+  const std::string path = temp_path("delta_stomp.mfac");
+  ASSERT_TRUE(built->save(path));
+  const std::vector<char> bytes = read_file_bytes(path);
+  std::remove(path.c_str());
+
+  const std::string mpath = temp_path("delta_stomp_mut.mfac");
+  const auto write_mutant = [&](const char* data, std::size_t n) {
+    std::FILE* out = std::fopen(mpath.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    if (n > 0) ASSERT_EQ(std::fwrite(data, 1, n, out), n);
+    std::fclose(out);
+  };
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    write_mutant(bytes.data(), cut);
+    EXPECT_FALSE(Mfa::load(mpath).has_value()) << "truncated at " << cut;
+  }
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::vector<char> mutated = bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5a);
+    write_mutant(mutated.data(), mutated.size());
+    EXPECT_FALSE(Mfa::load(mpath).has_value()) << "stomped byte " << pos;
   }
   std::remove(mpath.c_str());
 }
